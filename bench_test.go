@@ -1,0 +1,190 @@
+// Benchmarks regenerating every table and figure of the paper (one
+// Benchmark per artifact, quick problem sizes — run `cmd/picbench -full`
+// for the paper-scale versions), plus microbenchmarks of the hot kernels.
+//
+// Simulated execution times (the quantity the paper reports) are exposed
+// via b.ReportMetric as sim-s/op next to the real wall time.
+package picpar_test
+
+import (
+	"io"
+	"testing"
+
+	"picpar"
+	"picpar/internal/experiments"
+	"picpar/internal/mesh"
+	"picpar/internal/particle"
+	"picpar/internal/pic"
+	"picpar/internal/policy"
+	"picpar/internal/sfc"
+)
+
+// BenchmarkTable1Partitioning regenerates Table 1: load imbalance and
+// communication character of the Grid / Particle / Independent strategies.
+func BenchmarkTable1Partitioning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table1(io.Discard, true)
+	}
+}
+
+// BenchmarkFig16StaticVsPeriodic regenerates Figure 16: total execution
+// time under static vs periodic redistribution.
+func BenchmarkFig16StaticVsPeriodic(b *testing.B) {
+	var static, best float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig16(io.Discard, true)
+		c := experiments.Fig16Case{Nx: 128, Ny: 64, N: 8192}
+		static = res.StaticTotal(c)
+		best = res.BestPeriodicTotal(c)
+	}
+	b.ReportMetric(static, "sim-s-static")
+	b.ReportMetric(best, "sim-s-best-periodic")
+}
+
+// BenchmarkFig17PerIterationHistory regenerates Figures 17–19: the
+// per-iteration execution-time and scatter-traffic histories.
+func BenchmarkFig17PerIterationHistory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig17to19(io.Discard, true)
+	}
+}
+
+// BenchmarkFig20Dynamic regenerates Figure 20: periodic sweep vs the
+// dynamic Stop-At-Rise policy.
+func BenchmarkFig20Dynamic(b *testing.B) {
+	var dyn, best float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig20(io.Discard, true)
+		dyn = res.Dynamic().Total
+		best = res.BestPeriodicTotal()
+	}
+	b.ReportMetric(dyn, "sim-s-dynamic")
+	b.ReportMetric(best, "sim-s-best-periodic")
+}
+
+// BenchmarkTable2Indexing regenerates Table 2 (Hilbert vs snakelike
+// computation time) together with Figures 21–22 (overhead) and Table 3
+// (efficiency), which are views over the same runs.
+func BenchmarkTable2Indexing(b *testing.B) {
+	var hil, snk float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table2(io.Discard, true)
+		hil, snk = 0, 0
+		for _, c := range res.Cells {
+			if c.Indexing == sfc.SchemeHilbert {
+				hil += c.Overhead
+			} else {
+				snk += c.Overhead
+			}
+		}
+	}
+	b.ReportMetric(hil, "sim-s-overhead-hilbert")
+	b.ReportMetric(snk, "sim-s-overhead-snake")
+}
+
+// BenchmarkIncrementalVsFullSort regenerates the redistribution-cost
+// ablation (the paper's Figure 11 claim) plus the duplicate-table and mesh
+// distribution ablations.
+func BenchmarkIncrementalVsFullSort(b *testing.B) {
+	var inc, full float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.Ablation(io.Discard, true)
+		inc, full = res.IncrementalRedistTime, res.FullSortRedistTime
+	}
+	b.ReportMetric(inc, "sim-s-incremental")
+	b.ReportMetric(full, "sim-s-fullsort")
+}
+
+// --- Microbenchmarks of the hot kernels ---
+
+// BenchmarkSimulationIteration measures real host time per PIC iteration
+// at the paper's per-rank granularity (1024 particles/rank on 8 ranks).
+func BenchmarkSimulationIteration(b *testing.B) {
+	cfg := picpar.Config{
+		Grid:         picpar.NewGrid(64, 32),
+		P:            8,
+		NumParticles: 8192,
+		Distribution: picpar.DistIrregular,
+		Seed:         1,
+		Iterations:   b.N,
+		Policy:       picpar.PeriodicPolicy(25),
+	}
+	b.ResetTimer()
+	res, err := picpar.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if b.N > 0 {
+		b.ReportMetric(res.TotalTime/float64(b.N), "sim-s/iter")
+	}
+}
+
+// BenchmarkHilbertIndex measures the per-particle indexing cost.
+func BenchmarkHilbertIndex(b *testing.B) {
+	ix := sfc.MustNew(sfc.SchemeHilbert, 512, 256)
+	b.ResetTimer()
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += ix.Index(i&511, (i>>3)&255)
+	}
+	_ = s
+}
+
+// BenchmarkSnakeIndex is the baseline ordering's indexing cost.
+func BenchmarkSnakeIndex(b *testing.B) {
+	ix := sfc.MustNew(sfc.SchemeSnake, 512, 256)
+	b.ResetTimer()
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += ix.Index(i&511, (i>>3)&255)
+	}
+	_ = s
+}
+
+// BenchmarkSampleSort measures a full parallel sample sort of 32768
+// particles over 8 ranks.
+func BenchmarkSampleSort(b *testing.B) {
+	benchSort(b, false)
+}
+
+// BenchmarkIncrementalRedistribute measures the bucket-based incremental
+// redistribution of the same population after a small drift.
+func BenchmarkIncrementalRedistribute(b *testing.B) {
+	benchSort(b, true)
+}
+
+func benchSort(b *testing.B, incremental bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cfg := pic.Config{
+			Grid:         mesh.NewGrid(128, 64),
+			P:            8,
+			NumParticles: 32768,
+			Distribution: particle.DistIrregular,
+			Seed:         int64(i),
+			Iterations:   1,
+			Policy:       policy.NewPeriodic(1),
+		}
+		if !incremental {
+			cfg.Iterations = 0
+		}
+		if _, err := pic.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFieldSolve measures the distributed Maxwell solve throughput.
+func BenchmarkFieldSolve(b *testing.B) {
+	cfg := picpar.Config{
+		Grid:         picpar.NewGrid(256, 128),
+		P:            8,
+		NumParticles: 0,
+		Iterations:   b.N,
+		Policy:       picpar.StaticPolicy(),
+	}
+	b.ResetTimer()
+	if _, err := picpar.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Command picbench regenerates the tables and figures of the paper's
+// evaluation section. Each experiment prints a measured, paper-style text
+// table and can additionally export its raw data as CSV.
+//
+// Usage:
+//
+//	picbench -exp all                  # every experiment, quick sizes
+//	picbench -exp fig16 -full          # one experiment at the paper's full sizes
+//	picbench -exp all -csv results/    # also write results/<exp>.csv
+//
+// Experiments: table1, fig16, fig17 (also covers figs 18–19), fig20,
+// table2 (also covers figs 21–22 and table3), ablation, baseline, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"picpar/internal/experiments"
+)
+
+// csvWriter is implemented by every experiment result.
+type csvWriter interface {
+	WriteCSV(w io.Writer) error
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: table1|fig16|fig17|fig20|table2|ablation|baseline|nd|all")
+	full := flag.Bool("full", false, "use the paper's full problem sizes (slow)")
+	csvDir := flag.String("csv", "", "directory to write <exp>.csv files into (created if absent)")
+	flag.Parse()
+
+	quick := !*full
+	runners := map[string]func() csvWriter{
+		"table1":   func() csvWriter { return experiments.Table1(os.Stdout, quick) },
+		"fig16":    func() csvWriter { return experiments.Fig16(os.Stdout, quick) },
+		"fig17":    func() csvWriter { return experiments.Fig17to19(os.Stdout, quick) },
+		"fig20":    func() csvWriter { return experiments.Fig20(os.Stdout, quick) },
+		"table2":   func() csvWriter { return experiments.Table2(os.Stdout, quick) },
+		"ablation": func() csvWriter { return experiments.Ablation(os.Stdout, quick) },
+		"baseline": func() csvWriter { return experiments.Baseline(os.Stdout, quick) },
+		"nd":       func() csvWriter { return experiments.ND(os.Stdout, quick) },
+	}
+	order := []string{"table1", "fig16", "fig17", "fig20", "table2", "ablation", "baseline", "nd"}
+
+	var todo []string
+	if *exp == "all" {
+		todo = order
+	} else if _, ok := runners[*exp]; ok {
+		todo = []string{*exp}
+	} else {
+		fmt.Fprintf(os.Stderr, "picbench: unknown experiment %q (want one of %v or all)\n", *exp, order)
+		os.Exit(2)
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "picbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	mode := "quick"
+	if *full {
+		mode = "full (paper sizes)"
+	}
+	fmt.Printf("picbench: mode=%s\n\n", mode)
+	for _, id := range todo {
+		start := time.Now()
+		res := runners[id]()
+		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, id+".csv")
+			if err := writeCSVFile(path, res); err != nil {
+				fmt.Fprintf(os.Stderr, "picbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("[%s data written to %s]\n\n", id, path)
+		}
+	}
+}
+
+func writeCSVFile(path string, res csvWriter) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestParseMesh(t *testing.T) {
+	nx, ny, err := parseMesh("128x64")
+	if err != nil || nx != 128 || ny != 64 {
+		t.Errorf("parseMesh: %d %d %v", nx, ny, err)
+	}
+	if _, _, err := parseMesh("128X64"); err != nil {
+		t.Errorf("uppercase X should parse: %v", err)
+	}
+	for _, bad := range []string{"128", "ax64", "128xb", "1x2x3", ""} {
+		if _, _, err := parseMesh(bad); err == nil {
+			t.Errorf("parseMesh(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, good := range []string{"static", "dynamic", "periodic:10"} {
+		f, err := parsePolicy(good)
+		if err != nil || f == nil {
+			t.Errorf("parsePolicy(%q): %v", good, err)
+		}
+		if f().Name() == "" {
+			t.Errorf("policy %q has empty name", good)
+		}
+	}
+	for _, bad := range []string{"periodic:", "periodic:0", "periodic:-3", "periodic:x", "sar", ""} {
+		if _, err := parsePolicy(bad); err == nil {
+			t.Errorf("parsePolicy(%q) accepted", bad)
+		}
+	}
+}

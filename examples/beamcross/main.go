@@ -1,0 +1,55 @@
+// Beamcross: a compact relativistic beam crosses the domain — the workload
+// where dynamic alignment matters most, because every particle leaves its
+// original subdomain. The example runs the same beam under the static,
+// best-guess periodic, and dynamic policies and prints the comparison the
+// paper's Figure 20 makes.
+//
+//	go run ./examples/beamcross
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"picpar"
+)
+
+func main() {
+	base := picpar.Config{
+		Grid:         picpar.NewGrid(128, 32),
+		P:            16,
+		NumParticles: 16384,
+		Distribution: picpar.DistBeam,
+		Drift:        0.8, // relativistic drift: the beam sweeps the domain
+		Thermal:      0.05,
+		Seed:         3,
+		Iterations:   250,
+	}
+
+	fmt.Println("beamcross: 16384-particle beam, 128x32 mesh, 16 ranks, 250 iterations")
+	fmt.Printf("%-15s %12s %12s %12s %9s\n", "policy", "exec(s)", "redist(s)", "total(s)", "#redist")
+
+	type entry struct {
+		name string
+		f    picpar.PolicyFactory
+	}
+	for _, e := range []entry{
+		{"static", picpar.StaticPolicy()},
+		{"periodic:50", picpar.PeriodicPolicy(50)},
+		{"periodic:10", picpar.PeriodicPolicy(10)},
+		{"dynamic", picpar.DynamicPolicy()},
+	} {
+		cfg := base
+		cfg.Policy = e.f
+		res, err := picpar.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-15s %12.3f %12.3f %12.3f %9d\n",
+			e.name, res.TotalTime-res.RedistTime, res.RedistTime, res.TotalTime, res.NumRedistributions)
+	}
+
+	fmt.Println("\nThe dynamic (Stop-At-Rise) policy lands at or near the best periodic")
+	fmt.Println("period without any tuning — and it spends redistribution time only")
+	fmt.Println("when the measured iteration-time rise justifies it.")
+}

@@ -1,0 +1,40 @@
+// Quickstart: run a small uniform plasma on 8 simulated processors with
+// dynamic redistribution and print the headline numbers.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"picpar"
+)
+
+func main() {
+	res, err := picpar.Run(picpar.Config{
+		Grid:         picpar.NewGrid(64, 32),
+		P:            8,
+		NumParticles: 8192,
+		Distribution: picpar.DistUniform,
+		Seed:         1,
+		Iterations:   100,
+		Policy:       picpar.DynamicPolicy(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("quickstart: 8192 uniform particles, 64x32 mesh, 8 ranks, 100 iterations")
+	fmt.Printf("  total execution time (simulated CM-5 seconds): %.3f\n", res.TotalTime)
+	fmt.Printf("  computation on the critical path:              %.3f\n", res.ComputeMax)
+	fmt.Printf("  parallel efficiency:                           %.3f\n", res.Efficiency)
+	fmt.Printf("  redistributions triggered by the SAR policy:   %d (%.4f s)\n",
+		res.NumRedistributions, res.RedistTime)
+	fmt.Printf("  peak scatter-phase ghost traffic:              %d bytes, %d messages\n",
+		res.MaxScatterBytes(), res.MaxScatterMsgs())
+
+	// Per-iteration records carry everything Figures 17-19 plot.
+	last := res.Records[len(res.Records)-1]
+	fmt.Printf("  final iteration: %.4f s (%.4f s computation)\n", last.Time, last.Compute)
+}

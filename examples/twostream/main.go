@@ -1,0 +1,65 @@
+// Twostream: the classic two-stream instability — counter-streaming
+// electron populations feed energy from particles into growing
+// electromagnetic fields. The example tracks the energy exchange, showing
+// the PIC physics engine doing real plasma physics while the runtime keeps
+// the data arrays aligned.
+//
+//	go run ./examples/twostream
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"picpar"
+)
+
+func main() {
+	res, err := picpar.Run(picpar.Config{
+		Grid:         picpar.NewGrid(64, 16),
+		P:            8,
+		NumParticles: 16384,
+		Distribution: picpar.DistTwoStream,
+		Drift:        0.4,
+		Thermal:      0.02,
+		MacroCharge:  -0.05,
+		Seed:         5,
+		Iterations:   300,
+		Policy:       picpar.DynamicPolicy(),
+		Diagnostics:  true,
+		DiagEvery:    20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("twostream: counter-streaming beams, 64x16 mesh, 16384 particles, 8 ranks")
+	fmt.Printf("%6s %16s %16s %14s\n", "iter", "fieldEnergy", "kineticEnergy", "iterTime(s)")
+	var e0 float64
+	for _, rec := range res.Records {
+		if rec.Iter%20 != 0 {
+			continue
+		}
+		if rec.Iter == 0 {
+			e0 = rec.FieldEnergy
+		}
+		fmt.Printf("%6d %16.6g %16.6g %14.4f\n", rec.Iter, rec.FieldEnergy, rec.KineticEnergy, rec.Time)
+	}
+	final := res.Records[len(res.Records)-1]
+	_ = final
+
+	grew := false
+	for _, rec := range res.Records {
+		if rec.FieldEnergy > 10*e0 && e0 >= 0 {
+			grew = true
+			break
+		}
+	}
+	if grew {
+		fmt.Println("\nField energy grew by over an order of magnitude: the instability developed.")
+	} else {
+		fmt.Println("\nField energy history printed above.")
+	}
+	fmt.Printf("Total simulated time %.3f s with %d redistributions.\n",
+		res.TotalTime, res.NumRedistributions)
+}

@@ -1,0 +1,3 @@
+module picpar
+
+go 1.22

@@ -1,0 +1,283 @@
+package comm
+
+import "fmt"
+
+// Barrier synchronises all ranks using a dissemination barrier: ⌈log₂ p⌉
+// rounds in which rank i signals (i+2^k) mod p and waits for (i−2^k) mod p.
+// Because receives are causal, every rank's clock leaves the barrier at a
+// time no earlier than every other rank's entry time.
+func (r *Rank) Barrier() {
+	p := r.P
+	if p == 1 {
+		return
+	}
+	for k := 1; k < p; k <<= 1 {
+		dst := (r.ID + k) % p
+		src := (r.ID - k + p) % p
+		r.Send(dst, tagBarrier, nil, 0)
+		r.Recv(src, tagBarrier)
+	}
+}
+
+// Bcast broadcasts body (of nbytes) from root along a binomial tree and
+// returns the received value on every rank (the root returns body itself).
+func (r *Rank) Bcast(root int, body any, nbytes int) any {
+	p := r.P
+	if p == 1 {
+		return body
+	}
+	vr := (r.ID - root + p) % p // virtual rank with root at 0
+	hb := 0                     // highest set bit of vr (0 for the root)
+	for b := 1; b <= vr; b <<= 1 {
+		if vr&b != 0 {
+			hb = b
+		}
+	}
+	var val any
+	if vr == 0 {
+		val = body
+	} else {
+		// Parent in the binomial tree: clear the highest set bit.
+		parent := ((vr - hb) + root) % p
+		val = r.Recv(parent, tagBcast)
+	}
+	// Children of vr are vr+2^k for every 2^k above vr's highest set bit.
+	for mask := nextPow2(p) >> 1; mask > hb; mask >>= 1 {
+		if child := vr + mask; child < p {
+			r.Send((child+root)%p, tagBcast, val, nbytes)
+		}
+	}
+	return val
+}
+
+func nextPow2(n int) int {
+	k := 1
+	for k < n {
+		k <<= 1
+	}
+	return k
+}
+
+// ReduceFloat64 reduces one float64 per rank to root with op (must be
+// associative and commutative). Non-root ranks return 0.
+func (r *Rank) ReduceFloat64(root int, x float64, op func(a, b float64) float64) float64 {
+	p := r.P
+	vr := (r.ID - root + p) % p
+	acc := x
+	for mask := 1; mask < nextPow2(p); mask <<= 1 {
+		if vr&mask != 0 {
+			parent := (vr - mask + root) % p
+			r.Send(parent, tagReduce, acc, Float64Bytes)
+			return 0
+		}
+		if child := vr + mask; child < p {
+			v := r.Recv((child+root)%p, tagReduce).(float64)
+			acc = op(acc, v)
+			r.Compute(1)
+		}
+	}
+	return acc
+}
+
+// AllreduceFloat64 reduces one float64 per rank with op and returns the
+// result on every rank (reduce-to-root then broadcast; correct for any p).
+func (r *Rank) AllreduceFloat64(x float64, op func(a, b float64) float64) float64 {
+	v := r.ReduceFloat64(0, x, op)
+	return r.Bcast(0, v, Float64Bytes).(float64)
+}
+
+// AllreduceSumFloat64s element-wise sums a vector across ranks, returning
+// the full sum on every rank. This is the dominant global operation of the
+// replicated-mesh (Lubeck–Faber style) baseline.
+func (r *Rank) AllreduceSumFloat64s(x []float64) []float64 {
+	acc := append([]float64(nil), x...)
+	vr := r.ID
+	for mask := 1; mask < nextPow2(r.P); mask <<= 1 {
+		if vr&mask != 0 {
+			r.SendFloat64s(vr-mask, tagReduce, acc)
+			acc = nil
+			break
+		}
+		if child := vr + mask; child < r.P {
+			v := r.RecvFloat64s(child, tagReduce)
+			for i := range acc {
+				acc[i] += v[i]
+			}
+			r.Compute(len(acc))
+		}
+	}
+	out := r.Bcast(0, acc, len(x)*Float64Bytes)
+	return out.([]float64)
+}
+
+// AllreduceMaxFloat64 returns the maximum of x over all ranks, on all ranks.
+func (r *Rank) AllreduceMaxFloat64(x float64) float64 {
+	return r.AllreduceFloat64(x, func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// AllreduceSumInt returns the sum of x over all ranks, on all ranks.
+func (r *Rank) AllreduceSumInt(x int) int {
+	v := r.AllreduceFloat64(float64(x), func(a, b float64) float64 { return a + b })
+	return int(v + 0.5)
+}
+
+// Allgather performs a "global concatenation": every rank contributes a
+// fixed-size block and every rank receives the concatenation in rank order.
+// Implemented as a ring: p−1 steps each forwarding one block, so the cost is
+// (p−1)·(τ + |block|·μ) — the global-concatenate term of the paper's
+// analysis.
+func Allgather[T any](r *Rank, block []T, elemBytes int) []T {
+	p := r.P
+	n := len(block)
+	out := make([]T, n*p)
+	copy(out[r.ID*n:], block)
+	if p == 1 {
+		return out
+	}
+	next := (r.ID + 1) % p
+	prev := (r.ID - 1 + p) % p
+	cur := append([]T(nil), block...)
+	curOwner := r.ID
+	for step := 0; step < p-1; step++ {
+		r.Send(next, tagAllgather, cur, n*elemBytes)
+		cur = r.Recv(prev, tagAllgather).([]T)
+		curOwner = (curOwner - 1 + p) % p
+		copy(out[curOwner*n:], cur)
+	}
+	return out
+}
+
+// AllgatherInts gathers fixed-size int blocks from all ranks.
+func (r *Rank) AllgatherInts(block []int) []int { return Allgather(r, block, IntBytes) }
+
+// AllgatherFloat64s gathers fixed-size float64 blocks from all ranks.
+func (r *Rank) AllgatherFloat64s(block []float64) []float64 {
+	return Allgather(r, block, Float64Bytes)
+}
+
+// ExchangeCounts distributes an all-to-many traffic table: sendCounts[d] is
+// the number of elements this rank will send to rank d. Returns
+// recvCounts[s], the number of elements rank s will send here. This is the
+// "global concatenate the myId row of table" step of the paper's
+// redistribution algorithm (Figure 12, line 15).
+func (r *Rank) ExchangeCounts(sendCounts []int) (recvCounts []int) {
+	if len(sendCounts) != r.P {
+		panic(fmt.Sprintf("comm: ExchangeCounts len=%d want P=%d", len(sendCounts), r.P))
+	}
+	table := r.AllgatherInts(sendCounts)
+	recvCounts = make([]int, r.P)
+	for s := 0; s < r.P; s++ {
+		recvCounts[s] = table[s*r.P+r.ID]
+	}
+	return recvCounts
+}
+
+// AllToMany performs the paper's all-to-many exchange: send[d] goes to rank
+// d. Empty slices send nothing — no τ is charged for absent messages,
+// matching the paper's "number of messages" accounting. recvCounts must come
+// from ExchangeCounts or equivalent global knowledge. Returns the received
+// slices indexed by source rank; recv[self] aliases send[self].
+//
+// The schedule is the classic staggered pairwise exchange: at step s, send
+// to (id+s) mod p and receive from (id−s) mod p.
+func AllToMany[T any](r *Rank, send [][]T, recvCounts []int, elemBytes int) [][]T {
+	p := r.P
+	if len(send) != p || len(recvCounts) != p {
+		panic(fmt.Sprintf("comm: AllToMany len(send)=%d len(recvCounts)=%d want P=%d",
+			len(send), len(recvCounts), p))
+	}
+	recv := make([][]T, p)
+	if len(send[r.ID]) > 0 {
+		recv[r.ID] = send[r.ID]
+	}
+	for s := 1; s < p; s++ {
+		dst := (r.ID + s) % p
+		src := (r.ID - s + p) % p
+		if len(send[dst]) > 0 {
+			r.Send(dst, tagAlltoMany, send[dst], len(send[dst])*elemBytes)
+		}
+		if recvCounts[src] > 0 {
+			recv[src] = r.Recv(src, tagAlltoMany).([]T)
+			if len(recv[src]) != recvCounts[src] {
+				panic(fmt.Sprintf("comm: all-to-many size mismatch from %d: got %d want %d",
+					src, len(recv[src]), recvCounts[src]))
+			}
+		}
+	}
+	return recv
+}
+
+// AllToManyFloat64s is AllToMany for float64 payloads.
+func (r *Rank) AllToManyFloat64s(send [][]float64, recvCounts []int) [][]float64 {
+	return AllToMany(r, send, recvCounts, Float64Bytes)
+}
+
+// Expose publishes v and returns every rank's published value, indexed by
+// rank. It is an out-of-band measurement channel: the values do not travel
+// the modelled network, so only the two enclosing barriers are charged.
+// Use it for instrumentation (collecting timings and counters that a real
+// run would log locally and merge offline), never for algorithm data.
+func (r *Rank) Expose(v any) []any {
+	r.world.scratch[r.ID] = v
+	r.Barrier() // all publications complete
+	out := append([]any(nil), r.world.scratch...)
+	r.Barrier() // all reads complete before anyone publishes again
+	return out
+}
+
+// ExposeMaxFloat64 returns the maximum over ranks of a float64 measurement,
+// free of modelled network cost except two barriers.
+func (r *Rank) ExposeMaxFloat64(v float64) float64 {
+	all := r.Expose(v)
+	m := v
+	for _, x := range all {
+		if f := x.(float64); f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// ExposeMaxFloat64s element-wise maximises a measurement vector over ranks.
+func (r *Rank) ExposeMaxFloat64s(v []float64) []float64 {
+	all := r.Expose(v)
+	out := append([]float64(nil), v...)
+	for _, x := range all {
+		vec := x.([]float64)
+		for i := range out {
+			if vec[i] > out[i] {
+				out[i] = vec[i]
+			}
+		}
+	}
+	return out
+}
+
+// ExposeSumFloat64 returns the sum over ranks of a float64 measurement.
+func (r *Rank) ExposeSumFloat64(v float64) float64 {
+	all := r.Expose(v)
+	s := 0.0
+	for _, x := range all {
+		s += x.(float64)
+	}
+	return s
+}
+
+// ScanSumInt returns the exclusive prefix sum of x over ranks: rank i gets
+// x₀+…+x_{i−1} (rank 0 gets 0). Linear chain; used by the order-maintaining
+// load balance.
+func (r *Rank) ScanSumInt(x int) int {
+	acc := 0
+	if r.ID > 0 {
+		acc = r.Recv(r.ID-1, tagScan).(int)
+	}
+	if r.ID+1 < r.P {
+		r.Send(r.ID+1, tagScan, acc+x, IntBytes)
+	}
+	return acc
+}

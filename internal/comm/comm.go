@@ -1,0 +1,251 @@
+// Package comm is a hand-rolled message-passing substrate: an SPMD runtime
+// in which each rank of a distributed-memory machine runs as a goroutine and
+// all interaction happens through explicit messages. It plays the role CMMD
+// played on the CM-5 in the original paper.
+//
+// Point-to-point sends and receives are the only primitive; every collective
+// (barrier, broadcast, reduce, allreduce, allgather/"global concatenate",
+// all-to-many exchange) is built from them, so the τ and μ terms of the
+// two-level cost model accumulate exactly as the published complexity
+// analysis predicts.
+//
+// Simulated time: the sender charges τ + n·μ to its clock when a message of
+// n bytes is posted; the receiver charges τ + n·μ and additionally advances
+// to at least the sender's post-send clock, making message consumption
+// causal. Execution time of a region is the maximum clock advance over
+// ranks.
+package comm
+
+import (
+	"fmt"
+	"sync"
+
+	"picpar/internal/machine"
+)
+
+// Tag labels a message so that mismatched protocols fail loudly instead of
+// silently mispairing messages.
+type Tag int
+
+// Well-known tags used by the collectives; application code should use tags
+// >= TagUser.
+const (
+	tagBarrier Tag = -(iota + 1)
+	tagBcast
+	tagReduce
+	tagGather
+	tagAllgather
+	tagAlltoMany
+	tagScan
+)
+
+// TagUser is the first tag value free for application use.
+const TagUser Tag = 0
+
+type message struct {
+	tag    Tag
+	bytes  int
+	sentAt float64 // sender's simulated clock after the send completed
+	body   any
+}
+
+// World is a set of P ranks plus their mailboxes. Create one with NewWorld
+// and execute SPMD programs with Run.
+type World struct {
+	P      int
+	Params machine.Params
+
+	// boxes[dst*P+src] is the FIFO channel carrying messages src→dst.
+	boxes []chan message
+	// scratch is the out-of-band publication area used by Expose.
+	scratch []any
+}
+
+// DefaultMailboxDepth is the per-channel buffering. Deep enough that
+// typical phase protocols never block on buffer space, small enough to
+// surface deadlocks quickly in tests.
+const DefaultMailboxDepth = 4096
+
+// NewWorld creates a world of p ranks with the given machine parameters.
+func NewWorld(p int, params machine.Params) *World {
+	if p <= 0 {
+		panic(fmt.Sprintf("comm: NewWorld with p=%d", p))
+	}
+	w := &World{P: p, Params: params}
+	w.scratch = make([]any, p)
+	w.boxes = make([]chan message, p*p)
+	for i := range w.boxes {
+		w.boxes[i] = make(chan message, DefaultMailboxDepth)
+	}
+	return w
+}
+
+// Run executes fn on every rank concurrently and returns the per-rank stats
+// ledgers once all ranks have returned. A panic on any rank is re-raised on
+// the caller after all other ranks finish or block permanently; the runtime
+// deadlock detector then identifies stuck protocols in tests.
+func (w *World) Run(fn func(r *Rank)) machine.WorldStats {
+	ranks := make([]*Rank, w.P)
+	for i := 0; i < w.P; i++ {
+		ranks[i] = &Rank{ID: i, P: w.P, world: w}
+	}
+	var wg sync.WaitGroup
+	panics := make(chan any, w.P)
+	for i := 0; i < w.P; i++ {
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					panics <- fmt.Sprintf("rank %d: %v", r.ID, e)
+				}
+			}()
+			fn(r)
+		}(ranks[i])
+	}
+	wg.Wait()
+	select {
+	case e := <-panics:
+		panic(e)
+	default:
+	}
+	ws := machine.WorldStats{Ranks: make([]machine.Stats, w.P)}
+	for i, r := range ranks {
+		ws.Ranks[i] = r.Stats
+	}
+	return ws
+}
+
+// Rank is the per-processor handle passed to SPMD programs. It is owned by
+// one goroutine and must not be shared.
+type Rank struct {
+	ID int // this rank's id in [0, P)
+	P  int // number of ranks
+
+	Clock machine.Clock
+	Stats machine.Stats
+
+	world *World
+	// pending holds messages pulled off a mailbox while looking for a
+	// different tag; indexed by source rank.
+	pending [][]message
+}
+
+// Compute charges n units of local computation (n·δ) to the clock and the
+// current phase.
+func (r *Rank) Compute(n int) {
+	if n <= 0 {
+		return
+	}
+	c := r.world.Params.ComputeCost(n)
+	r.Clock.Advance(c)
+	r.Stats.RecordCompute(c)
+}
+
+// ComputeTime charges t simulated seconds of local computation directly.
+func (r *Rank) ComputeTime(t float64) {
+	if t <= 0 {
+		return
+	}
+	r.Clock.Advance(t)
+	r.Stats.RecordCompute(t)
+}
+
+// SetPhase selects the accounting phase for subsequent operations.
+func (r *Rank) SetPhase(p machine.Phase) { r.Stats.SetPhase(p) }
+
+// Send posts a message of nbytes modelled bytes to dst. The body may be any
+// value; ownership transfers to the receiver (the sender must not mutate it
+// afterwards — the substrate does not copy).
+func (r *Rank) Send(dst int, tag Tag, body any, nbytes int) {
+	if dst < 0 || dst >= r.P {
+		panic(fmt.Sprintf("comm: send to invalid rank %d (P=%d)", dst, r.P))
+	}
+	if dst == r.ID {
+		// Self-sends bypass the network: no τ/μ charge, matching the
+		// model where local data movement is part of computation.
+		r.deliverLocal(message{tag: tag, bytes: nbytes, sentAt: r.Clock.Now(), body: body})
+		return
+	}
+	cost := r.world.Params.MsgCost(nbytes)
+	r.Clock.Advance(cost)
+	r.Stats.RecordSend(nbytes, cost)
+	r.world.boxes[dst*r.P+r.ID] <- message{tag: tag, bytes: nbytes, sentAt: r.Clock.Now(), body: body}
+}
+
+func (r *Rank) deliverLocal(m message) {
+	if r.pending == nil {
+		r.pending = make([][]message, r.P)
+	}
+	r.pending[r.ID] = append(r.pending[r.ID], m)
+}
+
+// Recv blocks until a message with the given tag arrives from src and
+// returns its body. Messages from src with other tags are queued for later
+// Recv calls, preserving per-(src,tag) FIFO order.
+func (r *Rank) Recv(src int, tag Tag) any {
+	if src < 0 || src >= r.P {
+		panic(fmt.Sprintf("comm: recv from invalid rank %d (P=%d)", src, r.P))
+	}
+	if r.pending == nil {
+		r.pending = make([][]message, r.P)
+	}
+	// Check messages already pulled off the wire.
+	q := r.pending[src]
+	for i := range q {
+		if q[i].tag == tag {
+			m := q[i]
+			r.pending[src] = append(q[:i], q[i+1:]...)
+			return r.consume(src, m)
+		}
+	}
+	if src == r.ID {
+		panic(fmt.Sprintf("comm: rank %d self-recv tag %d with no matching self-send", r.ID, tag))
+	}
+	box := r.world.boxes[r.ID*r.P+src]
+	for {
+		m := <-box
+		if m.tag == tag {
+			return r.consume(src, m)
+		}
+		r.pending[src] = append(r.pending[src], m)
+	}
+}
+
+func (r *Rank) consume(src int, m message) any {
+	if src == r.ID {
+		return m.body // local delivery is free
+	}
+	cost := r.world.Params.MsgCost(m.bytes)
+	r.Clock.AdvanceTo(m.sentAt)
+	r.Clock.Advance(cost)
+	r.Stats.RecordRecv(m.bytes, cost)
+	return m.body
+}
+
+// RecvFloat64s receives a []float64 message.
+func (r *Rank) RecvFloat64s(src int, tag Tag) []float64 {
+	return r.Recv(src, tag).([]float64)
+}
+
+// RecvInts receives an []int message.
+func (r *Rank) RecvInts(src int, tag Tag) []int {
+	return r.Recv(src, tag).([]int)
+}
+
+// Float64Bytes is the modelled wire size of one float64.
+const Float64Bytes = 8
+
+// IntBytes is the modelled wire size of one integer index.
+const IntBytes = 4
+
+// SendFloat64s sends a []float64 with its natural wire size.
+func (r *Rank) SendFloat64s(dst int, tag Tag, data []float64) {
+	r.Send(dst, tag, data, len(data)*Float64Bytes)
+}
+
+// SendInts sends an []int with a 4-byte-per-element wire size (indices fit
+// 32 bits at the paper's problem scales).
+func (r *Rank) SendInts(dst int, tag Tag, data []int) {
+	r.Send(dst, tag, data, len(data)*IntBytes)
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"picpar/internal/particle"
+	"picpar/internal/pic"
+	"picpar/internal/policy"
+	"picpar/internal/replicated"
+)
+
+// BaselineCell is one (method, ranks) measurement.
+type BaselineCell struct {
+	Method   string // "independent+dynamic", "eulerian", "replicated"
+	P        int
+	Total    float64
+	Compute  float64
+	Overhead float64
+}
+
+// BaselineResult compares the paper's method against the two prior-art
+// baselines of Section 3.
+type BaselineResult struct {
+	Ranks []int
+	Cells []BaselineCell
+}
+
+// Baseline reproduces the scalability argument of the paper's Section 3:
+// the replicated-mesh direct Lagrangian code (Lubeck–Faber) is dominated by
+// global operations on the whole mesh as the machine grows; the direct
+// Eulerian grid-partitioned code (Gledhill–Storey) keeps communication
+// local but its particle load follows the irregular density; the paper's
+// independent partitioning with dynamic redistribution scales.
+func Baseline(w io.Writer, quick bool) *BaselineResult {
+	iters, n := 100, 16384
+	ranks := []int{4, 8, 16, 32}
+	if quick {
+		iters, n = 50, 8192
+		ranks = []int{4, 16, 32}
+	}
+	res := &BaselineResult{Ranks: ranks}
+	g := grid(128, 64)
+
+	fmt.Fprintf(w, "Section 3 baselines (measured): %d iterations, irregular, mesh=128x64, particles=%d\n", iters, n)
+	fmt.Fprintf(w, "%-22s %6s %12s %12s %12s %12s\n", "method", "ranks", "total(s)", "compute(s)", "overhead(s)", "efficiency")
+	hr(w, 82)
+
+	for _, p := range ranks {
+		base := pic.Config{
+			Grid:         g,
+			P:            p,
+			NumParticles: n,
+			Distribution: particle.DistIrregular,
+			Seed:         33,
+			Iterations:   iters,
+			Thermal:      0.4,
+		}
+
+		// The paper's method.
+		cfg := base
+		cfg.Policy = policy.NewDynamic()
+		r := run(cfg)
+		res.add(w, "independent+dynamic", p, r.TotalTime, r.ComputeMax, r.Overhead, r.Efficiency)
+
+		// Direct Eulerian on grid partitioning.
+		cfg = base
+		cfg.Eulerian = true
+		r = run(cfg)
+		res.add(w, "eulerian-grid", p, r.TotalTime, r.ComputeMax, r.Overhead, r.Efficiency)
+
+		// Replicated mesh (Lubeck–Faber).
+		rr, err := replicated.Run(base)
+		if err != nil {
+			panic(err)
+		}
+		res.add(w, "replicated-mesh", p, rr.TotalTime, rr.ComputeMax, rr.Overhead, rr.Efficiency)
+	}
+	return res
+}
+
+func (b *BaselineResult) add(w io.Writer, method string, p int, total, comp, over, eff float64) {
+	b.Cells = append(b.Cells, BaselineCell{Method: method, P: p, Total: total, Compute: comp, Overhead: over})
+	fmt.Fprintf(w, "%-22s %6d %12.2f %12.2f %12.2f %12.3f\n", method, p, total, comp, over, eff)
+}
+
+// Find locates a cell.
+func (b *BaselineResult) Find(method string, p int) *BaselineCell {
+	for i := range b.Cells {
+		if b.Cells[i].Method == method && b.Cells[i].P == p {
+			return &b.Cells[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+func TestBaselineShape(t *testing.T) {
+	res := Baseline(io.Discard, true)
+
+	// The paper's method scales: total time strictly decreases with p.
+	prev := 0.0
+	for _, p := range res.Ranks {
+		c := res.Find("independent+dynamic", p)
+		if c == nil {
+			t.Fatalf("missing independent+dynamic p=%d", p)
+		}
+		if prev != 0 && c.Total >= prev {
+			t.Errorf("independent+dynamic does not scale: p=%d total %g >= previous %g", p, c.Total, prev)
+		}
+		prev = c.Total
+	}
+
+	// Replicated mesh: overhead grows with p (global operations dominate)
+	// and at the largest machine it loses to the paper's method.
+	small := res.Find("replicated-mesh", res.Ranks[0])
+	large := res.Find("replicated-mesh", res.Ranks[len(res.Ranks)-1])
+	if large.Overhead <= small.Overhead {
+		t.Errorf("replicated overhead should grow with p: %g -> %g", small.Overhead, large.Overhead)
+	}
+	best := res.Find("independent+dynamic", res.Ranks[len(res.Ranks)-1])
+	if large.Total <= best.Total {
+		t.Errorf("at p=%d replicated (%g) should lose to independent+dynamic (%g)",
+			res.Ranks[len(res.Ranks)-1], large.Total, best.Total)
+	}
+
+	// Eulerian on an irregular density: load imbalance keeps it behind
+	// the paper's method at scale.
+	eul := res.Find("eulerian-grid", res.Ranks[len(res.Ranks)-1])
+	if eul.Total <= best.Total {
+		t.Errorf("eulerian (%g) should trail independent+dynamic (%g) on irregular input",
+			eul.Total, best.Total)
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"picpar/internal/partition"
+	"picpar/internal/pic"
+)
+
+// parse reads CSV output back and returns rows.
+func parse(t *testing.T, s string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid csv: %v", err)
+	}
+	return rows
+}
+
+func TestTable1CSV(t *testing.T) {
+	res := &Table1Result{Rows: []Table1Row{{
+		Strategy: partition.StrategyGrid, Movement: "both", Epoch: "initial",
+		Quality: partition.Quality{GridImbalance: 1, ParticleImbalance: 2.5, MaxGhostPoints: 7},
+	}}}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows := parse(t, sb.String())
+	if len(rows) != 2 || rows[1][0] != "grid" || rows[1][4] != "2.5" {
+		t.Errorf("rows: %v", rows)
+	}
+}
+
+func TestFig16CSV(t *testing.T) {
+	res := &Fig16Result{Cells: []Fig16Cell{{
+		Case: Fig16Case{128, 64, 1000}, Policy: "static", Total: 12.5, NumRedist: 0,
+	}}}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows := parse(t, sb.String())
+	if len(rows) != 2 || rows[1][3] != "static" || rows[1][4] != "12.5" {
+		t.Errorf("rows: %v", rows)
+	}
+}
+
+func TestFig17CSV(t *testing.T) {
+	res := &Fig17Result{Series: []Fig17Series{{
+		Policy: "static",
+		Records: []pic.IterationRecord{
+			{Iter: 0, Time: 0.5, ScatterBytesSent: 100},
+			{Iter: 1, Time: 0.6, ScatterBytesSent: 120, Redistributed: true, RedistTime: 0.1},
+		},
+	}}}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows := parse(t, sb.String())
+	if len(rows) != 3 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	if rows[2][8] != "true" || rows[2][4] != "120" {
+		t.Errorf("row: %v", rows[2])
+	}
+}
+
+func TestFig20CSV(t *testing.T) {
+	res := &Fig20Result{Cells: []Fig20Cell{{Policy: "dynamic", Execution: 9, Redist: 1, Total: 10, NumRedist: 3}}}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows := parse(t, sb.String())
+	if rows[1][0] != "dynamic" || rows[1][3] != "10" || rows[1][4] != "3" {
+		t.Errorf("row: %v", rows[1])
+	}
+}
+
+func TestTable2CSV(t *testing.T) {
+	res := &Table2Result{Cells: []Table2Cell{{
+		Distribution: "uniform", Nx: 256, Ny: 128, N: 32768,
+		Indexing: "hilbert", P: 32, Computation: 70, Total: 75, Overhead: 5, Efficiency: 0.9,
+	}}}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows := parse(t, sb.String())
+	if rows[1][4] != "hilbert" || rows[1][11] != "0.9" {
+		t.Errorf("row: %v", rows[1])
+	}
+}
+
+func TestBaselineCSV(t *testing.T) {
+	res := &BaselineResult{Cells: []BaselineCell{{Method: "replicated-mesh", P: 8, Total: 20}}}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows := parse(t, sb.String())
+	if rows[1][0] != "replicated-mesh" || rows[1][2] != "20" {
+		t.Errorf("row: %v", rows[1])
+	}
+}
+
+func TestAblationCSV(t *testing.T) {
+	res := &AblationResult{IncrementalRedistTime: 0.5, FullSortRedistTime: 1.5, Dist2DScatterBytes: 100}
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rows := parse(t, sb.String())
+	if len(rows) != 7 {
+		t.Fatalf("rows %d, want 7", len(rows))
+	}
+	if rows[1][0] != "incremental_redist_s" || rows[1][1] != "0.5" {
+		t.Errorf("row: %v", rows[1])
+	}
+}

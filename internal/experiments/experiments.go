@@ -1,0 +1,61 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Section 6) from the simulation in internal/pic, plus
+// the ablations called out in DESIGN.md. Each experiment prints a
+// paper-style text table to an io.Writer and returns its numbers in a
+// structured form so tests and benchmarks can assert on the shape of the
+// results (who wins, where the crossovers fall).
+//
+// Every experiment takes a quick flag: quick runs shrink particle counts
+// and iteration counts to keep the whole suite in CI-friendly time while
+// preserving the qualitative shape; full runs use the paper's sizes
+// (2000-iteration histories, up to 131072 particles, up to 128 ranks).
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"picpar/internal/mesh"
+	"picpar/internal/pic"
+	"picpar/internal/policy"
+)
+
+// run executes a simulation, converting errors to panics: experiment
+// configurations are code, not user input.
+func run(cfg pic.Config) *pic.Result {
+	res, err := pic.Run(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return res
+}
+
+// policies returns the paper's standard policy sweep: static plus periodic
+// redistribution at the given periods.
+func policies(periods []int) []policy.Factory {
+	out := []policy.Factory{policy.NewStatic()}
+	for _, k := range periods {
+		out = append(out, policy.NewPeriodic(k))
+	}
+	return out
+}
+
+// policyNames mirrors policies for labelling.
+func policyNames(periods []int) []string {
+	out := []string{"static"}
+	for _, k := range periods {
+		out = append(out, fmt.Sprintf("periodic(%d)", k))
+	}
+	return out
+}
+
+// grid is shorthand for the experiment mesh sizes.
+func grid(nx, ny int) mesh.Grid { return mesh.NewGrid(nx, ny) }
+
+// hr prints a horizontal rule.
+func hr(w io.Writer, n int) {
+	for i := 0; i < n; i++ {
+		fmt.Fprint(w, "-")
+	}
+	fmt.Fprintln(w)
+}

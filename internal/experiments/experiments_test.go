@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"picpar/internal/particle"
+	"picpar/internal/partition"
+	"picpar/internal/sfc"
+)
+
+// All experiment tests run in quick mode; they assert the *shape* of the
+// paper's results, not absolute numbers.
+
+func TestTable1Shape(t *testing.T) {
+	var sb strings.Builder
+	res := Table1(&sb, true)
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows %d, want 9 (3 strategies × 3 epochs)", len(res.Rows))
+	}
+
+	// Initial condition (Table 1 upper half):
+	gridInit := res.Row(partition.StrategyGrid, "both", "initial").Quality
+	partInit := res.Row(partition.StrategyParticle, "both", "initial").Quality
+	indInit := res.Row(partition.StrategyIndependent, "both", "initial").Quality
+
+	// Grid: field solve balanced, particle calculation unbalanced.
+	if gridInit.GridImbalance > 1.05 {
+		t.Errorf("grid strategy field imbalance %g", gridInit.GridImbalance)
+	}
+	if gridInit.ParticleImbalance < 1.5 {
+		t.Errorf("grid strategy particle imbalance %g should be high", gridInit.ParticleImbalance)
+	}
+	// Particle: particle balanced, field solve unbalanced.
+	if partInit.ParticleImbalance > 1.3 {
+		t.Errorf("particle strategy particle imbalance %g", partInit.ParticleImbalance)
+	}
+	if partInit.GridImbalance < 1.5 {
+		t.Errorf("particle strategy grid imbalance %g should be high", partInit.GridImbalance)
+	}
+	// Independent: both balanced, but communication non-local.
+	if indInit.GridImbalance > 1.05 || indInit.ParticleImbalance > 1.3 {
+		t.Errorf("independent imbalances %g/%g", indInit.GridImbalance, indInit.ParticleImbalance)
+	}
+	if indInit.NonLocalFraction <= gridInit.NonLocalFraction {
+		t.Errorf("independent non-local %g should exceed grid %g",
+			indInit.NonLocalFraction, gridInit.NonLocalFraction)
+	}
+
+	// After evolution under Lagrangian movement, particle load balance is
+	// preserved for independent partitioning but ghosts grow.
+	indLag := res.Row(partition.StrategyIndependent, "lagrangian", "evolved").Quality
+	if indLag.ParticleImbalance > 1.3 {
+		t.Errorf("lagrangian evolution broke particle balance: %g", indLag.ParticleImbalance)
+	}
+	if indLag.MaxGhostPoints <= indInit.MaxGhostPoints {
+		t.Errorf("lagrangian evolution should grow ghosts: %d -> %d",
+			indInit.MaxGhostPoints, indLag.MaxGhostPoints)
+	}
+	// Eulerian movement keeps grid-strategy communication local but the
+	// particle imbalance persists.
+	gridEul := res.Row(partition.StrategyGrid, "eulerian", "evolved").Quality
+	if gridEul.NonLocalFraction > 0.05 {
+		t.Errorf("eulerian grid strategy non-local %g", gridEul.NonLocalFraction)
+	}
+	if !strings.Contains(sb.String(), "Table 1") {
+		t.Error("output missing header")
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	var sb strings.Builder
+	res := Fig16(&sb, true)
+	if len(res.Cells) == 0 {
+		t.Fatal("no cells")
+	}
+	// Every periodic policy must beat static (the paper: "all the periodic
+	// redistribution methods significantly outperform static ones").
+	for _, c := range []Fig16Case{{128, 64, 8192}, {128, 64, 16384}} {
+		static := res.StaticTotal(c)
+		best := res.BestPeriodicTotal(c)
+		if static == 0 || best == 0 {
+			t.Fatalf("missing cells for %+v", c)
+		}
+		if best >= static {
+			t.Errorf("case %+v: best periodic %g !< static %g", c, best, static)
+		}
+		for _, cell := range res.Cells {
+			if cell.Case == c && cell.Policy != "static" && cell.Total >= static {
+				t.Errorf("case %+v: %s total %g !< static %g", c, cell.Policy, cell.Total, static)
+			}
+		}
+	}
+	// More particles cost more time under every policy.
+	if res.StaticTotal(Fig16Case{128, 64, 16384}) <= res.StaticTotal(Fig16Case{128, 64, 8192}) {
+		t.Error("bigger workload should take longer")
+	}
+}
+
+func TestFig17to19Shape(t *testing.T) {
+	res := Fig17to19(io.Discard, true)
+	static := res.Find("static")
+	periodic := res.Find("periodic(25)")
+	if static == nil || periodic == nil {
+		t.Fatal("missing series")
+	}
+	iters := res.Iterations
+
+	// Figure 17: static per-iteration time rises; periodic stays lower in
+	// the late phase.
+	if static.MeanTimeOver(iters-50, iters) <= static.MeanTimeOver(5, 55) {
+		t.Error("static iteration time did not rise")
+	}
+	if periodic.MeanTimeOver(iters-50, iters) >= static.MeanTimeOver(iters-50, iters) {
+		t.Error("periodic late iterations should be cheaper than static")
+	}
+	// Figure 18: scatter data volume — same shape.
+	if periodic.MeanBytesOver(iters-50, iters) >= static.MeanBytesOver(iters-50, iters) {
+		t.Error("periodic late scatter bytes should be lower")
+	}
+	// Figure 19: scatter message counts — same shape.
+	if periodic.MeanMsgsOver(iters-50, iters) >= static.MeanMsgsOver(iters-50, iters) {
+		t.Error("periodic late scatter messages should be lower")
+	}
+}
+
+func TestFig20Shape(t *testing.T) {
+	res := Fig20(io.Discard, true)
+	dyn := res.Dynamic()
+	if dyn == nil {
+		t.Fatal("missing dynamic cell")
+	}
+	best := res.BestPeriodicTotal()
+	worst := res.WorstPeriodicTotal()
+	// Dynamic must land close to the best periodic: within 20%, and far
+	// from the worst when the spread is meaningful.
+	if dyn.Total > best*1.2 {
+		t.Errorf("dynamic %g too far from best periodic %g", dyn.Total, best)
+	}
+	if worst > best*1.15 && dyn.Total >= worst {
+		t.Errorf("dynamic %g no better than worst periodic %g", dyn.Total, worst)
+	}
+	if dyn.NumRedist == 0 {
+		t.Error("dynamic never redistributed")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	var sb strings.Builder
+	res := Table2(&sb, true)
+
+	// Computation time scales down with ranks (strict balance).
+	for _, dist := range []string{particle.DistUniform, particle.DistIrregular} {
+		c8 := res.Find(dist, 128, 8192, sfc.SchemeHilbert, 8)
+		c32 := res.Find(dist, 128, 8192, sfc.SchemeHilbert, 32)
+		if c32.Computation >= c8.Computation {
+			t.Errorf("%s: computation did not scale: p=8 %g, p=32 %g", dist, c8.Computation, c32.Computation)
+		}
+	}
+
+	// Hilbert overhead ≤ snake overhead in the aggregate (the paper finds
+	// Hilbert better in all but the tiniest per-rank cases).
+	var hil, snk float64
+	for _, c := range res.Cells {
+		if c.Indexing == sfc.SchemeHilbert {
+			hil += c.Overhead
+		} else {
+			snk += c.Overhead
+		}
+	}
+	if hil >= snk {
+		t.Errorf("aggregate hilbert overhead %g should beat snake %g", hil, snk)
+	}
+
+	// Efficiencies in (0, 1]; and isogranularity: same particles/rank give
+	// similar efficiency (within 25%).
+	for _, c := range res.Cells {
+		if c.Efficiency <= 0 || c.Efficiency > 1.001 {
+			t.Errorf("efficiency %g out of range for %+v", c.Efficiency, c)
+		}
+	}
+	e1 := res.Find(particle.DistUniform, 128, 8192, sfc.SchemeHilbert, 8)
+	e2 := res.Find(particle.DistUniform, 128, 16384, sfc.SchemeHilbert, 16)
+	ratio := e1.Efficiency / e2.Efficiency
+	if ratio < 0.75 || ratio > 1.33 {
+		t.Errorf("isogranularity violated: eff %g vs %g", e1.Efficiency, e2.Efficiency)
+	}
+
+	out := sb.String()
+	for _, h := range []string{"Table 2", "Figure 21", "Figure 22", "Table 3"} {
+		if !strings.Contains(out, h) {
+			t.Errorf("output missing %q", h)
+		}
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	res := Ablation(io.Discard, true)
+	if res.IncrementalRedistTime >= res.FullSortRedistTime {
+		t.Errorf("incremental %g should beat full sort %g",
+			res.IncrementalRedistTime, res.FullSortRedistTime)
+	}
+	if res.DirectTotal >= res.HashTotal {
+		t.Errorf("direct table %g should beat hash table %g (cheaper lookups)",
+			res.DirectTotal, res.HashTotal)
+	}
+	if res.Dist2DScatterBytes <= 0 || res.Dist1DScatterBytes <= 0 {
+		t.Error("missing scatter traffic measurements")
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"picpar/internal/particle"
+	"picpar/internal/pic"
+)
+
+// Fig16Case is one (mesh, particles) pair of Figure 16.
+type Fig16Case struct {
+	Nx, Ny, N int
+}
+
+// Fig16Cell is the total execution time of one (case, policy) run.
+type Fig16Cell struct {
+	Case   Fig16Case
+	Policy string
+	// Total is end-to-end simulated time (execution + redistribution).
+	Total float64
+	// Redist is time spent redistributing; NumRedist its count.
+	Redist    float64
+	NumRedist int
+}
+
+// Fig16Result holds all cells.
+type Fig16Result struct {
+	Iterations int
+	Cells      []Fig16Cell
+}
+
+// Fig16 reproduces Figure 16: total execution time of a long irregular run
+// on 32 ranks under the static policy and periodic redistribution at the
+// paper's six periods, for three (mesh, particles) pairs.
+func Fig16(w io.Writer, quick bool) *Fig16Result {
+	iters := 2000
+	periods := []int{200, 100, 50, 25, 10, 5}
+	cases := []Fig16Case{
+		{128, 64, 32768},
+		{256, 128, 65536},
+		{256, 128, 131072},
+	}
+	if quick {
+		iters = 300
+		periods = []int{100, 50, 25, 10, 5}
+		cases = []Fig16Case{
+			{128, 64, 8192},
+			{128, 64, 16384},
+		}
+	}
+	res := &Fig16Result{Iterations: iters}
+	const p = 32
+
+	fmt.Fprintf(w, "Figure 16 (measured): total execution time (s) of %d iterations on %d ranks, irregular distribution\n", iters, p)
+	fmt.Fprintf(w, "%-18s", "mesh/particles")
+	for _, name := range policyNames(periods) {
+		fmt.Fprintf(w, " %13s", name)
+	}
+	fmt.Fprintln(w)
+	hr(w, 18+14*(len(periods)+1))
+
+	for _, c := range cases {
+		fmt.Fprintf(w, "%4dx%-4d %8d", c.Nx, c.Ny, c.N)
+		facs := policies(periods)
+		names := policyNames(periods)
+		for i, f := range facs {
+			r := run(pic.Config{
+				Grid:         grid(c.Nx, c.Ny),
+				P:            p,
+				NumParticles: c.N,
+				Distribution: particle.DistIrregular,
+				Seed:         16,
+				Iterations:   iters,
+				Policy:       f,
+				Thermal:      0.4,
+			})
+			res.Cells = append(res.Cells, Fig16Cell{
+				Case: c, Policy: names[i],
+				Total: r.TotalTime, Redist: r.RedistTime, NumRedist: r.NumRedistributions,
+			})
+			fmt.Fprintf(w, " %13.2f", r.TotalTime)
+		}
+		fmt.Fprintln(w)
+	}
+	return res
+}
+
+// StaticTotal returns the static-policy total for a case.
+func (f *Fig16Result) StaticTotal(c Fig16Case) float64 { return f.total(c, "static") }
+
+// BestPeriodicTotal returns the smallest periodic total for a case.
+func (f *Fig16Result) BestPeriodicTotal(c Fig16Case) float64 {
+	best := 0.0
+	for _, cell := range f.Cells {
+		if cell.Case == c && cell.Policy != "static" {
+			if best == 0 || cell.Total < best {
+				best = cell.Total
+			}
+		}
+	}
+	return best
+}
+
+func (f *Fig16Result) total(c Fig16Case, pol string) float64 {
+	for _, cell := range f.Cells {
+		if cell.Case == c && cell.Policy == pol {
+			return cell.Total
+		}
+	}
+	return 0
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"picpar/internal/particle"
+	"picpar/internal/pic"
+	"picpar/internal/policy"
+)
+
+// Fig17Series is one policy's per-iteration history for Figures 17–19:
+// execution time, maximum scatter-phase data sent/received by any
+// processor, and maximum scatter-phase message counts.
+type Fig17Series struct {
+	Policy  string
+	Records []pic.IterationRecord
+}
+
+// Fig17Result holds the histories for the static and periodic policies.
+type Fig17Result struct {
+	Iterations int
+	Series     []Fig17Series
+}
+
+// Fig17to19 reproduces Figures 17, 18 and 19 from a single pair of runs:
+// the irregular 128×64 / 32768-particle / 32-rank configuration under the
+// static policy and under periodic redistribution. The per-iteration
+// histories are printed subsampled; the returned series carry every
+// iteration.
+func Fig17to19(w io.Writer, quick bool) *Fig17Result {
+	iters, n, period := 2000, 32768, 50
+	if quick {
+		iters, n, period = 300, 8192, 25
+	}
+	const p = 32
+	res := &Fig17Result{Iterations: iters}
+
+	for _, pf := range []struct {
+		name string
+		f    policy.Factory
+	}{
+		{"static", policy.NewStatic()},
+		{fmt.Sprintf("periodic(%d)", period), policy.NewPeriodic(period)},
+	} {
+		r := run(pic.Config{
+			Grid:         grid(128, 64),
+			P:            p,
+			NumParticles: n,
+			Distribution: particle.DistIrregular,
+			Seed:         17,
+			Iterations:   iters,
+			Policy:       pf.f,
+			Thermal:      0.4,
+		})
+		res.Series = append(res.Series, Fig17Series{Policy: pf.name, Records: r.Records})
+	}
+
+	step := iters / 20
+	if step == 0 {
+		step = 1
+	}
+	fmt.Fprintf(w, "Figures 17-19 (measured): per-iteration history, irregular, mesh=128x64, particles=%d, ranks=%d\n", n, p)
+	fmt.Fprintf(w, "%6s", "iter")
+	for _, s := range res.Series {
+		fmt.Fprintf(w, " | %13s: %9s %9s %7s", s.Policy, "time(s)", "maxBytes", "maxMsgs")
+	}
+	fmt.Fprintln(w)
+	hr(w, 6+2*46)
+	for i := 0; i < iters; i += step {
+		fmt.Fprintf(w, "%6d", i)
+		for _, s := range res.Series {
+			rec := s.Records[i]
+			fmt.Fprintf(w, " | %13s  %9.4f %9d %7d", "", rec.Time, rec.ScatterBytesSent, rec.ScatterMsgsSent)
+		}
+		fmt.Fprintln(w)
+	}
+	return res
+}
+
+// Find returns the named series, or nil.
+func (f *Fig17Result) Find(policy string) *Fig17Series {
+	for i := range f.Series {
+		if f.Series[i].Policy == policy {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// MeanTimeOver returns the mean iteration time over [lo, hi).
+func (s *Fig17Series) MeanTimeOver(lo, hi int) float64 {
+	t := 0.0
+	for i := lo; i < hi; i++ {
+		t += s.Records[i].Time
+	}
+	return t / float64(hi-lo)
+}
+
+// MeanBytesOver returns the mean scatter bytes sent over [lo, hi).
+func (s *Fig17Series) MeanBytesOver(lo, hi int) float64 {
+	t := 0.0
+	for i := lo; i < hi; i++ {
+		t += float64(s.Records[i].ScatterBytesSent)
+	}
+	return t / float64(hi-lo)
+}
+
+// MeanMsgsOver returns the mean scatter messages sent over [lo, hi).
+func (s *Fig17Series) MeanMsgsOver(lo, hi int) float64 {
+	t := 0.0
+	for i := lo; i < hi; i++ {
+		t += float64(s.Records[i].ScatterMsgsSent)
+	}
+	return t / float64(hi-lo)
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"picpar/internal/particle"
+	"picpar/internal/pic"
+	"picpar/internal/policy"
+)
+
+// Fig20Cell is one policy's outcome in the periodic-vs-dynamic comparison.
+type Fig20Cell struct {
+	Policy    string
+	Execution float64 // total − redistribution
+	Redist    float64
+	Total     float64
+	NumRedist int
+}
+
+// Fig20Result holds all policies' outcomes.
+type Fig20Result struct {
+	Iterations int
+	Cells      []Fig20Cell
+}
+
+// Fig20 reproduces Figure 20: a 200-iteration irregular run under periodic
+// redistribution at the paper's six periods and under the dynamic
+// (Stop-At-Rise) policy, reporting execution and redistribution cost
+// separately. The paper's claim: dynamic lands close to the best periodic
+// period without tuning, while too-frequent periodic pays redistribution
+// overhead.
+func Fig20(w io.Writer, quick bool) *Fig20Result {
+	iters, n := 200, 32768
+	periods := []int{200, 100, 50, 25, 10, 5}
+	if quick {
+		iters, n = 150, 8192
+		periods = []int{100, 50, 25, 10, 5}
+	}
+	const p = 32
+	res := &Fig20Result{Iterations: iters}
+
+	type entry struct {
+		name string
+		f    policy.Factory
+	}
+	entries := []entry{}
+	for i, f := range policies(periods) {
+		entries = append(entries, entry{policyNames(periods)[i], f})
+	}
+	entries = append(entries, entry{"dynamic", policy.NewDynamic()})
+
+	fmt.Fprintf(w, "Figure 20 (measured): %d iterations, irregular, mesh=128x64, particles=%d, ranks=%d\n", iters, n, p)
+	fmt.Fprintf(w, "%-14s %12s %12s %12s %8s\n", "policy", "exec(s)", "redist(s)", "total(s)", "#redist")
+	hr(w, 62)
+	for _, e := range entries {
+		r := run(pic.Config{
+			Grid:         grid(128, 64),
+			P:            p,
+			NumParticles: n,
+			Distribution: particle.DistIrregular,
+			Seed:         20,
+			Iterations:   iters,
+			Policy:       e.f,
+			Thermal:      0.4,
+		})
+		cell := Fig20Cell{
+			Policy:    e.name,
+			Execution: r.TotalTime - r.RedistTime,
+			Redist:    r.RedistTime,
+			Total:     r.TotalTime,
+			NumRedist: r.NumRedistributions,
+		}
+		res.Cells = append(res.Cells, cell)
+		fmt.Fprintf(w, "%-14s %12.2f %12.2f %12.2f %8d\n",
+			cell.Policy, cell.Execution, cell.Redist, cell.Total, cell.NumRedist)
+	}
+	return res
+}
+
+// Dynamic returns the dynamic policy's cell.
+func (f *Fig20Result) Dynamic() *Fig20Cell { return f.find("dynamic") }
+
+// Static returns the static policy's cell (nil in quick mode variants
+// without it).
+func (f *Fig20Result) Static() *Fig20Cell { return f.find("static") }
+
+func (f *Fig20Result) find(name string) *Fig20Cell {
+	for i := range f.Cells {
+		if f.Cells[i].Policy == name {
+			return &f.Cells[i]
+		}
+	}
+	return nil
+}
+
+// BestPeriodicTotal returns the best periodic policy's total time.
+func (f *Fig20Result) BestPeriodicTotal() float64 {
+	best := 0.0
+	for _, c := range f.Cells {
+		if c.Policy != "dynamic" && c.Policy != "static" {
+			if best == 0 || c.Total < best {
+				best = c.Total
+			}
+		}
+	}
+	return best
+}
+
+// WorstPeriodicTotal returns the worst periodic policy's total time.
+func (f *Fig20Result) WorstPeriodicTotal() float64 {
+	worst := 0.0
+	for _, c := range f.Cells {
+		if c.Policy != "dynamic" && c.Policy != "static" && c.Total > worst {
+			worst = c.Total
+		}
+	}
+	return worst
+}

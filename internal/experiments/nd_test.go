@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+
+	"picpar/internal/partition3"
+	"picpar/internal/sfc"
+)
+
+func TestNDShape(t *testing.T) {
+	res := ND(io.Discard, true)
+	for _, dist := range []string{partition3.DistUniform, partition3.DistIrregular} {
+		for _, p := range []int{8, 64} {
+			h := res.Find(dist, sfc.SchemeHilbert, p)
+			s := res.Find(dist, sfc.SchemeSnake, p)
+			if h == nil || s == nil {
+				t.Fatalf("missing cells for %s p=%d", dist, p)
+			}
+			if h.Quality.TotalGhostPoints >= s.Quality.TotalGhostPoints {
+				t.Errorf("%s p=%d: 3-d hilbert ghosts %d !< snake %d",
+					dist, p, h.Quality.TotalGhostPoints, s.Quality.TotalGhostPoints)
+			}
+		}
+	}
+	// At 64 ranks, Hilbert communication is more local than snake for the
+	// uniform case.
+	h := res.Find(partition3.DistUniform, sfc.SchemeHilbert, 64)
+	s := res.Find(partition3.DistUniform, sfc.SchemeSnake, 64)
+	if h.Quality.NonLocalFraction > s.Quality.NonLocalFraction {
+		t.Errorf("hilbert non-local %g should not exceed snake %g",
+			h.Quality.NonLocalFraction, s.Quality.NonLocalFraction)
+	}
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"picpar/internal/particle"
+	"picpar/internal/pic"
+	"picpar/internal/policy"
+	"picpar/internal/sfc"
+)
+
+// Table2Cell is one run of the indexing-scheme comparison grid.
+type Table2Cell struct {
+	Distribution string
+	Nx, Ny, N    int
+	Indexing     string
+	P            int
+
+	Computation float64 // Table 2: computation time on the critical path
+	Total       float64 // end-to-end execution time
+	Overhead    float64 // Figures 21/22: Total − Computation
+	Redist      float64 // redistribution share of the overhead
+	NumRedist   int
+	Efficiency  float64 // Table 3
+}
+
+// Table2Result holds the whole grid; Figures 21, 22 and Table 3 are views
+// over it.
+type Table2Result struct {
+	Iterations int
+	Ranks      []int
+	Cells      []Table2Cell
+}
+
+// Table2 reproduces Table 2 (computational time, Hilbert vs snakelike
+// indexing, dynamic redistribution, 200 iterations), and as views over the
+// same runs Figure 21 (overhead, uniform), Figure 22 (overhead, irregular)
+// and Table 3 (efficiency of the Hilbert scheme).
+func Table2(w io.Writer, quick bool) *Table2Result {
+	iters := 200
+	ranks := []int{32, 64, 128}
+	type combo struct{ nx, ny, n int }
+	combos := []combo{
+		{256, 128, 32768},
+		{256, 128, 65536},
+		{512, 256, 65536},
+		{512, 256, 131072},
+	}
+	if quick {
+		iters = 100
+		ranks = []int{8, 16, 32}
+		combos = []combo{
+			{128, 64, 8192},
+			{128, 64, 16384},
+		}
+	}
+	res := &Table2Result{Iterations: iters, Ranks: ranks}
+	indexings := []string{sfc.SchemeHilbert, sfc.SchemeSnake}
+	dists := []string{particle.DistUniform, particle.DistIrregular}
+
+	for _, dist := range dists {
+		for _, c := range combos {
+			for _, ix := range indexings {
+				for _, p := range ranks {
+					r := run(pic.Config{
+						Grid:         grid(c.nx, c.ny),
+						P:            p,
+						NumParticles: c.n,
+						Distribution: dist,
+						Seed:         22,
+						Iterations:   iters,
+						Indexing:     ix,
+						Policy:       policy.NewDynamic(),
+						Thermal:      0.4,
+					})
+					res.Cells = append(res.Cells, Table2Cell{
+						Distribution: dist,
+						Nx:           c.nx, Ny: c.ny, N: c.n,
+						Indexing:    ix,
+						P:           p,
+						Computation: r.ComputeMax,
+						Total:       r.TotalTime,
+						Overhead:    r.Overhead,
+						Redist:      r.RedistTime,
+						NumRedist:   r.NumRedistributions,
+						Efficiency:  r.Efficiency,
+					})
+				}
+			}
+		}
+	}
+
+	res.printTable2(w)
+	res.printOverhead(w, particle.DistUniform, "Figure 21")
+	res.printOverhead(w, particle.DistIrregular, "Figure 22")
+	res.printTable3(w)
+	return res
+}
+
+func (t *Table2Result) printTable2(w io.Writer) {
+	fmt.Fprintf(w, "Table 2 (measured): computational time (s) of %d iterations, dynamic redistribution\n", t.Iterations)
+	fmt.Fprintf(w, "%-10s %-10s %9s %-8s", "dist", "mesh", "particles", "indexing")
+	for _, p := range t.Ranks {
+		fmt.Fprintf(w, " %10s", fmt.Sprintf("p=%d", p))
+	}
+	fmt.Fprintln(w)
+	hr(w, 40+11*len(t.Ranks))
+	t.eachRow(func(dist string, nx, ny, n int, ix string) {
+		fmt.Fprintf(w, "%-10s %4dx%-5d %9d %-8s", dist, nx, ny, n, ix)
+		for _, p := range t.Ranks {
+			c := t.Find(dist, nx, n, ix, p)
+			fmt.Fprintf(w, " %10.2f", c.Computation)
+		}
+		fmt.Fprintln(w)
+	})
+	fmt.Fprintln(w)
+}
+
+func (t *Table2Result) printOverhead(w io.Writer, dist, label string) {
+	fmt.Fprintf(w, "%s (measured): overhead = execution − computation (s), %s distribution\n", label, dist)
+	fmt.Fprintf(w, "%-10s %9s %-8s", "mesh", "particles", "indexing")
+	for _, p := range t.Ranks {
+		fmt.Fprintf(w, " %10s", fmt.Sprintf("p=%d", p))
+	}
+	fmt.Fprintln(w)
+	hr(w, 29+11*len(t.Ranks))
+	t.eachRow(func(d string, nx, ny, n int, ix string) {
+		if d != dist {
+			return
+		}
+		fmt.Fprintf(w, "%4dx%-5d %9d %-8s", nx, ny, n, ix)
+		for _, p := range t.Ranks {
+			c := t.Find(dist, nx, n, ix, p)
+			fmt.Fprintf(w, " %10.2f", c.Overhead)
+		}
+		fmt.Fprintln(w)
+	})
+	fmt.Fprintln(w)
+}
+
+func (t *Table2Result) printTable3(w io.Writer) {
+	fmt.Fprintln(w, "Table 3 (measured): efficiency of the Hilbert indexing scheme")
+	fmt.Fprintf(w, "%-10s %-10s %9s", "dist", "mesh", "particles")
+	for _, p := range t.Ranks {
+		fmt.Fprintf(w, " %8s", fmt.Sprintf("p=%d", p))
+	}
+	fmt.Fprintln(w)
+	hr(w, 31+9*len(t.Ranks))
+	t.eachRow(func(dist string, nx, ny, n int, ix string) {
+		if ix != sfc.SchemeHilbert {
+			return
+		}
+		fmt.Fprintf(w, "%-10s %4dx%-5d %9d", dist, nx, ny, n)
+		for _, p := range t.Ranks {
+			c := t.Find(dist, nx, n, sfc.SchemeHilbert, p)
+			fmt.Fprintf(w, " %8.3f", c.Efficiency)
+		}
+		fmt.Fprintln(w)
+	})
+	fmt.Fprintln(w)
+}
+
+// eachRow walks the distinct (dist, combo, indexing) rows in insertion
+// order.
+func (t *Table2Result) eachRow(f func(dist string, nx, ny, n int, ix string)) {
+	seen := map[string]bool{}
+	for _, c := range t.Cells {
+		key := fmt.Sprintf("%s/%d/%d/%s", c.Distribution, c.Nx, c.N, c.Indexing)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		f(c.Distribution, c.Nx, c.Ny, c.N, c.Indexing)
+	}
+}
+
+// Find locates a cell; it panics if absent (experiment grids are static).
+func (t *Table2Result) Find(dist string, nx, n int, ix string, p int) *Table2Cell {
+	for i := range t.Cells {
+		c := &t.Cells[i]
+		if c.Distribution == dist && c.Nx == nx && c.N == n && c.Indexing == ix && c.P == p {
+			return c
+		}
+	}
+	panic(fmt.Sprintf("experiments: no cell %s %d %d %s %d", dist, nx, n, ix, p))
+}

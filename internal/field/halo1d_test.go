@@ -1,0 +1,74 @@
+package field
+
+import (
+	"testing"
+
+	"picpar/internal/comm"
+	"picpar/internal/machine"
+	"picpar/internal/mesh"
+)
+
+// TestExchangeHalo1DDist exercises the degenerate processor grids (Px = 1)
+// produced by the 1-D BLOCK distribution: the x-direction halo neighbours
+// are the rank itself, which must work through local delivery without
+// touching the network.
+func TestExchangeHalo1DDist(t *testing.T) {
+	g := mesh.NewGrid(8, 12)
+	d, err := mesh.NewDist1D(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := func(gi, gj int) float64 {
+		gi = (gi + g.Nx) % g.Nx
+		gj = (gj + g.Ny) % g.Ny
+		return float64(gj*100 + gi)
+	}
+	runWorld(3, func(r *comm.Rank) {
+		l := NewLocal(d, r.ID)
+		for j := 0; j < l.Ny; j++ {
+			for i := 0; i < l.Nx; i++ {
+				l.Bx[l.Idx(i, j)] = val(l.I0+i, l.J0+j)
+			}
+		}
+		l.ExchangeHalo(r, d, CompB)
+		// X halo wraps onto the rank's own opposite edge.
+		for j := 0; j < l.Ny; j++ {
+			if got := l.Bx[l.Idx(-1, j)]; got != val(l.I0-1, l.J0+j) {
+				t.Errorf("rank %d x-low halo row %d = %g", r.ID, j, got)
+			}
+			if got := l.Bx[l.Idx(l.Nx, j)]; got != val(l.I0+l.Nx, l.J0+j) {
+				t.Errorf("rank %d x-high halo row %d = %g", r.ID, j, got)
+			}
+		}
+		// Y halo comes from the neighbouring ranks.
+		for i := 0; i < l.Nx; i++ {
+			if got := l.Bx[l.Idx(i, -1)]; got != val(l.I0+i, l.J0-1) {
+				t.Errorf("rank %d y-low halo col %d = %g", r.ID, i, got)
+			}
+			if got := l.Bx[l.Idx(i, l.Ny)]; got != val(l.I0+i, l.J0+l.Ny) {
+				t.Errorf("rank %d y-high halo col %d = %g", r.ID, i, got)
+			}
+		}
+	})
+}
+
+// TestSelfHaloNoNetworkTraffic confirms self-neighbour halo legs cost no
+// messages.
+func TestSelfHaloNoNetworkTraffic(t *testing.T) {
+	g := mesh.NewGrid(8, 8)
+	d, err := mesh.NewDist1D(g, 2) // Px = 1: x legs are self-sends
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := comm.NewWorld(2, machine.Params{Tau: 1})
+	ws := w.Run(func(r *comm.Rank) {
+		l := NewLocal(d, r.ID)
+		l.ExchangeHalo(r, d, CompE)
+	})
+	for i := range ws.Ranks {
+		// Only the two y-direction messages hit the network.
+		if got := ws.Ranks[i].Total().MsgsSent; got != 2 {
+			t.Errorf("rank %d sent %d messages, want 2", i, got)
+		}
+	}
+}

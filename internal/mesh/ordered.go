@@ -1,0 +1,24 @@
+package mesh
+
+import "picpar/internal/sfc"
+
+// NewDistOrdered builds a 2-D BLOCK distribution whose ranks are numbered
+// along the named space-filling curve of the processor grid — the paper's
+// alignment device: when both processor addresses and cells are ordered by
+// the same curve, mesh block r covers (approximately) the r-th segment of
+// the cell-index space, so the equal-count particle chunk r lands on or
+// near its own mesh block.
+func NewDistOrdered(g Grid, p int, scheme string) (*Dist, error) {
+	d, err := NewDist(g, p)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := sfc.New(scheme, d.Px, d.Py)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Renumber(ix.Index); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,115 @@
+package mesh3
+
+import (
+	"testing"
+
+	"picpar/internal/sfc"
+)
+
+func TestGridValidate(t *testing.T) {
+	if err := NewGrid(4, 4, 4).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Grid{Nx: 0, Ny: 1, Nz: 1}).Validate(); err == nil {
+		t.Error("zero extent accepted")
+	}
+}
+
+func TestNumPoints(t *testing.T) {
+	if NewGrid(3, 4, 5).NumPoints() != 60 {
+		t.Error("NumPoints wrong")
+	}
+}
+
+func TestPointIndexWraps(t *testing.T) {
+	g := NewGrid(4, 4, 4)
+	if g.PointIndex(-1, 0, 0) != g.PointIndex(3, 0, 0) {
+		t.Error("negative x wrap")
+	}
+	if g.PointIndex(0, 4, 0) != g.PointIndex(0, 0, 0) {
+		t.Error("y wrap")
+	}
+	if g.PointIndex(0, 0, -5) != g.PointIndex(0, 0, 3) {
+		t.Error("deep negative z wrap")
+	}
+}
+
+func TestCellOfBoundaries(t *testing.T) {
+	g := NewGrid(8, 8, 8)
+	if cx, cy, cz := g.CellOf(7.9999, 0, 8.0); cx != 7 || cy != 0 || cz != 0 {
+		t.Errorf("CellOf = (%d,%d,%d)", cx, cy, cz)
+	}
+}
+
+func TestNewDistPrefersCubes(t *testing.T) {
+	d, err := NewDist(NewGrid(32, 32, 32), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Px != 4 || d.Py != 4 || d.Pz != 4 {
+		t.Errorf("got %dx%dx%d, want 4x4x4", d.Px, d.Py, d.Pz)
+	}
+}
+
+func TestNewDistAnisotropic(t *testing.T) {
+	// A flat slab should not be split along its thin dimension more than
+	// it can bear.
+	d, err := NewDist(NewGrid(64, 64, 2), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Pz > 2 {
+		t.Errorf("split thin dimension %d ways", d.Pz)
+	}
+}
+
+func TestNewDistErrors(t *testing.T) {
+	if _, err := NewDist(NewGrid(2, 2, 2), 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := NewDist(NewGrid(2, 2, 2), 1000); err == nil {
+		t.Error("unfactorable p accepted")
+	}
+}
+
+func TestNewDistOrderedRoundTrip(t *testing.T) {
+	for _, scheme := range []string{sfc.SchemeHilbert, sfc.SchemeSnake, sfc.SchemeRowMajor} {
+		d, err := NewDistOrdered(NewGrid(16, 16, 16), 8, scheme)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		seen := map[[3]int]bool{}
+		for r := 0; r < 8; r++ {
+			px, py, pz := d.RankCoords(r)
+			key := [3]int{px, py, pz}
+			if seen[key] {
+				t.Fatalf("%s: duplicate tile for rank %d", scheme, r)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestBoundsCoverGrid(t *testing.T) {
+	g := NewGrid(10, 6, 4)
+	d, err := NewDist(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := make([]int, g.NumPoints())
+	for r := 0; r < 6; r++ {
+		i0, i1, j0, j1, k0, k1 := d.Bounds(r)
+		for k := k0; k < k1; k++ {
+			for j := j0; j < j1; j++ {
+				for i := i0; i < i1; i++ {
+					owned[g.PointIndex(i, j, k)]++
+				}
+			}
+		}
+	}
+	for id, c := range owned {
+		if c != 1 {
+			t.Fatalf("point %d owned %d times", id, c)
+		}
+	}
+}

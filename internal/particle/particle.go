@@ -1,0 +1,281 @@
+// Package particle provides the particle array of the PIC problem: a
+// structure-of-arrays store for relativistic charged particles, plus the
+// initial-distribution generators used by the paper's experiments (uniform
+// and centre-concentrated irregular) and by the examples (two-stream, beam).
+//
+// Particles carry positions (x, y), relativistic momenta (px, py, pz) in
+// units of m·c, a stable global id, and a sort key — the space-filling-curve
+// index of the particle's cell — maintained by the distribution and
+// redistribution algorithms.
+package particle
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// WireFloats is the number of float64 words one particle occupies in a
+// message: x, y, px, py, pz, id, key.
+const WireFloats = 7
+
+// WireBytes is the modelled wire size of one particle.
+const WireBytes = WireFloats * 8
+
+// Store holds particles of one species in structure-of-arrays layout.
+// All slices always have equal length.
+type Store struct {
+	X, Y       []float64 // positions, in physical domain coordinates
+	Px, Py, Pz []float64 // momenta / (m c)
+	ID         []float64 // stable global id (integral values)
+	Key        []float64 // SFC cell index used for ordering (integral values)
+
+	// Charge and Mass are per-species constants (macroparticle weight is
+	// folded into Charge).
+	Charge, Mass float64
+}
+
+// NewStore returns an empty store with capacity for n particles and the
+// given species constants.
+func NewStore(n int, charge, mass float64) *Store {
+	return &Store{
+		X:      make([]float64, 0, n),
+		Y:      make([]float64, 0, n),
+		Px:     make([]float64, 0, n),
+		Py:     make([]float64, 0, n),
+		Pz:     make([]float64, 0, n),
+		ID:     make([]float64, 0, n),
+		Key:    make([]float64, 0, n),
+		Charge: charge,
+		Mass:   mass,
+	}
+}
+
+// Len returns the number of particles.
+func (s *Store) Len() int { return len(s.X) }
+
+// Append adds one particle.
+func (s *Store) Append(x, y, px, py, pz, id float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+	s.Px = append(s.Px, px)
+	s.Py = append(s.Py, py)
+	s.Pz = append(s.Pz, pz)
+	s.ID = append(s.ID, id)
+	s.Key = append(s.Key, 0)
+}
+
+// AppendFrom copies particle i of src (all fields, including the sort key)
+// onto the end of s.
+func (s *Store) AppendFrom(src *Store, i int) {
+	s.X = append(s.X, src.X[i])
+	s.Y = append(s.Y, src.Y[i])
+	s.Px = append(s.Px, src.Px[i])
+	s.Py = append(s.Py, src.Py[i])
+	s.Pz = append(s.Pz, src.Pz[i])
+	s.ID = append(s.ID, src.ID[i])
+	s.Key = append(s.Key, src.Key[i])
+}
+
+// Swap exchanges particles i and j (sort support).
+func (s *Store) Swap(i, j int) {
+	s.X[i], s.X[j] = s.X[j], s.X[i]
+	s.Y[i], s.Y[j] = s.Y[j], s.Y[i]
+	s.Px[i], s.Px[j] = s.Px[j], s.Px[i]
+	s.Py[i], s.Py[j] = s.Py[j], s.Py[i]
+	s.Pz[i], s.Pz[j] = s.Pz[j], s.Pz[i]
+	s.ID[i], s.ID[j] = s.ID[j], s.ID[i]
+	s.Key[i], s.Key[j] = s.Key[j], s.Key[i]
+}
+
+// Less orders by sort key (ties broken by id for determinism).
+func (s *Store) Less(i, j int) bool {
+	if s.Key[i] != s.Key[j] {
+		return s.Key[i] < s.Key[j]
+	}
+	return s.ID[i] < s.ID[j]
+}
+
+// Truncate shrinks the store to n particles.
+func (s *Store) Truncate(n int) {
+	s.X = s.X[:n]
+	s.Y = s.Y[:n]
+	s.Px = s.Px[:n]
+	s.Py = s.Py[:n]
+	s.Pz = s.Pz[:n]
+	s.ID = s.ID[:n]
+	s.Key = s.Key[:n]
+}
+
+// Clone returns a deep copy.
+func (s *Store) Clone() *Store {
+	c := &Store{Charge: s.Charge, Mass: s.Mass}
+	c.X = append([]float64(nil), s.X...)
+	c.Y = append([]float64(nil), s.Y...)
+	c.Px = append([]float64(nil), s.Px...)
+	c.Py = append([]float64(nil), s.Py...)
+	c.Pz = append([]float64(nil), s.Pz...)
+	c.ID = append([]float64(nil), s.ID...)
+	c.Key = append([]float64(nil), s.Key...)
+	return c
+}
+
+// MarshalRange packs particles [lo, hi) into dst (len ≥ (hi−lo)·WireFloats)
+// for transmission and returns the filled prefix.
+func (s *Store) MarshalRange(dst []float64, lo, hi int) []float64 {
+	dst = dst[:0]
+	for i := lo; i < hi; i++ {
+		dst = append(dst, s.X[i], s.Y[i], s.Px[i], s.Py[i], s.Pz[i], s.ID[i], s.Key[i])
+	}
+	return dst
+}
+
+// MarshalIndices packs the particles at the given indices.
+func (s *Store) MarshalIndices(dst []float64, idx []int) []float64 {
+	dst = dst[:0]
+	for _, i := range idx {
+		dst = append(dst, s.X[i], s.Y[i], s.Px[i], s.Py[i], s.Pz[i], s.ID[i], s.Key[i])
+	}
+	return dst
+}
+
+// AppendWire unpacks particles previously packed with MarshalRange.
+func (s *Store) AppendWire(wire []float64) error {
+	if len(wire)%WireFloats != 0 {
+		return fmt.Errorf("particle: wire length %d not a multiple of %d", len(wire), WireFloats)
+	}
+	for i := 0; i < len(wire); i += WireFloats {
+		s.X = append(s.X, wire[i])
+		s.Y = append(s.Y, wire[i+1])
+		s.Px = append(s.Px, wire[i+2])
+		s.Py = append(s.Py, wire[i+3])
+		s.Pz = append(s.Pz, wire[i+4])
+		s.ID = append(s.ID, wire[i+5])
+		s.Key = append(s.Key, wire[i+6])
+	}
+	return nil
+}
+
+// Gamma returns the Lorentz factor of particle i.
+func (s *Store) Gamma(i int) float64 {
+	p2 := s.Px[i]*s.Px[i] + s.Py[i]*s.Py[i] + s.Pz[i]*s.Pz[i]
+	return math.Sqrt(1 + p2)
+}
+
+// KineticEnergy returns the total kinetic energy Σ m(γ−1) (c=1).
+func (s *Store) KineticEnergy() float64 {
+	e := 0.0
+	for i := range s.X {
+		e += s.Mass * (s.Gamma(i) - 1)
+	}
+	return e
+}
+
+// Distribution names accepted by Generate.
+const (
+	DistUniform   = "uniform"
+	DistIrregular = "irregular"
+	DistTwoStream = "twostream"
+	DistBeam      = "beam"
+)
+
+// Config parameterises particle generation.
+type Config struct {
+	N            int     // total particle count
+	Lx, Ly       float64 // physical domain size
+	Distribution string
+	Seed         int64
+	Thermal      float64 // thermal momentum spread (p/mc); default 0.05
+	Drift        float64 // drift momentum for twostream/beam; default 0.2
+	// Sigma is the Gaussian std-dev as a fraction of the domain for the
+	// irregular distribution; default 0.1 (highly concentrated, as in the
+	// paper's Figure 15).
+	Sigma float64
+	// Charge and Mass default to −1 and 1 (electrons, normalised units).
+	Charge, Mass float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Thermal == 0 {
+		c.Thermal = 0.05
+	}
+	if c.Drift == 0 {
+		c.Drift = 0.2
+	}
+	if c.Sigma == 0 {
+		c.Sigma = 0.1
+	}
+	if c.Charge == 0 {
+		c.Charge = -1
+	}
+	if c.Mass == 0 {
+		c.Mass = 1
+	}
+	return c
+}
+
+// Generate creates the global particle population for a simulation.
+func Generate(cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if cfg.N < 0 || cfg.Lx <= 0 || cfg.Ly <= 0 {
+		return nil, fmt.Errorf("particle: invalid config n=%d domain=%gx%g", cfg.N, cfg.Lx, cfg.Ly)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := NewStore(cfg.N, cfg.Charge, cfg.Mass)
+	switch cfg.Distribution {
+	case DistUniform, "":
+		for i := 0; i < cfg.N; i++ {
+			s.Append(rng.Float64()*cfg.Lx, rng.Float64()*cfg.Ly,
+				rng.NormFloat64()*cfg.Thermal, rng.NormFloat64()*cfg.Thermal,
+				rng.NormFloat64()*cfg.Thermal, float64(i))
+		}
+	case DistIrregular:
+		// Truncated Gaussian concentrated at the domain centre: the
+		// paper's "irregularly distributed particles ... concentrated in
+		// the center of the domain".
+		sx, sy := cfg.Sigma*cfg.Lx, cfg.Sigma*cfg.Ly
+		for i := 0; i < cfg.N; i++ {
+			x, y := gaussInDomain(rng, cfg.Lx/2, sx, cfg.Lx), gaussInDomain(rng, cfg.Ly/2, sy, cfg.Ly)
+			s.Append(x, y,
+				rng.NormFloat64()*cfg.Thermal, rng.NormFloat64()*cfg.Thermal,
+				rng.NormFloat64()*cfg.Thermal, float64(i))
+		}
+	case DistTwoStream:
+		for i := 0; i < cfg.N; i++ {
+			drift := cfg.Drift
+			if i%2 == 1 {
+				drift = -cfg.Drift
+			}
+			s.Append(rng.Float64()*cfg.Lx, rng.Float64()*cfg.Ly,
+				drift+rng.NormFloat64()*cfg.Thermal, rng.NormFloat64()*cfg.Thermal,
+				rng.NormFloat64()*cfg.Thermal, float64(i))
+		}
+	case DistBeam:
+		// A compact beam near the left edge drifting right: the moving
+		// hot-spot workload that makes redistribution matter most.
+		sx, sy := cfg.Sigma*cfg.Lx, cfg.Sigma*cfg.Ly
+		for i := 0; i < cfg.N; i++ {
+			x := gaussInDomain(rng, cfg.Lx*0.15, sx, cfg.Lx)
+			y := gaussInDomain(rng, cfg.Ly/2, sy, cfg.Ly)
+			s.Append(x, y,
+				cfg.Drift+rng.NormFloat64()*cfg.Thermal,
+				rng.NormFloat64()*cfg.Thermal,
+				rng.NormFloat64()*cfg.Thermal, float64(i))
+		}
+	default:
+		return nil, fmt.Errorf("particle: unknown distribution %q", cfg.Distribution)
+	}
+	return s, nil
+}
+
+// gaussInDomain samples a Gaussian and resamples until it lands inside
+// [0, l) — truncation rather than wrapping, so the concentration shape is
+// preserved.
+func gaussInDomain(rng *rand.Rand, mean, sigma, l float64) float64 {
+	for {
+		v := mean + rng.NormFloat64()*sigma
+		if v >= 0 && v < l {
+			return v
+		}
+	}
+}

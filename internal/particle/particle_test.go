@@ -1,0 +1,247 @@
+package particle
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendLenTruncate(t *testing.T) {
+	s := NewStore(4, -1, 1)
+	if s.Len() != 0 {
+		t.Fatalf("new store len %d", s.Len())
+	}
+	s.Append(1, 2, 3, 4, 5, 0)
+	s.Append(6, 7, 8, 9, 10, 1)
+	if s.Len() != 2 {
+		t.Fatalf("len %d, want 2", s.Len())
+	}
+	s.Truncate(1)
+	if s.Len() != 1 || s.X[0] != 1 {
+		t.Fatalf("truncate broken: len=%d x=%v", s.Len(), s.X)
+	}
+}
+
+func TestSwapAndLess(t *testing.T) {
+	s := NewStore(2, -1, 1)
+	s.Append(1, 0, 0, 0, 0, 0)
+	s.Append(2, 0, 0, 0, 0, 1)
+	s.Key[0], s.Key[1] = 5, 3
+	if s.Less(0, 1) {
+		t.Error("key 5 must not be less than key 3")
+	}
+	s.Swap(0, 1)
+	if s.X[0] != 2 || s.Key[0] != 3 || s.ID[0] != 1 {
+		t.Errorf("swap did not move all fields: x=%v key=%v id=%v", s.X, s.Key, s.ID)
+	}
+	if !s.Less(0, 1) {
+		t.Error("after swap key 3 < key 5")
+	}
+	// Tie on key breaks by id.
+	s.Key[0], s.Key[1] = 7, 7
+	s.ID[0], s.ID[1] = 2, 1
+	if s.Less(0, 1) {
+		t.Error("tie break by id failed")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	s := NewStore(3, -1, 1)
+	s.Append(1, 2, 3, 4, 5, 10)
+	s.Append(6, 7, 8, 9, 0, 11)
+	s.Key[0], s.Key[1] = 100, 200
+	wire := s.MarshalRange(make([]float64, 0, 2*WireFloats), 0, 2)
+	if len(wire) != 2*WireFloats {
+		t.Fatalf("wire len %d", len(wire))
+	}
+	dst := NewStore(0, -1, 1)
+	if err := dst.AppendWire(wire); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 2 || dst.X[1] != 6 || dst.Key[1] != 200 || dst.ID[0] != 10 {
+		t.Fatalf("round trip mismatch: %+v", dst)
+	}
+	if err := dst.AppendWire(wire[:5]); err == nil {
+		t.Error("expected error for ragged wire data")
+	}
+}
+
+func TestMarshalIndices(t *testing.T) {
+	s := NewStore(3, -1, 1)
+	for i := 0; i < 3; i++ {
+		s.Append(float64(i), 0, 0, 0, 0, float64(i))
+	}
+	wire := s.MarshalIndices(nil, []int{2, 0})
+	if wire[0] != 2 || wire[WireFloats] != 0 {
+		t.Errorf("MarshalIndices order wrong: %v", wire)
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := NewStore(1, -2, 3)
+	s.Append(1, 2, 3, 4, 5, 6)
+	c := s.Clone()
+	c.X[0] = 99
+	if s.X[0] != 1 {
+		t.Error("clone aliases original")
+	}
+	if c.Charge != -2 || c.Mass != 3 {
+		t.Error("clone lost species constants")
+	}
+}
+
+func TestGamma(t *testing.T) {
+	s := NewStore(2, -1, 1)
+	s.Append(0, 0, 0, 0, 0, 0)
+	s.Append(0, 0, 3, 0, 4, 1) // |p| = 5, gamma = sqrt(26)
+	if g := s.Gamma(0); g != 1 {
+		t.Errorf("at-rest gamma = %v", g)
+	}
+	if g := s.Gamma(1); math.Abs(g-math.Sqrt(26)) > 1e-14 {
+		t.Errorf("gamma = %v, want sqrt(26)", g)
+	}
+}
+
+func TestKineticEnergyNonNegative(t *testing.T) {
+	f := func(px, py, pz float64) bool {
+		if math.IsNaN(px) || math.IsInf(px, 0) || math.Abs(px) > 1e100 ||
+			math.IsNaN(py) || math.IsInf(py, 0) || math.Abs(py) > 1e100 ||
+			math.IsNaN(pz) || math.IsInf(pz, 0) || math.Abs(pz) > 1e100 {
+			return true
+		}
+		s := NewStore(1, -1, 1)
+		s.Append(0, 0, px, py, pz, 0)
+		return s.KineticEnergy() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateUniform(t *testing.T) {
+	s, err := Generate(Config{N: 4000, Lx: 16, Ly: 8, Distribution: DistUniform, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4000 {
+		t.Fatalf("len %d", s.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		if s.X[i] < 0 || s.X[i] >= 16 || s.Y[i] < 0 || s.Y[i] >= 8 {
+			t.Fatalf("particle %d out of domain: (%g,%g)", i, s.X[i], s.Y[i])
+		}
+	}
+	// Uniform: each quadrant holds roughly a quarter.
+	q := 0
+	for i := 0; i < s.Len(); i++ {
+		if s.X[i] < 8 && s.Y[i] < 4 {
+			q++
+		}
+	}
+	if q < 800 || q > 1200 {
+		t.Errorf("quadrant count %d implausible for uniform", q)
+	}
+	// Defaults: electrons.
+	if s.Charge != -1 || s.Mass != 1 {
+		t.Errorf("default species: q=%v m=%v", s.Charge, s.Mass)
+	}
+}
+
+func TestGenerateIrregularConcentrated(t *testing.T) {
+	s, err := Generate(Config{N: 4000, Lx: 16, Ly: 16, Distribution: DistIrregular, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sigma defaults to 0.1*L = 1.6, so the central quarter (|x-8|<4,
+	// |y-8|<4 ≈ 2.5 sigma) holds nearly everything.
+	central := 0
+	for i := 0; i < s.Len(); i++ {
+		if math.Abs(s.X[i]-8) < 4 && math.Abs(s.Y[i]-8) < 4 {
+			central++
+		}
+	}
+	if central < 3800 {
+		t.Errorf("irregular distribution not concentrated: %d/4000 central", central)
+	}
+	for i := 0; i < s.Len(); i++ {
+		if s.X[i] < 0 || s.X[i] >= 16 || s.Y[i] < 0 || s.Y[i] >= 16 {
+			t.Fatalf("particle out of domain")
+		}
+	}
+}
+
+func TestGenerateTwoStream(t *testing.T) {
+	s, err := Generate(Config{N: 1000, Lx: 8, Ly: 8, Distribution: DistTwoStream, Seed: 3, Drift: 0.5, Thermal: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, neg := 0, 0
+	for i := 0; i < s.Len(); i++ {
+		if s.Px[i] > 0.25 {
+			pos++
+		} else if s.Px[i] < -0.25 {
+			neg++
+		}
+	}
+	if pos != 500 || neg != 500 {
+		t.Errorf("two-stream split %d/%d, want 500/500", pos, neg)
+	}
+}
+
+func TestGenerateBeamDriftsRight(t *testing.T) {
+	s, err := Generate(Config{N: 500, Lx: 32, Ly: 8, Distribution: DistBeam, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := append([]float64(nil), s.X...)
+	sort.Float64s(xs)
+	if med := xs[len(xs)/2]; med > 16 {
+		t.Errorf("beam median x = %g, want near left edge", med)
+	}
+	for i := 0; i < s.Len(); i++ {
+		if s.Px[i] < 0 {
+			t.Fatalf("beam particle %d drifting left: px=%g", i, s.Px[i])
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{N: 100, Lx: 8, Ly: 8, Distribution: DistIrregular, Seed: 42}
+	a, _ := Generate(cfg)
+	b, _ := Generate(cfg)
+	for i := range a.X {
+		if a.X[i] != b.X[i] || a.Py[i] != b.Py[i] {
+			t.Fatal("same seed must reproduce identical particles")
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{N: -1, Lx: 1, Ly: 1}); err == nil {
+		t.Error("negative N must fail")
+	}
+	if _, err := Generate(Config{N: 1, Lx: 0, Ly: 1}); err == nil {
+		t.Error("zero domain must fail")
+	}
+	if _, err := Generate(Config{N: 1, Lx: 1, Ly: 1, Distribution: "ring"}); err == nil {
+		t.Error("unknown distribution must fail")
+	}
+}
+
+func TestGenerateIDsAreUniqueAndDense(t *testing.T) {
+	s, err := Generate(Config{N: 257, Lx: 4, Ly: 4, Distribution: DistUniform, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[float64]bool)
+	for _, id := range s.ID {
+		if id != math.Trunc(id) || id < 0 || id >= 257 {
+			t.Fatalf("id %v not a dense integer", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %v", id)
+		}
+		seen[id] = true
+	}
+}

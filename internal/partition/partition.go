@@ -1,0 +1,291 @@
+// Package partition implements the domain partitioning strategies the paper
+// analyses in Table 1 — Grid, Particle, and Independent partitioning — and
+// the space-filling-curve key assignment ("particle indexing") that aligns
+// particle subdomains with mesh subdomains.
+//
+// The full simulation (internal/pic) always uses Independent partitioning
+// with direct Lagrangian particle movement, the combination the paper
+// argues is the only scalable one; this package additionally provides the
+// alternatives and the quality metrics (load imbalance, ghost counts,
+// communication locality) that reproduce Table 1 quantitatively.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"picpar/internal/mesh"
+	"picpar/internal/particle"
+	"picpar/internal/pusher"
+	"picpar/internal/sfc"
+)
+
+// AssignKeys sets every particle's sort key to the SFC index of the cell
+// containing it ("Particle indexing — each particle is assigned an index of
+// its global cell number, arranged using a Hilbert index-based order").
+func AssignKeys(s *particle.Store, g mesh.Grid, ix sfc.Indexer) {
+	for i := 0; i < s.Len(); i++ {
+		cx, cy := g.CellOf(s.X[i], s.Y[i])
+		s.Key[i] = float64(ix.Index(cx, cy))
+	}
+}
+
+// KeyAssignWorkPerParticle is the modelled δ units to index one particle
+// (cell computation plus one table lookup).
+const KeyAssignWorkPerParticle = 4
+
+// Strategy selects one of the paper's three domain partitioning strategies.
+type Strategy int
+
+// The three strategies of Table 1.
+const (
+	StrategyGrid Strategy = iota
+	StrategyParticle
+	StrategyIndependent
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyGrid:
+		return "grid"
+	case StrategyParticle:
+		return "particle"
+	case StrategyIndependent:
+		return "independent"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Layout is a concrete global partition: an owner rank per particle and an
+// owner rank per cell.
+type Layout struct {
+	Strategy  Strategy
+	P         int
+	Particles []int // particle -> rank
+	cellOwner []int // cell (row-major) -> rank
+	g         mesh.Grid
+}
+
+// CellOwner returns the rank owning cell (cx, cy).
+func (l *Layout) CellOwner(cx, cy int) int { return l.cellOwner[cy*l.g.Nx+cx] }
+
+// Build computes the layout of the given strategy for the current particle
+// positions. The mesh BLOCK distribution d and indexer ix define the grid
+// blocks and the particle ordering respectively.
+func Build(strategy Strategy, g mesh.Grid, d *mesh.Dist, ix sfc.Indexer, s *particle.Store) (*Layout, error) {
+	if d.P <= 0 {
+		return nil, fmt.Errorf("partition: invalid rank count %d", d.P)
+	}
+	l := &Layout{
+		Strategy:  strategy,
+		P:         d.P,
+		Particles: make([]int, s.Len()),
+		cellOwner: make([]int, g.NumPoints()),
+		g:         g,
+	}
+	switch strategy {
+	case StrategyGrid:
+		// Cells by BLOCK; particles follow their cell.
+		for cy := 0; cy < g.Ny; cy++ {
+			for cx := 0; cx < g.Nx; cx++ {
+				l.cellOwner[cy*g.Nx+cx] = d.OwnerOfPoint(cx, cy)
+			}
+		}
+		for i := 0; i < s.Len(); i++ {
+			cx, cy := g.CellOf(s.X[i], s.Y[i])
+			l.Particles[i] = l.CellOwner(cx, cy)
+		}
+	case StrategyParticle:
+		// Particles into p equal-count groups by SFC key; cells follow the
+		// key ranges of the groups.
+		keys := sortedKeys(s, g, ix)
+		splits := make([]float64, d.P-1) // first key of group k+1
+		n := len(keys)
+		for k := 0; k < d.P-1; k++ {
+			_, hi := mesh.BlockRange(n, d.P, k)
+			if hi < n {
+				splits[k] = keys[hi]
+			} else if n > 0 {
+				splits[k] = keys[n-1] + 1
+			}
+		}
+		assignByKey := func(key float64) int {
+			r := sort.SearchFloat64s(splits, key)
+			// Keys equal to a split belong to the later group, matching the
+			// half-open group ranges.
+			for r < len(splits) && splits[r] == key {
+				r++
+			}
+			return r
+		}
+		for i := 0; i < s.Len(); i++ {
+			cx, cy := g.CellOf(s.X[i], s.Y[i])
+			l.Particles[i] = assignByKey(float64(ix.Index(cx, cy)))
+		}
+		for cy := 0; cy < g.Ny; cy++ {
+			for cx := 0; cx < g.Nx; cx++ {
+				l.cellOwner[cy*g.Nx+cx] = assignByKey(float64(ix.Index(cx, cy)))
+			}
+		}
+	case StrategyIndependent:
+		// Cells by BLOCK; particles into equal-count groups by SFC key.
+		for cy := 0; cy < g.Ny; cy++ {
+			for cx := 0; cx < g.Nx; cx++ {
+				l.cellOwner[cy*g.Nx+cx] = d.OwnerOfPoint(cx, cy)
+			}
+		}
+		keys := make([]float64, s.Len())
+		order := make([]int, s.Len())
+		for i := 0; i < s.Len(); i++ {
+			cx, cy := g.CellOf(s.X[i], s.Y[i])
+			keys[i] = float64(ix.Index(cx, cy))
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if keys[order[a]] != keys[order[b]] {
+				return keys[order[a]] < keys[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		for pos, i := range order {
+			l.Particles[i] = mesh.BlockOwner(len(order), d.P, pos)
+		}
+	default:
+		return nil, fmt.Errorf("partition: unknown strategy %v", strategy)
+	}
+	return l, nil
+}
+
+func sortedKeys(s *particle.Store, g mesh.Grid, ix sfc.Indexer) []float64 {
+	keys := make([]float64, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		cx, cy := g.CellOf(s.X[i], s.Y[i])
+		keys[i] = float64(ix.Index(cx, cy))
+	}
+	sort.Float64s(keys)
+	return keys
+}
+
+// Quality quantifies a layout for the current particle positions,
+// reproducing the qualitative rows of Table 1 as measured numbers.
+type Quality struct {
+	// ParticleImbalance is max particles per rank divided by the mean
+	// (1.0 = perfectly balanced "particle calculation" load).
+	ParticleImbalance float64
+	// GridImbalance is max cells per rank divided by the mean (field-solve
+	// load).
+	GridImbalance float64
+	// MaxGhostPoints is the largest number of unique off-processor grid
+	// points any rank's particles touch (scatter-phase traffic ∝ this).
+	MaxGhostPoints int
+	// TotalGhostPoints sums ghost points over ranks.
+	TotalGhostPoints int
+	// MaxPartners is the largest number of distinct communication partner
+	// ranks any rank has in the scatter phase.
+	MaxPartners int
+	// NonLocalFraction is the fraction of ghost points owned by ranks that
+	// are not 8-neighbours of the accessing rank on the processor grid
+	// ("local" vs "non-local" communication in Table 1). Only meaningful
+	// when the cell distribution is the BLOCK distribution d.
+	NonLocalFraction float64
+}
+
+// Measure computes Quality for layout l at the particles' current
+// positions. d supplies the processor-grid geometry for the locality
+// classification.
+func Measure(l *Layout, g mesh.Grid, d *mesh.Dist, s *particle.Store) Quality {
+	p := l.P
+	partCount := make([]int, p)
+	for _, r := range l.Particles {
+		partCount[r]++
+	}
+	cellCount := make([]int, p)
+	for _, r := range l.cellOwner {
+		cellCount[r]++
+	}
+
+	// Unique grid points touched per rank: set of (vertex, rank).
+	ghost := make([]map[int]bool, p)
+	for r := range ghost {
+		ghost[r] = make(map[int]bool)
+	}
+	for i := 0; i < s.Len(); i++ {
+		r := l.Particles[i]
+		w := pusher.Weights(g, s.X[i], s.Y[i])
+		for _, off := range pusher.VertexOffsets {
+			gid := g.PointIndex(w.CX+off[0], w.CY+off[1])
+			ci, cj := g.PointCoords(gid)
+			if l.CellOwner(ci, cj) != r {
+				ghost[r][gid] = true
+			}
+		}
+	}
+
+	var q Quality
+	q.ParticleImbalance = imbalance(partCount)
+	q.GridImbalance = imbalance(cellCount)
+	partners := 0
+	nonLocal, totalGhost := 0, 0
+	for r := 0; r < p; r++ {
+		if len(ghost[r]) > q.MaxGhostPoints {
+			q.MaxGhostPoints = len(ghost[r])
+		}
+		totalGhost += len(ghost[r])
+		owners := map[int]bool{}
+		for gid := range ghost[r] {
+			ci, cj := g.PointCoords(gid)
+			o := l.CellOwner(ci, cj)
+			owners[o] = true
+			if !adjacentRanks(d, r, o) {
+				nonLocal++
+			}
+		}
+		if len(owners) > partners {
+			partners = len(owners)
+		}
+	}
+	q.TotalGhostPoints = totalGhost
+	q.MaxPartners = partners
+	if totalGhost > 0 {
+		q.NonLocalFraction = float64(nonLocal) / float64(totalGhost)
+	}
+	return q
+}
+
+func imbalance(counts []int) float64 {
+	total, max := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	mean := float64(total) / float64(len(counts))
+	return float64(max) / mean
+}
+
+// adjacentRanks reports whether ranks a and b are identical or
+// 8-neighbours on the periodic processor grid of d.
+func adjacentRanks(d *mesh.Dist, a, b int) bool {
+	if a == b {
+		return true
+	}
+	ax, ay := d.RankCoords(a)
+	bx, by := d.RankCoords(b)
+	dx := wrapDist(ax-bx, d.Px)
+	dy := wrapDist(ay-by, d.Py)
+	return dx <= 1 && dy <= 1
+}
+
+func wrapDist(d, n int) int {
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}

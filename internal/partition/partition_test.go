@@ -1,0 +1,238 @@
+package partition
+
+import (
+	"testing"
+
+	"picpar/internal/mesh"
+	"picpar/internal/particle"
+	"picpar/internal/sfc"
+)
+
+func setup(t *testing.T, dist string, n int) (mesh.Grid, *mesh.Dist, sfc.Indexer, *particle.Store) {
+	t.Helper()
+	g := mesh.NewGrid(32, 32)
+	d, err := mesh.NewDistOrdered(g, 16, sfc.SchemeHilbert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := sfc.MustNew(sfc.SchemeHilbert, 32, 32)
+	s, err := particle.Generate(particle.Config{
+		N: n, Lx: g.Lx, Ly: g.Ly, Distribution: dist, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, d, ix, s
+}
+
+func TestAssignKeysMatchesIndexer(t *testing.T) {
+	g, _, ix, s := setup(t, particle.DistUniform, 500)
+	AssignKeys(s, g, ix)
+	for i := 0; i < s.Len(); i++ {
+		cx, cy := g.CellOf(s.X[i], s.Y[i])
+		if s.Key[i] != float64(ix.Index(cx, cy)) {
+			t.Fatalf("particle %d key %g != index %d", i, s.Key[i], ix.Index(cx, cy))
+		}
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	if StrategyGrid.String() != "grid" || StrategyParticle.String() != "particle" ||
+		StrategyIndependent.String() != "independent" {
+		t.Error("strategy names wrong")
+	}
+	if Strategy(9).String() != "strategy(9)" {
+		t.Error("unknown strategy name")
+	}
+}
+
+func TestBuildGridStrategy(t *testing.T) {
+	g, d, ix, s := setup(t, particle.DistIrregular, 4000)
+	l, err := Build(StrategyGrid, g, d, ix, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cells follow BLOCK exactly.
+	for cy := 0; cy < g.Ny; cy++ {
+		for cx := 0; cx < g.Nx; cx++ {
+			if l.CellOwner(cx, cy) != d.OwnerOfPoint(cx, cy) {
+				t.Fatalf("cell (%d,%d) owner mismatch", cx, cy)
+			}
+		}
+	}
+	// Particles follow their cell.
+	for i := 0; i < s.Len(); i++ {
+		cx, cy := g.CellOf(s.X[i], s.Y[i])
+		if l.Particles[i] != d.OwnerOfPoint(cx, cy) {
+			t.Fatalf("particle %d not with its cell", i)
+		}
+	}
+	q := Measure(l, g, d, s)
+	// Grid partitioning of an irregular distribution: grid balanced,
+	// particles badly unbalanced, and all communication local.
+	if q.GridImbalance > 1.01 {
+		t.Errorf("grid imbalance %g, want ~1", q.GridImbalance)
+	}
+	if q.ParticleImbalance < 2 {
+		t.Errorf("particle imbalance %g, want >> 1 for a centre-concentrated blob", q.ParticleImbalance)
+	}
+	if q.NonLocalFraction > 0.01 {
+		t.Errorf("grid strategy must communicate locally, non-local %g", q.NonLocalFraction)
+	}
+}
+
+func TestBuildParticleStrategy(t *testing.T) {
+	g, d, ix, s := setup(t, particle.DistIrregular, 4000)
+	l, err := Build(StrategyParticle, g, d, ix, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Measure(l, g, d, s)
+	// Particle partitioning: particles balanced, grid unbalanced.
+	// Splits happen at whole-key (cell) granularity, so with ~4 particles
+	// per cell the counts can be off by a cell's worth.
+	if q.ParticleImbalance > 1.3 {
+		t.Errorf("particle imbalance %g, want ~1", q.ParticleImbalance)
+	}
+	if q.GridImbalance < 2 {
+		t.Errorf("grid imbalance %g, want >> 1", q.GridImbalance)
+	}
+	// Every rank holds some particles.
+	counts := make([]int, l.P)
+	for _, r := range l.Particles {
+		if r < 0 || r >= l.P {
+			t.Fatalf("particle assigned to invalid rank %d", r)
+		}
+		counts[r]++
+	}
+	for r, c := range counts {
+		if c == 0 {
+			t.Errorf("rank %d holds no particles", r)
+		}
+	}
+}
+
+func TestBuildIndependentStrategy(t *testing.T) {
+	g, d, ix, s := setup(t, particle.DistIrregular, 4000)
+	l, err := Build(StrategyIndependent, g, d, ix, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Measure(l, g, d, s)
+	// Independent: both balanced.
+	if q.ParticleImbalance > 1.1 {
+		t.Errorf("particle imbalance %g", q.ParticleImbalance)
+	}
+	if q.GridImbalance > 1.01 {
+		t.Errorf("grid imbalance %g", q.GridImbalance)
+	}
+}
+
+func TestIndependentUniformMostlyLocal(t *testing.T) {
+	// With a near-uniform distribution, SFC alignment makes particle and
+	// mesh subdomains overlap, so ghost traffic is mostly between nearby
+	// ranks.
+	g, d, ix, s := setup(t, particle.DistUniform, 8000)
+	l, err := Build(StrategyIndependent, g, d, ix, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Measure(l, g, d, s)
+	if q.NonLocalFraction > 0.35 {
+		t.Errorf("uniform independent partition should be mostly local, non-local %g", q.NonLocalFraction)
+	}
+}
+
+func TestIndependentIrregularNonLocalExceedsUniform(t *testing.T) {
+	// Table 1: independent partitioning pays with non-local communication
+	// when the distribution is irregular.
+	g, d, ix, su := setup(t, particle.DistUniform, 8000)
+	lu, _ := Build(StrategyIndependent, g, d, ix, su)
+	qu := Measure(lu, g, d, su)
+
+	_, _, _, si := setup(t, particle.DistIrregular, 8000)
+	li, _ := Build(StrategyIndependent, g, d, ix, si)
+	qi := Measure(li, g, d, si)
+
+	if qi.NonLocalFraction <= qu.NonLocalFraction {
+		t.Errorf("irregular non-local (%g) should exceed uniform (%g)",
+			qi.NonLocalFraction, qu.NonLocalFraction)
+	}
+}
+
+func TestHilbertGhostsBeatSnakeOnUniform(t *testing.T) {
+	// Section 5.1 / Table 2 premise: Hilbert-ordered particle subdomains
+	// are more compact, touching fewer off-processor grid points.
+	g, dh, _, s := setup(t, particle.DistUniform, 8000)
+	ds, err := mesh.NewDistOrdered(g, 16, sfc.SchemeSnake)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hil := sfc.MustNew(sfc.SchemeHilbert, g.Nx, g.Ny)
+	snk := sfc.MustNew(sfc.SchemeSnake, g.Nx, g.Ny)
+	lh, _ := Build(StrategyIndependent, g, dh, hil, s)
+	ls, _ := Build(StrategyIndependent, g, ds, snk, s)
+	qh := Measure(lh, g, dh, s)
+	qs := Measure(ls, g, ds, s)
+	if qh.TotalGhostPoints >= qs.TotalGhostPoints {
+		t.Errorf("hilbert ghosts %d should beat snake %d", qh.TotalGhostPoints, qs.TotalGhostPoints)
+	}
+}
+
+func TestMeasureEmptyStore(t *testing.T) {
+	g, d, ix, _ := setup(t, particle.DistUniform, 0)
+	s := particle.NewStore(0, -1, 1)
+	l, err := Build(StrategyIndependent, g, d, ix, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Measure(l, g, d, s)
+	if q.MaxGhostPoints != 0 || q.TotalGhostPoints != 0 {
+		t.Errorf("empty store has ghosts: %+v", q)
+	}
+	if q.ParticleImbalance != 1 {
+		t.Errorf("empty imbalance %g, want 1 by convention", q.ParticleImbalance)
+	}
+}
+
+func TestPartitionEvolutionDegradesLagrangian(t *testing.T) {
+	// Table 1 "after a few iterations" row for direct Lagrangian: keep the
+	// assignment fixed, drift the particles, and the ghost count grows.
+	g, d, ix, s := setup(t, particle.DistUniform, 6000)
+	l, err := Build(StrategyIndependent, g, d, ix, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q0 := Measure(l, g, d, s)
+	// Drift: move every particle diagonally by a few cells (Lagrangian:
+	// assignment stays).
+	for i := 0; i < s.Len(); i++ {
+		s.X[i], s.Y[i] = g.WrapPosition(s.X[i]+3.3, s.Y[i]+2.1)
+	}
+	q1 := Measure(l, g, d, s)
+	if q1.TotalGhostPoints <= q0.TotalGhostPoints {
+		t.Errorf("drift should increase ghosts: %d -> %d", q0.TotalGhostPoints, q1.TotalGhostPoints)
+	}
+	// Rebuilding the partition (redistribution) restores compactness.
+	l2, err := Build(StrategyIndependent, g, d, ix, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := Measure(l2, g, d, s)
+	if q2.TotalGhostPoints >= q1.TotalGhostPoints {
+		t.Errorf("redistribution should reduce ghosts: %d -> %d", q1.TotalGhostPoints, q2.TotalGhostPoints)
+	}
+}
+
+func TestBuildUnknownStrategy(t *testing.T) {
+	g, d, ix, s := setup(t, particle.DistUniform, 10)
+	if _, err := Build(Strategy(42), g, d, ix, s); err == nil {
+		t.Error("expected error for unknown strategy")
+	}
+}
+
+func TestWrapDist(t *testing.T) {
+	if wrapDist(3, 4) != 1 || wrapDist(-3, 4) != 1 || wrapDist(2, 4) != 2 || wrapDist(0, 4) != 0 {
+		t.Error("wrapDist wrong")
+	}
+}

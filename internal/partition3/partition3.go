@@ -1,0 +1,198 @@
+// Package partition3 carries the paper's independent partitioning analysis
+// into three dimensions, demonstrating the claimed n-dimensional
+// generalisation of the Hilbert index-based scheme: particles keyed by the
+// 3-D Hilbert index of their cell and dealt in equal chunks over an
+// SFC-numbered 3-D BLOCK mesh, with the same quality metrics (load
+// imbalance, ghost points of the 8-vertex trilinear footprint,
+// communication locality) as the 2-D analysis in internal/partition.
+package partition3
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"picpar/internal/mesh"
+	"picpar/internal/mesh3"
+	"picpar/internal/sfc"
+)
+
+// Particles is a minimal 3-D particle population for partitioning
+// analysis: positions only.
+type Particles struct {
+	X, Y, Z []float64
+}
+
+// Len returns the population size.
+func (p *Particles) Len() int { return len(p.X) }
+
+// Distribution names for Generate3.
+const (
+	DistUniform   = "uniform"
+	DistIrregular = "irregular"
+)
+
+// Generate3 creates n particles in g's domain: uniform, or a centre-
+// concentrated Gaussian ball ("irregular").
+func Generate3(g mesh3.Grid, n int, dist string, seed int64) (*Particles, error) {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Particles{
+		X: make([]float64, 0, n),
+		Y: make([]float64, 0, n),
+		Z: make([]float64, 0, n),
+	}
+	switch dist {
+	case DistUniform:
+		for i := 0; i < n; i++ {
+			p.X = append(p.X, rng.Float64()*g.Lx)
+			p.Y = append(p.Y, rng.Float64()*g.Ly)
+			p.Z = append(p.Z, rng.Float64()*g.Lz)
+		}
+	case DistIrregular:
+		for i := 0; i < n; i++ {
+			p.X = append(p.X, gauss(rng, g.Lx/2, 0.1*g.Lx, g.Lx))
+			p.Y = append(p.Y, gauss(rng, g.Ly/2, 0.1*g.Ly, g.Ly))
+			p.Z = append(p.Z, gauss(rng, g.Lz/2, 0.1*g.Lz, g.Lz))
+		}
+	default:
+		return nil, fmt.Errorf("partition3: unknown distribution %q", dist)
+	}
+	return p, nil
+}
+
+func gauss(rng *rand.Rand, mean, sigma, l float64) float64 {
+	for {
+		v := mean + rng.NormFloat64()*sigma
+		if v >= 0 && v < l {
+			return v
+		}
+	}
+}
+
+// Layout assigns particles to ranks by equal-count chunks of their 3-D SFC
+// keys (independent partitioning; the mesh side is d's BLOCK distribution).
+type Layout struct {
+	P         int
+	Particles []int
+}
+
+// Build computes the independent-partitioning layout for the current
+// positions under the given indexer.
+func Build(g mesh3.Grid, d *mesh3.Dist, ix sfc.Indexer3, p *Particles) *Layout {
+	n := p.Len()
+	keys := make([]int, n)
+	order := make([]int, n)
+	for i := 0; i < n; i++ {
+		cx, cy, cz := g.CellOf(p.X[i], p.Y[i], p.Z[i])
+		keys[i] = ix.Index(cx, cy, cz)
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if keys[order[a]] != keys[order[b]] {
+			return keys[order[a]] < keys[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	l := &Layout{P: d.P, Particles: make([]int, n)}
+	for pos, i := range order {
+		l.Particles[i] = mesh.BlockOwner(n, d.P, pos)
+	}
+	return l
+}
+
+// Quality mirrors the 2-D metrics for the 3-D layout.
+type Quality struct {
+	ParticleImbalance float64
+	MaxGhostPoints    int
+	TotalGhostPoints  int
+	MaxPartners       int
+	NonLocalFraction  float64
+}
+
+// vertexOffsets3 are the 8 vertices of a cell (trilinear footprint).
+var vertexOffsets3 = [8][3]int{
+	{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0},
+	{0, 0, 1}, {1, 0, 1}, {0, 1, 1}, {1, 1, 1},
+}
+
+// Measure computes the 3-D partition quality.
+func Measure(l *Layout, g mesh3.Grid, d *mesh3.Dist, p *Particles) Quality {
+	ghost := make([]map[int]bool, l.P)
+	for r := range ghost {
+		ghost[r] = make(map[int]bool)
+	}
+	count := make([]int, l.P)
+	for i := 0; i < p.Len(); i++ {
+		r := l.Particles[i]
+		count[r]++
+		cx, cy, cz := g.CellOf(p.X[i], p.Y[i], p.Z[i])
+		for _, off := range vertexOffsets3 {
+			gid := g.PointIndex(cx+off[0], cy+off[1], cz+off[2])
+			gi, gj, gk := g.PointCoords(gid)
+			if d.OwnerOfPoint(gi, gj, gk) != r {
+				ghost[r][gid] = true
+			}
+		}
+	}
+
+	var q Quality
+	q.ParticleImbalance = imbalance(count)
+	nonLocal := 0
+	for r := 0; r < l.P; r++ {
+		if len(ghost[r]) > q.MaxGhostPoints {
+			q.MaxGhostPoints = len(ghost[r])
+		}
+		q.TotalGhostPoints += len(ghost[r])
+		owners := map[int]bool{}
+		for gid := range ghost[r] {
+			gi, gj, gk := g.PointCoords(gid)
+			o := d.OwnerOfPoint(gi, gj, gk)
+			owners[o] = true
+			if !adjacent(d, r, o) {
+				nonLocal++
+			}
+		}
+		if len(owners) > q.MaxPartners {
+			q.MaxPartners = len(owners)
+		}
+	}
+	if q.TotalGhostPoints > 0 {
+		q.NonLocalFraction = float64(nonLocal) / float64(q.TotalGhostPoints)
+	}
+	return q
+}
+
+func imbalance(counts []int) float64 {
+	total, max := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(max) / (float64(total) / float64(len(counts)))
+}
+
+// adjacent reports whether ranks a and b are 26-neighbours (or equal) on
+// the periodic processor grid.
+func adjacent(d *mesh3.Dist, a, b int) bool {
+	if a == b {
+		return true
+	}
+	ax, ay, az := d.RankCoords(a)
+	bx, by, bz := d.RankCoords(b)
+	return torus(ax-bx, d.Px) <= 1 && torus(ay-by, d.Py) <= 1 && torus(az-bz, d.Pz) <= 1
+}
+
+func torus(dd, n int) int {
+	if dd < 0 {
+		dd = -dd
+	}
+	if n-dd < dd {
+		dd = n - dd
+	}
+	return dd
+}

@@ -1,0 +1,174 @@
+package partition3
+
+import (
+	"testing"
+
+	"picpar/internal/mesh3"
+	"picpar/internal/sfc"
+)
+
+func setup(t *testing.T, dist string, n int) (mesh3.Grid, *mesh3.Dist, sfc.Indexer3, *Particles) {
+	t.Helper()
+	g := mesh3.NewGrid(16, 16, 16)
+	d, err := mesh3.NewDistOrdered(g, 8, sfc.SchemeHilbert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := sfc.MustNew3(sfc.SchemeHilbert, 16, 16, 16)
+	p, err := Generate3(g, n, dist, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, d, ix, p
+}
+
+func TestGenerate3(t *testing.T) {
+	g := mesh3.NewGrid(8, 8, 8)
+	for _, dist := range []string{DistUniform, DistIrregular} {
+		p, err := Generate3(g, 1000, dist, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Len() != 1000 {
+			t.Fatalf("%s: len %d", dist, p.Len())
+		}
+		for i := 0; i < p.Len(); i++ {
+			if p.X[i] < 0 || p.X[i] >= 8 || p.Y[i] < 0 || p.Y[i] >= 8 || p.Z[i] < 0 || p.Z[i] >= 8 {
+				t.Fatalf("%s: particle %d outside domain", dist, i)
+			}
+		}
+	}
+	if _, err := Generate3(g, 1, "shell", 1); err == nil {
+		t.Error("expected error for unknown distribution")
+	}
+}
+
+func TestBuildBalanced(t *testing.T) {
+	g, d, ix, p := setup(t, DistIrregular, 4000)
+	l := Build(g, d, ix, p)
+	counts := make([]int, l.P)
+	for _, r := range l.Particles {
+		counts[r]++
+	}
+	for r, c := range counts {
+		if c < 4000/8-1 || c > 4000/8+1 {
+			t.Errorf("rank %d holds %d particles", r, c)
+		}
+	}
+	q := Measure(l, g, d, p)
+	if q.ParticleImbalance > 1.01 {
+		t.Errorf("imbalance %g", q.ParticleImbalance)
+	}
+}
+
+func TestHilbertBeatsSnakeIn3D(t *testing.T) {
+	// The n-dimensional claim: Hilbert-keyed 3-D chunks touch fewer
+	// off-processor grid points than snake-keyed ones.
+	g, dh, hil, p := setup(t, DistUniform, 8000)
+	ds, err := mesh3.NewDistOrdered(g, 8, sfc.SchemeSnake)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snk := sfc.MustNew3(sfc.SchemeSnake, 16, 16, 16)
+	qh := Measure(Build(g, dh, hil, p), g, dh, p)
+	qs := Measure(Build(g, ds, snk, p), g, ds, p)
+	if qh.TotalGhostPoints >= qs.TotalGhostPoints {
+		t.Errorf("3-d hilbert ghosts %d should beat snake %d", qh.TotalGhostPoints, qs.TotalGhostPoints)
+	}
+}
+
+func TestUniformAlignedMostlyLocal(t *testing.T) {
+	g, d, ix, p := setup(t, DistUniform, 8000)
+	q := Measure(Build(g, d, ix, p), g, d, p)
+	if q.NonLocalFraction > 0.35 {
+		t.Errorf("aligned uniform 3-d partition non-local fraction %g", q.NonLocalFraction)
+	}
+}
+
+func TestIrregularGhostsExceedUniform(t *testing.T) {
+	// Needs enough ranks that non-adjacent pairs exist on the processor
+	// grid (a 2×2×2 torus is fully adjacent): use 64 ranks = 4×4×4.
+	g, _, ix, pu := setup(t, DistUniform, 8000)
+	_, _, _, pi := setup(t, DistIrregular, 8000)
+	d, err := mesh3.NewDistOrdered(g, 64, sfc.SchemeHilbert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qu := Measure(Build(g, d, ix, pu), g, d, pu)
+	qi := Measure(Build(g, d, ix, pi), g, d, pi)
+	// A concentrated ball occupies fewer cells, so its chunks share more
+	// cell faces with foreign blocks relative to their size; the paper's
+	// observation is that irregularity raises communication. Compare
+	// non-local fraction.
+	if qi.NonLocalFraction <= qu.NonLocalFraction {
+		t.Errorf("irregular non-local %g should exceed uniform %g", qi.NonLocalFraction, qu.NonLocalFraction)
+	}
+}
+
+func TestMesh3DistFactorisation(t *testing.T) {
+	d, err := mesh3.NewDist(mesh3.NewGrid(16, 16, 16), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Px != 2 || d.Py != 2 || d.Pz != 2 {
+		t.Errorf("got %dx%dx%d, want 2x2x2", d.Px, d.Py, d.Pz)
+	}
+	if _, err := mesh3.NewDist(mesh3.NewGrid(2, 2, 2), 100); err == nil {
+		t.Error("expected no-factorisation error")
+	}
+}
+
+func TestMesh3OwnershipPartition(t *testing.T) {
+	g := mesh3.NewGrid(8, 6, 4)
+	d, err := mesh3.NewDistOrdered(g, 4, sfc.SchemeHilbert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := make([]int, g.NumPoints())
+	for r := 0; r < 4; r++ {
+		i0, i1, j0, j1, k0, k1 := d.Bounds(r)
+		for k := k0; k < k1; k++ {
+			for j := j0; j < j1; j++ {
+				for i := i0; i < i1; i++ {
+					owned[g.PointIndex(i, j, k)]++
+					if d.OwnerOfPoint(i, j, k) != r {
+						t.Fatalf("owner mismatch at (%d,%d,%d)", i, j, k)
+					}
+				}
+			}
+		}
+	}
+	for id, c := range owned {
+		if c != 1 {
+			t.Fatalf("point %d owned %d times", id, c)
+		}
+	}
+}
+
+func TestMesh3PointIndexRoundTrip(t *testing.T) {
+	g := mesh3.NewGrid(5, 7, 3)
+	for k := 0; k < 3; k++ {
+		for j := 0; j < 7; j++ {
+			for i := 0; i < 5; i++ {
+				ri, rj, rk := g.PointCoords(g.PointIndex(i, j, k))
+				if ri != i || rj != j || rk != k {
+					t.Fatalf("round trip (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+	if g.PointIndex(-1, 0, 0) != g.PointIndex(4, 0, 0) {
+		t.Error("x wrap failed")
+	}
+	if g.PointIndex(0, 7, 3) != g.PointIndex(0, 0, 0) {
+		t.Error("y/z wrap failed")
+	}
+}
+
+func TestMesh3CellOf(t *testing.T) {
+	g := mesh3.NewGrid(4, 4, 4)
+	cx, cy, cz := g.CellOf(3.9, -0.5, 4.5)
+	if cx != 3 || cy != 3 || cz != 0 {
+		t.Errorf("CellOf = (%d,%d,%d)", cx, cy, cz)
+	}
+}

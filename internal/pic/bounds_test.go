@@ -1,0 +1,57 @@
+package pic
+
+import (
+	"testing"
+
+	"picpar/internal/particle"
+)
+
+// TestScatterTrafficRespectsPaperBound checks the u = min(m/p, 4·n/p) ghost
+// bound from the paper's Section 4 complexity analysis: the data any rank
+// sends in the scatter phase cannot exceed the wire size of 4 grid points
+// per local particle, and message counts cannot exceed p−1.
+func TestScatterTrafficRespectsPaperBound(t *testing.T) {
+	cfg := base()
+	cfg.NumParticles = 4096
+	cfg.Iterations = 60
+	cfg.Thermal = 0.6 // spread hard to stress the bound
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRank := cfg.NumParticles/cfg.P + 1
+	m := cfg.Grid.NumPoints()
+	ghostBound := 4 * perRank
+	if mp := m; mp < ghostBound {
+		ghostBound = mp
+	}
+	byteBound := int64(ghostBound * scatterWireFloats * 8)
+	for _, rec := range res.Records {
+		if rec.ScatterBytesSent > byteBound {
+			t.Fatalf("iter %d: scatter bytes %d exceed u-bound %d", rec.Iter, rec.ScatterBytesSent, byteBound)
+		}
+		if rec.ScatterMsgsSent > int64(cfg.P-1) {
+			t.Fatalf("iter %d: %d messages exceed p-1", rec.Iter, rec.ScatterMsgsSent)
+		}
+	}
+}
+
+// TestComputeBalanceStrict verifies the direct Lagrangian guarantee: with
+// balanced particle counts, per-rank computation stays nearly equal even as
+// communication degrades (the premise that lets the SAR policy attribute
+// iteration-time growth entirely to communication).
+func TestComputeBalanceStrict(t *testing.T) {
+	cfg := base()
+	cfg.NumParticles = 4096
+	cfg.Iterations = 50
+	cfg.Distribution = particle.DistIrregular
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max over ranks of total compute vs mean: within 5%.
+	mean := res.ComputeSum / float64(cfg.P)
+	if res.ComputeMax > 1.05*mean {
+		t.Errorf("compute imbalance: max %g vs mean %g", res.ComputeMax, mean)
+	}
+}

@@ -1,0 +1,217 @@
+// Package pic assembles the substrates into the paper's full parallel PIC
+// simulation: independent partitioning (BLOCK mesh + SFC-ordered
+// particles), direct Lagrangian particle movement between redistributions,
+// the four-phase time step (scatter, field solve, gather, push) with
+// ghost-point communication, and policy-driven dynamic redistribution via
+// bucket-based incremental sorting.
+package pic
+
+import (
+	"fmt"
+
+	"picpar/internal/commopt"
+	"picpar/internal/machine"
+	"picpar/internal/mesh"
+	"picpar/internal/particle"
+	"picpar/internal/policy"
+	"picpar/internal/sfc"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Grid is the global mesh; zero value means 64×32.
+	Grid mesh.Grid
+	// P is the number of ranks (processors).
+	P int
+	// NumParticles is the global particle count n.
+	NumParticles int
+	// Distribution selects the initial particle distribution
+	// (particle.DistUniform, DistIrregular, DistTwoStream, DistBeam).
+	Distribution string
+	// Seed drives all randomness; equal seeds reproduce runs exactly.
+	Seed int64
+	// Iterations is the number of PIC time steps.
+	Iterations int
+	// Dt is the time step; default 0.2 (CFL-safe for unit cells, c=1).
+	Dt float64
+	// Indexing selects the particle ordering (sfc.SchemeHilbert,
+	// SchemeSnake, SchemeRowMajor, SchemeMorton); default Hilbert.
+	Indexing string
+	// Policy creates the redistribution decision policy; default Static.
+	Policy policy.Factory
+	// Table selects the duplicate-removal structure (commopt.TableDirect
+	// or TableHash); default direct.
+	Table string
+	// Buckets is the incremental-sort bucket count per rank; 0 = default.
+	Buckets int
+	// Machine gives the cost-model constants; zero value means CM5.
+	Machine machine.Params
+	// MeshDist1D selects a 1-D (row) BLOCK mesh distribution instead of
+	// the default 2-D blocks.
+	MeshDist1D bool
+	// Eulerian selects the direct Eulerian method on grid partitioning
+	// (the Gledhill–Storey baseline of Section 3): every particle lives on
+	// the rank owning its cell and migrates whenever it crosses a block
+	// boundary. Communication stays local but the particle load follows
+	// the (possibly irregular) density. The redistribution Policy is
+	// ignored in this mode.
+	Eulerian bool
+	// Thermal and Drift parameterise the particle generator (pass-through;
+	// zero values default to Thermal 0.3 and the generator's drift).
+	Thermal, Drift float64
+	// MacroCharge is the per-macroparticle charge; default −0.02 (keeps
+	// space-charge fields mild at the paper's densities).
+	MacroCharge float64
+	// Diagnostics enables energy histories (field + kinetic) every
+	// DiagEvery iterations (default 10).
+	Diagnostics bool
+	DiagEvery   int
+	// Verify enables per-iteration invariant checks (global charge
+	// conservation on the mesh, particle-count conservation); violations
+	// panic. Intended for tests; the checks use the out-of-band
+	// measurement channel, so modelled times are unaffected.
+	Verify bool
+	// CustomParticles, when non-nil, is used as the global initial
+	// population instead of the built-in generator (Distribution, Seed,
+	// Thermal and Drift are then ignored; NumParticles is derived from
+	// it). The store is not mutated — the simulation works on a copy.
+	CustomParticles *particle.Store
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Grid.Nx == 0 {
+		c.Grid = mesh.NewGrid(64, 32)
+	}
+	if c.P == 0 {
+		c.P = 4
+	}
+	if c.Dt == 0 {
+		c.Dt = 0.2
+	}
+	if c.Indexing == "" {
+		c.Indexing = sfc.SchemeHilbert
+	}
+	if c.Policy == nil {
+		c.Policy = policy.NewStatic()
+	}
+	if c.Table == "" {
+		c.Table = commopt.TableDirect
+	}
+	if c.Machine == (machine.Params{}) {
+		c.Machine = machine.CM5()
+	}
+	if c.Distribution == "" {
+		c.Distribution = particle.DistUniform
+	}
+	if c.Thermal == 0 {
+		c.Thermal = 0.3
+	}
+	if c.MacroCharge == 0 {
+		c.MacroCharge = -0.02
+	}
+	if c.DiagEvery == 0 {
+		c.DiagEvery = 10
+	}
+	return c
+}
+
+// validate rejects configurations the substrates cannot represent.
+func (c Config) validate() error {
+	if err := c.Grid.Validate(); err != nil {
+		return err
+	}
+	if c.P <= 0 {
+		return fmt.Errorf("pic: non-positive rank count %d", c.P)
+	}
+	if c.NumParticles < 0 {
+		return fmt.Errorf("pic: negative particle count %d", c.NumParticles)
+	}
+	if c.Iterations < 0 {
+		return fmt.Errorf("pic: negative iteration count %d", c.Iterations)
+	}
+	if c.Dt <= 0 || c.Dt > 0.7 {
+		return fmt.Errorf("pic: dt %g outside the stable range (0, 0.7]", c.Dt)
+	}
+	if _, err := sfc.New(c.Indexing, c.Grid.Nx, c.Grid.Ny); err != nil {
+		return err
+	}
+	if _, err := commopt.NewTable(c.Table, 1, 1); err != nil {
+		return err
+	}
+	return nil
+}
+
+// IterationRecord captures one iteration's measurements, max over ranks
+// (the quantities plotted in Figures 17–19).
+type IterationRecord struct {
+	Iter int
+	// Time is the iteration's execution time (simulated seconds),
+	// excluding any redistribution triggered after it.
+	Time float64
+	// Compute is the iteration's computation time.
+	Compute float64
+	// Scatter-phase ghost traffic.
+	ScatterBytesSent int64
+	ScatterBytesRecv int64
+	ScatterMsgsSent  int64
+	ScatterMsgsRecv  int64
+	// Redistributed reports whether redistribution ran after this
+	// iteration; RedistTime is its cost.
+	Redistributed bool
+	RedistTime    float64
+	// Energies are recorded when diagnostics are enabled (else zero).
+	FieldEnergy   float64
+	KineticEnergy float64
+}
+
+// Result aggregates a whole run.
+type Result struct {
+	Config Config
+	// InitTime is the cost of the initial particle distribution.
+	InitTime float64
+	// TotalTime is the end-to-end simulated execution time (max clock),
+	// including redistributions, excluding initialisation.
+	TotalTime float64
+	// ComputeMax is the per-rank maximum total computation time;
+	// ComputeSum the sum over ranks (≈ sequential execution time).
+	ComputeMax float64
+	ComputeSum float64
+	// Overhead is TotalTime − ComputeMax: everything that is not useful
+	// computation on the critical path (the paper's Figures 21–22 metric).
+	Overhead float64
+	// Efficiency is ComputeSum / (P · TotalTime) (Table 3).
+	Efficiency float64
+	// FinalParticleCount is the global particle count at the end (must
+	// equal NumParticles — the direct Lagrangian method loses nothing).
+	FinalParticleCount int
+	// NumRedistributions counts policy-triggered redistributions.
+	NumRedistributions int
+	// RedistTime is the total time spent redistributing.
+	RedistTime float64
+	Records    []IterationRecord
+	Stats      machine.WorldStats
+}
+
+// MaxScatterBytes returns the peak per-iteration scatter traffic (sent), a
+// compact Figure-18 summary.
+func (r *Result) MaxScatterBytes() int64 {
+	var m int64
+	for i := range r.Records {
+		if r.Records[i].ScatterBytesSent > m {
+			m = r.Records[i].ScatterBytesSent
+		}
+	}
+	return m
+}
+
+// MaxScatterMsgs returns the peak per-iteration scatter message count.
+func (r *Result) MaxScatterMsgs() int64 {
+	var m int64
+	for i := range r.Records {
+		if r.Records[i].ScatterMsgsSent > m {
+			m = r.Records[i].ScatterMsgsSent
+		}
+	}
+	return m
+}

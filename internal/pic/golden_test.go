@@ -1,0 +1,21 @@
+package pic
+
+import "testing"
+
+// TestGoldenDeterminism pins the exact simulated total of a reference run.
+// The simulation is fully deterministic, so any change to this value means
+// the cost model, the communication protocol, or the physics changed —
+// which must be a conscious decision (update the constant and the
+// calibration notes in EXPERIMENTS.md together).
+func TestGoldenDeterminism(t *testing.T) {
+	res, err := Run(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.TotalTime
+	// Reference recorded after the δ = 1.3 µs CM-5 calibration.
+	const recorded = 1.1831223
+	if diff := got - recorded; diff > 1e-7 || diff < -1e-7 {
+		t.Errorf("reference run total changed: got %.12g, recorded %.12g", got, recorded)
+	}
+}

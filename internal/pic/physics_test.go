@@ -1,0 +1,152 @@
+package pic
+
+import (
+	"math"
+	"testing"
+
+	"picpar/internal/mesh"
+	"picpar/internal/particle"
+)
+
+// TestColdPlasmaOscillation validates the coupled scatter → field solve →
+// gather → push loop against analytic plasma physics: a cold electron
+// plasma given a sinusoidal velocity perturbation performs Langmuir
+// oscillations at ω_p = sqrt(n q²/m) (ε₀ = 1). Kinetic energy then
+// oscillates at 2ω_p, so its oscillation period is π/ω_p.
+func TestColdPlasmaOscillation(t *testing.T) {
+	const (
+		nx, ny  = 64, 4
+		perCell = 4
+		q       = -0.5
+		dt      = 0.1
+	)
+	g := mesh.NewGrid(nx, ny)
+	// Quiet lattice start: perCell particles regularly spaced per cell, no
+	// thermal spread, vx = v0·sin(2πx/Lx).
+	s := particle.NewStore(nx*ny*perCell, q, 1)
+	id := 0.0
+	for cy := 0; cy < ny; cy++ {
+		for cx := 0; cx < nx; cx++ {
+			for k := 0; k < perCell; k++ {
+				x := float64(cx) + (float64(k%2)+0.5)/2
+				y := float64(cy) + (float64(k/2)+0.5)/2
+				vx := 0.01 * math.Sin(2*math.Pi*x/float64(nx))
+				s.Append(x, y, vx, 0, 0, id)
+				id++
+			}
+		}
+	}
+
+	// ω_p² = n q²/m with number density n = perCell per unit area.
+	wp := math.Sqrt(perCell * q * q)
+	kePeriod := math.Pi / wp
+	iters := int(4 * kePeriod / dt) // four KE oscillation periods
+
+	res, err := Run(Config{
+		Grid:            g,
+		P:               4,
+		CustomParticles: s,
+		Iterations:      iters,
+		Dt:              dt,
+		Diagnostics:     true,
+		DiagEvery:       1,
+		Verify:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kinetic energy minima mark half plasma periods. Find successive
+	// minima of the KE series.
+	ke := make([]float64, len(res.Records))
+	for i, rec := range res.Records {
+		ke[i] = rec.KineticEnergy
+	}
+	var minima []int
+	for i := 2; i < len(ke)-2; i++ {
+		if ke[i] < ke[i-1] && ke[i] < ke[i-2] && ke[i] <= ke[i+1] && ke[i] <= ke[i+2] {
+			minima = append(minima, i)
+		}
+	}
+	if len(minima) < 2 {
+		t.Fatalf("no oscillation detected: %d minima in %d iterations", len(minima), iters)
+	}
+	measured := float64(minima[1]-minima[0]) * dt
+	if rel := math.Abs(measured-kePeriod) / kePeriod; rel > 0.15 {
+		t.Errorf("KE oscillation period %.3f, analytic π/ω_p = %.3f (rel err %.2f)",
+			measured, kePeriod, rel)
+	}
+
+	// The oscillation must not grow: cold plasma exchange is conservative
+	// to leapfrog accuracy.
+	if ke[len(ke)-1] > 3*ke[0]+1e-12 {
+		t.Errorf("kinetic energy grew: %g -> %g", ke[0], ke[len(ke)-1])
+	}
+}
+
+// TestEnergyExchangeConservative checks that total (field + kinetic) energy
+// stays bounded over a long stable run — the global sanity condition for
+// the scatter/gather coupling.
+func TestEnergyExchangeConservative(t *testing.T) {
+	cfg := Config{
+		Grid:         mesh.NewGrid(32, 32),
+		P:            4,
+		NumParticles: 4096,
+		Distribution: particle.DistUniform,
+		MacroCharge:  -0.1,
+		Thermal:      0.05,
+		Seed:         13,
+		Iterations:   200,
+		Dt:           0.2,
+		Diagnostics:  true,
+		DiagEvery:    10,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, last float64
+	for _, rec := range res.Records {
+		if rec.Iter%10 != 0 {
+			continue
+		}
+		tot := rec.FieldEnergy + rec.KineticEnergy
+		if math.IsNaN(tot) || math.IsInf(tot, 0) {
+			t.Fatalf("iter %d: energy diverged", rec.Iter)
+		}
+		if first == 0 {
+			first = tot
+		}
+		last = tot
+	}
+	if last > 5*first {
+		t.Errorf("total energy grew %gx over the run", last/first)
+	}
+}
+
+// TestCustomParticlesRoundTrip checks the injection path itself.
+func TestCustomParticlesRoundTrip(t *testing.T) {
+	s := particle.NewStore(10, -0.25, 1)
+	for i := 0; i < 10; i++ {
+		s.Append(float64(i)*3+0.5, float64(i%4)*3+0.5, 0, 0, 0, float64(i))
+	}
+	res, err := Run(Config{
+		Grid:            mesh.NewGrid(32, 16),
+		P:               2,
+		CustomParticles: s,
+		Iterations:      3,
+		Verify:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalParticleCount != 10 {
+		t.Errorf("final count %d, want 10", res.FinalParticleCount)
+	}
+	if s.Len() != 10 || s.X[0] != 0.5 {
+		t.Error("caller's store was mutated")
+	}
+	if res.Config.NumParticles != 10 {
+		t.Errorf("derived NumParticles %d", res.Config.NumParticles)
+	}
+}

@@ -1,0 +1,559 @@
+package pic
+
+import (
+	"fmt"
+
+	"picpar/internal/comm"
+	"picpar/internal/commopt"
+	"picpar/internal/field"
+	"picpar/internal/machine"
+	"picpar/internal/mesh"
+	"picpar/internal/particle"
+	"picpar/internal/partition"
+	"picpar/internal/policy"
+	"picpar/internal/psort"
+	"picpar/internal/pusher"
+	"picpar/internal/sfc"
+)
+
+// Message tags used by the simulation protocol.
+const (
+	tagInitChunk   comm.Tag = comm.TagUser + 100 + iota // initial particle dealing
+	tagGatherReply                                      // ghost E/B replies
+)
+
+// Wire layout of the scatter-phase ghost exchange: gid + (Jx, Jy, Jz, Rho).
+const scatterWireFloats = 5
+
+// Wire layout of the gather-phase reply: (Ex, Ey, Ez, Bx, By, Bz).
+const gatherWireFloats = 6
+
+// Run executes the configured simulation and returns its measurements.
+func Run(cfg Config) (*Result, error) {
+	if cfg.CustomParticles != nil {
+		cfg.NumParticles = cfg.CustomParticles.Len()
+		if cfg.CustomParticles.Charge != 0 {
+			cfg.MacroCharge = cfg.CustomParticles.Charge
+		}
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	var dist *mesh.Dist
+	var err error
+	if cfg.MeshDist1D {
+		dist, err = mesh.NewDist1D(cfg.Grid, cfg.P)
+	} else {
+		// Number the mesh blocks along the same curve that orders the
+		// particles, aligning particle chunk r with mesh block r.
+		dist, err = mesh.NewDistOrdered(cfg.Grid, cfg.P, cfg.Indexing)
+	}
+	if err != nil {
+		return nil, err
+	}
+	indexer, err := sfc.New(cfg.Indexing, cfg.Grid.Nx, cfg.Grid.Ny)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Config: cfg, Records: make([]IterationRecord, cfg.Iterations)}
+	world := comm.NewWorld(cfg.P, cfg.Machine)
+	ws := world.Run(func(r *comm.Rank) {
+		runRank(r, cfg, dist, indexer, res)
+	})
+	res.Stats = ws
+	res.ComputeSum = ws.TotalCompute()
+	res.ComputeMax = ws.MaxCompute()
+	res.Overhead = res.TotalTime - res.ComputeMax
+	if res.TotalTime > 0 {
+		res.Efficiency = res.ComputeSum / (float64(cfg.P) * res.TotalTime)
+	}
+	for i := range res.Records {
+		if res.Records[i].Redistributed {
+			res.NumRedistributions++
+			res.RedistTime += res.Records[i].RedistTime
+		}
+	}
+	return res, nil
+}
+
+// rankState bundles one rank's simulation state.
+type rankState struct {
+	r       *comm.Rank
+	cfg     Config
+	dist    *mesh.Dist
+	indexer sfc.Indexer
+
+	store  *particle.Store
+	fields *field.Local
+	inc    *psort.Incremental
+	pol    policy.Policy
+
+	// Ghost bookkeeping, rebuilt every iteration.
+	table     commopt.DupTable
+	ghostVals []float64 // 4 source values per ghost slot (Jx, Jy, Jz, Rho)
+	ghostEB   []float64 // 6 field values per ghost slot, filled in gather
+	registry  *commopt.Registry
+	// recvGids[src] lists the grid points rank src contributed to here in
+	// the scatter phase; gather replies go back in the same order.
+	recvGids [][]float64
+}
+
+func runRank(r *comm.Rank, cfg Config, dist *mesh.Dist, indexer sfc.Indexer, res *Result) {
+	st := &rankState{
+		r:       r,
+		cfg:     cfg,
+		dist:    dist,
+		indexer: indexer,
+		fields:  field.NewLocal(dist, r.ID),
+		inc:     psort.NewIncremental(cfg.Buckets),
+		pol:     cfg.Policy(),
+	}
+	tab, err := commopt.NewTable(cfg.Table, cfg.Grid.NumPoints(), 4*cfg.NumParticles/cfg.P+16)
+	if err != nil {
+		panic(err)
+	}
+	st.table = tab
+
+	// ---- Initial distribution (the paper's distribution algorithm) ----
+	r.SetPhase(machine.PhaseRedistribute)
+	st.initialDistribution()
+	if cfg.Eulerian {
+		// Direct Eulerian: override the aligned layout by migrating every
+		// particle to its cell's owner.
+		st.migrate()
+	}
+	r.Barrier()
+	initTime := r.ExposeMaxFloat64(r.Clock.Now())
+	st.pol.NotifyRedistribution(-1, initTime)
+	if r.ID == 0 {
+		res.InitTime = initTime
+	}
+	runStart := r.Clock.Now()
+
+	// ---- Time-step loop ----
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		iterStart := r.Clock.Now()
+		snap := r.Stats.Snapshot()
+
+		st.scatterPhase()
+		if cfg.Verify {
+			st.verifyInvariants(iter)
+		}
+		st.fieldSolvePhase()
+		st.gatherAndPushPhase()
+
+		r.SetPhase(machine.PhaseCommSetup)
+		r.Barrier()
+
+		diff := r.Stats.Diff(&snap)
+		sc := diff.Phases[machine.PhaseScatter]
+		comp := 0.0
+		for p := range diff.Phases {
+			comp += diff.Phases[p].ComputeTime
+		}
+		meas := r.ExposeMaxFloat64s([]float64{
+			r.Clock.Now() - iterStart,
+			comp,
+			float64(sc.BytesSent), float64(sc.BytesRecv),
+			float64(sc.MsgsSent), float64(sc.MsgsRecv),
+		})
+		iterTime := meas[0]
+
+		rec := IterationRecord{
+			Iter:             iter,
+			Time:             iterTime,
+			Compute:          meas[1],
+			ScatterBytesSent: int64(meas[2]),
+			ScatterBytesRecv: int64(meas[3]),
+			ScatterMsgsSent:  int64(meas[4]),
+			ScatterMsgsRecv:  int64(meas[5]),
+		}
+
+		if cfg.Diagnostics && iter%cfg.DiagEvery == 0 {
+			rec.FieldEnergy = r.ExposeSumFloat64(st.fields.Energy())
+			rec.KineticEnergy = r.ExposeSumFloat64(st.store.KineticEnergy())
+		}
+
+		// ---- Particle movement between ranks ----
+		if cfg.Eulerian {
+			// Eulerian migration happens every iteration and is part of
+			// the push phase's cost.
+			r.SetPhase(machine.PhasePush)
+			st.migrate()
+			if r.ID == 0 {
+				res.Records[iter] = rec
+			}
+			continue
+		}
+
+		// ---- Redistribution decision (identical on all ranks) ----
+		if st.pol.Decide(iter, iterTime) {
+			r.SetPhase(machine.PhaseRedistribute)
+			t0 := r.Clock.Now()
+			st.redistribute()
+			r.Barrier()
+			rt := r.ExposeMaxFloat64(r.Clock.Now() - t0)
+			st.pol.NotifyRedistribution(iter, rt)
+			rec.Redistributed = true
+			rec.RedistTime = rt
+		}
+
+		if r.ID == 0 {
+			res.Records[iter] = rec
+		}
+	}
+
+	r.Barrier()
+	total := r.ExposeMaxFloat64(r.Clock.Now() - runStart)
+	finalCount := int(r.ExposeSumFloat64(float64(st.store.Len())) + 0.5)
+	if r.ID == 0 {
+		res.TotalTime = total
+		res.FinalParticleCount = finalCount
+	}
+}
+
+// verifyInvariants checks, out of band, that the mesh-deposited charge sums
+// to n·q (scatter conserved every contribution, local and ghost) and that
+// no particles were lost. Runs right after the scatter phase.
+func (st *rankState) verifyInvariants(iter int) {
+	r := st.r
+	l := st.fields
+	// The check's barriers are bookkeeping, not ghost traffic.
+	prev := r.Stats.CurrentPhase()
+	r.SetPhase(machine.PhaseCommSetup)
+	defer r.SetPhase(prev)
+	rho := 0.0
+	for j := 0; j < l.Ny; j++ {
+		for i := 0; i < l.Nx; i++ {
+			rho += l.Rho[l.Idx(i, j)]
+		}
+	}
+	totalRho := r.ExposeSumFloat64(rho)
+	want := float64(st.cfg.NumParticles) * st.cfg.MacroCharge
+	tol := 1e-9 * (1 + absF(want))
+	if absF(totalRho-want) > tol {
+		panic(fmt.Sprintf("pic: iter %d: mesh charge %g, want %g (scatter lost contributions)",
+			iter, totalRho, want))
+	}
+	count := int(r.ExposeSumFloat64(float64(st.store.Len())) + 0.5)
+	if count != st.cfg.NumParticles {
+		panic(fmt.Sprintf("pic: iter %d: %d particles, want %d", iter, count, st.cfg.NumParticles))
+	}
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// initialDistribution generates the global population on rank 0, deals
+// contiguous chunks to all ranks, and sample-sorts by SFC key so every rank
+// starts with a compact, balanced, mesh-aligned particle subdomain.
+func (st *rankState) initialDistribution() {
+	r := st.r
+	cfg := st.cfg
+	if r.ID == 0 {
+		var global *particle.Store
+		if cfg.CustomParticles != nil {
+			global = cfg.CustomParticles.Clone()
+		} else {
+			var err error
+			global, err = particle.Generate(particle.Config{
+				N:            cfg.NumParticles,
+				Lx:           cfg.Grid.Lx,
+				Ly:           cfg.Grid.Ly,
+				Distribution: cfg.Distribution,
+				Seed:         cfg.Seed,
+				Thermal:      cfg.Thermal,
+				Drift:        cfg.Drift,
+				Charge:       cfg.MacroCharge,
+				Mass:         1,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("pic: generate: %v", err))
+			}
+		}
+		for dst := r.P - 1; dst >= 0; dst-- {
+			lo, hi := mesh.BlockRange(global.Len(), r.P, dst)
+			if dst == 0 {
+				local := particle.NewStore(hi-lo, global.Charge, global.Mass)
+				for i := lo; i < hi; i++ {
+					local.AppendFrom(global, i)
+				}
+				st.store = local
+				continue
+			}
+			wire := global.MarshalRange(make([]float64, 0, (hi-lo)*particle.WireFloats), lo, hi)
+			r.SendFloat64s(dst, tagInitChunk, wire)
+		}
+	} else {
+		wire := r.RecvFloat64s(0, tagInitChunk)
+		st.store = particle.NewStore(len(wire)/particle.WireFloats, cfg.MacroCharge, 1)
+		if err := st.store.AppendWire(wire); err != nil {
+			panic(err)
+		}
+	}
+	st.assignKeys()
+	st.store = psort.SampleSort(r, st.store)
+	st.inc.Prime(st.store)
+}
+
+// assignKeys refreshes every particle's SFC key and charges the indexing
+// cost.
+func (st *rankState) assignKeys() {
+	partition.AssignKeys(st.store, st.cfg.Grid, st.indexer)
+	st.r.Compute(st.store.Len() * partition.KeyAssignWorkPerParticle)
+}
+
+// redistribute runs Hilbert_Base_Indexing + Bucket_Incremental_Sorting +
+// Order_Maintain_Load_Balance (Figure 12).
+func (st *rankState) redistribute() {
+	st.assignKeys()
+	out, _ := st.inc.Redistribute(st.r, st.store)
+	st.store = out
+}
+
+// migrate moves every particle to the rank owning its cell's lower-left
+// grid point — the per-iteration particle movement of the direct Eulerian
+// method. Communication uses the same traffic-table + all-to-many protocol
+// as redistribution.
+func (st *rankState) migrate() {
+	r := st.r
+	g := st.cfg.Grid
+	s := st.store
+
+	sendIdx := make([][]int, r.P)
+	kept := particle.NewStore(s.Len(), s.Charge, s.Mass)
+	for i := 0; i < s.Len(); i++ {
+		cx, cy := g.CellOf(s.X[i], s.Y[i])
+		owner := st.dist.OwnerOfPoint(cx, cy)
+		if owner == r.ID {
+			kept.AppendFrom(s, i)
+		} else {
+			sendIdx[owner] = append(sendIdx[owner], i)
+		}
+	}
+	r.Compute(s.Len() * 2)
+
+	counts := make([]int, r.P)
+	send := make([][]float64, r.P)
+	for d := 0; d < r.P; d++ {
+		if len(sendIdx[d]) > 0 {
+			send[d] = s.MarshalIndices(nil, sendIdx[d])
+			counts[d] = len(send[d])
+			r.Compute(len(sendIdx[d]) * 7)
+		}
+	}
+	recvCounts := r.ExchangeCounts(counts)
+	recv := comm.AllToMany(r, send, recvCounts, comm.Float64Bytes)
+	for src := 0; src < r.P; src++ {
+		if src != r.ID && len(recv[src]) > 0 {
+			if err := kept.AppendWire(recv[src]); err != nil {
+				panic(err)
+			}
+			r.Compute(len(recv[src]))
+		}
+	}
+	st.store = kept
+}
+
+// scatterPhase deposits every particle's current and charge onto the four
+// vertex grid points of its cell, accumulating off-processor contributions
+// in the duplicate-removal table and shipping one coalesced message per
+// destination owner.
+func (st *rankState) scatterPhase() {
+	r := st.r
+	r.SetPhase(machine.PhaseScatter)
+	l := st.fields
+	g := st.cfg.Grid
+	s := st.store
+
+	l.ZeroSources()
+	st.table.Reset()
+	st.ghostVals = st.ghostVals[:0]
+
+	tableCost := st.table.CostPerOp()
+	offprocOps := 0
+	for i := 0; i < s.Len(); i++ {
+		w := pusher.Weights(g, s.X[i], s.Y[i])
+		gamma := s.Gamma(i)
+		vx, vy, vz := s.Px[i]/gamma, s.Py[i]/gamma, s.Pz[i]/gamma
+		q := s.Charge
+		for k, off := range pusher.VertexOffsets {
+			wq := w.W[k] * q
+			gi := w.CX + off[0]
+			gj := w.CY + off[1]
+			if gi >= g.Nx {
+				gi = 0
+			}
+			if gj >= g.Ny {
+				gj = 0
+			}
+			if l.Contains(gi, gj) {
+				c := l.Idx(gi-l.I0, gj-l.J0)
+				l.Jx[c] += wq * vx
+				l.Jy[c] += wq * vy
+				l.Jz[c] += wq * vz
+				l.Rho[c] += wq
+				continue
+			}
+			gid := gj*g.Nx + gi
+			slot := st.table.Slot(gid)
+			if 4*slot == len(st.ghostVals) {
+				st.ghostVals = append(st.ghostVals, 0, 0, 0, 0)
+			}
+			st.ghostVals[4*slot] += wq * vx
+			st.ghostVals[4*slot+1] += wq * vy
+			st.ghostVals[4*slot+2] += wq * vz
+			st.ghostVals[4*slot+3] += wq
+			offprocOps++
+		}
+	}
+	r.Compute(s.Len()*4*pusher.ScatterWorkPerVertex + offprocOps*tableCost)
+
+	// Communication coalescing: one message per destination owner.
+	st.registry = commopt.GroupByOwner(st.table, r.ID, r.P, func(gid int) int {
+		ci, cj := g.PointCoords(gid)
+		return st.dist.OwnerOfPoint(ci, cj)
+	})
+	send := make([][]float64, r.P)
+	counts := make([]int, r.P)
+	for k, dst := range st.registry.Dest {
+		buf := make([]float64, 0, len(st.registry.Gids[k])*scatterWireFloats)
+		for idx, gid := range st.registry.Gids[k] {
+			slot := st.registry.Slots[k][idx]
+			buf = append(buf, float64(gid),
+				st.ghostVals[4*slot], st.ghostVals[4*slot+1],
+				st.ghostVals[4*slot+2], st.ghostVals[4*slot+3])
+		}
+		send[dst] = buf
+		counts[dst] = len(buf)
+	}
+
+	// The traffic table is protocol setup, not ghost data.
+	r.SetPhase(machine.PhaseCommSetup)
+	recvCounts := r.ExchangeCounts(counts)
+	r.SetPhase(machine.PhaseScatter)
+	recv := r.AllToManyFloat64s(send, recvCounts)
+
+	// Accumulate received contributions; remember who asked for what so
+	// the gather phase can reply in kind.
+	st.recvGids = make([][]float64, r.P)
+	for src := 0; src < r.P; src++ {
+		buf := recv[src]
+		if src == r.ID || len(buf) == 0 {
+			continue
+		}
+		gids := make([]float64, 0, len(buf)/scatterWireFloats)
+		for o := 0; o < len(buf); o += scatterWireFloats {
+			gid := int(buf[o])
+			ci, cj := g.PointCoords(gid)
+			c := l.Idx(ci-l.I0, cj-l.J0)
+			l.Jx[c] += buf[o+1]
+			l.Jy[c] += buf[o+2]
+			l.Jz[c] += buf[o+3]
+			l.Rho[c] += buf[o+4]
+			gids = append(gids, buf[o])
+		}
+		st.recvGids[src] = gids
+		r.Compute(len(gids) * 4)
+	}
+}
+
+// fieldSolvePhase advances Maxwell's equations one leapfrog step.
+func (st *rankState) fieldSolvePhase() {
+	st.r.SetPhase(machine.PhaseFieldSolve)
+	st.fields.Solve(st.r, st.dist, st.cfg.Dt)
+}
+
+// gatherAndPushPhase is the inverse of scatter: mesh owners return E and B
+// at exactly the ghost points each rank contributed to, then every particle
+// gathers its fields from the four vertices and is pushed.
+func (st *rankState) gatherAndPushPhase() {
+	r := st.r
+	r.SetPhase(machine.PhaseGather)
+	l := st.fields
+	g := st.cfg.Grid
+	s := st.store
+
+	// Reply to every rank that deposited here.
+	for src := 0; src < r.P; src++ {
+		gids := st.recvGids[src]
+		if len(gids) == 0 {
+			continue
+		}
+		buf := make([]float64, 0, len(gids)*gatherWireFloats)
+		for _, fgid := range gids {
+			ci, cj := g.PointCoords(int(fgid))
+			c := l.Idx(ci-l.I0, cj-l.J0)
+			buf = append(buf, l.Ex[c], l.Ey[c], l.Ez[c], l.Bx[c], l.By[c], l.Bz[c])
+		}
+		r.Compute(len(gids) * 2)
+		r.SendFloat64s(src, tagGatherReply, buf)
+	}
+
+	// Collect replies for our own ghost points.
+	if cap(st.ghostEB) < gatherWireFloats*st.table.Len() {
+		st.ghostEB = make([]float64, gatherWireFloats*st.table.Len())
+	}
+	st.ghostEB = st.ghostEB[:gatherWireFloats*st.table.Len()]
+	for k, dst := range st.registry.Dest {
+		buf := r.RecvFloat64s(dst, tagGatherReply)
+		for idx, slot := range st.registry.Slots[k] {
+			copy(st.ghostEB[gatherWireFloats*slot:], buf[gatherWireFloats*idx:gatherWireFloats*idx+gatherWireFloats])
+		}
+	}
+
+	// Interpolate fields at particles and push.
+	dt := st.cfg.Dt
+	for i := 0; i < s.Len(); i++ {
+		w := pusher.Weights(g, s.X[i], s.Y[i])
+		var ex, ey, ez, bx, by, bz float64
+		for k, off := range pusher.VertexOffsets {
+			gi := w.CX + off[0]
+			gj := w.CY + off[1]
+			if gi >= g.Nx {
+				gi = 0
+			}
+			if gj >= g.Ny {
+				gj = 0
+			}
+			wk := w.W[k]
+			if l.Contains(gi, gj) {
+				c := l.Idx(gi-l.I0, gj-l.J0)
+				ex += wk * l.Ex[c]
+				ey += wk * l.Ey[c]
+				ez += wk * l.Ez[c]
+				bx += wk * l.Bx[c]
+				by += wk * l.By[c]
+				bz += wk * l.Bz[c]
+				continue
+			}
+			slot := st.table.Lookup(gj*g.Nx + gi)
+			if slot < 0 {
+				panic(fmt.Sprintf("pic: rank %d gather miss at point (%d,%d)", r.ID, gi, gj))
+			}
+			o := gatherWireFloats * slot
+			ex += wk * st.ghostEB[o]
+			ey += wk * st.ghostEB[o+1]
+			ez += wk * st.ghostEB[o+2]
+			bx += wk * st.ghostEB[o+3]
+			by += wk * st.ghostEB[o+4]
+			bz += wk * st.ghostEB[o+5]
+		}
+		pusher.BorisPush(s, i, ex, ey, ez, bx, by, bz, dt)
+	}
+	r.Compute(s.Len() * 4 * pusher.GatherWorkPerVertex)
+
+	// Push phase: move particles (no interprocessor communication — the
+	// direct Lagrangian property).
+	r.SetPhase(machine.PhasePush)
+	for i := 0; i < s.Len(); i++ {
+		pusher.Move(s, i, g, dt)
+	}
+	r.Compute(s.Len() * pusher.PushWorkPerParticle)
+}

@@ -1,0 +1,102 @@
+// Package policy implements the redistribution decision policies of the
+// paper's Section 5.2: Static (never redistribute), Periodic (every k
+// iterations), and Dynamic — the Stop-At-Rise heuristic that triggers
+// redistribution when the projected time saved exceeds the measured cost of
+// the previous redistribution:
+//
+//	(t1 − t0) · (i1 − i0) ≥ T_redistribution
+//
+// where t0 is the iteration time observed right after the last
+// redistribution at iteration i0, and t1 is the current iteration time.
+//
+// Policies are driven with globally agreed values (iteration times reduced
+// over all ranks), so every rank instance of the same policy makes the same
+// decision at the same iteration.
+package policy
+
+import "fmt"
+
+// Policy decides when to redistribute particles.
+type Policy interface {
+	// Decide is called after iteration iter completes in iterTime
+	// (simulated seconds, max over ranks) and reports whether to
+	// redistribute now.
+	Decide(iter int, iterTime float64) bool
+	// NotifyRedistribution records that a redistribution completed at
+	// iteration iter, costing redistTime.
+	NotifyRedistribution(iter int, redistTime float64)
+	// Name identifies the policy for reports.
+	Name() string
+}
+
+// Factory creates one policy instance per rank; instances must be
+// deterministic so ranks stay in agreement.
+type Factory func() Policy
+
+// Static never redistributes.
+type Static struct{}
+
+// Decide implements Policy.
+func (Static) Decide(int, float64) bool { return false }
+
+// NotifyRedistribution implements Policy.
+func (Static) NotifyRedistribution(int, float64) {}
+
+// Name implements Policy.
+func (Static) Name() string { return "static" }
+
+// NewStatic returns a Factory for Static.
+func NewStatic() Factory { return func() Policy { return Static{} } }
+
+// Periodic redistributes every K iterations.
+type Periodic struct{ K int }
+
+// Decide implements Policy.
+func (p *Periodic) Decide(iter int, _ float64) bool {
+	return p.K > 0 && (iter+1)%p.K == 0
+}
+
+// NotifyRedistribution implements Policy.
+func (p *Periodic) NotifyRedistribution(int, float64) {}
+
+// Name implements Policy.
+func (p *Periodic) Name() string { return fmt.Sprintf("periodic(%d)", p.K) }
+
+// NewPeriodic returns a Factory for Periodic with period k.
+func NewPeriodic(k int) Factory { return func() Policy { return &Periodic{K: k} } }
+
+// Dynamic is the SAR-style policy. Until the first redistribution its
+// T_redistribution estimate is the cost of the initial particle
+// distribution (reported via NotifyRedistribution at iteration −1 by the
+// simulation driver).
+type Dynamic struct {
+	i0      int     // iteration of last redistribution
+	t0      float64 // iteration time observed right after it (0 = unseen)
+	haveT0  bool
+	tRedist float64 // measured cost of the previous redistribution
+}
+
+// Decide implements Policy: triggers when (t1−t0)·(i1−i0) ≥ T_redist.
+func (d *Dynamic) Decide(iter int, iterTime float64) bool {
+	if !d.haveT0 {
+		// First iteration after a redistribution establishes the baseline.
+		d.t0 = iterTime
+		d.haveT0 = true
+		return false
+	}
+	saved := (iterTime - d.t0) * float64(iter-d.i0)
+	return saved >= d.tRedist && d.tRedist > 0
+}
+
+// NotifyRedistribution implements Policy.
+func (d *Dynamic) NotifyRedistribution(iter int, redistTime float64) {
+	d.i0 = iter
+	d.haveT0 = false
+	d.tRedist = redistTime
+}
+
+// Name implements Policy.
+func (d *Dynamic) Name() string { return "dynamic" }
+
+// NewDynamic returns a Factory for Dynamic.
+func NewDynamic() Factory { return func() Policy { return &Dynamic{} } }

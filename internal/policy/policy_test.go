@@ -1,0 +1,111 @@
+package policy
+
+import "testing"
+
+func TestStaticNeverFires(t *testing.T) {
+	p := NewStatic()()
+	p.NotifyRedistribution(-1, 1.0)
+	for i := 0; i < 1000; i++ {
+		if p.Decide(i, float64(i)*100) {
+			t.Fatalf("static fired at %d", i)
+		}
+	}
+	if p.Name() != "static" {
+		t.Errorf("name %q", p.Name())
+	}
+}
+
+func TestPeriodicFiresEveryK(t *testing.T) {
+	p := NewPeriodic(5)()
+	var fired []int
+	for i := 0; i < 20; i++ {
+		if p.Decide(i, 1.0) {
+			fired = append(fired, i)
+			p.NotifyRedistribution(i, 0.5)
+		}
+	}
+	want := []int{4, 9, 14, 19}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if p.Name() != "periodic(5)" {
+		t.Errorf("name %q", p.Name())
+	}
+}
+
+func TestPeriodicZeroNeverFires(t *testing.T) {
+	p := NewPeriodic(0)()
+	for i := 0; i < 10; i++ {
+		if p.Decide(i, 1) {
+			t.Fatal("periodic(0) fired")
+		}
+	}
+}
+
+func TestDynamicSARCondition(t *testing.T) {
+	p := NewDynamic()()
+	p.NotifyRedistribution(-1, 2.0) // T_redist = 2
+
+	// Iteration 0 establishes t0 = 1.0 and must not fire.
+	if p.Decide(0, 1.0) {
+		t.Fatal("fired while establishing baseline")
+	}
+	// (t1 − t0)·(i1 − i0) = (1.5−1.0)·(2−(−1)) = 1.5 < 2: no fire.
+	if p.Decide(2, 1.5) {
+		t.Fatal("fired below threshold")
+	}
+	// (2.0−1.0)·(3−(−1)) = 4 ≥ 2: fire.
+	if !p.Decide(3, 2.0) {
+		t.Fatal("did not fire above threshold")
+	}
+	p.NotifyRedistribution(3, 3.0)
+
+	// New epoch: baseline re-established from the next iteration.
+	if p.Decide(4, 1.2) {
+		t.Fatal("fired on baseline iteration of new epoch")
+	}
+	// (1.4−1.2)·(10−3) = 1.4 < 3: no fire.
+	if p.Decide(10, 1.4) {
+		t.Fatal("fired below new threshold")
+	}
+	// (1.8−1.2)·(11−3) = 4.8 ≥ 3: fire.
+	if !p.Decide(11, 1.8) {
+		t.Fatal("did not fire in new epoch")
+	}
+}
+
+func TestDynamicNoFireWhenTimesFlat(t *testing.T) {
+	p := NewDynamic()()
+	p.NotifyRedistribution(-1, 0.5)
+	for i := 0; i < 500; i++ {
+		if p.Decide(i, 1.0) {
+			t.Fatalf("fired at %d with flat iteration times", i)
+		}
+	}
+}
+
+func TestDynamicNoFireWithZeroEstimate(t *testing.T) {
+	// Without any redistribution-cost estimate the policy must hold off
+	// (tRedist = 0 would otherwise fire on any rise).
+	p := NewDynamic()()
+	p.Decide(0, 1.0)
+	if p.Decide(1, 100.0) {
+		t.Fatal("fired with no cost estimate")
+	}
+}
+
+func TestDynamicFactoryIndependence(t *testing.T) {
+	f := NewDynamic()
+	a, b := f(), f()
+	a.NotifyRedistribution(-1, 1)
+	a.Decide(0, 1)
+	// b must be unaffected by a's state.
+	if b.Decide(0, 100) {
+		t.Fatal("factory instances share state")
+	}
+}

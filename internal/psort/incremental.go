@@ -1,0 +1,222 @@
+package psort
+
+import (
+	"math"
+	"sort"
+
+	"picpar/internal/comm"
+	"picpar/internal/particle"
+)
+
+// Incremental is the bucket-based incremental sorting state of one rank
+// (the paper's Figure 12). Between redistributions it remembers the bucket
+// boundaries of the last sorted order; the next redistribution classifies
+// every particle against those remembered bounds — most particles have
+// moved little and fall into the same bucket, making reclassification far
+// cheaper than a full sort.
+type Incremental struct {
+	// L is the number of buckets the local array is divided into.
+	L int
+	// localBound[b] is the smallest key of bucket b at the last
+	// redistribution (length L; localBound[0] is the rank's lower key).
+	localBound []float64
+	// upper is the largest key held at the last redistribution.
+	upper float64
+}
+
+// DefaultBuckets is a reasonable bucket count per rank: fine enough that a
+// same-bucket hit pins a particle to a small sorted run, coarse enough that
+// the boundary table stays tiny.
+const DefaultBuckets = 16
+
+// NewIncremental creates incremental-sort state with L buckets (0 means
+// DefaultBuckets). Call Prime after the initial distribution.
+func NewIncremental(l int) *Incremental {
+	if l <= 0 {
+		l = DefaultBuckets
+	}
+	return &Incremental{L: l, localBound: make([]float64, l)}
+}
+
+// Prime records bucket boundaries from a locally sorted store, preparing
+// for the next Redistribute call (Figure 12, lines 4–6 of
+// Particle_Redistribution).
+func (inc *Incremental) Prime(s *particle.Store) {
+	n := s.Len()
+	for b := 0; b < inc.L; b++ {
+		if n == 0 {
+			inc.localBound[b] = math.Inf(1)
+			continue
+		}
+		i := b * n / inc.L
+		inc.localBound[b] = s.Key[i]
+	}
+	if n == 0 {
+		inc.upper = math.Inf(-1)
+	} else {
+		inc.upper = s.Key[n-1]
+	}
+}
+
+// Stats reports what the classification pass observed, for ablation and
+// instrumentation.
+type Stats struct {
+	SameBucket  int // particles still in their previous bucket
+	OtherBucket int // particles moved to a different local bucket
+	OffProc     int // particles that left the rank
+}
+
+// Redistribute performs one bucket-based incremental redistribution and
+// returns the rank's new sorted, balanced store plus classification stats.
+// Requires keys to be already up to date (Hilbert_Base_Indexing done) and
+// Prime to have been called on the previous order.
+func (inc *Incremental) Redistribute(r *comm.Rank, s *particle.Store) (*particle.Store, Stats) {
+	p := r.P
+	n := s.Len()
+	var st Stats
+
+	// Line 1: global concatenation of every rank's upper key bound.
+	globalUpper := r.AllgatherFloat64s([]float64{inc.upper})
+
+	// Classify each particle: same bucket / other local bucket /
+	// off-processor (Figure 12 lines 3–14).
+	bucketOf := make([][]int, inc.L)
+	sendIdx := make([][]int, p)
+	for i := 0; i < n; i++ {
+		key := s.Key[i]
+		// The particle's previous bucket is its position's bucket.
+		prevB := i * inc.L / n
+		if inBucket(inc.localBound, inc.upper, prevB, key) {
+			bucketOf[prevB] = append(bucketOf[prevB], i)
+			st.SameBucket++
+			r.Compute(classifyWorkSameBucket)
+			continue
+		}
+		if key >= inc.localBound[0] && key <= inc.upper {
+			b := inc.bucketFor(key)
+			bucketOf[b] = append(bucketOf[b], i)
+			st.OtherBucket++
+			r.Compute(classifyWorkLocal)
+			continue
+		}
+		dest := searchOwner(globalUpper, key)
+		if dest == r.ID {
+			// Keys outside the remembered bounds can still map to this
+			// rank (e.g. below the old lower bound but above the previous
+			// rank's upper, or above every recorded bound on the last
+			// rank); clamp into the nearest bucket.
+			bucketOf[inc.bucketFor(key)] = append(bucketOf[inc.bucketFor(key)], i)
+			st.OtherBucket++
+			r.Compute(classifyWorkLocal)
+			continue
+		}
+		sendIdx[dest] = append(sendIdx[dest], i)
+		st.OffProc++
+		r.Compute(classifyWorkRemote)
+	}
+
+	// Lines 15–20: exchange the traffic table, then all-to-many.
+	counts := make([]int, p)
+	send := make([][]float64, p)
+	for d := 0; d < p; d++ {
+		if len(sendIdx[d]) > 0 {
+			send[d] = s.MarshalIndices(make([]float64, 0, len(sendIdx[d])*particle.WireFloats), sendIdx[d])
+			counts[d] = len(send[d])
+			r.Compute(len(sendIdx[d]) * packWorkPerParticle)
+		}
+	}
+	recvCounts := r.ExchangeCounts(counts)
+	recv := comm.AllToMany(r, send, recvCounts, comm.Float64Bytes)
+
+	// Line 21: collect and sort the received particles.
+	recvStore := particle.NewStore(0, s.Charge, s.Mass)
+	for src := 0; src < p; src++ {
+		if src != r.ID && len(recv[src]) > 0 {
+			if err := recvStore.AppendWire(recv[src]); err != nil {
+				panic(err)
+			}
+			r.Compute(len(recv[src]) / particle.WireFloats * packWorkPerParticle)
+		}
+	}
+	LocalSort(r, recvStore)
+
+	// Lines 22–23: sort each bucket locally. Buckets are key-disjoint and
+	// ordered, so concatenating them yields a sorted run.
+	kept := particle.NewStore(n, s.Charge, s.Mass)
+	for b := 0; b < inc.L; b++ {
+		idx := bucketOf[b]
+		sort.Slice(idx, func(a, c int) bool { return s.Less(idx[a], idx[c]) })
+		if len(idx) > 1 {
+			r.Compute(len(idx) * ilog2(len(idx)) * compareWork)
+		}
+		for _, i := range idx {
+			kept.AppendFrom(s, i)
+		}
+	}
+
+	// Line 24: merge the kept run with the received run.
+	merged := mergeSorted(r, kept, recvStore)
+
+	// Order-maintaining load balance, then remember the new boundaries.
+	out := LoadBalance(r, merged)
+	inc.Prime(out)
+	return out, st
+}
+
+// bucketFor returns the bucket whose remembered range admits key, clamping
+// keys outside the recorded bounds into the first or last bucket.
+func (inc *Incremental) bucketFor(key float64) int {
+	i := sort.SearchFloat64s(inc.localBound, key)
+	if i == inc.L {
+		return inc.L - 1
+	}
+	if inc.localBound[i] == key || i == 0 {
+		return i
+	}
+	return i - 1
+}
+
+// inBucket reports whether key belongs to bucket b under the remembered
+// bounds: localBound[b] ≤ key < next bound (or ≤ upper for the last).
+func inBucket(bounds []float64, upper float64, b int, key float64) bool {
+	if key < bounds[b] {
+		return false
+	}
+	if b+1 < len(bounds) {
+		return key < bounds[b+1]
+	}
+	return key <= upper
+}
+
+// searchOwner returns the lowest rank whose recorded upper bound admits
+// key; keys above all bounds belong to the last rank.
+func searchOwner(globalUpper []float64, key float64) int {
+	d := sort.SearchFloat64s(globalUpper, key)
+	if d >= len(globalUpper) {
+		d = len(globalUpper) - 1
+	}
+	return d
+}
+
+// mergeSorted merges two locally sorted stores into a new sorted store.
+func mergeSorted(r *comm.Rank, a, b *particle.Store) *particle.Store {
+	out := particle.NewStore(a.Len()+b.Len(), a.Charge, a.Mass)
+	i, j := 0, 0
+	for i < a.Len() && j < b.Len() {
+		if b.Key[j] < a.Key[i] {
+			out.AppendFrom(b, j)
+			j++
+		} else {
+			out.AppendFrom(a, i)
+			i++
+		}
+	}
+	for ; i < a.Len(); i++ {
+		out.AppendFrom(a, i)
+	}
+	for ; j < b.Len(); j++ {
+		out.AppendFrom(b, j)
+	}
+	r.Compute((a.Len() + b.Len()) * compareWork)
+	return out
+}

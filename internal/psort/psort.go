@@ -1,0 +1,204 @@
+// Package psort implements the parallel sorting machinery behind particle
+// distribution and redistribution:
+//
+//   - a sample sort used for the initial distribution (and as the "full
+//     re-sort" ablation baseline),
+//   - the paper's bucket-based incremental sorting algorithm (Figure 12),
+//     which reuses the bucket boundaries remembered from the previous
+//     redistribution to classify each particle as same-bucket, other local
+//     bucket, or off-processor, followed by an all-to-many exchange, local
+//     bucket sorts and a merge,
+//   - the order-maintaining load balance that equalises particle counts
+//     without perturbing the global key order.
+//
+// All routines leave every rank with a locally sorted store, the
+// concatenation of which (in rank order) is globally sorted by key.
+package psort
+
+import (
+	"math"
+	"sort"
+
+	"picpar/internal/comm"
+	"picpar/internal/mesh"
+	"picpar/internal/particle"
+)
+
+// Exchange tags.
+const (
+	tagSortExchange comm.Tag = comm.TagUser + 20 + iota
+	tagBalance
+)
+
+// Modelled δ units for sort-related computation.
+const (
+	classifyWorkSameBucket = 2 // two comparisons against remembered bounds
+	classifyWorkLocal      = 6 // binary search among L buckets
+	classifyWorkRemote     = 8 // binary search among p processor bounds
+	compareWork            = 1 // one comparison+swap step inside a sort
+	packWorkPerParticle    = 7 // marshal/unmarshal one particle
+)
+
+// LocalSort sorts s in place by key and charges the comparison cost.
+func LocalSort(r *comm.Rank, s *particle.Store) {
+	n := s.Len()
+	sort.Sort(s)
+	if n > 1 {
+		r.Compute(n * ilog2(n) * compareWork)
+	}
+}
+
+// ilog2 returns ⌈log₂ n⌉ for n ≥ 1.
+func ilog2(n int) int {
+	k, v := 0, 1
+	for v < n {
+		v <<= 1
+		k++
+	}
+	if k == 0 {
+		return 1
+	}
+	return k
+}
+
+// IsLocallySorted reports whether s is non-decreasing by key.
+func IsLocallySorted(s *particle.Store) bool {
+	for i := 1; i < s.Len(); i++ {
+		if s.Key[i] < s.Key[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// SampleSort performs a full regular-sampling sample sort of the global
+// particle population and returns this rank's sorted, balanced share. This
+// is the paper's initial "distribution algorithm"; the incremental sort is
+// the cheaper alternative for subsequent redistributions.
+func SampleSort(r *comm.Rank, s *particle.Store) *particle.Store {
+	p := r.P
+	LocalSort(r, s)
+	if p == 1 {
+		return s
+	}
+
+	// Regular samples: p per rank.
+	samples := make([]float64, p)
+	n := s.Len()
+	for k := 0; k < p; k++ {
+		if n == 0 {
+			samples[k] = math.Inf(1)
+			continue
+		}
+		samples[k] = s.Key[k*n/p]
+	}
+	all := r.AllgatherFloat64s(samples)
+	sort.Float64s(all)
+	r.Compute(len(all) * ilog2(len(all)) * compareWork)
+	// p−1 splitters: every p-th sample.
+	splitters := make([]float64, p-1)
+	for k := 1; k < p; k++ {
+		splitters[k-1] = all[k*p]
+	}
+
+	// Partition the sorted local array at the splitters.
+	cuts := make([]int, p+1)
+	cuts[p] = n
+	for k := 0; k < p-1; k++ {
+		cuts[k+1] = sort.SearchFloat64s(s.Key, splitters[k])
+	}
+	r.Compute((p - 1) * ilog2(n+1) * compareWork)
+
+	send := make([][]float64, p)
+	counts := make([]int, p)
+	for d := 0; d < p; d++ {
+		lo, hi := cuts[d], cuts[d+1]
+		if hi > lo {
+			send[d] = s.MarshalRange(make([]float64, 0, (hi-lo)*particle.WireFloats), lo, hi)
+			counts[d] = len(send[d])
+			r.Compute((hi - lo) * packWorkPerParticle)
+		}
+	}
+	recvCounts := r.ExchangeCounts(counts)
+	recv := comm.AllToMany(r, send, recvCounts, comm.Float64Bytes)
+
+	out := particle.NewStore(n, s.Charge, s.Mass)
+	for src := 0; src < p; src++ {
+		if len(recv[src]) > 0 {
+			if err := out.AppendWire(recv[src]); err != nil {
+				panic(err)
+			}
+			r.Compute(len(recv[src]) / particle.WireFloats * packWorkPerParticle)
+		}
+	}
+	LocalSort(r, out)
+	return LoadBalance(r, out)
+}
+
+// LoadBalance equalises particle counts across ranks while preserving the
+// global concatenated order: local particle i (at global position
+// offset+i) moves to the BLOCK owner of that position. Requires that the
+// per-rank stores concatenate to a globally key-sorted sequence, and
+// preserves that property.
+func LoadBalance(r *comm.Rank, s *particle.Store) *particle.Store {
+	p := r.P
+	n := s.Len()
+	total := r.AllreduceSumInt(n)
+	if p == 1 || total == 0 {
+		return s
+	}
+	offset := r.ScanSumInt(n)
+
+	send := make([][]float64, p)
+	counts := make([]int, p)
+	// Consecutive positions map to non-decreasing owners, so the local
+	// range splits into contiguous runs per destination.
+	i := 0
+	for i < n {
+		d := mesh.BlockOwner(total, p, offset+i)
+		_, hi := mesh.BlockRange(total, p, d)
+		runEnd := hi - offset
+		if runEnd > n {
+			runEnd = n
+		}
+		if d != r.ID {
+			send[d] = s.MarshalRange(make([]float64, 0, (runEnd-i)*particle.WireFloats), i, runEnd)
+			counts[d] = len(send[d])
+			r.Compute((runEnd - i) * packWorkPerParticle)
+		}
+		i = runEnd
+	}
+	recvCounts := r.ExchangeCounts(counts)
+	recv := comm.AllToMany(r, send, recvCounts, comm.Float64Bytes)
+
+	// Reassemble in source-rank order, splicing the retained local run in
+	// rank position. Retained run: positions owned by self.
+	myLo, myHi := mesh.BlockRange(total, p, r.ID)
+	out := particle.NewStore(myHi-myLo, s.Charge, s.Mass)
+	appendWire := func(w []float64) {
+		if len(w) == 0 {
+			return
+		}
+		if err := out.AppendWire(w); err != nil {
+			panic(err)
+		}
+		r.Compute(len(w) / particle.WireFloats * packWorkPerParticle)
+	}
+	for src := 0; src < p; src++ {
+		if src == r.ID {
+			keepLo, keepHi := myLo-offset, myHi-offset
+			if keepLo < 0 {
+				keepLo = 0
+			}
+			if keepHi > n {
+				keepHi = n
+			}
+			for k := keepLo; k < keepHi; k++ {
+				out.AppendFrom(s, k)
+			}
+			continue
+		}
+		appendWire(recv[src])
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package sfc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// HilbertXY2D maps cell (x, y) on an n×n grid (n a power of two) to its
+// distance along the Hilbert curve. Classic quadrant-rotation formulation.
+func HilbertXY2D(n, x, y int) int {
+	d := 0
+	for s := n / 2; s > 0; s /= 2 {
+		rx, ry := 0, 0
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += s * s * ((3 * rx) ^ ry)
+		x, y = hilbertRot(s, x, y, rx, ry)
+	}
+	return d
+}
+
+// HilbertD2XY inverts HilbertXY2D: it maps curve distance d on an n×n grid
+// to cell coordinates.
+func HilbertD2XY(n, d int) (x, y int) {
+	t := d
+	for s := 1; s < n; s *= 2 {
+		rx := 1 & (t / 2)
+		ry := 1 & (t ^ rx)
+		x, y = hilbertRot(s, x, y, rx, ry)
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y
+}
+
+// hilbertRot rotates/reflects the quadrant as the curve recursion demands.
+func hilbertRot(s, x, y, rx, ry int) (int, int) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}
+
+// Hilbert is an Indexer that orders the cells of a W×H grid by their
+// position along the Hilbert curve of the enclosing power-of-two square,
+// with ranks compacted so that indices are exactly 0..W*H−1. Lookups in
+// both directions are O(1) table reads.
+type Hilbert struct {
+	w, h      int
+	cellToIdx []int32 // [y*w+x] -> compact curve rank
+	idxToCell []int32 // rank -> y*w+x
+}
+
+// NewHilbert builds the Hilbert indexer for a w×h grid.
+func NewHilbert(w, h int) (*Hilbert, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("sfc: invalid hilbert grid %dx%d", w, h)
+	}
+	return newCompacted(w, h, true), nil
+}
+
+// NewMorton builds a Morton (Z-order) indexer for a w×h grid, compacted the
+// same way as Hilbert. Morton preserves multi-dimensional locality on
+// average but has long jumps at power-of-two boundaries.
+func NewMorton(w, h int) (*Morton, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("sfc: invalid morton grid %dx%d", w, h)
+	}
+	return &Morton{Hilbert: *newCompacted(w, h, false)}, nil
+}
+
+// newCompacted walks the enclosing square's curve in rank order and assigns
+// consecutive compact indices to the cells inside the rectangle.
+func newCompacted(w, h int, hilbert bool) *Hilbert {
+	side := 1
+	for side < w || side < h {
+		side <<= 1
+	}
+	hx := &Hilbert{
+		w:         w,
+		h:         h,
+		cellToIdx: make([]int32, w*h),
+		idxToCell: make([]int32, w*h),
+	}
+	next := int32(0)
+	for d := 0; d < side*side; d++ {
+		var x, y int
+		if hilbert {
+			x, y = HilbertD2XY(side, d)
+		} else {
+			x, y = mortonD2XY(d)
+		}
+		if x >= w || y >= h {
+			continue
+		}
+		cell := int32(y*w + x)
+		hx.cellToIdx[cell] = next
+		hx.idxToCell[next] = cell
+		next++
+	}
+	return hx
+}
+
+// Index implements Indexer.
+func (hx *Hilbert) Index(x, y int) int { return int(hx.cellToIdx[y*hx.w+x]) }
+
+// Coords implements Indexer.
+func (hx *Hilbert) Coords(idx int) (int, int) {
+	c := int(hx.idxToCell[idx])
+	return c % hx.w, c / hx.w
+}
+
+// Size implements Indexer.
+func (hx *Hilbert) Size() (int, int) { return hx.w, hx.h }
+
+// Name implements Indexer.
+func (hx *Hilbert) Name() string { return SchemeHilbert }
+
+// Morton is the Z-order counterpart of Hilbert, sharing its compacted-table
+// machinery.
+type Morton struct{ Hilbert }
+
+// Name implements Indexer.
+func (m *Morton) Name() string { return SchemeMorton }
+
+// mortonD2XY de-interleaves the bits of d into (x, y).
+func mortonD2XY(d int) (x, y int) {
+	u := uint64(d)
+	x = int(compactBits(u))
+	y = int(compactBits(u >> 1))
+	return x, y
+}
+
+// MortonXY2D interleaves the bits of x and y (x in the even positions).
+func MortonXY2D(x, y int) int {
+	return int(spreadBits(uint64(x)) | spreadBits(uint64(y))<<1)
+}
+
+// spreadBits inserts a zero between each of the low 32 bits of v.
+func spreadBits(v uint64) uint64 {
+	v &= 0xffffffff
+	v = (v | v<<16) & 0x0000ffff0000ffff
+	v = (v | v<<8) & 0x00ff00ff00ff00ff
+	v = (v | v<<4) & 0x0f0f0f0f0f0f0f0f
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}
+
+// compactBits inverts spreadBits (keeps the even-position bits of v).
+func compactBits(v uint64) uint64 {
+	v &= 0x5555555555555555
+	v = (v | v>>1) & 0x3333333333333333
+	v = (v | v>>2) & 0x0f0f0f0f0f0f0f0f
+	v = (v | v>>4) & 0x00ff00ff00ff00ff
+	v = (v | v>>8) & 0x0000ffff0000ffff
+	v = (v | v>>16) & 0x00000000ffffffff
+	return v
+}
+
+// SideForGrid returns the power-of-two side of the enclosing square used by
+// the compacted curves for a w×h grid.
+func SideForGrid(w, h int) int {
+	m := w
+	if h > m {
+		m = h
+	}
+	if m <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(m-1))
+}

@@ -1,0 +1,100 @@
+package sfc
+
+// N-dimensional Hilbert indexing (Skilling's transpose algorithm,
+// "Programming the Hilbert curve", AIP Conf. Proc. 707, 2004). The paper
+// notes its indexing scheme "can be generalized to n-dimensions"; this file
+// provides that generalisation and the 2-D tests pin it against the
+// quadrant-rotation implementation in hilbert.go.
+
+// HilbertAxesToIndex maps a point X (one coordinate per dimension, each in
+// [0, 2^bits)) to its scalar Hilbert index. X is not modified.
+func HilbertAxesToIndex(x []uint32, bitCount int) uint64 {
+	n := len(x)
+	X := append([]uint32(nil), x...)
+	axesToTranspose(X, bitCount)
+	// Interleave: bit b of dimension i goes to position (bits-1-b)*n + i
+	// counting from the most significant end.
+	var idx uint64
+	for b := bitCount - 1; b >= 0; b-- {
+		for i := 0; i < n; i++ {
+			idx = idx<<1 | uint64((X[i]>>uint(b))&1)
+		}
+	}
+	return idx
+}
+
+// HilbertIndexToAxes inverts HilbertAxesToIndex, filling x with the point's
+// coordinates.
+func HilbertIndexToAxes(idx uint64, bitCount int, x []uint32) {
+	n := len(x)
+	for i := range x {
+		x[i] = 0
+	}
+	pos := bitCount*n - 1
+	for b := bitCount - 1; b >= 0; b-- {
+		for i := 0; i < n; i++ {
+			bit := uint32(idx>>uint(pos)) & 1
+			x[i] |= bit << uint(b)
+			pos--
+		}
+	}
+	transposeToAxes(x, bitCount)
+}
+
+// axesToTranspose converts coordinates into Skilling's "transpose" Hilbert
+// representation, in place.
+func axesToTranspose(X []uint32, b int) {
+	n := len(X)
+	M := uint32(1) << uint(b-1)
+	// Inverse undo.
+	for Q := M; Q > 1; Q >>= 1 {
+		P := Q - 1
+		for i := 0; i < n; i++ {
+			if X[i]&Q != 0 {
+				X[0] ^= P // invert
+			} else { // exchange
+				t := (X[0] ^ X[i]) & P
+				X[0] ^= t
+				X[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < n; i++ {
+		X[i] ^= X[i-1]
+	}
+	t := uint32(0)
+	for Q := M; Q > 1; Q >>= 1 {
+		if X[n-1]&Q != 0 {
+			t ^= Q - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		X[i] ^= t
+	}
+}
+
+// transposeToAxes inverts axesToTranspose, in place.
+func transposeToAxes(X []uint32, b int) {
+	n := len(X)
+	N := uint32(2) << uint(b-1)
+	// Gray decode by H ^ (H/2).
+	t := X[n-1] >> 1
+	for i := n - 1; i > 0; i-- {
+		X[i] ^= X[i-1]
+	}
+	X[0] ^= t
+	// Undo excess work.
+	for Q := uint32(2); Q != N; Q <<= 1 {
+		P := Q - 1
+		for i := n - 1; i >= 0; i-- {
+			if X[i]&Q != 0 {
+				X[0] ^= P
+			} else {
+				tt := (X[0] ^ X[i]) & P
+				X[0] ^= tt
+				X[i] ^= tt
+			}
+		}
+	}
+}

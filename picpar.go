@@ -1,0 +1,109 @@
+// Package picpar is a Go reproduction of "Dynamic Alignment and
+// Distribution of Irregularly Coupled Data Arrays for Scalable
+// Parallelization of Particle-in-Cell Problems" (Liao, Ou, Ranka,
+// IPPS 1996).
+//
+// It provides a complete 2d3v relativistic electromagnetic particle-in-cell
+// simulation parallelised over an SPMD runtime of goroutine "ranks" with a
+// hand-rolled message-passing layer, and — the paper's contribution — the
+// machinery that keeps the two irregularly coupled data arrays (particles
+// and mesh fields) aligned, balanced and cheap to communicate between:
+//
+//   - Hilbert (and snake/row-major/Morton) space-filling-curve particle
+//     ordering aligned with an SFC-numbered BLOCK mesh distribution,
+//   - bucket-based incremental sorting for fast particle redistribution,
+//   - order-maintaining load balancing,
+//   - static / periodic / dynamic (Stop-At-Rise) redistribution policies,
+//   - ghost-point communication with duplicate-access removal and message
+//     coalescing.
+//
+// Quick start:
+//
+//	res, err := picpar.Run(picpar.Config{
+//		Grid:         picpar.NewGrid(128, 64),
+//		P:            32,
+//		NumParticles: 32768,
+//		Distribution: picpar.DistIrregular,
+//		Iterations:   200,
+//		Policy:       picpar.DynamicPolicy(),
+//	})
+//
+// Execution times in Result are simulated seconds under a two-level
+// (τ, μ, δ) cost model defaulting to CM-5-like constants, which is what
+// makes the paper's published trade-offs reproducible on any host.
+package picpar
+
+import (
+	"picpar/internal/machine"
+	"picpar/internal/mesh"
+	"picpar/internal/particle"
+	"picpar/internal/pic"
+	"picpar/internal/policy"
+	"picpar/internal/sfc"
+)
+
+// Config describes a simulation run. See the field documentation in
+// internal/pic for details; zero values select sensible defaults (Hilbert
+// indexing, static policy, CM-5 machine constants, direct address table).
+type Config = pic.Config
+
+// Result aggregates a run's measurements: per-iteration records, total and
+// per-phase times, overhead, efficiency, and redistribution counts.
+type Result = pic.Result
+
+// IterationRecord is one iteration's measurements (max over ranks).
+type IterationRecord = pic.IterationRecord
+
+// Grid is the global mesh geometry.
+type Grid = mesh.Grid
+
+// MachineParams are the two-level cost-model constants (τ, μ, δ).
+type MachineParams = machine.Params
+
+// PolicyFactory constructs per-rank redistribution policies.
+type PolicyFactory = policy.Factory
+
+// Run executes a simulation.
+func Run(cfg Config) (*Result, error) { return pic.Run(cfg) }
+
+// NewGrid builds an Nx×Ny mesh with unit cells.
+func NewGrid(nx, ny int) Grid { return mesh.NewGrid(nx, ny) }
+
+// Particle distribution names for Config.Distribution.
+const (
+	DistUniform   = particle.DistUniform
+	DistIrregular = particle.DistIrregular
+	DistTwoStream = particle.DistTwoStream
+	DistBeam      = particle.DistBeam
+)
+
+// Indexing scheme names for Config.Indexing.
+const (
+	IndexHilbert  = sfc.SchemeHilbert
+	IndexSnake    = sfc.SchemeSnake
+	IndexRowMajor = sfc.SchemeRowMajor
+	IndexMorton   = sfc.SchemeMorton
+)
+
+// Indexer linearises the cells of a 2-D grid (see Config.Indexing).
+type Indexer = sfc.Indexer
+
+// NewIndexer builds the named space-filling-curve indexer for a w×h cell
+// grid.
+func NewIndexer(scheme string, w, h int) (Indexer, error) { return sfc.New(scheme, w, h) }
+
+// StaticPolicy never redistributes particles.
+func StaticPolicy() PolicyFactory { return policy.NewStatic() }
+
+// PeriodicPolicy redistributes every k iterations.
+func PeriodicPolicy(k int) PolicyFactory { return policy.NewPeriodic(k) }
+
+// DynamicPolicy redistributes when the Stop-At-Rise condition
+// (t1−t0)·(i1−i0) ≥ T_redistribution is met.
+func DynamicPolicy() PolicyFactory { return policy.NewDynamic() }
+
+// CM5Machine returns CM-5-like cost-model constants (the paper's testbed).
+func CM5Machine() MachineParams { return machine.CM5() }
+
+// ModernMachine returns contemporary-cluster cost-model constants.
+func ModernMachine() MachineParams { return machine.Modern() }
