@@ -8,14 +8,20 @@ package picpar_test
 
 import (
 	"io"
+	"math/rand"
+	"sort"
 	"testing"
 
 	"picpar"
+	"picpar/internal/comm"
 	"picpar/internal/experiments"
+	"picpar/internal/machine"
 	"picpar/internal/mesh"
 	"picpar/internal/particle"
 	"picpar/internal/pic"
 	"picpar/internal/policy"
+	"picpar/internal/psort"
+	"picpar/internal/raceflag"
 	"picpar/internal/sfc"
 )
 
@@ -139,6 +145,83 @@ func BenchmarkSnakeIndex(b *testing.B) {
 		s += ix.Index(i&511, (i>>3)&255)
 	}
 	_ = s
+}
+
+// localSortN is the population of the LocalSort microbenchmarks: large
+// enough that the radix passes dominate, matching the perf-harness target.
+const localSortN = 32768
+
+// unsortedStore builds n particles with random integral SFC-like keys and
+// shuffled unique ids — the population shape LocalSort sees in production.
+func unsortedStore(rng *rand.Rand, n int) *particle.Store {
+	s := particle.NewStore(n, -1, 1)
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		s.Append(0, 0, 0, 0, 0, float64(perm[i]))
+		s.Key[i] = float64(rng.Intn(1 << 20))
+	}
+	return s
+}
+
+// BenchmarkLocalSort measures the radix sort + permutation apply behind
+// every LocalSort call, at 32k particles. Steady state allocates nothing.
+func BenchmarkLocalSort(b *testing.B) {
+	w := comm.NewWorld(1, machine.Zero())
+	w.Run(func(r *comm.Rank) {
+		rng := rand.New(rand.NewSource(1))
+		ref := unsortedStore(rng, localSortN)
+		s := ref.Clone()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			copy(s.Key, ref.Key)
+			copy(s.ID, ref.ID)
+			b.StartTimer()
+			psort.LocalSort(r, s)
+		}
+	})
+}
+
+// BenchmarkLocalSortStdlib is the pre-radix comparison sort on the same
+// population — the baseline the harness measures speedup against.
+func BenchmarkLocalSortStdlib(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ref := unsortedStore(rng, localSortN)
+	s := ref.Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		copy(s.Key, ref.Key)
+		copy(s.ID, ref.ID)
+		b.StartTimer()
+		sort.Sort(s)
+	}
+}
+
+// TestLocalSortSteadyStateAllocs pins LocalSort's steady-state allocation
+// count at zero: after one warm-up call primes the pooled sorter scratch,
+// re-sorting a shuffled population must not allocate.
+func TestLocalSortSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race detector distorts allocation counts")
+	}
+	w := comm.NewWorld(1, machine.Zero())
+	w.Run(func(r *comm.Rank) {
+		rng := rand.New(rand.NewSource(7))
+		ref := unsortedStore(rng, 4096)
+		s := ref.Clone()
+		psort.LocalSort(r, s) // warm the sorter pool
+		allocs := testing.AllocsPerRun(20, func() {
+			copy(s.Key, ref.Key)
+			copy(s.ID, ref.ID)
+			psort.LocalSort(r, s)
+		})
+		if allocs != 0 {
+			t.Errorf("LocalSort steady state: %v allocs/op, want 0", allocs)
+		}
+	})
 }
 
 // BenchmarkSampleSort measures a full parallel sample sort of 32768

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// benchSnapshot is the on-disk schema of a BENCH_<date>.json file. See
+// README.md ("Performance regression harness") for the field-by-field
+// description.
+type benchSnapshot struct {
+	Schema     string           `json:"schema"` // always "picpar-bench/v1"
+	Date       string           `json:"date"`   // YYYY-MM-DD of the run
+	GoVersion  string           `json:"go"`
+	Pattern    string           `json:"pattern"`
+	Benchtime  string           `json:"benchtime"`
+	Benchmarks []benchmarkEntry `json:"benchmarks"`
+}
+
+// benchmarkEntry records one benchmark line of `go test -bench`.
+type benchmarkEntry struct {
+	Name        string             `json:"name"`  // e.g. "BenchmarkLocalSort-8"
+	Iters       int64              `json:"iters"` // b.N of the final run
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"` // b.ReportMetric extras
+}
+
+// runBench executes the hot-path benchmarks, writes BENCH_<date>.json into
+// dir, and compares against the most recent previous snapshot with the
+// given relative tolerance on ns/op (allocs/op must not grow at all).
+// Returns an error when a regression is detected so main can exit non-zero.
+func runBench(dir, pattern, benchtime string, tol float64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	prev, prevPath, err := latestSnapshot(dir)
+	if err != nil {
+		return err
+	}
+
+	args := []string{"test", "-run", "NONE", "-bench", pattern, "-benchmem", "-benchtime", benchtime, "."}
+	fmt.Printf("picbench: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("go test -bench failed: %v\n%s", err, out)
+	}
+	entries := parseBenchOutput(string(out))
+	if len(entries) == 0 {
+		return fmt.Errorf("no benchmark results matched pattern %q:\n%s", pattern, out)
+	}
+
+	snap := &benchSnapshot{
+		Schema:     "picpar-bench/v1",
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		Pattern:    pattern,
+		Benchtime:  benchtime,
+		Benchmarks: entries,
+	}
+	path := filepath.Join(dir, "BENCH_"+snap.Date+".json")
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("picbench: %d benchmarks written to %s\n", len(entries), path)
+
+	if prev == nil {
+		fmt.Println("picbench: no previous snapshot to compare against")
+		return nil
+	}
+	if prevPath == path {
+		// Same-day re-run: prev holds the just-overwritten contents, which
+		// is still the right baseline.
+		fmt.Println("picbench: comparing against the overwritten same-day snapshot")
+	}
+	return compareSnapshots(prev, snap, prevPath, tol)
+}
+
+// latestSnapshot loads the newest BENCH_*.json in dir (lexicographic order —
+// the date-stamped names sort chronologically), or nil if none exist.
+func latestSnapshot(dir string) (*benchSnapshot, string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, "", err
+	}
+	if len(matches) == 0 {
+		return nil, "", nil
+	}
+	sort.Strings(matches)
+	path := matches[len(matches)-1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var snap benchSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, "", fmt.Errorf("%s: %v", path, err)
+	}
+	return &snap, path, nil
+}
+
+// parseBenchOutput extracts benchmark result lines from `go test -bench`
+// output. Each line is "Name iters v1 unit1 v2 unit2 ...".
+func parseBenchOutput(out string) []benchmarkEntry {
+	var entries []benchmarkEntry
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := benchmarkEntry{Name: fields[0], Iters: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			default:
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
+				}
+				e.Metrics[fields[i+1]] = v
+			}
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+// compareSnapshots reports per-benchmark deltas and returns an error if any
+// benchmark got slower than tol allows or started allocating more.
+func compareSnapshots(prev, cur *benchSnapshot, prevPath string, tol float64) error {
+	fmt.Printf("picbench: comparing against %s (tolerance %.0f%%)\n", prevPath, tol*100)
+	prevBy := map[string]benchmarkEntry{}
+	for _, e := range prev.Benchmarks {
+		prevBy[e.Name] = e
+	}
+	var regressions []string
+	for _, e := range cur.Benchmarks {
+		p, ok := prevBy[e.Name]
+		if !ok {
+			fmt.Printf("  %-48s %12.0f ns/op  (new)\n", e.Name, e.NsPerOp)
+			continue
+		}
+		delta := 0.0
+		if p.NsPerOp > 0 {
+			delta = e.NsPerOp/p.NsPerOp - 1
+		}
+		fmt.Printf("  %-48s %12.0f ns/op  %+7.1f%%  allocs %g -> %g\n",
+			e.Name, e.NsPerOp, delta*100, p.AllocsPerOp, e.AllocsPerOp)
+		if p.NsPerOp > 0 && delta > tol {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%% > %.0f%%)",
+					e.Name, p.NsPerOp, e.NsPerOp, delta*100, tol*100))
+		}
+		// Allocation counts of the full-simulation benchmarks jitter ~1%
+		// with sync.Pool GC timing; a 5% + 2 slack screens that out while
+		// still catching a hot path that starts allocating.
+		if e.AllocsPerOp > p.AllocsPerOp*1.05+2 {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: allocs/op grew %g -> %g", e.Name, p.AllocsPerOp, e.AllocsPerOp))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("performance regressions:\n  %s", strings.Join(regressions, "\n  "))
+	}
+	fmt.Println("picbench: no regressions")
+	return nil
+}

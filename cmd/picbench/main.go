@@ -10,6 +10,13 @@
 //
 // Experiments: table1, fig16, fig17 (also covers figs 18–19), fig20,
 // table2 (also covers figs 21–22 and table3), ablation, baseline, all.
+//
+// With -bench, picbench instead runs the wall-clock perf-regression
+// harness: the hot-path benchmarks (with allocation counts) are executed
+// via `go test -bench`, the results written to
+// <bench-dir>/BENCH_<date>.json, and compared against the most recent
+// previous snapshot; ns/op slowdowns beyond -bench-tol or any allocs/op
+// growth exit non-zero. See README.md for the JSON schema.
 package main
 
 import (
@@ -32,7 +39,22 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id: table1|fig16|fig17|fig20|table2|ablation|baseline|nd|all")
 	full := flag.Bool("full", false, "use the paper's full problem sizes (slow)")
 	csvDir := flag.String("csv", "", "directory to write <exp>.csv files into (created if absent)")
+	bench := flag.Bool("bench", false, "run the perf-regression harness instead of the experiments")
+	benchDir := flag.String("bench-dir", "bench", "directory for BENCH_<date>.json snapshots")
+	benchPattern := flag.String("bench-pattern",
+		"BenchmarkLocalSort|BenchmarkSampleSort|BenchmarkIncrementalRedistribute|BenchmarkSimulationIteration",
+		"go test -bench regexp for the hot-path benchmarks")
+	benchTime := flag.String("benchtime", "1s", "go test -benchtime value (e.g. 1s, 100x)")
+	benchTol := flag.Float64("bench-tol", 0.3, "relative ns/op slowdown tolerated before flagging a regression")
 	flag.Parse()
+
+	if *bench {
+		if err := runBench(*benchDir, *benchPattern, *benchTime, *benchTol); err != nil {
+			fmt.Fprintf(os.Stderr, "picbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	quick := !*full
 	runners := map[string]func() csvWriter{

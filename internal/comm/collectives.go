@@ -1,6 +1,10 @@
 package comm
 
-import "fmt"
+import (
+	"fmt"
+
+	"picpar/internal/wire"
+)
 
 // Barrier synchronises all ranks using a dissemination barrier: ⌈log₂ p⌉
 // rounds in which rank i signals (i+2^k) mod p and waits for (i−2^k) mod p.
@@ -155,9 +159,31 @@ func Allgather[T any](r *Rank, block []T, elemBytes int) []T {
 // AllgatherInts gathers fixed-size int blocks from all ranks.
 func (r *Rank) AllgatherInts(block []int) []int { return Allgather(r, block, IntBytes) }
 
-// AllgatherFloat64s gathers fixed-size float64 blocks from all ranks.
+// AllgatherFloat64s gathers fixed-size float64 blocks from all ranks. It
+// performs exactly the same ring exchange as the generic Allgather (so the
+// simulated cost is identical) but draws its ring buffer from the wire
+// pool and returns the last-held block to it, keeping the per-call
+// allocation down to the result slice.
 func (r *Rank) AllgatherFloat64s(block []float64) []float64 {
-	return Allgather(r, block, Float64Bytes)
+	p := r.P
+	n := len(block)
+	out := make([]float64, n*p)
+	copy(out[r.ID*n:], block)
+	if p == 1 {
+		return out
+	}
+	next := (r.ID + 1) % p
+	prev := (r.ID - 1 + p) % p
+	cur := append(wire.Get(n), block...)
+	curOwner := r.ID
+	for step := 0; step < p-1; step++ {
+		r.Send(next, tagAllgather, cur, n*Float64Bytes)
+		cur = r.Recv(prev, tagAllgather).([]float64)
+		curOwner = (curOwner - 1 + p) % p
+		copy(out[curOwner*n:], cur)
+	}
+	wire.Put(cur)
+	return out
 }
 
 // ExchangeCounts distributes an all-to-many traffic table: sendCounts[d] is

@@ -194,7 +194,10 @@ func NewTable(kind string, m, ghostHint int) (DupTable, error) {
 
 // Registry groups the slots of a duplicate-removal table by the rank that
 // owns each grid point, realising communication coalescing: exactly one
-// message per destination that appears.
+// message per destination that appears. A Registry may be rebuilt in place
+// every iteration via Build; all internal lists are reused, so a
+// steady-state rebuild allocates nothing once the ghost set's shape has
+// stabilised.
 type Registry struct {
 	// Dest[k] is the k-th destination rank with any traffic.
 	Dest []int
@@ -202,32 +205,55 @@ type Registry struct {
 	Gids [][]int32
 	// Slots[k] lists the table slot of each gid in Gids[k], same order.
 	Slots [][]int32
+
+	// Per-rank grouping scratch, retained across Build calls. Gids/Slots
+	// alias these lists, so a Registry's contents are valid only until the
+	// next Build on the same Registry.
+	byRank     [][]int32
+	slotByRank [][]int32
 }
 
-// GroupByOwner builds a Registry from the table's current contents using
-// owner(gid) to locate each point's owning rank. Points owned by self must
-// not be in the table (callers accumulate those directly) and cause a
-// panic, as they indicate a misrouted access.
-func GroupByOwner(t DupTable, self int, p int, owner func(gid int) int) *Registry {
-	byRank := make([][]int32, p)
-	slotByRank := make([][]int32, p)
+// Build regroups the table's current contents in place using owner(gid) to
+// locate each point's owning rank. Points owned by self must not be in the
+// table (callers accumulate those directly) and cause a panic, as they
+// indicate a misrouted access.
+func (reg *Registry) Build(t DupTable, self int, p int, owner func(gid int) int) {
+	if cap(reg.byRank) < p {
+		reg.byRank = make([][]int32, p)
+		reg.slotByRank = make([][]int32, p)
+	}
+	reg.byRank = reg.byRank[:p]
+	reg.slotByRank = reg.slotByRank[:p]
+	for d := 0; d < p; d++ {
+		reg.byRank[d] = reg.byRank[d][:0]
+		reg.slotByRank[d] = reg.slotByRank[d][:0]
+	}
 	for slot, gid := range t.Keys() {
 		o := owner(int(gid))
 		if o == self {
 			panic(fmt.Sprintf("commopt: self-owned point %d in ghost table of rank %d", gid, self))
 		}
-		byRank[o] = append(byRank[o], gid)
-		slotByRank[o] = append(slotByRank[o], int32(slot))
+		reg.byRank[o] = append(reg.byRank[o], gid)
+		reg.slotByRank[o] = append(reg.slotByRank[o], int32(slot))
 	}
-	reg := &Registry{}
+	reg.Dest = reg.Dest[:0]
+	reg.Gids = reg.Gids[:0]
+	reg.Slots = reg.Slots[:0]
 	for d := 0; d < p; d++ {
-		if len(byRank[d]) == 0 {
+		if len(reg.byRank[d]) == 0 {
 			continue
 		}
 		reg.Dest = append(reg.Dest, d)
-		reg.Gids = append(reg.Gids, byRank[d])
-		reg.Slots = append(reg.Slots, slotByRank[d])
+		reg.Gids = append(reg.Gids, reg.byRank[d])
+		reg.Slots = append(reg.Slots, reg.slotByRank[d])
 	}
+}
+
+// GroupByOwner builds a fresh Registry; see Registry.Build for the
+// reusable form.
+func GroupByOwner(t DupTable, self int, p int, owner func(gid int) int) *Registry {
+	reg := &Registry{}
+	reg.Build(t, self, p, owner)
 	return reg
 }
 

@@ -96,6 +96,80 @@ func (s *Store) Less(i, j int) bool {
 	return s.ID[i] < s.ID[j]
 }
 
+// Scratch holds the reusable destination arrays of ApplyPermutation. The
+// zero value is ready to use; arrays grow on demand and are retained (the
+// store's previous arrays swap into the scratch), so repeated sorts of
+// similar-sized stores allocate nothing.
+type Scratch struct {
+	x, y, px, py, pz, id, key []float64
+}
+
+func (sc *Scratch) grow(n int) {
+	if cap(sc.x) < n {
+		sc.x = make([]float64, n)
+		sc.y = make([]float64, n)
+		sc.px = make([]float64, n)
+		sc.py = make([]float64, n)
+		sc.pz = make([]float64, n)
+		sc.id = make([]float64, n)
+		sc.key = make([]float64, n)
+	}
+	sc.x = sc.x[:n]
+	sc.y = sc.y[:n]
+	sc.px = sc.px[:n]
+	sc.py = sc.py[:n]
+	sc.pz = sc.pz[:n]
+	sc.id = sc.id[:n]
+	sc.key = sc.key[:n]
+}
+
+// ApplyPermutation reorders the store so that position i holds the particle
+// previously at perm[i], for all 7 SoA fields, using a single out-of-place
+// gather per field instead of O(n log n) element swaps. perm must be a
+// permutation of 0..Len()−1. scr provides the destination arrays (nil means
+// allocate fresh ones); afterwards scr holds the store's previous arrays
+// for reuse by the next call.
+func (s *Store) ApplyPermutation(perm []int32, scr *Scratch) {
+	n := s.Len()
+	if len(perm) != n {
+		panic(fmt.Sprintf("particle: ApplyPermutation perm len %d, store len %d", len(perm), n))
+	}
+	if scr == nil {
+		scr = &Scratch{}
+	}
+	scr.grow(n)
+	for i, p := range perm {
+		scr.x[i] = s.X[p]
+		scr.y[i] = s.Y[p]
+		scr.px[i] = s.Px[p]
+		scr.py[i] = s.Py[p]
+		scr.pz[i] = s.Pz[p]
+		scr.id[i] = s.ID[p]
+		scr.key[i] = s.Key[p]
+	}
+	s.X, scr.x = scr.x, s.X
+	s.Y, scr.y = scr.y, s.Y
+	s.Px, scr.px = scr.px, s.Px
+	s.Py, scr.py = scr.py, s.Py
+	s.Pz, scr.pz = scr.pz, s.Pz
+	s.ID, scr.id = scr.id, s.ID
+	s.Key, scr.key = scr.key, s.Key
+}
+
+// SwapContents exchanges the particle arrays of a and b in O(1), leaving
+// the species constants untouched. It is the zero-copy way to hand a
+// scratch store's contents to a caller-visible store (and recycle the
+// caller's old arrays as scratch).
+func SwapContents(a, b *Store) {
+	a.X, b.X = b.X, a.X
+	a.Y, b.Y = b.Y, a.Y
+	a.Px, b.Px = b.Px, a.Px
+	a.Py, b.Py = b.Py, a.Py
+	a.Pz, b.Pz = b.Pz, a.Pz
+	a.ID, b.ID = b.ID, a.ID
+	a.Key, b.Key = b.Key, a.Key
+}
+
 // Truncate shrinks the store to n particles.
 func (s *Store) Truncate(n int) {
 	s.X = s.X[:n]

@@ -17,6 +17,7 @@ import (
 	"picpar/internal/mesh"
 	"picpar/internal/particle"
 	"picpar/internal/pusher"
+	"picpar/internal/radix"
 	"picpar/internal/sfc"
 )
 
@@ -134,21 +135,20 @@ func Build(strategy Strategy, g mesh.Grid, d *mesh.Dist, ix sfc.Indexer, s *part
 				l.cellOwner[cy*g.Nx+cx] = d.OwnerOfPoint(cx, cy)
 			}
 		}
-		keys := make([]float64, s.Len())
-		order := make([]int, s.Len())
-		for i := 0; i < s.Len(); i++ {
+		// Stable radix by key with idx primed 0..n−1 gives exactly the
+		// (key, original index) order the old sort.Slice comparator
+		// produced, in linear passes.
+		n := s.Len()
+		keys := make([]uint64, n)
+		order := make([]int32, n)
+		for i := 0; i < n; i++ {
 			cx, cy := g.CellOf(s.X[i], s.Y[i])
-			keys[i] = float64(ix.Index(cx, cy))
-			order[i] = i
+			keys[i] = uint64(ix.Index(cx, cy))
+			order[i] = int32(i)
 		}
-		sort.Slice(order, func(a, b int) bool {
-			if keys[order[a]] != keys[order[b]] {
-				return keys[order[a]] < keys[order[b]]
-			}
-			return order[a] < order[b]
-		})
+		_, order = radix.SortKeysIndex(keys, order, nil)
 		for pos, i := range order {
-			l.Particles[i] = mesh.BlockOwner(len(order), d.P, pos)
+			l.Particles[i] = mesh.BlockOwner(n, d.P, pos)
 		}
 	default:
 		return nil, fmt.Errorf("partition: unknown strategy %v", strategy)

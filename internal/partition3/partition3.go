@@ -10,10 +10,10 @@ package partition3
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"picpar/internal/mesh"
 	"picpar/internal/mesh3"
+	"picpar/internal/radix"
 	"picpar/internal/sfc"
 )
 
@@ -79,20 +79,17 @@ type Layout struct {
 // Build computes the independent-partitioning layout for the current
 // positions under the given indexer.
 func Build(g mesh3.Grid, d *mesh3.Dist, ix sfc.Indexer3, p *Particles) *Layout {
+	// Stable radix by key with idx primed 0..n−1 reproduces the
+	// (key, original index) order of the previous sort.Slice comparator.
 	n := p.Len()
-	keys := make([]int, n)
-	order := make([]int, n)
+	keys := make([]uint64, n)
+	order := make([]int32, n)
 	for i := 0; i < n; i++ {
 		cx, cy, cz := g.CellOf(p.X[i], p.Y[i], p.Z[i])
-		keys[i] = ix.Index(cx, cy, cz)
-		order[i] = i
+		keys[i] = uint64(ix.Index(cx, cy, cz))
+		order[i] = int32(i)
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if keys[order[a]] != keys[order[b]] {
-			return keys[order[a]] < keys[order[b]]
-		}
-		return order[a] < order[b]
-	})
+	_, order = radix.SortKeysIndex(keys, order, nil)
 	l := &Layout{P: d.P, Particles: make([]int, n)}
 	for pos, i := range order {
 		l.Particles[i] = mesh.BlockOwner(n, d.P, pos)

@@ -14,6 +14,7 @@ import (
 	"picpar/internal/psort"
 	"picpar/internal/pusher"
 	"picpar/internal/sfc"
+	"picpar/internal/wire"
 )
 
 // Message tags used by the simulation protocol.
@@ -90,14 +91,23 @@ type rankState struct {
 	inc    *psort.Incremental
 	pol    policy.Policy
 
-	// Ghost bookkeeping, rebuilt every iteration.
+	// Ghost bookkeeping, rebuilt (in place, allocation-free once warm)
+	// every iteration.
 	table     commopt.DupTable
 	ghostVals []float64 // 4 source values per ghost slot (Jx, Jy, Jz, Rho)
 	ghostEB   []float64 // 6 field values per ghost slot, filled in gather
-	registry  *commopt.Registry
+	registry  commopt.Registry
 	// recvGids[src] lists the grid points rank src contributed to here in
 	// the scatter phase; gather replies go back in the same order.
 	recvGids [][]float64
+
+	// Exchange scratch: reusable per-destination buffer headers and counts
+	// (the buffers themselves cycle through the wire pool), and per-rank
+	// index lists plus a spare store for the Eulerian migrate ping-pong.
+	sendBufs   [][]float64
+	sendCounts []int
+	migrateIdx [][]int
+	spare      *particle.Store
 }
 
 func runRank(r *comm.Rank, cfg Config, dist *mesh.Dist, indexer sfc.Indexer, res *Result) {
@@ -287,15 +297,16 @@ func (st *rankState) initialDistribution() {
 				st.store = local
 				continue
 			}
-			wire := global.MarshalRange(make([]float64, 0, (hi-lo)*particle.WireFloats), lo, hi)
-			r.SendFloat64s(dst, tagInitChunk, wire)
+			chunk := global.MarshalRange(wire.Get((hi-lo)*particle.WireFloats), lo, hi)
+			r.SendFloat64s(dst, tagInitChunk, chunk)
 		}
 	} else {
-		wire := r.RecvFloat64s(0, tagInitChunk)
-		st.store = particle.NewStore(len(wire)/particle.WireFloats, cfg.MacroCharge, 1)
-		if err := st.store.AppendWire(wire); err != nil {
+		chunk := r.RecvFloat64s(0, tagInitChunk)
+		st.store = particle.NewStore(len(chunk)/particle.WireFloats, cfg.MacroCharge, 1)
+		if err := st.store.AppendWire(chunk); err != nil {
 			panic(err)
 		}
+		wire.Put(chunk)
 	}
 	st.assignKeys()
 	st.store = psort.SampleSort(r, st.store)
@@ -326,8 +337,22 @@ func (st *rankState) migrate() {
 	g := st.cfg.Grid
 	s := st.store
 
-	sendIdx := make([][]int, r.P)
-	kept := particle.NewStore(s.Len(), s.Charge, s.Mass)
+	if st.migrateIdx == nil {
+		st.migrateIdx = make([][]int, r.P)
+	}
+	sendIdx := st.migrateIdx
+	for d := range sendIdx {
+		sendIdx[d] = sendIdx[d][:0]
+	}
+	// Ping-pong the kept store with the spare slot so each migration
+	// recycles the arrays freed by the previous one.
+	kept := st.spare
+	if kept == nil {
+		kept = particle.NewStore(s.Len(), s.Charge, s.Mass)
+	} else {
+		kept.Truncate(0)
+		kept.Charge, kept.Mass = s.Charge, s.Mass
+	}
 	for i := 0; i < s.Len(); i++ {
 		cx, cy := g.CellOf(s.X[i], s.Y[i])
 		owner := st.dist.OwnerOfPoint(cx, cy)
@@ -339,11 +364,10 @@ func (st *rankState) migrate() {
 	}
 	r.Compute(s.Len() * 2)
 
-	counts := make([]int, r.P)
-	send := make([][]float64, r.P)
+	send, counts := st.exchangeScratch()
 	for d := 0; d < r.P; d++ {
 		if len(sendIdx[d]) > 0 {
-			send[d] = s.MarshalIndices(nil, sendIdx[d])
+			send[d] = s.MarshalIndices(wire.Get(len(sendIdx[d])*particle.WireFloats), sendIdx[d])
 			counts[d] = len(send[d])
 			r.Compute(len(sendIdx[d]) * 7)
 		}
@@ -356,9 +380,25 @@ func (st *rankState) migrate() {
 				panic(err)
 			}
 			r.Compute(len(recv[src]))
+			wire.Put(recv[src])
 		}
 	}
+	st.spare = s
 	st.store = kept
+}
+
+// exchangeScratch returns the reusable per-destination send headers and
+// counts, cleared for a new exchange.
+func (st *rankState) exchangeScratch() ([][]float64, []int) {
+	if st.sendBufs == nil {
+		st.sendBufs = make([][]float64, st.r.P)
+		st.sendCounts = make([]int, st.r.P)
+	}
+	for d := range st.sendBufs {
+		st.sendBufs[d] = nil
+		st.sendCounts[d] = 0
+	}
+	return st.sendBufs, st.sendCounts
 }
 
 // scatterPhase deposits every particle's current and charge onto the four
@@ -416,14 +456,13 @@ func (st *rankState) scatterPhase() {
 	r.Compute(s.Len()*4*pusher.ScatterWorkPerVertex + offprocOps*tableCost)
 
 	// Communication coalescing: one message per destination owner.
-	st.registry = commopt.GroupByOwner(st.table, r.ID, r.P, func(gid int) int {
+	st.registry.Build(st.table, r.ID, r.P, func(gid int) int {
 		ci, cj := g.PointCoords(gid)
 		return st.dist.OwnerOfPoint(ci, cj)
 	})
-	send := make([][]float64, r.P)
-	counts := make([]int, r.P)
+	send, counts := st.exchangeScratch()
 	for k, dst := range st.registry.Dest {
-		buf := make([]float64, 0, len(st.registry.Gids[k])*scatterWireFloats)
+		buf := wire.Get(len(st.registry.Gids[k]) * scatterWireFloats)
 		for idx, gid := range st.registry.Gids[k] {
 			slot := st.registry.Slots[k][idx]
 			buf = append(buf, float64(gid),
@@ -442,13 +481,16 @@ func (st *rankState) scatterPhase() {
 
 	// Accumulate received contributions; remember who asked for what so
 	// the gather phase can reply in kind.
-	st.recvGids = make([][]float64, r.P)
+	if st.recvGids == nil {
+		st.recvGids = make([][]float64, r.P)
+	}
 	for src := 0; src < r.P; src++ {
+		st.recvGids[src] = st.recvGids[src][:0]
 		buf := recv[src]
 		if src == r.ID || len(buf) == 0 {
 			continue
 		}
-		gids := make([]float64, 0, len(buf)/scatterWireFloats)
+		gids := st.recvGids[src]
 		for o := 0; o < len(buf); o += scatterWireFloats {
 			gid := int(buf[o])
 			ci, cj := g.PointCoords(gid)
@@ -461,6 +503,7 @@ func (st *rankState) scatterPhase() {
 		}
 		st.recvGids[src] = gids
 		r.Compute(len(gids) * 4)
+		wire.Put(buf)
 	}
 }
 
@@ -486,7 +529,7 @@ func (st *rankState) gatherAndPushPhase() {
 		if len(gids) == 0 {
 			continue
 		}
-		buf := make([]float64, 0, len(gids)*gatherWireFloats)
+		buf := wire.Get(len(gids) * gatherWireFloats)
 		for _, fgid := range gids {
 			ci, cj := g.PointCoords(int(fgid))
 			c := l.Idx(ci-l.I0, cj-l.J0)
@@ -506,6 +549,7 @@ func (st *rankState) gatherAndPushPhase() {
 		for idx, slot := range st.registry.Slots[k] {
 			copy(st.ghostEB[gatherWireFloats*slot:], buf[gatherWireFloats*idx:gatherWireFloats*idx+gatherWireFloats])
 		}
+		wire.Put(buf)
 	}
 
 	// Interpolate fields at particles and push.

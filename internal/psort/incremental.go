@@ -6,6 +6,7 @@ import (
 
 	"picpar/internal/comm"
 	"picpar/internal/particle"
+	"picpar/internal/wire"
 )
 
 // Incremental is the bucket-based incremental sorting state of one rank
@@ -14,6 +15,12 @@ import (
 // every particle against those remembered bounds — most particles have
 // moved little and fall into the same bucket, making reclassification far
 // cheaper than a full sort.
+//
+// The struct additionally owns all scratch of the redistribution hot path
+// (classification lists, marshal buffers, the intermediate stores and the
+// two output slots), so steady-state redistributions allocate nothing in
+// the classify/marshal inner loop and recycle stores instead of creating
+// fresh ones.
 type Incremental struct {
 	// L is the number of buckets the local array is divided into.
 	L int
@@ -22,6 +29,19 @@ type Incremental struct {
 	localBound []float64
 	// upper is the largest key held at the last redistribution.
 	upper float64
+
+	// Classification scratch: per-bucket and per-destination index lists,
+	// reused (truncated, never freed) across redistributions.
+	bucketOf [][]int
+	sendIdx  [][]int
+	// Marshal scratch: per-destination buffer headers and element counts.
+	send   [][]float64
+	counts []int
+	// Intermediate stores, purely internal to Redistribute.
+	kept, recvS, merged *particle.Store
+	// Output slots: Redistribute alternates between them so the store it
+	// returned last time (usually this call's input) is never clobbered.
+	outA, outB *particle.Store
 }
 
 // DefaultBuckets is a reasonable bucket count per rank: fine enough that a
@@ -35,7 +55,7 @@ func NewIncremental(l int) *Incremental {
 	if l <= 0 {
 		l = DefaultBuckets
 	}
-	return &Incremental{L: l, localBound: make([]float64, l)}
+	return &Incremental{L: l, localBound: make([]float64, l), bucketOf: make([][]int, l)}
 }
 
 // Prime records bucket boundaries from a locally sorted store, preparing
@@ -70,31 +90,93 @@ type Stats struct {
 // returns the rank's new sorted, balanced store plus classification stats.
 // Requires keys to be already up to date (Hilbert_Base_Indexing done) and
 // Prime to have been called on the previous order.
+//
+// The returned store draws on buffers owned by this Incremental: it stays
+// valid until the second following Redistribute call (callers that only
+// keep the latest store — the usual pattern — are unaffected). The input
+// store is never modified.
 func (inc *Incremental) Redistribute(r *comm.Rank, s *particle.Store) (*particle.Store, Stats) {
 	p := r.P
 	n := s.Len()
-	var st Stats
 
 	// Line 1: global concatenation of every rank's upper key bound.
 	globalUpper := r.AllgatherFloat64s([]float64{inc.upper})
 
-	// Classify each particle: same bucket / other local bucket /
-	// off-processor (Figure 12 lines 3–14).
-	bucketOf := make([][]int, inc.L)
-	sendIdx := make([][]int, p)
+	// Lines 3–14: classify, then marshal the off-processor particles.
+	st := inc.classify(r, s, globalUpper)
+	send, counts := inc.pack(r, s)
+
+	// Lines 15–20: exchange the traffic table, then all-to-many.
+	recvCounts := r.ExchangeCounts(counts)
+	recv := comm.AllToMany(r, send, recvCounts, comm.Float64Bytes)
+
+	// Line 21: collect and sort the received particles.
+	recvStore := resetStore(&inc.recvS, 0, s)
+	for src := 0; src < p; src++ {
+		if src != r.ID && len(recv[src]) > 0 {
+			if err := recvStore.AppendWire(recv[src]); err != nil {
+				panic(err)
+			}
+			r.Compute(len(recv[src]) / particle.WireFloats * packWorkPerParticle)
+			wire.Put(recv[src])
+		}
+	}
+	LocalSort(r, recvStore)
+
+	// Lines 22–23: sort each bucket locally. Buckets are key-disjoint and
+	// ordered, so concatenating them yields a sorted run.
+	kept := resetStore(&inc.kept, n, s)
+	for b := 0; b < inc.L; b++ {
+		idx := inc.bucketOf[b]
+		sortIndicesByKeyID(s, idx)
+		if len(idx) > 1 {
+			r.Compute(len(idx) * ilog2(len(idx)) * compareWork)
+		}
+		for _, i := range idx {
+			kept.AppendFrom(s, i)
+		}
+	}
+
+	// Line 24: merge the kept run with the received run.
+	merged := mergeSortedInto(r, kept, recvStore, resetStore(&inc.merged, kept.Len()+recvStore.Len(), s))
+
+	// Order-maintaining load balance into the output slot that does not
+	// alias the caller's store, then remember the new boundaries.
+	out := loadBalanceInto(r, merged, inc.outSlot(s))
+	inc.Prime(out)
+	return out, st
+}
+
+// classify sorts every particle of s into its bucket or destination-rank
+// list (Figure 12 lines 3–14), filling inc.bucketOf and inc.sendIdx from
+// reused scratch. It charges the modelled classification δ but performs no
+// communication, so its steady-state allocation count is exactly zero.
+func (inc *Incremental) classify(r *comm.Rank, s *particle.Store, globalUpper []float64) Stats {
+	n := s.Len()
+	var st Stats
+	for b := range inc.bucketOf {
+		inc.bucketOf[b] = inc.bucketOf[b][:0]
+	}
+	if cap(inc.sendIdx) < r.P {
+		inc.sendIdx = make([][]int, r.P)
+	}
+	inc.sendIdx = inc.sendIdx[:r.P]
+	for d := range inc.sendIdx {
+		inc.sendIdx[d] = inc.sendIdx[d][:0]
+	}
 	for i := 0; i < n; i++ {
 		key := s.Key[i]
 		// The particle's previous bucket is its position's bucket.
 		prevB := i * inc.L / n
 		if inBucket(inc.localBound, inc.upper, prevB, key) {
-			bucketOf[prevB] = append(bucketOf[prevB], i)
+			inc.bucketOf[prevB] = append(inc.bucketOf[prevB], i)
 			st.SameBucket++
 			r.Compute(classifyWorkSameBucket)
 			continue
 		}
 		if key >= inc.localBound[0] && key <= inc.upper {
 			b := inc.bucketFor(key)
-			bucketOf[b] = append(bucketOf[b], i)
+			inc.bucketOf[b] = append(inc.bucketOf[b], i)
 			st.OtherBucket++
 			r.Compute(classifyWorkLocal)
 			continue
@@ -105,62 +187,69 @@ func (inc *Incremental) Redistribute(r *comm.Rank, s *particle.Store) (*particle
 			// rank (e.g. below the old lower bound but above the previous
 			// rank's upper, or above every recorded bound on the last
 			// rank); clamp into the nearest bucket.
-			bucketOf[inc.bucketFor(key)] = append(bucketOf[inc.bucketFor(key)], i)
+			inc.bucketOf[inc.bucketFor(key)] = append(inc.bucketOf[inc.bucketFor(key)], i)
 			st.OtherBucket++
 			r.Compute(classifyWorkLocal)
 			continue
 		}
-		sendIdx[dest] = append(sendIdx[dest], i)
+		inc.sendIdx[dest] = append(inc.sendIdx[dest], i)
 		st.OffProc++
 		r.Compute(classifyWorkRemote)
 	}
+	return st
+}
 
-	// Lines 15–20: exchange the traffic table, then all-to-many.
-	counts := make([]int, p)
-	send := make([][]float64, p)
+// pack marshals the off-processor particles found by classify into pooled
+// wire buffers, one per destination with traffic (Figure 12 lines 15–16).
+// The returned buffers transfer ownership with the messages; the receiving
+// ranks return them to the wire pool. With a warm pool, pack allocates
+// nothing.
+func (inc *Incremental) pack(r *comm.Rank, s *particle.Store) ([][]float64, []int) {
+	p := r.P
+	if cap(inc.send) < p {
+		inc.send = make([][]float64, p)
+		inc.counts = make([]int, p)
+	}
+	inc.send = inc.send[:p]
+	inc.counts = inc.counts[:p]
 	for d := 0; d < p; d++ {
-		if len(sendIdx[d]) > 0 {
-			send[d] = s.MarshalIndices(make([]float64, 0, len(sendIdx[d])*particle.WireFloats), sendIdx[d])
-			counts[d] = len(send[d])
-			r.Compute(len(sendIdx[d]) * packWorkPerParticle)
+		inc.send[d] = nil
+		inc.counts[d] = 0
+		if len(inc.sendIdx[d]) > 0 {
+			inc.send[d] = s.MarshalIndices(wire.Get(len(inc.sendIdx[d])*particle.WireFloats), inc.sendIdx[d])
+			inc.counts[d] = len(inc.send[d])
+			r.Compute(len(inc.sendIdx[d]) * packWorkPerParticle)
 		}
 	}
-	recvCounts := r.ExchangeCounts(counts)
-	recv := comm.AllToMany(r, send, recvCounts, comm.Float64Bytes)
+	return inc.send, inc.counts
+}
 
-	// Line 21: collect and sort the received particles.
-	recvStore := particle.NewStore(0, s.Charge, s.Mass)
-	for src := 0; src < p; src++ {
-		if src != r.ID && len(recv[src]) > 0 {
-			if err := recvStore.AppendWire(recv[src]); err != nil {
-				panic(err)
-			}
-			r.Compute(len(recv[src]) / particle.WireFloats * packWorkPerParticle)
-		}
+// resetStore empties (or creates) an internal scratch store with the given
+// capacity hint and the species constants of ref.
+func resetStore(slot **particle.Store, capHint int, ref *particle.Store) *particle.Store {
+	if *slot == nil {
+		*slot = particle.NewStore(capHint, ref.Charge, ref.Mass)
+		return *slot
 	}
-	LocalSort(r, recvStore)
+	s := *slot
+	s.Truncate(0)
+	s.Charge, s.Mass = ref.Charge, ref.Mass
+	return s
+}
 
-	// Lines 22–23: sort each bucket locally. Buckets are key-disjoint and
-	// ordered, so concatenating them yields a sorted run.
-	kept := particle.NewStore(n, s.Charge, s.Mass)
-	for b := 0; b < inc.L; b++ {
-		idx := bucketOf[b]
-		sort.Slice(idx, func(a, c int) bool { return s.Less(idx[a], idx[c]) })
-		if len(idx) > 1 {
-			r.Compute(len(idx) * ilog2(len(idx)) * compareWork)
-		}
-		for _, i := range idx {
-			kept.AppendFrom(s, i)
-		}
+// outSlot returns whichever of the two output stores does not alias s, so
+// the store handed to the caller last time survives this call.
+func (inc *Incremental) outSlot(s *particle.Store) *particle.Store {
+	if inc.outA == nil {
+		inc.outA = particle.NewStore(0, s.Charge, s.Mass)
 	}
-
-	// Line 24: merge the kept run with the received run.
-	merged := mergeSorted(r, kept, recvStore)
-
-	// Order-maintaining load balance, then remember the new boundaries.
-	out := LoadBalance(r, merged)
-	inc.Prime(out)
-	return out, st
+	if inc.outB == nil {
+		inc.outB = particle.NewStore(0, s.Charge, s.Mass)
+	}
+	if s == inc.outA {
+		return inc.outB
+	}
+	return inc.outA
 }
 
 // bucketFor returns the bucket whose remembered range admits key, clamping
@@ -200,7 +289,12 @@ func searchOwner(globalUpper []float64, key float64) int {
 
 // mergeSorted merges two locally sorted stores into a new sorted store.
 func mergeSorted(r *comm.Rank, a, b *particle.Store) *particle.Store {
-	out := particle.NewStore(a.Len()+b.Len(), a.Charge, a.Mass)
+	return mergeSortedInto(r, a, b, particle.NewStore(a.Len()+b.Len(), a.Charge, a.Mass))
+}
+
+// mergeSortedInto merges a and b (each locally sorted) into out, which must
+// be empty and alias neither input.
+func mergeSortedInto(r *comm.Rank, a, b, out *particle.Store) *particle.Store {
 	i, j := 0, 0
 	for i < a.Len() && j < b.Len() {
 		if b.Key[j] < a.Key[i] {

@@ -18,10 +18,12 @@ package psort
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"picpar/internal/comm"
 	"picpar/internal/mesh"
 	"picpar/internal/particle"
+	"picpar/internal/wire"
 )
 
 // Exchange tags.
@@ -39,16 +41,24 @@ const (
 	packWorkPerParticle    = 7 // marshal/unmarshal one particle
 )
 
-// LocalSort sorts s in place by key and charges the comparison cost.
+// LocalSort sorts s in place by (key, id) and charges the comparison cost.
+// The real work is a radix sort plus one permutation apply (see radix.go),
+// but the simulated charge stays the comparison-sort formula
+// n·⌈log₂ n⌉·compareWork so all paper results are unchanged.
 func LocalSort(r *comm.Rank, s *particle.Store) {
 	n := s.Len()
-	sort.Sort(s)
+	radixSortStore(s)
 	if n > 1 {
 		r.Compute(n * ilog2(n) * compareWork)
 	}
 }
 
-// ilog2 returns ⌈log₂ n⌉ for n ≥ 1.
+// ilog2 returns ⌈log₂ n⌉ for n ≥ 2, and 1 for n ∈ {0, 1}. The floor of 1
+// is deliberate, not an off-by-one: the cost model charges at least one
+// comparison step per element even for trivially small inputs, and every
+// published simulated time was calibrated with that convention (changing
+// ilog2(1) to the mathematical 0 would shift the δ charges of empty-rank
+// corner cases and break bit-identical reproduction).
 func ilog2(n int) int {
 	k, v := 0, 1
 	for v < n {
@@ -114,7 +124,7 @@ func SampleSort(r *comm.Rank, s *particle.Store) *particle.Store {
 	for d := 0; d < p; d++ {
 		lo, hi := cuts[d], cuts[d+1]
 		if hi > lo {
-			send[d] = s.MarshalRange(make([]float64, 0, (hi-lo)*particle.WireFloats), lo, hi)
+			send[d] = s.MarshalRange(wire.Get((hi-lo)*particle.WireFloats), lo, hi)
 			counts[d] = len(send[d])
 			r.Compute((hi - lo) * packWorkPerParticle)
 		}
@@ -129,6 +139,7 @@ func SampleSort(r *comm.Rank, s *particle.Store) *particle.Store {
 				panic(err)
 			}
 			r.Compute(len(recv[src]) / particle.WireFloats * packWorkPerParticle)
+			wire.Put(recv[src])
 		}
 	}
 	LocalSort(r, out)
@@ -141,16 +152,55 @@ func SampleSort(r *comm.Rank, s *particle.Store) *particle.Store {
 // per-rank stores concatenate to a globally key-sorted sequence, and
 // preserves that property.
 func LoadBalance(r *comm.Rank, s *particle.Store) *particle.Store {
+	return loadBalanceInto(r, s, nil)
+}
+
+// lbScratch recycles the per-call bookkeeping slices of loadBalanceInto.
+type lbScratch struct {
+	send   [][]float64
+	counts []int
+}
+
+var lbPool = sync.Pool{New: func() any { return new(lbScratch) }}
+
+func (sc *lbScratch) grow(p int) {
+	if cap(sc.send) < p {
+		sc.send = make([][]float64, p)
+		sc.counts = make([]int, p)
+	}
+	sc.send = sc.send[:p]
+	sc.counts = sc.counts[:p]
+	for d := 0; d < p; d++ {
+		sc.send[d] = nil
+		sc.counts[d] = 0
+	}
+}
+
+// loadBalanceInto is LoadBalance with an optional destination store: when
+// reuse is non-nil its arrays are recycled for the output (it must not
+// alias s). When reuse is nil the behaviour is the original LoadBalance,
+// including returning s itself on the p = 1 / empty fast path.
+func loadBalanceInto(r *comm.Rank, s, reuse *particle.Store) *particle.Store {
 	p := r.P
 	n := s.Len()
 	total := r.AllreduceSumInt(n)
 	if p == 1 || total == 0 {
-		return s
+		if reuse == nil {
+			return s
+		}
+		// The caller wants its scratch arrays back in play: hand s's
+		// contents to reuse in O(1). s is internal scratch on this path
+		// (see Incremental.Redistribute), so emptying it is fine.
+		reuse.Truncate(0)
+		reuse.Charge, reuse.Mass = s.Charge, s.Mass
+		particle.SwapContents(reuse, s)
+		return reuse
 	}
 	offset := r.ScanSumInt(n)
 
-	send := make([][]float64, p)
-	counts := make([]int, p)
+	sc := lbPool.Get().(*lbScratch)
+	sc.grow(p)
+	send, counts := sc.send, sc.counts
 	// Consecutive positions map to non-decreasing owners, so the local
 	// range splits into contiguous runs per destination.
 	i := 0
@@ -162,7 +212,7 @@ func LoadBalance(r *comm.Rank, s *particle.Store) *particle.Store {
 			runEnd = n
 		}
 		if d != r.ID {
-			send[d] = s.MarshalRange(make([]float64, 0, (runEnd-i)*particle.WireFloats), i, runEnd)
+			send[d] = s.MarshalRange(wire.Get((runEnd-i)*particle.WireFloats), i, runEnd)
 			counts[d] = len(send[d])
 			r.Compute((runEnd - i) * packWorkPerParticle)
 		}
@@ -170,11 +220,18 @@ func LoadBalance(r *comm.Rank, s *particle.Store) *particle.Store {
 	}
 	recvCounts := r.ExchangeCounts(counts)
 	recv := comm.AllToMany(r, send, recvCounts, comm.Float64Bytes)
+	lbPool.Put(sc)
 
 	// Reassemble in source-rank order, splicing the retained local run in
 	// rank position. Retained run: positions owned by self.
 	myLo, myHi := mesh.BlockRange(total, p, r.ID)
-	out := particle.NewStore(myHi-myLo, s.Charge, s.Mass)
+	out := reuse
+	if out == nil {
+		out = particle.NewStore(myHi-myLo, s.Charge, s.Mass)
+	} else {
+		out.Truncate(0)
+		out.Charge, out.Mass = s.Charge, s.Mass
+	}
 	appendWire := func(w []float64) {
 		if len(w) == 0 {
 			return
@@ -183,6 +240,7 @@ func LoadBalance(r *comm.Rank, s *particle.Store) *particle.Store {
 			panic(err)
 		}
 		r.Compute(len(w) / particle.WireFloats * packWorkPerParticle)
+		wire.Put(w)
 	}
 	for src := 0; src < p; src++ {
 		if src == r.ID {

@@ -380,7 +380,8 @@ func TestMergeSorted(t *testing.T) {
 }
 
 func TestIlog2(t *testing.T) {
-	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	// n ∈ {0, 1} deliberately give 1, not 0 — see the ilog2 doc comment.
+	cases := map[int]int{0: 1, 1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 1000: 10, 1024: 10, 1025: 11}
 	for n, want := range cases {
 		if got := ilog2(n); got != want {
 			t.Errorf("ilog2(%d) = %d, want %d", n, got, want)

@@ -1,0 +1,9 @@
+//go:build race
+
+// Package raceflag exposes whether the race detector is compiled in, so
+// allocation-count assertions (which the race runtime distorts) can skip
+// themselves under `go test -race`.
+package raceflag
+
+// Enabled reports whether this binary was built with -race.
+const Enabled = true

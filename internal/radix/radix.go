@@ -1,0 +1,203 @@
+// Package radix implements the LSD (least-significant-digit) radix sorts
+// behind the particle hot paths: byte-at-a-time counting passes over uint64
+// key words, with constant bytes skipped entirely. On the integral SFC keys
+// and particle ids this code sorts in practice, only the low two or three
+// bytes of each word vary, so a sort costs a handful of linear passes
+// instead of the n·log n interface-dispatched comparisons of sort.Sort.
+//
+// All entry points take an optional *Scratch so steady-state callers reuse
+// the ping-pong buffers and allocate nothing.
+package radix
+
+import "math"
+
+// Scratch holds the ping-pong destination arrays of a radix sort. The zero
+// value is ready to use; buffers grow on demand and are retained across
+// calls.
+type Scratch struct {
+	hi2  []uint64
+	lo2  []uint64
+	idx2 []int32
+}
+
+func (sc *Scratch) grow(n int) {
+	if cap(sc.hi2) < n {
+		sc.hi2 = make([]uint64, n)
+		sc.lo2 = make([]uint64, n)
+		sc.idx2 = make([]int32, n)
+	}
+	sc.hi2 = sc.hi2[:n]
+	sc.lo2 = sc.lo2[:n]
+	sc.idx2 = sc.idx2[:n]
+}
+
+// insertionCutoff is the length below which a branchy insertion sort beats
+// the histogram passes.
+const insertionCutoff = 48
+
+// Bits64 maps a float64 onto a uint64 whose unsigned order equals the
+// float's < order for all non-NaN values. Negative zero is normalised to
+// positive zero first, so values that compare equal under == map to equal
+// bits. (NaN maps above +Inf or below −Inf depending on its sign bit and is
+// outside this package's ordering guarantees.)
+func Bits64(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b == 1<<63 { // -0 → +0, keeping radix order ≡ comparison order
+		b = 0
+	}
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// SortPairs sorts the parallel arrays (hi, lo, idx) ascending by the
+// composite key (hi, lo) — hi is the primary word, lo breaks ties — and
+// returns the slices holding the sorted data. The returned slices may be
+// sc's internal buffers rather than the inputs (LSD ping-pong), so callers
+// must use the return values. The sort is stable with respect to equal
+// (hi, lo) pairs.
+func SortPairs(hi, lo []uint64, idx []int32, sc *Scratch) ([]uint64, []uint64, []int32) {
+	n := len(hi)
+	if n < 2 {
+		return hi, lo, idx
+	}
+	if n < insertionCutoff {
+		insertionPairs(hi, lo, idx)
+		return hi, lo, idx
+	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.grow(n)
+	// One scan finds the varying bytes of each word; constant bytes cannot
+	// change the order and their passes are skipped.
+	var difLo, difHi uint64
+	l0, h0 := lo[0], hi[0]
+	for i := 1; i < n; i++ {
+		difLo |= lo[i] ^ l0
+		difHi |= hi[i] ^ h0
+	}
+	hi2, lo2, idx2 := sc.hi2, sc.lo2, sc.idx2
+	// LSD order: all lo bytes first, then all hi bytes; stability of each
+	// counting pass makes the composite (hi, lo) order correct.
+	for pass := 0; pass < 16; pass++ {
+		shift := uint(8 * (pass & 7))
+		var src []uint64
+		if pass < 8 {
+			if (difLo>>shift)&0xff == 0 {
+				continue
+			}
+			src = lo
+		} else {
+			if (difHi>>shift)&0xff == 0 {
+				continue
+			}
+			src = hi
+		}
+		var count [256]int32
+		for _, v := range src {
+			count[uint8(v>>shift)]++
+		}
+		sum := int32(0)
+		for d := 0; d < 256; d++ {
+			c := count[d]
+			count[d] = sum
+			sum += c
+		}
+		for i := 0; i < n; i++ {
+			d := uint8(src[i] >> shift)
+			pos := count[d]
+			count[d] = pos + 1
+			hi2[pos] = hi[i]
+			lo2[pos] = lo[i]
+			idx2[pos] = idx[i]
+		}
+		hi, hi2 = hi2, hi
+		lo, lo2 = lo2, lo
+		idx, idx2 = idx2, idx
+	}
+	sc.hi2, sc.lo2, sc.idx2 = hi2, lo2, idx2
+	return hi, lo, idx
+}
+
+// SortKeysIndex stable-sorts keys ascending, carrying idx along, and
+// returns the slices holding the sorted data (possibly sc's buffers).
+// Because the counting passes are stable, entries with equal keys keep
+// their input order — initialising idx to 0..n−1 therefore yields the
+// (key, original index) order.
+func SortKeysIndex(keys []uint64, idx []int32, sc *Scratch) ([]uint64, []int32) {
+	n := len(keys)
+	if n < 2 {
+		return keys, idx
+	}
+	if n < insertionCutoff {
+		insertionKeys(keys, idx)
+		return keys, idx
+	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.grow(n)
+	var dif uint64
+	k0 := keys[0]
+	for i := 1; i < n; i++ {
+		dif |= keys[i] ^ k0
+	}
+	keys2, idx2 := sc.hi2, sc.idx2
+	for pass := 0; pass < 8; pass++ {
+		shift := uint(8 * pass)
+		if (dif>>shift)&0xff == 0 {
+			continue
+		}
+		var count [256]int32
+		for _, v := range keys {
+			count[uint8(v>>shift)]++
+		}
+		sum := int32(0)
+		for d := 0; d < 256; d++ {
+			c := count[d]
+			count[d] = sum
+			sum += c
+		}
+		for i := 0; i < n; i++ {
+			d := uint8(keys[i] >> shift)
+			pos := count[d]
+			count[d] = pos + 1
+			keys2[pos] = keys[i]
+			idx2[pos] = idx[i]
+		}
+		keys, keys2 = keys2, keys
+		idx, idx2 = idx2, idx
+	}
+	sc.hi2, sc.idx2 = keys2, idx2
+	return keys, idx
+}
+
+// insertionPairs sorts short (hi, lo, idx) triples in place by (hi, lo).
+// Stable: strict comparisons never move equal composite keys past each
+// other.
+func insertionPairs(hi, lo []uint64, idx []int32) {
+	for i := 1; i < len(hi); i++ {
+		h, l, x := hi[i], lo[i], idx[i]
+		j := i - 1
+		for j >= 0 && (hi[j] > h || (hi[j] == h && lo[j] > l)) {
+			hi[j+1], lo[j+1], idx[j+1] = hi[j], lo[j], idx[j]
+			j--
+		}
+		hi[j+1], lo[j+1], idx[j+1] = h, l, x
+	}
+}
+
+// insertionKeys stable-sorts short (key, idx) pairs in place by key.
+func insertionKeys(keys []uint64, idx []int32) {
+	for i := 1; i < len(keys); i++ {
+		k, x := keys[i], idx[i]
+		j := i - 1
+		for j >= 0 && keys[j] > k {
+			keys[j+1], idx[j+1] = keys[j], idx[j]
+			j--
+		}
+		keys[j+1], idx[j+1] = k, x
+	}
+}

@@ -1,0 +1,131 @@
+package radix
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// bitsOrderCases cover the tricky regions of the float64→uint64 order map:
+// signed zeros, denormals on both sides, infinities, and ordinary magnitudes.
+var bitsOrderCases = []float64{
+	math.Inf(-1), -math.MaxFloat64, -1e10, -2, -1, -0.5,
+	-1e-300, -5e-324, // negative denormal boundary
+	math.Copysign(0, -1), 0, 5e-324, 1e-300, // ±0 and positive denormals
+	0.5, 1, 2, 1e10, math.MaxFloat64, math.Inf(1),
+}
+
+func TestBits64Order(t *testing.T) {
+	for i, a := range bitsOrderCases {
+		for j, b := range bitsOrderCases {
+			wantLess := a < b
+			gotLess := Bits64(a) < Bits64(b)
+			if wantLess != gotLess {
+				t.Errorf("Bits64 order of (%g, %g) [cases %d,%d]: got less=%v want %v",
+					a, b, i, j, gotLess, wantLess)
+			}
+			if (a == b) != (Bits64(a) == Bits64(b)) {
+				t.Errorf("Bits64 equality of (%g, %g): bits equal=%v, floats equal=%v",
+					a, b, Bits64(a) == Bits64(b), a == b)
+			}
+		}
+	}
+	if Bits64(math.Copysign(0, -1)) != Bits64(0) {
+		t.Error("Bits64(-0) != Bits64(+0)")
+	}
+}
+
+// pairRef is the comparison-sort reference for SortPairs.
+type pairRef struct {
+	hi, lo []uint64
+	idx    []int32
+}
+
+func (p *pairRef) Len() int { return len(p.hi) }
+func (p *pairRef) Less(i, j int) bool {
+	if p.hi[i] != p.hi[j] {
+		return p.hi[i] < p.hi[j]
+	}
+	return p.lo[i] < p.lo[j]
+}
+func (p *pairRef) Swap(i, j int) {
+	p.hi[i], p.hi[j] = p.hi[j], p.hi[i]
+	p.lo[i], p.lo[j] = p.lo[j], p.lo[i]
+	p.idx[i], p.idx[j] = p.idx[j], p.idx[i]
+}
+
+func TestSortPairsMatchesStableSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var sc Scratch
+	// Sizes straddle the insertion cutoff; masks force heavy duplication so
+	// both tie-breaking and the constant-byte skip are exercised.
+	for _, n := range []int{0, 1, 2, 17, insertionCutoff - 1, insertionCutoff, 100, 5000} {
+		for _, mask := range []uint64{0xf, 0xffff, ^uint64(0)} {
+			hi := make([]uint64, n)
+			lo := make([]uint64, n)
+			idx := make([]int32, n)
+			for i := range hi {
+				hi[i] = rng.Uint64() & mask
+				lo[i] = rng.Uint64() & mask
+				idx[i] = int32(i)
+			}
+			ref := &pairRef{
+				hi:  append([]uint64(nil), hi...),
+				lo:  append([]uint64(nil), lo...),
+				idx: append([]int32(nil), idx...),
+			}
+			sort.Stable(ref)
+			gh, gl, gi := SortPairs(hi, lo, idx, &sc)
+			for i := 0; i < n; i++ {
+				if gh[i] != ref.hi[i] || gl[i] != ref.lo[i] || gi[i] != ref.idx[i] {
+					t.Fatalf("n=%d mask=%x: pos %d got (%d,%d,%d) want (%d,%d,%d)",
+						n, mask, i, gh[i], gl[i], gi[i], ref.hi[i], ref.lo[i], ref.idx[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSortKeysIndexStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var sc Scratch
+	for _, n := range []int{0, 1, 2, insertionCutoff - 1, insertionCutoff, 333, 4096} {
+		keys := make([]uint64, n)
+		idx := make([]int32, n)
+		for i := range keys {
+			keys[i] = rng.Uint64() & 0xff // few distinct keys → long equal runs
+			idx[i] = int32(i)
+		}
+		want := append([]uint64(nil), keys...)
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		gk, gi := SortKeysIndex(keys, idx, &sc)
+		for i := 0; i < n; i++ {
+			if gk[i] != want[i] {
+				t.Fatalf("n=%d pos %d: key %d want %d", n, i, gk[i], want[i])
+			}
+			// Stability: equal keys keep ascending original indices.
+			if i > 0 && gk[i] == gk[i-1] && gi[i] <= gi[i-1] {
+				t.Fatalf("n=%d pos %d: unstable order of equal keys (idx %d after %d)",
+					n, i, gi[i], gi[i-1])
+			}
+		}
+	}
+}
+
+func TestSortPairsSkipsConstantWords(t *testing.T) {
+	// All-equal input must come back untouched regardless of size.
+	n := 1000
+	hi := make([]uint64, n)
+	lo := make([]uint64, n)
+	idx := make([]int32, n)
+	for i := range hi {
+		hi[i], lo[i], idx[i] = 42, 7, int32(i)
+	}
+	gh, gl, gi := SortPairs(hi, lo, idx, nil)
+	for i := 0; i < n; i++ {
+		if gh[i] != 42 || gl[i] != 7 || gi[i] != int32(i) {
+			t.Fatalf("pos %d: got (%d,%d,%d) want (42,7,%d)", i, gh[i], gl[i], gi[i], i)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Package wire provides a process-wide, sync.Pool-backed free list of
+// []float64 message buffers for the particle exchange hot paths.
+//
+// The comm substrate transfers buffer ownership with the message (the
+// sender must not touch a sent slice again), so buffers cannot simply be
+// kept as sender-side scratch. Instead, senders Get a buffer, marshal into
+// it and send it; the receiving rank unpacks it and Puts it back. Every
+// buffer cycles sender → network → receiver → pool, and after a few
+// exchanges the pool holds enough capacity that steady-state traffic
+// allocates nothing.
+//
+// Two pools are used so that neither direction allocates: bufPool holds
+// *[]float64 headers pointing at live buffers, and hdrPool recycles the
+// spare headers left behind by Get. Pooling raw []float64 values directly
+// would heap-allocate a header on every Put (interface conversion of a
+// slice), defeating the point.
+package wire
+
+import "sync"
+
+var bufPool sync.Pool // *[]float64 with usable backing arrays
+var hdrPool sync.Pool // spare *[]float64 headers (nil contents)
+
+// Get returns a zero-length buffer with capacity at least capHint. The
+// buffer comes from the pool when possible; a pooled buffer that is too
+// small is grown (and the grown version is what eventually returns to the
+// pool, so capacities converge on the workload's maximum).
+func Get(capHint int) []float64 {
+	h, _ := bufPool.Get().(*[]float64)
+	if h == nil {
+		return make([]float64, 0, capHint)
+	}
+	b := *h
+	*h = nil
+	hdrPool.Put(h)
+	if cap(b) < capHint {
+		return make([]float64, 0, capHint)
+	}
+	return b[:0]
+}
+
+// Put returns a buffer to the pool. The caller must not use buf afterwards.
+// Nil and zero-capacity buffers are dropped.
+func Put(buf []float64) {
+	if cap(buf) == 0 {
+		return
+	}
+	h, _ := hdrPool.Get().(*[]float64)
+	if h == nil {
+		h = new([]float64)
+	}
+	*h = buf[:0]
+	bufPool.Put(h)
+}

@@ -1,0 +1,47 @@
+package wire
+
+import (
+	"testing"
+
+	"picpar/internal/raceflag"
+)
+
+func TestGetPutRoundTrip(t *testing.T) {
+	b := Get(100)
+	if len(b) != 0 {
+		t.Fatalf("Get returned len %d, want 0", len(b))
+	}
+	if cap(b) < 100 {
+		t.Fatalf("Get(100) cap %d, want >= 100", cap(b))
+	}
+	b = append(b, 1, 2, 3)
+	Put(b)
+	c := Get(10)
+	if len(c) != 0 {
+		t.Fatalf("recycled buffer has len %d, want 0", len(c))
+	}
+	Put(c)
+}
+
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race detector distorts allocation counts")
+	}
+	Put(Get(4096)) // warm both pools
+	if allocs := testing.AllocsPerRun(50, func() {
+		b := Get(4096)
+		b = append(b, 1)
+		Put(b)
+	}); allocs != 0 {
+		t.Errorf("warm Get/Put cycle: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestPutNilAndTiny(t *testing.T) {
+	Put(nil) // must not panic or poison the pool
+	b := Get(0)
+	if b == nil || len(b) != 0 {
+		t.Fatalf("Get(0) = %v, want empty non-nil buffer", b)
+	}
+	Put(b)
+}

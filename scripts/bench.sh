@@ -1,0 +1,8 @@
+#!/bin/sh
+# Run the wall-clock perf-regression harness: hot-path benchmarks with
+# allocation counts, snapshotted to bench/BENCH_<date>.json and compared
+# against the previous snapshot. Extra arguments pass through to picbench
+# (e.g. -benchtime 100x -bench-tol 0.5).
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./cmd/picbench -bench "$@"

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Full CI gate: vet, build, race-enabled tests, and a short benchmark smoke
+# run that exercises the radix sort and allocation assertions.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== bench smoke =="
+go test -run NONE -bench BenchmarkLocalSort -benchtime 100x -benchmem .
+
+echo "CI OK"
