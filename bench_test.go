@@ -166,8 +166,7 @@ func unsortedStore(rng *rand.Rand, n int) *particle.Store {
 // BenchmarkLocalSort measures the radix sort + permutation apply behind
 // every LocalSort call, at 32k particles. Steady state allocates nothing.
 func BenchmarkLocalSort(b *testing.B) {
-	w := comm.NewWorld(1, machine.Zero())
-	w.Run(func(r *comm.Rank) {
+		comm.Launch(1, machine.Zero(), func(r comm.Transport) {
 		rng := rand.New(rand.NewSource(1))
 		ref := unsortedStore(rng, localSortN)
 		s := ref.Clone()
@@ -207,8 +206,7 @@ func TestLocalSortSteadyStateAllocs(t *testing.T) {
 	if raceflag.Enabled {
 		t.Skip("race detector distorts allocation counts")
 	}
-	w := comm.NewWorld(1, machine.Zero())
-	w.Run(func(r *comm.Rank) {
+		comm.Launch(1, machine.Zero(), func(r comm.Transport) {
 		rng := rand.New(rand.NewSource(7))
 		ref := unsortedStore(rng, 4096)
 		s := ref.Clone()

@@ -1,3 +1,9 @@
+// Collectives, built exclusively from the Transport primitives. They are
+// free functions rather than backend methods so that any decorator wrapping
+// a Transport (e.g. the Tracer) observes every point-to-point message a
+// collective moves, and so that alternative backends get the full
+// collective surface for free.
+
 package comm
 
 import (
@@ -10,28 +16,29 @@ import (
 // rounds in which rank i signals (i+2^k) mod p and waits for (i−2^k) mod p.
 // Because receives are causal, every rank's clock leaves the barrier at a
 // time no earlier than every other rank's entry time.
-func (r *Rank) Barrier() {
-	p := r.P
+func Barrier(t Transport) {
+	p := t.Size()
 	if p == 1 {
 		return
 	}
+	id := t.Rank()
 	for k := 1; k < p; k <<= 1 {
-		dst := (r.ID + k) % p
-		src := (r.ID - k + p) % p
-		r.Send(dst, tagBarrier, nil, 0)
-		r.Recv(src, tagBarrier)
+		dst := (id + k) % p
+		src := (id - k + p) % p
+		t.Send(dst, tagBarrier, nil, 0)
+		t.Recv(src, tagBarrier)
 	}
 }
 
 // Bcast broadcasts body (of nbytes) from root along a binomial tree and
 // returns the received value on every rank (the root returns body itself).
-func (r *Rank) Bcast(root int, body any, nbytes int) any {
-	p := r.P
+func Bcast(t Transport, root int, body any, nbytes int) any {
+	p := t.Size()
 	if p == 1 {
 		return body
 	}
-	vr := (r.ID - root + p) % p // virtual rank with root at 0
-	hb := 0                     // highest set bit of vr (0 for the root)
+	vr := (t.Rank() - root + p) % p // virtual rank with root at 0
+	hb := 0                         // highest set bit of vr (0 for the root)
 	for b := 1; b <= vr; b <<= 1 {
 		if vr&b != 0 {
 			hb = b
@@ -43,12 +50,12 @@ func (r *Rank) Bcast(root int, body any, nbytes int) any {
 	} else {
 		// Parent in the binomial tree: clear the highest set bit.
 		parent := ((vr - hb) + root) % p
-		val = r.Recv(parent, tagBcast)
+		val, _ = t.Recv(parent, tagBcast)
 	}
 	// Children of vr are vr+2^k for every 2^k above vr's highest set bit.
 	for mask := nextPow2(p) >> 1; mask > hb; mask >>= 1 {
 		if child := vr + mask; child < p {
-			r.Send((child+root)%p, tagBcast, val, nbytes)
+			t.Send((child+root)%p, tagBcast, val, nbytes)
 		}
 	}
 	return val
@@ -64,20 +71,20 @@ func nextPow2(n int) int {
 
 // ReduceFloat64 reduces one float64 per rank to root with op (must be
 // associative and commutative). Non-root ranks return 0.
-func (r *Rank) ReduceFloat64(root int, x float64, op func(a, b float64) float64) float64 {
-	p := r.P
-	vr := (r.ID - root + p) % p
+func ReduceFloat64(t Transport, root int, x float64, op func(a, b float64) float64) float64 {
+	p := t.Size()
+	vr := (t.Rank() - root + p) % p
 	acc := x
 	for mask := 1; mask < nextPow2(p); mask <<= 1 {
 		if vr&mask != 0 {
 			parent := (vr - mask + root) % p
-			r.Send(parent, tagReduce, acc, Float64Bytes)
+			t.Send(parent, tagReduce, acc, Float64Bytes)
 			return 0
 		}
 		if child := vr + mask; child < p {
-			v := r.Recv((child+root)%p, tagReduce).(float64)
-			acc = op(acc, v)
-			r.Compute(1)
+			body, _ := t.Recv((child+root)%p, tagReduce)
+			acc = op(acc, body.(float64))
+			t.Compute(1)
 		}
 	}
 	return acc
@@ -85,38 +92,39 @@ func (r *Rank) ReduceFloat64(root int, x float64, op func(a, b float64) float64)
 
 // AllreduceFloat64 reduces one float64 per rank with op and returns the
 // result on every rank (reduce-to-root then broadcast; correct for any p).
-func (r *Rank) AllreduceFloat64(x float64, op func(a, b float64) float64) float64 {
-	v := r.ReduceFloat64(0, x, op)
-	return r.Bcast(0, v, Float64Bytes).(float64)
+func AllreduceFloat64(t Transport, x float64, op func(a, b float64) float64) float64 {
+	v := ReduceFloat64(t, 0, x, op)
+	return Bcast(t, 0, v, Float64Bytes).(float64)
 }
 
 // AllreduceSumFloat64s element-wise sums a vector across ranks, returning
 // the full sum on every rank. This is the dominant global operation of the
 // replicated-mesh (Lubeck–Faber style) baseline.
-func (r *Rank) AllreduceSumFloat64s(x []float64) []float64 {
+func AllreduceSumFloat64s(t Transport, x []float64) []float64 {
 	acc := append([]float64(nil), x...)
-	vr := r.ID
-	for mask := 1; mask < nextPow2(r.P); mask <<= 1 {
+	vr := t.Rank()
+	p := t.Size()
+	for mask := 1; mask < nextPow2(p); mask <<= 1 {
 		if vr&mask != 0 {
-			r.SendFloat64s(vr-mask, tagReduce, acc)
+			SendFloat64s(t, vr-mask, tagReduce, acc)
 			acc = nil
 			break
 		}
-		if child := vr + mask; child < r.P {
-			v := r.RecvFloat64s(child, tagReduce)
+		if child := vr + mask; child < p {
+			v := RecvFloat64s(t, child, tagReduce)
 			for i := range acc {
 				acc[i] += v[i]
 			}
-			r.Compute(len(acc))
+			t.Compute(len(acc))
 		}
 	}
-	out := r.Bcast(0, acc, len(x)*Float64Bytes)
+	out := Bcast(t, 0, acc, len(x)*Float64Bytes)
 	return out.([]float64)
 }
 
 // AllreduceMaxFloat64 returns the maximum of x over all ranks, on all ranks.
-func (r *Rank) AllreduceMaxFloat64(x float64) float64 {
-	return r.AllreduceFloat64(x, func(a, b float64) float64 {
+func AllreduceMaxFloat64(t Transport, x float64) float64 {
+	return AllreduceFloat64(t, x, func(a, b float64) float64 {
 		if a > b {
 			return a
 		}
@@ -125,8 +133,8 @@ func (r *Rank) AllreduceMaxFloat64(x float64) float64 {
 }
 
 // AllreduceSumInt returns the sum of x over all ranks, on all ranks.
-func (r *Rank) AllreduceSumInt(x int) int {
-	v := r.AllreduceFloat64(float64(x), func(a, b float64) float64 { return a + b })
+func AllreduceSumInt(t Transport, x int) int {
+	v := AllreduceFloat64(t, float64(x), func(a, b float64) float64 { return a + b })
 	return int(v + 0.5)
 }
 
@@ -135,21 +143,23 @@ func (r *Rank) AllreduceSumInt(x int) int {
 // Implemented as a ring: p−1 steps each forwarding one block, so the cost is
 // (p−1)·(τ + |block|·μ) — the global-concatenate term of the paper's
 // analysis.
-func Allgather[T any](r *Rank, block []T, elemBytes int) []T {
-	p := r.P
+func Allgather[T any](t Transport, block []T, elemBytes int) []T {
+	p := t.Size()
+	id := t.Rank()
 	n := len(block)
 	out := make([]T, n*p)
-	copy(out[r.ID*n:], block)
+	copy(out[id*n:], block)
 	if p == 1 {
 		return out
 	}
-	next := (r.ID + 1) % p
-	prev := (r.ID - 1 + p) % p
+	next := (id + 1) % p
+	prev := (id - 1 + p) % p
 	cur := append([]T(nil), block...)
-	curOwner := r.ID
+	curOwner := id
 	for step := 0; step < p-1; step++ {
-		r.Send(next, tagAllgather, cur, n*elemBytes)
-		cur = r.Recv(prev, tagAllgather).([]T)
+		t.Send(next, tagAllgather, cur, n*elemBytes)
+		body, _ := t.Recv(prev, tagAllgather)
+		cur = body.([]T)
 		curOwner = (curOwner - 1 + p) % p
 		copy(out[curOwner*n:], cur)
 	}
@@ -157,28 +167,30 @@ func Allgather[T any](r *Rank, block []T, elemBytes int) []T {
 }
 
 // AllgatherInts gathers fixed-size int blocks from all ranks.
-func (r *Rank) AllgatherInts(block []int) []int { return Allgather(r, block, IntBytes) }
+func AllgatherInts(t Transport, block []int) []int { return Allgather(t, block, IntBytes) }
 
 // AllgatherFloat64s gathers fixed-size float64 blocks from all ranks. It
 // performs exactly the same ring exchange as the generic Allgather (so the
 // simulated cost is identical) but draws its ring buffer from the wire
 // pool and returns the last-held block to it, keeping the per-call
 // allocation down to the result slice.
-func (r *Rank) AllgatherFloat64s(block []float64) []float64 {
-	p := r.P
+func AllgatherFloat64s(t Transport, block []float64) []float64 {
+	p := t.Size()
+	id := t.Rank()
 	n := len(block)
 	out := make([]float64, n*p)
-	copy(out[r.ID*n:], block)
+	copy(out[id*n:], block)
 	if p == 1 {
 		return out
 	}
-	next := (r.ID + 1) % p
-	prev := (r.ID - 1 + p) % p
+	next := (id + 1) % p
+	prev := (id - 1 + p) % p
 	cur := append(wire.Get(n), block...)
-	curOwner := r.ID
+	curOwner := id
 	for step := 0; step < p-1; step++ {
-		r.Send(next, tagAllgather, cur, n*Float64Bytes)
-		cur = r.Recv(prev, tagAllgather).([]float64)
+		t.Send(next, tagAllgather, cur, n*Float64Bytes)
+		body, _ := t.Recv(prev, tagAllgather)
+		cur = body.([]float64)
 		curOwner = (curOwner - 1 + p) % p
 		copy(out[curOwner*n:], cur)
 	}
@@ -191,14 +203,15 @@ func (r *Rank) AllgatherFloat64s(block []float64) []float64 {
 // recvCounts[s], the number of elements rank s will send here. This is the
 // "global concatenate the myId row of table" step of the paper's
 // redistribution algorithm (Figure 12, line 15).
-func (r *Rank) ExchangeCounts(sendCounts []int) (recvCounts []int) {
-	if len(sendCounts) != r.P {
-		panic(fmt.Sprintf("comm: ExchangeCounts len=%d want P=%d", len(sendCounts), r.P))
+func ExchangeCounts(t Transport, sendCounts []int) (recvCounts []int) {
+	p := t.Size()
+	if len(sendCounts) != p {
+		panic(fmt.Sprintf("comm: ExchangeCounts len=%d want P=%d", len(sendCounts), p))
 	}
-	table := r.AllgatherInts(sendCounts)
-	recvCounts = make([]int, r.P)
-	for s := 0; s < r.P; s++ {
-		recvCounts[s] = table[s*r.P+r.ID]
+	table := AllgatherInts(t, sendCounts)
+	recvCounts = make([]int, p)
+	for s := 0; s < p; s++ {
+		recvCounts[s] = table[s*p+t.Rank()]
 	}
 	return recvCounts
 }
@@ -211,24 +224,26 @@ func (r *Rank) ExchangeCounts(sendCounts []int) (recvCounts []int) {
 //
 // The schedule is the classic staggered pairwise exchange: at step s, send
 // to (id+s) mod p and receive from (id−s) mod p.
-func AllToMany[T any](r *Rank, send [][]T, recvCounts []int, elemBytes int) [][]T {
-	p := r.P
+func AllToMany[T any](t Transport, send [][]T, recvCounts []int, elemBytes int) [][]T {
+	p := t.Size()
+	id := t.Rank()
 	if len(send) != p || len(recvCounts) != p {
 		panic(fmt.Sprintf("comm: AllToMany len(send)=%d len(recvCounts)=%d want P=%d",
 			len(send), len(recvCounts), p))
 	}
 	recv := make([][]T, p)
-	if len(send[r.ID]) > 0 {
-		recv[r.ID] = send[r.ID]
+	if len(send[id]) > 0 {
+		recv[id] = send[id]
 	}
 	for s := 1; s < p; s++ {
-		dst := (r.ID + s) % p
-		src := (r.ID - s + p) % p
+		dst := (id + s) % p
+		src := (id - s + p) % p
 		if len(send[dst]) > 0 {
-			r.Send(dst, tagAlltoMany, send[dst], len(send[dst])*elemBytes)
+			t.Send(dst, tagAlltoMany, send[dst], len(send[dst])*elemBytes)
 		}
 		if recvCounts[src] > 0 {
-			recv[src] = r.Recv(src, tagAlltoMany).([]T)
+			body, _ := t.Recv(src, tagAlltoMany)
+			recv[src] = body.([]T)
 			if len(recv[src]) != recvCounts[src] {
 				panic(fmt.Sprintf("comm: all-to-many size mismatch from %d: got %d want %d",
 					src, len(recv[src]), recvCounts[src]))
@@ -239,27 +254,14 @@ func AllToMany[T any](r *Rank, send [][]T, recvCounts []int, elemBytes int) [][]
 }
 
 // AllToManyFloat64s is AllToMany for float64 payloads.
-func (r *Rank) AllToManyFloat64s(send [][]float64, recvCounts []int) [][]float64 {
-	return AllToMany(r, send, recvCounts, Float64Bytes)
-}
-
-// Expose publishes v and returns every rank's published value, indexed by
-// rank. It is an out-of-band measurement channel: the values do not travel
-// the modelled network, so only the two enclosing barriers are charged.
-// Use it for instrumentation (collecting timings and counters that a real
-// run would log locally and merge offline), never for algorithm data.
-func (r *Rank) Expose(v any) []any {
-	r.world.scratch[r.ID] = v
-	r.Barrier() // all publications complete
-	out := append([]any(nil), r.world.scratch...)
-	r.Barrier() // all reads complete before anyone publishes again
-	return out
+func AllToManyFloat64s(t Transport, send [][]float64, recvCounts []int) [][]float64 {
+	return AllToMany(t, send, recvCounts, Float64Bytes)
 }
 
 // ExposeMaxFloat64 returns the maximum over ranks of a float64 measurement,
 // free of modelled network cost except two barriers.
-func (r *Rank) ExposeMaxFloat64(v float64) float64 {
-	all := r.Expose(v)
+func ExposeMaxFloat64(t Transport, v float64) float64 {
+	all := t.Expose(v)
 	m := v
 	for _, x := range all {
 		if f := x.(float64); f > m {
@@ -270,8 +272,8 @@ func (r *Rank) ExposeMaxFloat64(v float64) float64 {
 }
 
 // ExposeMaxFloat64s element-wise maximises a measurement vector over ranks.
-func (r *Rank) ExposeMaxFloat64s(v []float64) []float64 {
-	all := r.Expose(v)
+func ExposeMaxFloat64s(t Transport, v []float64) []float64 {
+	all := t.Expose(v)
 	out := append([]float64(nil), v...)
 	for _, x := range all {
 		vec := x.([]float64)
@@ -285,8 +287,8 @@ func (r *Rank) ExposeMaxFloat64s(v []float64) []float64 {
 }
 
 // ExposeSumFloat64 returns the sum over ranks of a float64 measurement.
-func (r *Rank) ExposeSumFloat64(v float64) float64 {
-	all := r.Expose(v)
+func ExposeSumFloat64(t Transport, v float64) float64 {
+	all := t.Expose(v)
 	s := 0.0
 	for _, x := range all {
 		s += x.(float64)
@@ -297,13 +299,14 @@ func (r *Rank) ExposeSumFloat64(v float64) float64 {
 // ScanSumInt returns the exclusive prefix sum of x over ranks: rank i gets
 // x₀+…+x_{i−1} (rank 0 gets 0). Linear chain; used by the order-maintaining
 // load balance.
-func (r *Rank) ScanSumInt(x int) int {
+func ScanSumInt(t Transport, x int) int {
 	acc := 0
-	if r.ID > 0 {
-		acc = r.Recv(r.ID-1, tagScan).(int)
+	if t.Rank() > 0 {
+		body, _ := t.Recv(t.Rank()-1, tagScan)
+		acc = body.(int)
 	}
-	if r.ID+1 < r.P {
-		r.Send(r.ID+1, tagScan, acc+x, IntBytes)
+	if t.Rank()+1 < t.Size() {
+		t.Send(t.Rank()+1, tagScan, acc+x, IntBytes)
 	}
 	return acc
 }

@@ -1,24 +1,34 @@
-// Package comm is a hand-rolled message-passing substrate: an SPMD runtime
-// in which each rank of a distributed-memory machine runs as a goroutine and
+// Package comm is the transport layer of the stack: an SPMD runtime in
+// which each rank of a distributed-memory machine runs as a goroutine and
 // all interaction happens through explicit messages. It plays the role CMMD
 // played on the CM-5 in the original paper.
 //
-// Point-to-point sends and receives are the only primitive; every collective
-// (barrier, broadcast, reduce, allreduce, allgather/"global concatenate",
-// all-to-many exchange) is built from them, so the τ and μ terms of the
-// two-level cost model accumulate exactly as the published complexity
-// analysis predicts.
+// The layer is split along the Transport interface. Engine-layer code
+// (psort, field, pic, replicated, experiments, …) is written against
+// Transport only; the goroutine-channel World here is one backend behind
+// it, and decorators such as the Tracer wrap any backend without the
+// algorithms noticing. Every collective (barrier, broadcast, reduce,
+// allreduce, allgather/"global concatenate", all-to-many exchange) is a
+// free function built from the point-to-point Send/Recv primitives — never
+// a backend method — so the τ and μ terms of the two-level cost model
+// accumulate exactly as the published complexity analysis predicts and a
+// decorator observes collective traffic message by message.
 //
 // Simulated time: the sender charges τ + n·μ to its clock when a message of
 // n bytes is posted; the receiver charges τ + n·μ and additionally advances
 // to at least the sender's post-send clock, making message consumption
 // causal. Execution time of a region is the maximum clock advance over
-// ranks.
+// ranks. All charges flow through the rank's machine.Clock (the Clock
+// seam), so an alternative Clock implementation changes the notion of time
+// without touching this package's protocols.
 package comm
 
 import (
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"picpar/internal/machine"
 )
@@ -42,6 +52,49 @@ const (
 // TagUser is the first tag value free for application use.
 const TagUser Tag = 0
 
+// Transport is the per-rank communication endpoint the engine layer is
+// written against. It exposes exactly the primitives: identity, point-to-
+// point messaging, the out-of-band Expose channel, and the cost-model
+// charging surface. Collectives are free functions over Transport (Barrier,
+// Bcast, Allgather, AllToMany, …), so a decorator wrapping Send/Recv sees
+// every message a collective moves.
+//
+// A Transport is owned by one goroutine and must not be shared.
+type Transport interface {
+	// Rank returns this endpoint's id in [0, Size()).
+	Rank() int
+	// Size returns the number of ranks in the world.
+	Size() int
+	// Send posts a message of nbytes modelled bytes to dst. The body may
+	// be any value; ownership transfers to the receiver (the sender must
+	// not mutate it afterwards — the substrate does not copy).
+	Send(dst int, tag Tag, body any, nbytes int)
+	// Recv blocks until a message with the given tag arrives from src and
+	// returns its body and modelled size in bytes. Messages from src with
+	// other tags are queued for later Recv calls, preserving per-(src,tag)
+	// FIFO order.
+	Recv(src int, tag Tag) (body any, nbytes int)
+	// Expose publishes v and returns every rank's published value, indexed
+	// by rank. It is an out-of-band measurement channel: the values do not
+	// travel the modelled network, so only the two enclosing barriers are
+	// charged. Use it for instrumentation (collecting timings and counters
+	// that a real run would log locally and merge offline), never for
+	// algorithm data.
+	Expose(v any) []any
+	// Compute charges n units of local computation (n·δ) to the clock and
+	// the current phase.
+	Compute(n int)
+	// ComputeTime charges t simulated seconds of local computation directly.
+	ComputeTime(t float64)
+	// SetPhase selects the accounting phase for subsequent operations.
+	SetPhase(p machine.Phase)
+	// Clock returns this rank's clock — the seam through which every δ/τ/μ
+	// charge flows.
+	Clock() machine.Clock
+	// Stats returns this rank's per-phase accounting ledger.
+	Stats() *machine.Stats
+}
+
 type message struct {
 	tag    Tag
 	bytes  int
@@ -49,8 +102,9 @@ type message struct {
 	body   any
 }
 
-// World is a set of P ranks plus their mailboxes. Create one with NewWorld
-// and execute SPMD programs with Run.
+// World is the channel-backed Transport backend: a set of P ranks plus
+// their mailboxes. Create one with NewWorld and execute SPMD programs with
+// Run (or use the Launch convenience for the common case).
 type World struct {
 	P      int
 	Params machine.Params
@@ -59,6 +113,15 @@ type World struct {
 	boxes []chan message
 	// scratch is the out-of-band publication area used by Expose.
 	scratch []any
+
+	// watchdog, when positive, bounds how long a rank may block inside one
+	// Send (mailbox full past DefaultMailboxDepth) or Recv before the rank
+	// panics with a diagnostic naming who is blocked on which tag. Zero
+	// (the default) disables the watchdog entirely.
+	watchdog time.Duration
+	// blocked[i] describes what rank i is currently blocked on, for the
+	// watchdog's deadlock report; nil when the rank is making progress.
+	blocked []atomic.Pointer[string]
 }
 
 // DefaultMailboxDepth is the per-channel buffering. Deep enough that
@@ -77,30 +140,58 @@ func NewWorld(p int, params machine.Params) *World {
 	for i := range w.boxes {
 		w.boxes[i] = make(chan message, DefaultMailboxDepth)
 	}
+	w.blocked = make([]atomic.Pointer[string], p)
 	return w
+}
+
+// SetWatchdog arms the deadlock watchdog: any single Send or Recv that
+// blocks longer than d panics with a diagnostic listing every blocked rank
+// and the tag it is stuck on, instead of hanging the process. Every blocked
+// rank trips its own watchdog, so Run's WaitGroup always drains and the
+// first panic is re-raised on the caller. Call before Run; d <= 0 disables.
+func (w *World) SetWatchdog(d time.Duration) { w.watchdog = d }
+
+// Launch runs fn as an SPMD program on p ranks of a fresh channel-backed
+// world with the given machine parameters and returns the per-rank stats.
+// It is the standard entry point for engine-layer code, which needs no
+// handle on the backend itself.
+func Launch(p int, params machine.Params, fn func(t Transport)) machine.WorldStats {
+	return NewWorld(p, params).Run(fn)
 }
 
 // Run executes fn on every rank concurrently and returns the per-rank stats
 // ledgers once all ranks have returned. A panic on any rank is re-raised on
 // the caller after all other ranks finish or block permanently; the runtime
-// deadlock detector then identifies stuck protocols in tests.
-func (w *World) Run(fn func(r *Rank)) machine.WorldStats {
-	ranks := make([]*Rank, w.P)
+// deadlock detector (or the watchdog, if armed) then identifies stuck
+// protocols in tests.
+func (w *World) Run(fn func(t Transport)) machine.WorldStats {
+	return w.RunWrapped(nil, fn)
+}
+
+// RunWrapped is Run with a decorator: if wrap is non-nil, each rank's
+// Transport is passed through wrap before fn sees it, so decorators such as
+// the Tracer interpose on every rank uniformly.
+func (w *World) RunWrapped(wrap func(Transport) Transport, fn func(t Transport)) machine.WorldStats {
+	ranks := make([]*rank, w.P)
 	for i := 0; i < w.P; i++ {
-		ranks[i] = &Rank{ID: i, P: w.P, world: w}
+		ranks[i] = &rank{id: i, p: w.P, clock: machine.NewSimClock(), world: w}
 	}
 	var wg sync.WaitGroup
 	panics := make(chan any, w.P)
 	for i := 0; i < w.P; i++ {
 		wg.Add(1)
-		go func(r *Rank) {
+		go func(r *rank) {
 			defer wg.Done()
 			defer func() {
 				if e := recover(); e != nil {
-					panics <- fmt.Sprintf("rank %d: %v", r.ID, e)
+					panics <- fmt.Sprintf("rank %d: %v", r.id, e)
 				}
 			}()
-			fn(r)
+			t := Transport(r)
+			if wrap != nil {
+				t = wrap(t)
+			}
+			fn(t)
 		}(ranks[i])
 	}
 	wg.Wait()
@@ -111,19 +202,19 @@ func (w *World) Run(fn func(r *Rank)) machine.WorldStats {
 	}
 	ws := machine.WorldStats{Ranks: make([]machine.Stats, w.P)}
 	for i, r := range ranks {
-		ws.Ranks[i] = r.Stats
+		ws.Ranks[i] = r.stats
 	}
 	return ws
 }
 
-// Rank is the per-processor handle passed to SPMD programs. It is owned by
-// one goroutine and must not be shared.
-type Rank struct {
-	ID int // this rank's id in [0, P)
-	P  int // number of ranks
+// rank is the channel-backed Transport implementation. It is owned by one
+// goroutine and must not be shared.
+type rank struct {
+	id int // this rank's id in [0, p)
+	p  int // number of ranks
 
-	Clock machine.Clock
-	Stats machine.Stats
+	clock machine.Clock
+	stats machine.Stats
 
 	world *World
 	// pending holds messages pulled off a mailbox while looking for a
@@ -131,64 +222,97 @@ type Rank struct {
 	pending [][]message
 }
 
-// Compute charges n units of local computation (n·δ) to the clock and the
-// current phase.
-func (r *Rank) Compute(n int) {
+// Rank implements Transport.
+func (r *rank) Rank() int { return r.id }
+
+// Size implements Transport.
+func (r *rank) Size() int { return r.p }
+
+// Clock implements Transport.
+func (r *rank) Clock() machine.Clock { return r.clock }
+
+// Stats implements Transport.
+func (r *rank) Stats() *machine.Stats { return &r.stats }
+
+// Compute implements Transport.
+func (r *rank) Compute(n int) {
 	if n <= 0 {
 		return
 	}
 	c := r.world.Params.ComputeCost(n)
-	r.Clock.Advance(c)
-	r.Stats.RecordCompute(c)
+	r.clock.Advance(c)
+	r.stats.RecordCompute(c)
 }
 
-// ComputeTime charges t simulated seconds of local computation directly.
-func (r *Rank) ComputeTime(t float64) {
+// ComputeTime implements Transport.
+func (r *rank) ComputeTime(t float64) {
 	if t <= 0 {
 		return
 	}
-	r.Clock.Advance(t)
-	r.Stats.RecordCompute(t)
+	r.clock.Advance(t)
+	r.stats.RecordCompute(t)
 }
 
-// SetPhase selects the accounting phase for subsequent operations.
-func (r *Rank) SetPhase(p machine.Phase) { r.Stats.SetPhase(p) }
+// SetPhase implements Transport.
+func (r *rank) SetPhase(p machine.Phase) { r.stats.SetPhase(p) }
 
-// Send posts a message of nbytes modelled bytes to dst. The body may be any
-// value; ownership transfers to the receiver (the sender must not mutate it
-// afterwards — the substrate does not copy).
-func (r *Rank) Send(dst int, tag Tag, body any, nbytes int) {
-	if dst < 0 || dst >= r.P {
-		panic(fmt.Sprintf("comm: send to invalid rank %d (P=%d)", dst, r.P))
+// Send implements Transport.
+func (r *rank) Send(dst int, tag Tag, body any, nbytes int) {
+	if dst < 0 || dst >= r.p {
+		panic(fmt.Sprintf("comm: send to invalid rank %d (P=%d)", dst, r.p))
 	}
-	if dst == r.ID {
+	if dst == r.id {
 		// Self-sends bypass the network: no τ/μ charge, matching the
 		// model where local data movement is part of computation.
-		r.deliverLocal(message{tag: tag, bytes: nbytes, sentAt: r.Clock.Now(), body: body})
+		r.deliverLocal(message{tag: tag, bytes: nbytes, sentAt: r.clock.Now(), body: body})
 		return
 	}
 	cost := r.world.Params.MsgCost(nbytes)
-	r.Clock.Advance(cost)
-	r.Stats.RecordSend(nbytes, cost)
-	r.world.boxes[dst*r.P+r.ID] <- message{tag: tag, bytes: nbytes, sentAt: r.Clock.Now(), body: body}
+	r.clock.Advance(cost)
+	r.stats.RecordSend(nbytes, cost)
+	r.post(dst, message{tag: tag, bytes: nbytes, sentAt: r.clock.Now(), body: body})
 }
 
-func (r *Rank) deliverLocal(m message) {
-	if r.pending == nil {
-		r.pending = make([][]message, r.P)
+// post enqueues m for dst, tripping the watchdog if the mailbox stays full
+// (past DefaultMailboxDepth of buffering) longer than the deadline.
+func (r *rank) post(dst int, m message) {
+	box := r.world.boxes[dst*r.p+r.id]
+	if r.world.watchdog <= 0 {
+		box <- m
+		return
 	}
-	r.pending[r.ID] = append(r.pending[r.ID], m)
+	select {
+	case box <- m:
+		return
+	default:
+	}
+	desc := fmt.Sprintf("rank %d blocked sending tag %d to rank %d (mailbox full at depth %d)",
+		r.id, m.tag, dst, cap(box))
+	r.world.blocked[r.id].Store(&desc)
+	timer := time.NewTimer(r.world.watchdog)
+	defer timer.Stop()
+	select {
+	case box <- m:
+		r.world.blocked[r.id].Store(nil)
+	case <-timer.C:
+		panic(r.world.deadlockReport(desc))
+	}
 }
 
-// Recv blocks until a message with the given tag arrives from src and
-// returns its body. Messages from src with other tags are queued for later
-// Recv calls, preserving per-(src,tag) FIFO order.
-func (r *Rank) Recv(src int, tag Tag) any {
-	if src < 0 || src >= r.P {
-		panic(fmt.Sprintf("comm: recv from invalid rank %d (P=%d)", src, r.P))
+func (r *rank) deliverLocal(m message) {
+	if r.pending == nil {
+		r.pending = make([][]message, r.p)
+	}
+	r.pending[r.id] = append(r.pending[r.id], m)
+}
+
+// Recv implements Transport.
+func (r *rank) Recv(src int, tag Tag) (any, int) {
+	if src < 0 || src >= r.p {
+		panic(fmt.Sprintf("comm: recv from invalid rank %d (P=%d)", src, r.p))
 	}
 	if r.pending == nil {
-		r.pending = make([][]message, r.P)
+		r.pending = make([][]message, r.p)
 	}
 	// Check messages already pulled off the wire.
 	q := r.pending[src]
@@ -199,12 +323,12 @@ func (r *Rank) Recv(src int, tag Tag) any {
 			return r.consume(src, m)
 		}
 	}
-	if src == r.ID {
-		panic(fmt.Sprintf("comm: rank %d self-recv tag %d with no matching self-send", r.ID, tag))
+	if src == r.id {
+		panic(fmt.Sprintf("comm: rank %d self-recv tag %d with no matching self-send", r.id, tag))
 	}
-	box := r.world.boxes[r.ID*r.P+src]
+	box := r.world.boxes[r.id*r.p+src]
 	for {
-		m := <-box
+		m := r.pull(box, src, tag)
 		if m.tag == tag {
 			return r.consume(src, m)
 		}
@@ -212,25 +336,79 @@ func (r *Rank) Recv(src int, tag Tag) any {
 	}
 }
 
-func (r *Rank) consume(src int, m message) any {
-	if src == r.ID {
-		return m.body // local delivery is free
+// pull takes the next message off box, tripping the watchdog if nothing
+// arrives before the deadline.
+func (r *rank) pull(box chan message, src int, tag Tag) message {
+	if r.world.watchdog <= 0 {
+		return <-box
+	}
+	select {
+	case m := <-box:
+		return m
+	default:
+	}
+	desc := fmt.Sprintf("rank %d blocked receiving tag %d from rank %d", r.id, tag, src)
+	r.world.blocked[r.id].Store(&desc)
+	timer := time.NewTimer(r.world.watchdog)
+	defer timer.Stop()
+	select {
+	case m := <-box:
+		r.world.blocked[r.id].Store(nil)
+		return m
+	case <-timer.C:
+		panic(r.world.deadlockReport(desc))
+	}
+}
+
+// deadlockReport formats the watchdog diagnostic: the tripping rank's own
+// blocking operation plus whatever every other rank is blocked on.
+func (w *World) deadlockReport(self string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "comm: deadlock watchdog fired after %v: %s", w.watchdog, self)
+	var others []string
+	for i := range w.blocked {
+		if s := w.blocked[i].Load(); s != nil && *s != self {
+			others = append(others, *s)
+		}
+	}
+	if len(others) > 0 {
+		fmt.Fprintf(&b, "; also blocked: %s", strings.Join(others, "; "))
+	}
+	return b.String()
+}
+
+func (r *rank) consume(src int, m message) (any, int) {
+	if src == r.id {
+		return m.body, m.bytes // local delivery is free
 	}
 	cost := r.world.Params.MsgCost(m.bytes)
-	r.Clock.AdvanceTo(m.sentAt)
-	r.Clock.Advance(cost)
-	r.Stats.RecordRecv(m.bytes, cost)
-	return m.body
+	r.clock.AdvanceTo(m.sentAt)
+	r.clock.Advance(cost)
+	r.stats.RecordRecv(m.bytes, cost)
+	return m.body, m.bytes
+}
+
+// Expose implements Transport. The enclosing barriers run on this backend
+// rank directly; a decorator wrapping the transport does not observe them
+// (Expose is out-of-band by contract).
+func (r *rank) Expose(v any) []any {
+	r.world.scratch[r.id] = v
+	Barrier(r) // all publications complete
+	out := append([]any(nil), r.world.scratch...)
+	Barrier(r) // all reads complete before anyone publishes again
+	return out
 }
 
 // RecvFloat64s receives a []float64 message.
-func (r *Rank) RecvFloat64s(src int, tag Tag) []float64 {
-	return r.Recv(src, tag).([]float64)
+func RecvFloat64s(t Transport, src int, tag Tag) []float64 {
+	body, _ := t.Recv(src, tag)
+	return body.([]float64)
 }
 
 // RecvInts receives an []int message.
-func (r *Rank) RecvInts(src int, tag Tag) []int {
-	return r.Recv(src, tag).([]int)
+func RecvInts(t Transport, src int, tag Tag) []int {
+	body, _ := t.Recv(src, tag)
+	return body.([]int)
 }
 
 // Float64Bytes is the modelled wire size of one float64.
@@ -240,12 +418,12 @@ const Float64Bytes = 8
 const IntBytes = 4
 
 // SendFloat64s sends a []float64 with its natural wire size.
-func (r *Rank) SendFloat64s(dst int, tag Tag, data []float64) {
-	r.Send(dst, tag, data, len(data)*Float64Bytes)
+func SendFloat64s(t Transport, dst int, tag Tag, data []float64) {
+	t.Send(dst, tag, data, len(data)*Float64Bytes)
 }
 
 // SendInts sends an []int with a 4-byte-per-element wire size (indices fit
 // 32 bits at the paper's problem scales).
-func (r *Rank) SendInts(dst int, tag Tag, data []int) {
-	r.Send(dst, tag, data, len(data)*IntBytes)
+func SendInts(t Transport, dst int, tag Tag, data []int) {
+	t.Send(dst, tag, data, len(data)*IntBytes)
 }

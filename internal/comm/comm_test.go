@@ -12,20 +12,20 @@ import (
 var testPs = []int{1, 2, 3, 4, 5, 7, 8, 16}
 
 func TestSendRecvPingPong(t *testing.T) {
-	w := NewWorld(2, machine.Zero())
-	w.Run(func(r *Rank) {
-		if r.ID == 0 {
-			r.SendFloat64s(1, TagUser, []float64{1, 2, 3})
-			got := r.RecvFloat64s(1, TagUser)
+	w := newTestWorld(2, machine.Zero())
+	w.Run(func(r Transport) {
+		if r.Rank() == 0 {
+			SendFloat64s(r, 1, TagUser, []float64{1, 2, 3})
+			got := RecvFloat64s(r, 1, TagUser)
 			if len(got) != 1 || got[0] != 42 {
 				t.Errorf("rank 0 got %v, want [42]", got)
 			}
 		} else {
-			got := r.RecvFloat64s(0, TagUser)
+			got := RecvFloat64s(r, 0, TagUser)
 			if len(got) != 3 || got[2] != 3 {
 				t.Errorf("rank 1 got %v", got)
 			}
-			r.SendFloat64s(0, TagUser, []float64{42})
+			SendFloat64s(r, 0, TagUser, []float64{42})
 		}
 	})
 }
@@ -33,21 +33,21 @@ func TestSendRecvPingPong(t *testing.T) {
 func TestSendRecvTagMatching(t *testing.T) {
 	// Messages with a different tag must be set aside and delivered to a
 	// later matching Recv in FIFO order.
-	w := NewWorld(2, machine.Zero())
-	w.Run(func(r *Rank) {
+	w := newTestWorld(2, machine.Zero())
+	w.Run(func(r Transport) {
 		const tagA, tagB = TagUser, TagUser + 1
-		if r.ID == 0 {
-			r.SendInts(1, tagA, []int{1})
-			r.SendInts(1, tagB, []int{2})
-			r.SendInts(1, tagA, []int{3})
+		if r.Rank() == 0 {
+			SendInts(r, 1, tagA, []int{1})
+			SendInts(r, 1, tagB, []int{2})
+			SendInts(r, 1, tagA, []int{3})
 		} else {
-			if got := r.RecvInts(0, tagB); got[0] != 2 {
+			if got := RecvInts(r, 0, tagB); got[0] != 2 {
 				t.Errorf("tagB got %v, want [2]", got)
 			}
-			if got := r.RecvInts(0, tagA); got[0] != 1 {
+			if got := RecvInts(r, 0, tagA); got[0] != 1 {
 				t.Errorf("first tagA got %v, want [1]", got)
 			}
-			if got := r.RecvInts(0, tagA); got[0] != 3 {
+			if got := RecvInts(r, 0, tagA); got[0] != 3 {
 				t.Errorf("second tagA got %v, want [3]", got)
 			}
 		}
@@ -56,9 +56,9 @@ func TestSendRecvTagMatching(t *testing.T) {
 
 func TestSendChargesCostModel(t *testing.T) {
 	params := machine.Params{Tau: 10, MuPerByte: 1, Delta: 2}
-	w := NewWorld(2, params)
-	ws := w.Run(func(r *Rank) {
-		if r.ID == 0 {
+	w := newTestWorld(2, params)
+	ws := w.Run(func(r Transport) {
+		if r.Rank() == 0 {
 			r.Send(1, TagUser, nil, 16) // cost 10 + 16 = 26
 			r.Compute(3)                // cost 6
 		} else {
@@ -85,16 +85,16 @@ func TestRecvIsCausal(t *testing.T) {
 	// Receiver's clock must end at least at sender's post-send clock plus
 	// the receive cost, even if the receiver did no work of its own.
 	params := machine.Params{Tau: 5, MuPerByte: 0, Delta: 1}
-	w := NewWorld(2, params)
+	w := newTestWorld(2, params)
 	clocks := make([]float64, 2)
-	w.Run(func(r *Rank) {
-		if r.ID == 0 {
+	w.Run(func(r Transport) {
+		if r.Rank() == 0 {
 			r.Compute(100) // clock 100
 			r.Send(1, TagUser, nil, 0)
 		} else {
 			r.Recv(0, TagUser)
 		}
-		clocks[r.ID] = r.Clock.Now()
+		clocks[r.Rank()] = r.Clock().Now()
 	})
 	// Sender: 100 + 5 = 105. Receiver: max(0, 105) + 5 = 110.
 	if clocks[0] != 105 {
@@ -106,10 +106,10 @@ func TestRecvIsCausal(t *testing.T) {
 }
 
 func TestSelfSendRecv(t *testing.T) {
-	w := NewWorld(1, machine.CM5())
-	ws := w.Run(func(r *Rank) {
-		r.SendInts(0, TagUser, []int{7})
-		got := r.RecvInts(0, TagUser)
+	w := newTestWorld(1, machine.CM5())
+	ws := w.Run(func(r Transport) {
+		SendInts(r, 0, TagUser, []int{7})
+		got := RecvInts(r, 0, TagUser)
 		if got[0] != 7 {
 			t.Errorf("self send/recv got %v", got)
 		}
@@ -123,13 +123,13 @@ func TestSelfSendRecv(t *testing.T) {
 func TestBarrierSynchronisesClocks(t *testing.T) {
 	params := machine.Params{Tau: 1, MuPerByte: 0, Delta: 1}
 	for _, p := range testPs {
-		w := NewWorld(p, params)
+		w := newTestWorld(p, params)
 		clocks := make([]float64, p)
-		w.Run(func(r *Rank) {
+		w.Run(func(r Transport) {
 			// Rank i does i*10 units of work, then everyone barriers.
-			r.Compute(r.ID * 10)
-			r.Barrier()
-			clocks[r.ID] = r.Clock.Now()
+			r.Compute(r.Rank() * 10)
+			Barrier(r)
+			clocks[r.Rank()] = r.Clock().Now()
 		})
 		slowest := float64((p - 1) * 10)
 		for i, c := range clocks {
@@ -143,15 +143,15 @@ func TestBarrierSynchronisesClocks(t *testing.T) {
 func TestBcast(t *testing.T) {
 	for _, p := range testPs {
 		for root := 0; root < p; root += max(1, p/3) {
-			w := NewWorld(p, machine.Zero())
-			w.Run(func(r *Rank) {
+			w := newTestWorld(p, machine.Zero())
+			w.Run(func(r Transport) {
 				var body []float64
-				if r.ID == root {
+				if r.Rank() == root {
 					body = []float64{3.14, float64(root)}
 				}
-				got := r.Bcast(root, body, 16).([]float64)
+				got := Bcast(r, root, body, 16).([]float64)
 				if len(got) != 2 || got[0] != 3.14 || got[1] != float64(root) {
-					t.Errorf("p=%d root=%d rank=%d got %v", p, root, r.ID, got)
+					t.Errorf("p=%d root=%d rank=%d got %v", p, root, r.Rank(), got)
 				}
 			})
 		}
@@ -161,15 +161,15 @@ func TestBcast(t *testing.T) {
 func TestReduceFloat64Sum(t *testing.T) {
 	for _, p := range testPs {
 		for root := 0; root < p; root += max(1, p/2) {
-			w := NewWorld(p, machine.Zero())
-			w.Run(func(r *Rank) {
-				got := r.ReduceFloat64(root, float64(r.ID+1), func(a, b float64) float64 { return a + b })
+			w := newTestWorld(p, machine.Zero())
+			w.Run(func(r Transport) {
+				got := ReduceFloat64(r, root, float64(r.Rank()+1), func(a, b float64) float64 { return a + b })
 				want := float64(p*(p+1)) / 2
-				if r.ID == root && got != want {
+				if r.Rank() == root && got != want {
 					t.Errorf("p=%d root=%d reduce sum = %v, want %v", p, root, got, want)
 				}
-				if r.ID != root && got != 0 {
-					t.Errorf("non-root rank %d returned %v, want 0", r.ID, got)
+				if r.Rank() != root && got != 0 {
+					t.Errorf("non-root rank %d returned %v, want 0", r.Rank(), got)
 				}
 			})
 		}
@@ -178,13 +178,13 @@ func TestReduceFloat64Sum(t *testing.T) {
 
 func TestAllreduceFloat64MaxAndSum(t *testing.T) {
 	for _, p := range testPs {
-		w := NewWorld(p, machine.Zero())
-		w.Run(func(r *Rank) {
-			if got := r.AllreduceMaxFloat64(float64(r.ID)); got != float64(p-1) {
-				t.Errorf("p=%d rank=%d allreduce max = %v, want %v", p, r.ID, got, p-1)
+		w := newTestWorld(p, machine.Zero())
+		w.Run(func(r Transport) {
+			if got := AllreduceMaxFloat64(r, float64(r.Rank())); got != float64(p-1) {
+				t.Errorf("p=%d rank=%d allreduce max = %v, want %v", p, r.Rank(), got, p-1)
 			}
-			if got := r.AllreduceSumInt(2); got != 2*p {
-				t.Errorf("p=%d rank=%d allreduce sum int = %v, want %v", p, r.ID, got, 2*p)
+			if got := AllreduceSumInt(r, 2); got != 2*p {
+				t.Errorf("p=%d rank=%d allreduce sum int = %v, want %v", p, r.Rank(), got, 2*p)
 			}
 		})
 	}
@@ -192,15 +192,15 @@ func TestAllreduceFloat64MaxAndSum(t *testing.T) {
 
 func TestAllreduceSumFloat64s(t *testing.T) {
 	for _, p := range testPs {
-		w := NewWorld(p, machine.Zero())
-		w.Run(func(r *Rank) {
-			vec := []float64{float64(r.ID), 1, float64(2 * r.ID)}
-			got := r.AllreduceSumFloat64s(vec)
+		w := newTestWorld(p, machine.Zero())
+		w.Run(func(r Transport) {
+			vec := []float64{float64(r.Rank()), 1, float64(2 * r.Rank())}
+			got := AllreduceSumFloat64s(r, vec)
 			sumIDs := float64(p*(p-1)) / 2
 			want := []float64{sumIDs, float64(p), 2 * sumIDs}
 			for i := range want {
 				if math.Abs(got[i]-want[i]) > 1e-12 {
-					t.Errorf("p=%d rank=%d elem %d = %v, want %v", p, r.ID, i, got[i], want[i])
+					t.Errorf("p=%d rank=%d elem %d = %v, want %v", p, r.Rank(), i, got[i], want[i])
 				}
 			}
 		})
@@ -209,16 +209,16 @@ func TestAllreduceSumFloat64s(t *testing.T) {
 
 func TestAllgatherInts(t *testing.T) {
 	for _, p := range testPs {
-		w := NewWorld(p, machine.Zero())
-		w.Run(func(r *Rank) {
-			block := []int{r.ID * 2, r.ID*2 + 1}
-			got := r.AllgatherInts(block)
+		w := newTestWorld(p, machine.Zero())
+		w.Run(func(r Transport) {
+			block := []int{r.Rank() * 2, r.Rank()*2 + 1}
+			got := AllgatherInts(r, block)
 			if len(got) != 2*p {
 				t.Fatalf("p=%d len=%d", p, len(got))
 			}
 			for i := 0; i < 2*p; i++ {
 				if got[i] != i {
-					t.Errorf("p=%d rank=%d allgather[%d] = %d, want %d", p, r.ID, i, got[i], i)
+					t.Errorf("p=%d rank=%d allgather[%d] = %d, want %d", p, r.Rank(), i, got[i], i)
 				}
 			}
 		})
@@ -227,18 +227,18 @@ func TestAllgatherInts(t *testing.T) {
 
 func TestExchangeCounts(t *testing.T) {
 	for _, p := range testPs {
-		w := NewWorld(p, machine.Zero())
-		w.Run(func(r *Rank) {
+		w := newTestWorld(p, machine.Zero())
+		w.Run(func(r Transport) {
 			// Rank s plans to send s*P+d elements to rank d.
 			sendCounts := make([]int, p)
 			for d := range sendCounts {
-				sendCounts[d] = r.ID*p + d
+				sendCounts[d] = r.Rank()*p + d
 			}
-			recvCounts := r.ExchangeCounts(sendCounts)
+			recvCounts := ExchangeCounts(r, sendCounts)
 			for s := 0; s < p; s++ {
-				want := s*p + r.ID
+				want := s*p + r.Rank()
 				if recvCounts[s] != want {
-					t.Errorf("p=%d rank=%d recvCounts[%d] = %d, want %d", p, r.ID, s, recvCounts[s], want)
+					t.Errorf("p=%d rank=%d recvCounts[%d] = %d, want %d", p, r.Rank(), s, recvCounts[s], want)
 				}
 			}
 		})
@@ -247,28 +247,28 @@ func TestExchangeCounts(t *testing.T) {
 
 func TestAllToMany(t *testing.T) {
 	for _, p := range testPs {
-		w := NewWorld(p, machine.Zero())
-		w.Run(func(r *Rank) {
+		w := newTestWorld(p, machine.Zero())
+		w.Run(func(r Transport) {
 			// Rank s sends to every rank d with d <= s a payload
 			// [s, d]; others get nothing (tests empty-message skipping).
 			send := make([][]float64, p)
 			counts := make([]int, p)
-			for d := 0; d <= r.ID; d++ {
-				send[d] = []float64{float64(r.ID), float64(d)}
+			for d := 0; d <= r.Rank(); d++ {
+				send[d] = []float64{float64(r.Rank()), float64(d)}
 				counts[d] = 2
 			}
-			recvCounts := r.ExchangeCounts(counts)
-			recv := r.AllToManyFloat64s(send, recvCounts)
-			// Sources s < r.ID sent nothing to us (they only send to d <= s).
-			for s := 0; s < r.ID; s++ {
+			recvCounts := ExchangeCounts(r, counts)
+			recv := AllToManyFloat64s(r, send, recvCounts)
+			// Sources s < r.Rank() sent nothing to us (they only send to d <= s).
+			for s := 0; s < r.Rank(); s++ {
 				if recv[s] != nil {
-					t.Errorf("p=%d rank=%d unexpected payload from smaller rank %d", p, r.ID, s)
+					t.Errorf("p=%d rank=%d unexpected payload from smaller rank %d", p, r.Rank(), s)
 				}
 			}
-			// Sources s >= r.ID each sent [s, r.ID].
-			for s := r.ID; s < p; s++ {
-				if len(recv[s]) != 2 || recv[s][0] != float64(s) || recv[s][1] != float64(r.ID) {
-					t.Errorf("p=%d rank=%d payload from %d = %v", p, r.ID, s, recv[s])
+			// Sources s >= r.Rank() each sent [s, r.Rank()].
+			for s := r.Rank(); s < p; s++ {
+				if len(recv[s]) != 2 || recv[s][0] != float64(s) || recv[s][1] != float64(r.Rank()) {
+					t.Errorf("p=%d rank=%d payload from %d = %v", p, r.Rank(), s, recv[s])
 				}
 			}
 		})
@@ -279,16 +279,16 @@ func TestAllToManyMessageCounting(t *testing.T) {
 	// Only non-empty sends may be charged as messages.
 	params := machine.Params{Tau: 1, MuPerByte: 0, Delta: 0}
 	p := 4
-	w := NewWorld(p, params)
-	ws := w.Run(func(r *Rank) {
+	w := newTestWorld(p, params)
+	ws := w.Run(func(r Transport) {
 		send := make([][]float64, p)
 		counts := make([]int, p)
-		if r.ID == 0 {
+		if r.Rank() == 0 {
 			send[1] = []float64{1}
 			counts[1] = 1
 		}
-		recvCounts := r.ExchangeCounts(counts)
-		r.AllToManyFloat64s(send, recvCounts)
+		recvCounts := ExchangeCounts(r, counts)
+		AllToManyFloat64s(r, send, recvCounts)
 	})
 	// Beyond the allgather (ring: p-1 sends per rank), rank 0 sends exactly
 	// one extra message and ranks 2,3 send none.
@@ -305,12 +305,12 @@ func TestAllToManyMessageCounting(t *testing.T) {
 
 func TestScanSumInt(t *testing.T) {
 	for _, p := range testPs {
-		w := NewWorld(p, machine.Zero())
-		w.Run(func(r *Rank) {
-			got := r.ScanSumInt(r.ID + 1) // contribute 1,2,...,p
-			want := r.ID * (r.ID + 1) / 2 // sum of 1..ID
+		w := newTestWorld(p, machine.Zero())
+		w.Run(func(r Transport) {
+			got := ScanSumInt(r, r.Rank() + 1) // contribute 1,2,...,p
+			want := r.Rank() * (r.Rank() + 1) / 2 // sum of 1..ID
 			if got != want {
-				t.Errorf("p=%d rank=%d scan = %d, want %d", p, r.ID, got, want)
+				t.Errorf("p=%d rank=%d scan = %d, want %d", p, r.Rank(), got, want)
 			}
 		})
 	}
@@ -322,23 +322,23 @@ func TestRunPropagatesPanic(t *testing.T) {
 			t.Error("expected panic from rank to propagate")
 		}
 	}()
-	w := NewWorld(2, machine.Zero())
-	w.Run(func(r *Rank) {
-		if r.ID == 1 {
+	w := newTestWorld(2, machine.Zero())
+	w.Run(func(r Transport) {
+		if r.Rank() == 1 {
 			panic("boom")
 		}
 	})
 }
 
 func TestInvalidRankPanics(t *testing.T) {
-	w := NewWorld(2, machine.Zero())
+	w := newTestWorld(2, machine.Zero())
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic for out-of-range destination")
 		}
 	}()
-	w.Run(func(r *Rank) {
-		if r.ID == 0 {
+	w.Run(func(r Transport) {
+		if r.Rank() == 0 {
 			r.Send(5, TagUser, nil, 0)
 		}
 	})

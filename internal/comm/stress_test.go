@@ -24,9 +24,9 @@ func TestCollectivesAgreeUnderRandomLoads(t *testing.T) {
 			sum += v
 		}
 		ok := true
-		w := NewWorld(p, machine.Zero())
-		w.Run(func(r *Rank) {
-			got := r.AllreduceFloat64(vals[r.ID], func(a, b float64) float64 { return a + b })
+		w := newTestWorld(p, machine.Zero())
+		w.Run(func(r Transport) {
+			got := AllreduceFloat64(r, vals[r.Rank()], func(a, b float64) float64 { return a + b })
 			if diff := got - sum; diff > 1e-9 || diff < -1e-9 {
 				ok = false
 			}
@@ -55,32 +55,32 @@ func TestAllToManyRandomisedMatrix(t *testing.T) {
 			}
 		}
 		ok := true
-		w := NewWorld(p, machine.Zero())
-		w.Run(func(r *Rank) {
+		w := newTestWorld(p, machine.Zero())
+		w.Run(func(r Transport) {
 			send := make([][]float64, p)
 			counts := make([]int, p)
 			for d := 0; d < p; d++ {
-				n := amounts[r.ID][d]
+				n := amounts[r.Rank()][d]
 				if n == 0 {
 					continue
 				}
 				buf := make([]float64, n)
 				for i := range buf {
-					buf[i] = float64(r.ID*1000 + d)
+					buf[i] = float64(r.Rank()*1000 + d)
 				}
 				send[d] = buf
 				counts[d] = n
 			}
-			recvCounts := r.ExchangeCounts(counts)
-			recv := r.AllToManyFloat64s(send, recvCounts)
+			recvCounts := ExchangeCounts(r, counts)
+			recv := AllToManyFloat64s(r, send, recvCounts)
 			for s := 0; s < p; s++ {
-				want := amounts[s][r.ID]
+				want := amounts[s][r.Rank()]
 				if len(recv[s]) != want {
 					ok = false
 					continue
 				}
 				for _, v := range recv[s] {
-					if v != float64(s*1000+r.ID) {
+					if v != float64(s*1000+r.Rank()) {
 						ok = false
 					}
 				}
@@ -99,10 +99,10 @@ func TestManyConcurrentWorlds(t *testing.T) {
 	done := make(chan bool, 8)
 	for k := 0; k < 8; k++ {
 		go func(k int) {
-			w := NewWorld(4, machine.Zero())
+			w := newTestWorld(4, machine.Zero())
 			okAll := true
-			w.Run(func(r *Rank) {
-				got := r.AllreduceSumInt(k)
+			w.Run(func(r Transport) {
+				got := AllreduceSumInt(r, k)
 				if got != 4*k {
 					okAll = false
 				}
@@ -120,30 +120,30 @@ func TestManyConcurrentWorlds(t *testing.T) {
 func TestBarrierStress(t *testing.T) {
 	// Many consecutive barriers at p=9 (non-power-of-two) must not
 	// deadlock or mis-pair rounds.
-	w := NewWorld(9, machine.Zero())
-	w.Run(func(r *Rank) {
+	w := newTestWorld(9, machine.Zero())
+	w.Run(func(r Transport) {
 		for i := 0; i < 200; i++ {
-			r.Barrier()
+			Barrier(r)
 		}
 	})
 }
 
 func TestExpose(t *testing.T) {
-	w := NewWorld(5, machine.Zero())
-	w.Run(func(r *Rank) {
-		all := r.Expose(r.ID * 10)
+	w := newTestWorld(5, machine.Zero())
+	w.Run(func(r Transport) {
+		all := r.Expose(r.Rank() * 10)
 		for i, v := range all {
 			if v.(int) != i*10 {
-				t.Errorf("rank %d sees %v at %d", r.ID, v, i)
+				t.Errorf("rank %d sees %v at %d", r.Rank(), v, i)
 			}
 		}
-		if got := r.ExposeMaxFloat64(float64(r.ID)); got != 4 {
+		if got := ExposeMaxFloat64(r, float64(r.Rank())); got != 4 {
 			t.Errorf("ExposeMaxFloat64 = %v", got)
 		}
-		if got := r.ExposeSumFloat64(1.5); got != 7.5 {
+		if got := ExposeSumFloat64(r, 1.5); got != 7.5 {
 			t.Errorf("ExposeSumFloat64 = %v", got)
 		}
-		vec := r.ExposeMaxFloat64s([]float64{float64(r.ID), float64(-r.ID)})
+		vec := ExposeMaxFloat64s(r, []float64{float64(r.Rank()), float64(-r.Rank())})
 		if vec[0] != 4 || vec[1] != 0 {
 			t.Errorf("ExposeMaxFloat64s = %v", vec)
 		}
@@ -153,13 +153,13 @@ func TestExpose(t *testing.T) {
 func TestExposeSequentialCallsDoNotInterfere(t *testing.T) {
 	// The double barrier must prevent a fast rank's second publication
 	// from clobbering a slow rank's read of the first.
-	w := NewWorld(4, machine.Zero())
-	w.Run(func(r *Rank) {
+	w := newTestWorld(4, machine.Zero())
+	w.Run(func(r Transport) {
 		for round := 0; round < 50; round++ {
-			all := r.Expose(round*100 + r.ID)
+			all := r.Expose(round*100 + r.Rank())
 			for i, v := range all {
 				if v.(int) != round*100+i {
-					t.Errorf("round %d rank %d: stale value %v at %d", round, r.ID, v, i)
+					t.Errorf("round %d rank %d: stale value %v at %d", round, r.Rank(), v, i)
 					return
 				}
 			}
@@ -168,29 +168,29 @@ func TestExposeSequentialCallsDoNotInterfere(t *testing.T) {
 }
 
 func BenchmarkBarrier(b *testing.B) {
-	w := NewWorld(8, machine.Zero())
-	w.Run(func(r *Rank) {
+	w := newTestWorld(8, machine.Zero())
+	w.Run(func(r Transport) {
 		for i := 0; i < b.N; i++ {
-			r.Barrier()
+			Barrier(r)
 		}
 	})
 }
 
 func BenchmarkAllToMany(b *testing.B) {
 	const p = 8
-	w := NewWorld(p, machine.Zero())
-	w.Run(func(r *Rank) {
+	w := newTestWorld(p, machine.Zero())
+	w.Run(func(r Transport) {
 		send := make([][]float64, p)
 		counts := make([]int, p)
 		for d := 0; d < p; d++ {
-			if d != r.ID {
+			if d != r.Rank() {
 				send[d] = make([]float64, 128)
 				counts[d] = 128
 			}
 		}
-		recvCounts := r.ExchangeCounts(counts)
+		recvCounts := ExchangeCounts(r, counts)
 		for i := 0; i < b.N; i++ {
-			r.AllToManyFloat64s(send, recvCounts)
+			AllToManyFloat64s(r, send, recvCounts)
 		}
 	})
 }

@@ -1,0 +1,139 @@
+package comm
+
+import (
+	"testing"
+
+	"picpar/internal/machine"
+)
+
+// statsCounts projects a Stats ledger onto the tracer's bucket shape.
+func statsCounts(s *machine.Stats) TraceCounts {
+	tot := s.Total()
+	return TraceCounts{
+		MsgsSent:  tot.MsgsSent,
+		BytesSent: tot.BytesSent,
+		MsgsRecv:  tot.MsgsRecv,
+		BytesRecv: tot.BytesRecv,
+	}
+}
+
+// TestTracerMatchesStatsForCollectives is the satellite coverage for the
+// tracing transport: for each of barrier, allreduce, allgather and
+// all-to-many, the per-rank message/byte counts observed through the
+// decorator must equal what the direct Stats accounting records.
+func TestTracerMatchesStatsForCollectives(t *testing.T) {
+	const p = 4
+	cases := []struct {
+		name string
+		body func(r Transport)
+	}{
+		{"barrier", func(r Transport) {
+			Barrier(r)
+		}},
+		{"allreduce", func(r Transport) {
+			if got := AllreduceSumInt(r, 1); got != p {
+				t.Errorf("allreduce sum = %d, want %d", got, p)
+			}
+		}},
+		{"allgather", func(r Transport) {
+			blk := []float64{float64(r.Rank()), float64(r.Rank())}
+			out := AllgatherFloat64s(r, blk)
+			if len(out) != 2*p {
+				t.Errorf("allgather len = %d, want %d", len(out), 2*p)
+			}
+		}},
+		{"all-to-many", func(r Transport) {
+			send := make([][]float64, r.Size())
+			counts := make([]int, r.Size())
+			for d := range send {
+				// Irregular traffic: rank i sends i+d+1 values to rank d,
+				// except to (i+2)%p where it sends nothing (exercising the
+				// skipped-message path).
+				if d != (r.Rank()+2)%r.Size() {
+					send[d] = make([]float64, r.Rank()+d+1)
+					counts[d] = len(send[d])
+				}
+			}
+			recvCounts := ExchangeCounts(r, counts)
+			AllToManyFloat64s(r, send, recvCounts)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := newTestWorld(p, machine.CM5())
+			tracer := NewTracer()
+			ws := w.RunWrapped(tracer.Wrap, tc.body)
+			for id := 0; id < p; id++ {
+				direct := statsCounts(&ws.Ranks[id])
+				traced := tracer.Rank(id).Total()
+				if traced != direct {
+					t.Errorf("rank %d: traced %+v != direct stats %+v", id, traced, direct)
+				}
+			}
+		})
+	}
+}
+
+// TestTracerPhaseAttribution: traffic lands in the bucket of the phase the
+// rank had selected when it moved.
+func TestTracerPhaseAttribution(t *testing.T) {
+	w := newTestWorld(2, machine.Zero())
+	tracer := NewTracer()
+	w.RunWrapped(tracer.Wrap, func(r Transport) {
+		r.SetPhase(machine.PhaseScatter)
+		Barrier(r)
+		r.SetPhase(machine.PhaseGather)
+		Barrier(r)
+		Barrier(r)
+	})
+	for id := 0; id < 2; id++ {
+		rt := tracer.Rank(id)
+		if got := rt.Phases[machine.PhaseScatter].MsgsSent; got != 1 {
+			t.Errorf("rank %d scatter msgs = %d, want 1", id, got)
+		}
+		if got := rt.Phases[machine.PhaseGather].MsgsSent; got != 2 {
+			t.Errorf("rank %d gather msgs = %d, want 2", id, got)
+		}
+	}
+}
+
+// TestTracerTagBreakdown: per-tag counts separate user traffic from the
+// collectives' internal tags.
+func TestTracerTagBreakdown(t *testing.T) {
+	w := newTestWorld(2, machine.Zero())
+	tracer := NewTracer()
+	w.RunWrapped(tracer.Wrap, func(r Transport) {
+		other := 1 - r.Rank()
+		SendFloat64s(r, other, TagUser+5, []float64{1, 2, 3})
+		RecvFloat64s(r, other, TagUser+5)
+		Barrier(r)
+	})
+	rt := tracer.Rank(0)
+	user := rt.Tags[TagUser+5]
+	if user.MsgsSent != 1 || user.BytesSent != 3*Float64Bytes {
+		t.Errorf("user tag counts = %+v, want 1 msg / %d bytes", user, 3*Float64Bytes)
+	}
+	if barrier := rt.Tags[tagBarrier]; barrier.MsgsSent != 1 {
+		t.Errorf("barrier tag msgs = %d, want 1", barrier.MsgsSent)
+	}
+}
+
+// TestTracerIgnoresSelfTraffic: self-sends bypass the network and are not
+// recorded by Stats; the tracer must agree.
+func TestTracerIgnoresSelfTraffic(t *testing.T) {
+	w := newTestWorld(1, machine.CM5())
+	tracer := NewTracer()
+	ws := w.RunWrapped(tracer.Wrap, func(r Transport) {
+		r.Send(0, TagUser, 42, 8)
+		body, _ := r.Recv(0, TagUser)
+		if body.(int) != 42 {
+			t.Errorf("self round-trip = %v, want 42", body)
+		}
+	})
+	if tot := tracer.Total(); tot != (TraceCounts{}) {
+		t.Errorf("tracer recorded self traffic: %+v", tot)
+	}
+	if direct := statsCounts(&ws.Ranks[0]); direct != (TraceCounts{}) {
+		t.Errorf("stats recorded self traffic: %+v", direct)
+	}
+}

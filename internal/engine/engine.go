@@ -1,0 +1,100 @@
+// Package engine is the middle layer of the stack: the phase-pipeline
+// abstraction of a PIC time step. A simulation mode is a composition of
+// Phase values (scatter, field solve, gather/push, …) run by a Pipeline,
+// plus an optional post-iteration phase (migrate or redistribute) guarded
+// by a Trigger. The Lagrangian mode, the Eulerian mode and the
+// replicated-mesh baseline are alternate compositions of the same
+// machinery rather than parallel code paths.
+//
+// The engine layer knows nothing about how messages move: phases are
+// written against comm.Transport, and the pipeline itself is
+// communication-agnostic.
+package engine
+
+// Phase is one stage of a simulation time step. Run is called once per
+// iteration with the iteration index; implementations do their own phase
+// accounting (SetPhase) and communication.
+type Phase interface {
+	// Name identifies the phase, e.g. for hooks and diagnostics.
+	Name() string
+	// Run executes the phase for iteration iter.
+	Run(iter int)
+}
+
+// PhaseFunc adapts a function to the Phase interface.
+type PhaseFunc struct {
+	Label string
+	Fn    func(iter int)
+}
+
+// Name implements Phase.
+func (p PhaseFunc) Name() string { return p.Label }
+
+// Run implements Phase.
+func (p PhaseFunc) Run(iter int) { p.Fn(iter) }
+
+// Hook observes phase execution. Before runs immediately before a phase,
+// After immediately after; hooks run in registration order (After in the
+// same order, not reversed, so a hook pairs with the phase it follows).
+type Hook interface {
+	Before(phase Phase, iter int)
+	After(phase Phase, iter int)
+}
+
+// Trigger decides whether the pipeline's post-iteration phase runs after
+// iteration iter, given the iteration's measured (simulated) duration.
+// policy.Policy satisfies it; Always is the degenerate trigger for modes
+// whose post phase runs unconditionally.
+type Trigger interface {
+	Decide(iter int, iterTime float64) bool
+}
+
+// Always is a Trigger that always fires — e.g. Eulerian migration, which
+// runs every iteration regardless of cost.
+type Always struct{}
+
+// Decide implements Trigger.
+func (Always) Decide(int, float64) bool { return true }
+
+// Never is a Trigger that never fires.
+type Never struct{}
+
+// Decide implements Trigger.
+func (Never) Decide(int, float64) bool { return false }
+
+// Pipeline runs an ordered list of phases with before/after hooks.
+type Pipeline struct {
+	phases []Phase
+	hooks  []Hook
+}
+
+// New builds a pipeline over the given phases.
+func New(phases ...Phase) *Pipeline {
+	return &Pipeline{phases: phases}
+}
+
+// AddHook registers h to observe every phase this pipeline runs.
+func (p *Pipeline) AddHook(h Hook) { p.hooks = append(p.hooks, h) }
+
+// Phases returns the pipeline's phases in execution order.
+func (p *Pipeline) Phases() []Phase { return p.phases }
+
+// Step runs every phase once, in order, for iteration iter.
+func (p *Pipeline) Step(iter int) {
+	for _, ph := range p.phases {
+		p.RunPhase(ph, iter)
+	}
+}
+
+// RunPhase runs one phase (which need not be part of the pipeline's
+// per-step list — post-iteration phases are run this way) surrounded by
+// the registered hooks.
+func (p *Pipeline) RunPhase(ph Phase, iter int) {
+	for _, h := range p.hooks {
+		h.Before(ph, iter)
+	}
+	ph.Run(iter)
+	for _, h := range p.hooks {
+		h.After(ph, iter)
+	}
+}

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+)
+
+// recorder logs phase and hook events in order.
+type recorder struct{ events []string }
+
+func (rec *recorder) phase(name string) Phase {
+	return PhaseFunc{Label: name, Fn: func(iter int) {
+		rec.events = append(rec.events, name)
+	}}
+}
+
+type recordingHook struct {
+	rec  *recorder
+	name string
+}
+
+func (h recordingHook) Before(p Phase, iter int) {
+	h.rec.events = append(h.rec.events, h.name+":before:"+p.Name())
+}
+func (h recordingHook) After(p Phase, iter int) {
+	h.rec.events = append(h.rec.events, h.name+":after:"+p.Name())
+}
+
+func TestPipelineStepOrder(t *testing.T) {
+	rec := &recorder{}
+	pipe := New(rec.phase("a"), rec.phase("b"), rec.phase("c"))
+	pipe.Step(0)
+	pipe.Step(1)
+	want := []string{"a", "b", "c", "a", "b", "c"}
+	if !reflect.DeepEqual(rec.events, want) {
+		t.Errorf("events = %v, want %v", rec.events, want)
+	}
+}
+
+func TestPipelineHooksSurroundEveryPhase(t *testing.T) {
+	rec := &recorder{}
+	pipe := New(rec.phase("a"), rec.phase("b"))
+	pipe.AddHook(recordingHook{rec, "h"})
+	pipe.Step(0)
+	want := []string{
+		"h:before:a", "a", "h:after:a",
+		"h:before:b", "b", "h:after:b",
+	}
+	if !reflect.DeepEqual(rec.events, want) {
+		t.Errorf("events = %v, want %v", rec.events, want)
+	}
+}
+
+func TestRunPhaseOutOfPipeline(t *testing.T) {
+	// Post-iteration phases are run individually, still surrounded by the
+	// pipeline's hooks.
+	rec := &recorder{}
+	pipe := New(rec.phase("a"))
+	pipe.AddHook(recordingHook{rec, "h"})
+	post := rec.phase("post")
+	pipe.RunPhase(post, 3)
+	want := []string{"h:before:post", "post", "h:after:post"}
+	if !reflect.DeepEqual(rec.events, want) {
+		t.Errorf("events = %v, want %v", rec.events, want)
+	}
+}
+
+func TestPhaseFuncReceivesIter(t *testing.T) {
+	var got []int
+	pipe := New(PhaseFunc{Label: "p", Fn: func(iter int) { got = append(got, iter) }})
+	for iter := 5; iter < 8; iter++ {
+		pipe.Step(iter)
+	}
+	if !reflect.DeepEqual(got, []int{5, 6, 7}) {
+		t.Errorf("iters = %v, want [5 6 7]", got)
+	}
+}
+
+func TestTriggers(t *testing.T) {
+	if !(Always{}).Decide(0, 1.0) {
+		t.Error("Always must fire")
+	}
+	if (Never{}).Decide(0, 1.0) {
+		t.Error("Never must not fire")
+	}
+}
+
+func TestPhasesAccessor(t *testing.T) {
+	a := PhaseFunc{Label: "a", Fn: func(int) {}}
+	b := PhaseFunc{Label: "b", Fn: func(int) {}}
+	pipe := New(a, b)
+	names := []string{}
+	for _, p := range pipe.Phases() {
+		names = append(names, p.Name())
+	}
+	if !reflect.DeepEqual(names, []string{"a", "b"}) {
+		t.Errorf("phases = %v, want [a b]", names)
+	}
+}

@@ -99,12 +99,11 @@ func measureRedist(p, n int, incremental bool) float64 {
 	perRank := n / p
 	var mu sync.Mutex
 	maxTime := 0.0
-	w := comm.NewWorld(p, machine.CM5())
-	w.Run(func(r *comm.Rank) {
-		rng := rand.New(rand.NewSource(int64(40 + r.ID)))
+		comm.Launch(p, machine.CM5(), func(r comm.Transport) {
+		rng := rand.New(rand.NewSource(int64(40 + r.Rank())))
 		s := particle.NewStore(perRank, -1, 1)
 		for i := 0; i < perRank; i++ {
-			s.Append(0, 0, 0, 0, 0, float64(r.ID*perRank+i))
+			s.Append(0, 0, 0, 0, 0, float64(r.Rank()*perRank+i))
 			s.Key[s.Len()-1] = math.Floor(rng.Float64() * 8192)
 		}
 		s = psort.SampleSort(r, s)
@@ -113,15 +112,15 @@ func measureRedist(p, n int, incremental bool) float64 {
 		for i := 0; i < s.Len(); i++ {
 			s.Key[i] = math.Max(0, s.Key[i]+math.Floor(rng.Float64()*10-5))
 		}
-		r.Barrier()
-		t0 := r.Clock.Now()
+		comm.Barrier(r)
+		t0 := r.Clock().Now()
 		if incremental {
 			s, _ = inc.Redistribute(r, s)
 		} else {
 			s = psort.SampleSort(r, s)
 		}
-		r.Barrier()
-		elapsed := r.Clock.Now() - t0
+		comm.Barrier(r)
+		elapsed := r.Clock().Now() - t0
 		mu.Lock()
 		if elapsed > maxTime {
 			maxTime = elapsed

@@ -82,7 +82,7 @@ const fieldSolveWorkPerPoint = 24
 // UpdateE advances E by dt using ∂E/∂t = ∇×B − J with central differences.
 // The B halo must be current (call ExchangeHalo with the B components
 // first). Compute cost is charged to r's current phase.
-func (l *Local) UpdateE(r *comm.Rank, dt float64) {
+func (l *Local) UpdateE(r comm.Transport, dt float64) {
 	s := l.stride
 	for j := 0; j < l.Ny; j++ {
 		for i := 0; i < l.Nx; i++ {
@@ -101,7 +101,7 @@ func (l *Local) UpdateE(r *comm.Rank, dt float64) {
 }
 
 // UpdateB advances B by dt using ∂B/∂t = −∇×E. The E halo must be current.
-func (l *Local) UpdateB(r *comm.Rank, dt float64) {
+func (l *Local) UpdateB(r comm.Transport, dt float64) {
 	s := l.stride
 	for j := 0; j < l.Ny; j++ {
 		for i := 0; i < l.Nx; i++ {
@@ -150,9 +150,9 @@ const (
 //
 // Works for any processor grid, including degenerate 1×p and p×1 grids
 // (neighbour == self is handled without network traffic).
-func (l *Local) ExchangeHalo(r *comm.Rank, d *mesh.Dist, which Components) {
+func (l *Local) ExchangeHalo(r comm.Transport, d *mesh.Dist, which Components) {
 	f := l.comps(which)
-	left, right, down, up := d.Neighbours(r.ID)
+	left, right, down, up := d.Neighbours(r.Rank())
 
 	// X direction: send owned column 0 to the left neighbour (it becomes
 	// their i=Nx halo column), and column Nx−1 to the right neighbour.
@@ -172,10 +172,10 @@ func (l *Local) ExchangeHalo(r *comm.Rank, d *mesh.Dist, which Components) {
 			}
 		}
 	}
-	r.SendFloat64s(left, tagHaloXLow, sendCol(0))
-	r.SendFloat64s(right, tagHaloXHigh, sendCol(l.Nx-1))
-	fillCol(l.Nx, r.RecvFloat64s(right, tagHaloXLow))
-	fillCol(-1, r.RecvFloat64s(left, tagHaloXHigh))
+	comm.SendFloat64s(r, left, tagHaloXLow, sendCol(0))
+	comm.SendFloat64s(r, right, tagHaloXHigh, sendCol(l.Nx-1))
+	fillCol(l.Nx, comm.RecvFloat64s(r, right, tagHaloXLow))
+	fillCol(-1, comm.RecvFloat64s(r, left, tagHaloXHigh))
 
 	// Y direction: rows, including the x halo just filled is unnecessary
 	// for the 4-point stencil, so plain owned rows suffice.
@@ -195,15 +195,15 @@ func (l *Local) ExchangeHalo(r *comm.Rank, d *mesh.Dist, which Components) {
 			}
 		}
 	}
-	r.SendFloat64s(down, tagHaloYLow, sendRow(0))
-	r.SendFloat64s(up, tagHaloYHigh, sendRow(l.Ny-1))
-	fillRow(l.Ny, r.RecvFloat64s(up, tagHaloYLow))
-	fillRow(-1, r.RecvFloat64s(down, tagHaloYHigh))
+	comm.SendFloat64s(r, down, tagHaloYLow, sendRow(0))
+	comm.SendFloat64s(r, up, tagHaloYHigh, sendRow(l.Ny-1))
+	fillRow(l.Ny, comm.RecvFloat64s(r, up, tagHaloYLow))
+	fillRow(-1, comm.RecvFloat64s(r, down, tagHaloYHigh))
 }
 
 // Solve performs one full leapfrog field-solve step: refresh B halo, update
 // E, refresh E halo, update B.
-func (l *Local) Solve(r *comm.Rank, d *mesh.Dist, dt float64) {
+func (l *Local) Solve(r comm.Transport, d *mesh.Dist, dt float64) {
 	l.ExchangeHalo(r, d, CompB)
 	l.UpdateE(r, dt)
 	l.ExchangeHalo(r, d, CompE)
@@ -224,8 +224,8 @@ func (l *Local) Energy() float64 {
 }
 
 // TotalEnergy returns the global field energy on every rank.
-func (l *Local) TotalEnergy(r *comm.Rank) float64 {
-	return r.AllreduceFloat64(l.Energy(), func(a, b float64) float64 { return a + b })
+func (l *Local) TotalEnergy(r comm.Transport) float64 {
+	return comm.AllreduceFloat64(r, l.Energy(), func(a, b float64) float64 { return a + b })
 }
 
 // MaxAbs returns the largest |value| across the six field components of the

@@ -82,8 +82,8 @@ func TestZeroSources(t *testing.T) {
 }
 
 // runWorld executes fn on p ranks with a zero-cost machine.
-func runWorld(p int, fn func(r *comm.Rank)) machine.WorldStats {
-	return comm.NewWorld(p, machine.Zero()).Run(fn)
+func runWorld(p int, fn func(r comm.Transport)) machine.WorldStats {
+	return comm.Launch(p, machine.Zero(), fn)
 }
 
 func TestExchangeHaloMatchesGlobalField(t *testing.T) {
@@ -98,8 +98,8 @@ func TestExchangeHaloMatchesGlobalField(t *testing.T) {
 			gj = (gj + g.Ny) % g.Ny
 			return float64(gj*g.Nx+gi) + 0.25
 		}
-		runWorld(p, func(r *comm.Rank) {
-			l := NewLocal(d, r.ID)
+		runWorld(p, func(r comm.Transport) {
+			l := NewLocal(d, r.Rank())
 			for j := 0; j < l.Ny; j++ {
 				for i := 0; i < l.Nx; i++ {
 					v := val(l.I0+i, l.J0+j)
@@ -112,7 +112,7 @@ func TestExchangeHaloMatchesGlobalField(t *testing.T) {
 				c := l.Idx(i, j)
 				want := val(l.I0+i, l.J0+j)
 				if l.Ex[c] != want || l.Ey[c] != 2*want || l.Ez[c] != 3*want {
-					t.Errorf("p=%d rank=%d halo (%d,%d): got %g want %g", p, r.ID, i, j, l.Ex[c], want)
+					t.Errorf("p=%d rank=%d halo (%d,%d): got %g want %g", p, r.Rank(), i, j, l.Ex[c], want)
 				}
 			}
 			for i := 0; i < l.Nx; i++ {
@@ -131,9 +131,8 @@ func TestExchangeHaloMessageCount(t *testing.T) {
 	// Each rank sends exactly 4 coalesced messages per exchange on a
 	// processor grid with distinct neighbours.
 	d := dist(t, 16, 16, 16) // 4x4
-	w := comm.NewWorld(16, machine.Params{Tau: 1})
-	ws := w.Run(func(r *comm.Rank) {
-		l := NewLocal(d, r.ID)
+		ws := comm.Launch(16, machine.Params{Tau: 1}, func(r comm.Transport) {
+		l := NewLocal(d, r.Rank())
 		l.ExchangeHalo(r, d, CompB)
 	})
 	for i := range ws.Ranks {
@@ -145,11 +144,11 @@ func TestExchangeHaloMessageCount(t *testing.T) {
 
 func TestSolvePreservesZeroField(t *testing.T) {
 	d := dist(t, 8, 8, 4)
-	runWorld(4, func(r *comm.Rank) {
-		l := NewLocal(d, r.ID)
+	runWorld(4, func(r comm.Transport) {
+		l := NewLocal(d, r.Rank())
 		l.Solve(r, d, 0.25)
 		if l.Energy() != 0 {
-			t.Errorf("rank %d: zero field gained energy %g", r.ID, l.Energy())
+			t.Errorf("rank %d: zero field gained energy %g", r.Rank(), l.Energy())
 		}
 	})
 }
@@ -159,8 +158,8 @@ func TestSolveUniformJProducesUniformE(t *testing.T) {
 	// dE/dt = −J, no curl develops, B stays zero.
 	const p = 4
 	d := dist(t, 8, 8, p)
-	runWorld(p, func(r *comm.Rank) {
-		l := NewLocal(d, r.ID)
+	runWorld(p, func(r comm.Transport) {
+		l := NewLocal(d, r.Rank())
 		for j := 0; j < l.Ny; j++ {
 			for i := 0; i < l.Nx; i++ {
 				l.Jz[l.Idx(i, j)] = 2.0
@@ -203,8 +202,8 @@ func solveToGlobal(t *testing.T, nx, ny, p, steps int) []float64 {
 	t.Helper()
 	d := dist(t, nx, ny, p)
 	out := make([]float64, nx*ny)
-	runWorld(p, func(r *comm.Rank) {
-		l := NewLocal(d, r.ID)
+	runWorld(p, func(r comm.Transport) {
+		l := NewLocal(d, r.Rank())
 		for j := 0; j < l.Ny; j++ {
 			for i := 0; i < l.Nx; i++ {
 				gi, gj := l.I0+i, l.J0+j
@@ -229,8 +228,8 @@ func solveToGlobal(t *testing.T, nx, ny, p, steps int) []float64 {
 func TestEnergyAndTotalEnergy(t *testing.T) {
 	const p = 4
 	d := dist(t, 8, 8, p)
-	runWorld(p, func(r *comm.Rank) {
-		l := NewLocal(d, r.ID)
+	runWorld(p, func(r comm.Transport) {
+		l := NewLocal(d, r.Rank())
 		for j := 0; j < l.Ny; j++ {
 			for i := 0; i < l.Nx; i++ {
 				l.Ex[l.Idx(i, j)] = 2 // energy ½·4 per point
@@ -264,8 +263,8 @@ func TestVacuumWaveEnergyStable(t *testing.T) {
 	const p = 4
 	d := dist(t, 32, 32, p)
 	energies := make([]float64, p)
-	runWorld(p, func(r *comm.Rank) {
-		l := NewLocal(d, r.ID)
+	runWorld(p, func(r comm.Transport) {
+		l := NewLocal(d, r.Rank())
 		for j := 0; j < l.Ny; j++ {
 			for i := 0; i < l.Nx; i++ {
 				gi := l.I0 + i
@@ -278,9 +277,9 @@ func TestVacuumWaveEnergyStable(t *testing.T) {
 		}
 		e1 := l.TotalEnergy(r)
 		if e1 > 4*e0 || e1 < e0/4 {
-			t.Errorf("rank %d: vacuum wave energy drifted %g -> %g", r.ID, e0, e1)
+			t.Errorf("rank %d: vacuum wave energy drifted %g -> %g", r.Rank(), e0, e1)
 		}
-		energies[r.ID] = e1
+		energies[r.Rank()] = e1
 	})
 	for i := 1; i < p; i++ {
 		if energies[i] != energies[0] {

@@ -23,8 +23,8 @@ func TestExchangeHalo1DDist(t *testing.T) {
 		gj = (gj + g.Ny) % g.Ny
 		return float64(gj*100 + gi)
 	}
-	runWorld(3, func(r *comm.Rank) {
-		l := NewLocal(d, r.ID)
+	runWorld(3, func(r comm.Transport) {
+		l := NewLocal(d, r.Rank())
 		for j := 0; j < l.Ny; j++ {
 			for i := 0; i < l.Nx; i++ {
 				l.Bx[l.Idx(i, j)] = val(l.I0+i, l.J0+j)
@@ -34,19 +34,19 @@ func TestExchangeHalo1DDist(t *testing.T) {
 		// X halo wraps onto the rank's own opposite edge.
 		for j := 0; j < l.Ny; j++ {
 			if got := l.Bx[l.Idx(-1, j)]; got != val(l.I0-1, l.J0+j) {
-				t.Errorf("rank %d x-low halo row %d = %g", r.ID, j, got)
+				t.Errorf("rank %d x-low halo row %d = %g", r.Rank(), j, got)
 			}
 			if got := l.Bx[l.Idx(l.Nx, j)]; got != val(l.I0+l.Nx, l.J0+j) {
-				t.Errorf("rank %d x-high halo row %d = %g", r.ID, j, got)
+				t.Errorf("rank %d x-high halo row %d = %g", r.Rank(), j, got)
 			}
 		}
 		// Y halo comes from the neighbouring ranks.
 		for i := 0; i < l.Nx; i++ {
 			if got := l.Bx[l.Idx(i, -1)]; got != val(l.I0+i, l.J0-1) {
-				t.Errorf("rank %d y-low halo col %d = %g", r.ID, i, got)
+				t.Errorf("rank %d y-low halo col %d = %g", r.Rank(), i, got)
 			}
 			if got := l.Bx[l.Idx(i, l.Ny)]; got != val(l.I0+i, l.J0+l.Ny) {
-				t.Errorf("rank %d y-high halo col %d = %g", r.ID, i, got)
+				t.Errorf("rank %d y-high halo col %d = %g", r.Rank(), i, got)
 			}
 		}
 	})
@@ -60,9 +60,8 @@ func TestSelfHaloNoNetworkTraffic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := comm.NewWorld(2, machine.Params{Tau: 1})
-	ws := w.Run(func(r *comm.Rank) {
-		l := NewLocal(d, r.ID)
+		ws := comm.Launch(2, machine.Params{Tau: 1}, func(r comm.Transport) {
+		l := NewLocal(d, r.Rank())
 		l.ExchangeHalo(r, d, CompE)
 	})
 	for i := range ws.Ranks {

@@ -73,30 +73,50 @@ func (p Params) String() string {
 	return fmt.Sprintf("machine{tau=%.3gs mu=%.3gs/B delta=%.3gs}", p.Tau, p.MuPerByte, p.Delta)
 }
 
-// Clock is the simulated clock of one rank. The zero value is a clock at
-// time zero. Clock is not safe for concurrent use; each rank owns its own.
-type Clock struct {
+// Clock is the time seam of one rank: every δ/τ/μ charge in the system
+// flows through exactly one Clock implementation, so alternative execution
+// modes (e.g. a future wall-clock mode) only need to supply a different
+// Clock. Implementations are not safe for concurrent use; each rank owns
+// its own.
+type Clock interface {
+	// Now returns the current time in seconds.
+	Now() float64
+	// Advance moves the clock forward by d seconds. Negative d is ignored
+	// so that cost arithmetic bugs cannot travel back in time.
+	Advance(d float64)
+	// AdvanceTo moves the clock to at least t. Used when a received message
+	// carries a completion time later than the local clock.
+	AdvanceTo(t float64)
+	// Reset sets the clock back to zero.
+	Reset()
+}
+
+// SimClock is the simulated clock realising the paper's two-level cost
+// model: it only moves when charged. The zero value is a clock at time
+// zero.
+type SimClock struct {
 	now float64
 }
 
-// Now returns the current simulated time in seconds.
-func (c *Clock) Now() float64 { return c.now }
+// NewSimClock returns a simulated clock at time zero.
+func NewSimClock() *SimClock { return &SimClock{} }
 
-// Advance moves the clock forward by d seconds. Negative d is ignored so
-// that cost arithmetic bugs cannot travel back in time.
-func (c *Clock) Advance(d float64) {
+// Now implements Clock.
+func (c *SimClock) Now() float64 { return c.now }
+
+// Advance implements Clock.
+func (c *SimClock) Advance(d float64) {
 	if d > 0 {
 		c.now += d
 	}
 }
 
-// AdvanceTo moves the clock to at least t. Used when a received message
-// carries a completion time later than the local clock.
-func (c *Clock) AdvanceTo(t float64) {
+// AdvanceTo implements Clock.
+func (c *SimClock) AdvanceTo(t float64) {
 	if t > c.now {
 		c.now = t
 	}
 }
 
-// Reset sets the clock back to zero.
-func (c *Clock) Reset() { c.now = 0 }
+// Reset implements Clock.
+func (c *SimClock) Reset() { c.now = 0 }

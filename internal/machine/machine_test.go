@@ -45,7 +45,7 @@ func TestZeroParams(t *testing.T) {
 }
 
 func TestClockAdvance(t *testing.T) {
-	var c Clock
+	var c Clock = NewSimClock()
 	c.Advance(1.5)
 	c.Advance(2.5)
 	if c.Now() != 4.0 {
@@ -58,7 +58,7 @@ func TestClockAdvance(t *testing.T) {
 }
 
 func TestClockAdvanceTo(t *testing.T) {
-	var c Clock
+	var c Clock = NewSimClock()
 	c.Advance(5)
 	c.AdvanceTo(3) // earlier: no-op
 	if c.Now() != 5 {
@@ -77,7 +77,7 @@ func TestClockAdvanceTo(t *testing.T) {
 func TestClockMonotonic(t *testing.T) {
 	// Property: any sequence of Advance/AdvanceTo never decreases the clock.
 	f := func(steps []float64) bool {
-		var c Clock
+		var c Clock = NewSimClock()
 		prev := 0.0
 		for i, s := range steps {
 			if math.IsNaN(s) || math.IsInf(s, 0) {

@@ -1,0 +1,430 @@
+// The engine-layer decomposition of the PIC time step: each of scatter,
+// field solve, gather/push, migrate and redistribute is an engine.Phase
+// over the shared rankState, and a simulation mode is a pipeline
+// composition plus a Trigger guarding the post-iteration movement phase —
+// the policy for the Lagrangian mode, Always for the Eulerian mode.
+
+package pic
+
+import (
+	"fmt"
+
+	"picpar/internal/comm"
+	"picpar/internal/engine"
+	"picpar/internal/machine"
+	"picpar/internal/particle"
+	"picpar/internal/partition"
+	"picpar/internal/pusher"
+	"picpar/internal/wire"
+)
+
+// Phase names, stable identifiers for hooks and diagnostics.
+const (
+	phaseNameScatter      = "scatter"
+	phaseNameFieldSolve   = "fieldsolve"
+	phaseNameGatherPush   = "gatherpush"
+	phaseNameMigrate      = "migrate"
+	phaseNameRedistribute = "redistribute"
+)
+
+// composePipeline builds the per-iteration pipeline, the trigger deciding
+// whether the post-iteration movement phase runs, and that phase itself.
+// The Lagrangian and Eulerian modes differ only in this composition.
+func (st *rankState) composePipeline() {
+	st.pipe = engine.New(phScatter{st}, phFieldSolve{st}, phGatherPush{st})
+	if st.cfg.Verify {
+		st.pipe.AddHook(verifyHook{st})
+	}
+	if st.cfg.Eulerian {
+		// Eulerian migration runs unconditionally every iteration.
+		st.trigger, st.post = engine.Always{}, phMigrate{st}
+	} else {
+		// Lagrangian redistribution runs when the policy says so.
+		st.trigger, st.post = st.pol, phRedistribute{st}
+	}
+}
+
+// phScatter is the scatter phase as an engine.Phase.
+type phScatter struct{ st *rankState }
+
+func (p phScatter) Name() string { return phaseNameScatter }
+func (p phScatter) Run(int)      { p.st.scatterPhase() }
+
+// phFieldSolve is the field-solve phase as an engine.Phase.
+type phFieldSolve struct{ st *rankState }
+
+func (p phFieldSolve) Name() string { return phaseNameFieldSolve }
+func (p phFieldSolve) Run(int)      { p.st.fieldSolvePhase() }
+
+// phGatherPush is the gather + push phase as an engine.Phase.
+type phGatherPush struct{ st *rankState }
+
+func (p phGatherPush) Name() string { return phaseNameGatherPush }
+func (p phGatherPush) Run(int)      { p.st.gatherAndPushPhase() }
+
+// phMigrate is the Eulerian per-iteration migration as an engine.Phase.
+// Its cost is charged to the push phase, after the iteration measurement —
+// part of TotalTime but not of the per-iteration record, as in the
+// Eulerian baseline's accounting.
+type phMigrate struct{ st *rankState }
+
+func (p phMigrate) Name() string { return phaseNameMigrate }
+func (p phMigrate) Run(int) {
+	p.st.r.SetPhase(machine.PhasePush)
+	p.st.migrate()
+}
+
+// phRedistribute is the policy-triggered redistribution as an engine.Phase.
+// It owns its measurement (the globally agreed redistribution time feeds
+// back into the policy) and marks the current iteration record.
+type phRedistribute struct{ st *rankState }
+
+func (p phRedistribute) Name() string { return phaseNameRedistribute }
+func (p phRedistribute) Run(iter int) {
+	st := p.st
+	r := st.r
+	r.SetPhase(machine.PhaseRedistribute)
+	t0 := r.Clock().Now()
+	st.redistribute()
+	comm.Barrier(r)
+	rt := comm.ExposeMaxFloat64(r, r.Clock().Now()-t0)
+	st.pol.NotifyRedistribution(iter, rt)
+	st.rec.Redistributed = true
+	st.rec.RedistTime = rt
+}
+
+// verifyHook runs the conservation checks right after the scatter phase,
+// while the deposited sources are still fresh.
+type verifyHook struct{ st *rankState }
+
+func (h verifyHook) Before(engine.Phase, int) {}
+func (h verifyHook) After(p engine.Phase, iter int) {
+	if p.Name() == phaseNameScatter {
+		h.st.verifyInvariants(iter)
+	}
+}
+
+// verifyInvariants checks, out of band, that the mesh-deposited charge sums
+// to n·q (scatter conserved every contribution, local and ghost) and that
+// no particles were lost.
+func (st *rankState) verifyInvariants(iter int) {
+	r := st.r
+	l := st.fields
+	// The check's barriers are bookkeeping, not ghost traffic.
+	prev := r.Stats().CurrentPhase()
+	r.SetPhase(machine.PhaseCommSetup)
+	defer r.SetPhase(prev)
+	rho := 0.0
+	for j := 0; j < l.Ny; j++ {
+		for i := 0; i < l.Nx; i++ {
+			rho += l.Rho[l.Idx(i, j)]
+		}
+	}
+	totalRho := comm.ExposeSumFloat64(r, rho)
+	want := float64(st.cfg.NumParticles) * st.cfg.MacroCharge
+	tol := 1e-9 * (1 + absF(want))
+	if absF(totalRho-want) > tol {
+		panic(fmt.Sprintf("pic: iter %d: mesh charge %g, want %g (scatter lost contributions)",
+			iter, totalRho, want))
+	}
+	count := int(comm.ExposeSumFloat64(r, float64(st.store.Len())) + 0.5)
+	if count != st.cfg.NumParticles {
+		panic(fmt.Sprintf("pic: iter %d: %d particles, want %d", iter, count, st.cfg.NumParticles))
+	}
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// assignKeys refreshes every particle's SFC key and charges the indexing
+// cost.
+func (st *rankState) assignKeys() {
+	partition.AssignKeys(st.store, st.cfg.Grid, st.indexer)
+	st.r.Compute(st.store.Len() * partition.KeyAssignWorkPerParticle)
+}
+
+// redistribute runs Hilbert_Base_Indexing + Bucket_Incremental_Sorting +
+// Order_Maintain_Load_Balance (Figure 12).
+func (st *rankState) redistribute() {
+	st.assignKeys()
+	out, _ := st.inc.Redistribute(st.r, st.store)
+	st.store = out
+}
+
+// migrate moves every particle to the rank owning its cell's lower-left
+// grid point — the per-iteration particle movement of the direct Eulerian
+// method. Communication uses the same traffic-table + all-to-many protocol
+// as redistribution.
+func (st *rankState) migrate() {
+	r := st.r
+	g := st.cfg.Grid
+	s := st.store
+
+	if st.migrateIdx == nil {
+		st.migrateIdx = make([][]int, r.Size())
+	}
+	sendIdx := st.migrateIdx
+	for d := range sendIdx {
+		sendIdx[d] = sendIdx[d][:0]
+	}
+	// Ping-pong the kept store with the spare slot so each migration
+	// recycles the arrays freed by the previous one.
+	kept := st.spare
+	if kept == nil {
+		kept = particle.NewStore(s.Len(), s.Charge, s.Mass)
+	} else {
+		kept.Truncate(0)
+		kept.Charge, kept.Mass = s.Charge, s.Mass
+	}
+	for i := 0; i < s.Len(); i++ {
+		cx, cy := g.CellOf(s.X[i], s.Y[i])
+		owner := st.dist.OwnerOfPoint(cx, cy)
+		if owner == r.Rank() {
+			kept.AppendFrom(s, i)
+		} else {
+			sendIdx[owner] = append(sendIdx[owner], i)
+		}
+	}
+	r.Compute(s.Len() * 2)
+
+	send, counts := st.exchangeScratch()
+	for d := 0; d < r.Size(); d++ {
+		if len(sendIdx[d]) > 0 {
+			send[d] = s.MarshalIndices(wire.Get(len(sendIdx[d])*particle.WireFloats), sendIdx[d])
+			counts[d] = len(send[d])
+			r.Compute(len(sendIdx[d]) * 7)
+		}
+	}
+	recvCounts := comm.ExchangeCounts(r, counts)
+	recv := comm.AllToMany(r, send, recvCounts, comm.Float64Bytes)
+	for src := 0; src < r.Size(); src++ {
+		if src != r.Rank() && len(recv[src]) > 0 {
+			if err := kept.AppendWire(recv[src]); err != nil {
+				panic(err)
+			}
+			r.Compute(len(recv[src]))
+			wire.Put(recv[src])
+		}
+	}
+	st.spare = s
+	st.store = kept
+}
+
+// exchangeScratch returns the reusable per-destination send headers and
+// counts, cleared for a new exchange.
+func (st *rankState) exchangeScratch() ([][]float64, []int) {
+	if st.sendBufs == nil {
+		st.sendBufs = make([][]float64, st.r.Size())
+		st.sendCounts = make([]int, st.r.Size())
+	}
+	for d := range st.sendBufs {
+		st.sendBufs[d] = nil
+		st.sendCounts[d] = 0
+	}
+	return st.sendBufs, st.sendCounts
+}
+
+// scatterPhase deposits every particle's current and charge onto the four
+// vertex grid points of its cell, accumulating off-processor contributions
+// in the duplicate-removal table and shipping one coalesced message per
+// destination owner.
+func (st *rankState) scatterPhase() {
+	r := st.r
+	r.SetPhase(machine.PhaseScatter)
+	l := st.fields
+	g := st.cfg.Grid
+	s := st.store
+
+	l.ZeroSources()
+	st.table.Reset()
+	st.ghostVals = st.ghostVals[:0]
+
+	tableCost := st.table.CostPerOp()
+	offprocOps := 0
+	for i := 0; i < s.Len(); i++ {
+		w := pusher.Weights(g, s.X[i], s.Y[i])
+		gamma := s.Gamma(i)
+		vx, vy, vz := s.Px[i]/gamma, s.Py[i]/gamma, s.Pz[i]/gamma
+		q := s.Charge
+		for k, off := range pusher.VertexOffsets {
+			wq := w.W[k] * q
+			gi := w.CX + off[0]
+			gj := w.CY + off[1]
+			if gi >= g.Nx {
+				gi = 0
+			}
+			if gj >= g.Ny {
+				gj = 0
+			}
+			if l.Contains(gi, gj) {
+				c := l.Idx(gi-l.I0, gj-l.J0)
+				l.Jx[c] += wq * vx
+				l.Jy[c] += wq * vy
+				l.Jz[c] += wq * vz
+				l.Rho[c] += wq
+				continue
+			}
+			gid := gj*g.Nx + gi
+			slot := st.table.Slot(gid)
+			if 4*slot == len(st.ghostVals) {
+				st.ghostVals = append(st.ghostVals, 0, 0, 0, 0)
+			}
+			st.ghostVals[4*slot] += wq * vx
+			st.ghostVals[4*slot+1] += wq * vy
+			st.ghostVals[4*slot+2] += wq * vz
+			st.ghostVals[4*slot+3] += wq
+			offprocOps++
+		}
+	}
+	r.Compute(s.Len()*4*pusher.ScatterWorkPerVertex + offprocOps*tableCost)
+
+	// Communication coalescing: one message per destination owner.
+	st.registry.Build(st.table, r.Rank(), r.Size(), func(gid int) int {
+		ci, cj := g.PointCoords(gid)
+		return st.dist.OwnerOfPoint(ci, cj)
+	})
+	send, counts := st.exchangeScratch()
+	for k, dst := range st.registry.Dest {
+		buf := wire.Get(len(st.registry.Gids[k]) * scatterWireFloats)
+		for idx, gid := range st.registry.Gids[k] {
+			slot := st.registry.Slots[k][idx]
+			buf = append(buf, float64(gid),
+				st.ghostVals[4*slot], st.ghostVals[4*slot+1],
+				st.ghostVals[4*slot+2], st.ghostVals[4*slot+3])
+		}
+		send[dst] = buf
+		counts[dst] = len(buf)
+	}
+
+	// The traffic table is protocol setup, not ghost data.
+	r.SetPhase(machine.PhaseCommSetup)
+	recvCounts := comm.ExchangeCounts(r, counts)
+	r.SetPhase(machine.PhaseScatter)
+	recv := comm.AllToManyFloat64s(r, send, recvCounts)
+
+	// Accumulate received contributions; remember who asked for what so
+	// the gather phase can reply in kind.
+	if st.recvGids == nil {
+		st.recvGids = make([][]float64, r.Size())
+	}
+	for src := 0; src < r.Size(); src++ {
+		st.recvGids[src] = st.recvGids[src][:0]
+		buf := recv[src]
+		if src == r.Rank() || len(buf) == 0 {
+			continue
+		}
+		gids := st.recvGids[src]
+		for o := 0; o < len(buf); o += scatterWireFloats {
+			gid := int(buf[o])
+			ci, cj := g.PointCoords(gid)
+			c := l.Idx(ci-l.I0, cj-l.J0)
+			l.Jx[c] += buf[o+1]
+			l.Jy[c] += buf[o+2]
+			l.Jz[c] += buf[o+3]
+			l.Rho[c] += buf[o+4]
+			gids = append(gids, buf[o])
+		}
+		st.recvGids[src] = gids
+		r.Compute(len(gids) * 4)
+		wire.Put(buf)
+	}
+}
+
+// fieldSolvePhase advances Maxwell's equations one leapfrog step.
+func (st *rankState) fieldSolvePhase() {
+	st.r.SetPhase(machine.PhaseFieldSolve)
+	st.fields.Solve(st.r, st.dist, st.cfg.Dt)
+}
+
+// gatherAndPushPhase is the inverse of scatter: mesh owners return E and B
+// at exactly the ghost points each rank contributed to, then every particle
+// gathers its fields from the four vertices and is pushed.
+func (st *rankState) gatherAndPushPhase() {
+	r := st.r
+	r.SetPhase(machine.PhaseGather)
+	l := st.fields
+	g := st.cfg.Grid
+	s := st.store
+
+	// Reply to every rank that deposited here.
+	for src := 0; src < r.Size(); src++ {
+		gids := st.recvGids[src]
+		if len(gids) == 0 {
+			continue
+		}
+		buf := wire.Get(len(gids) * gatherWireFloats)
+		for _, fgid := range gids {
+			ci, cj := g.PointCoords(int(fgid))
+			c := l.Idx(ci-l.I0, cj-l.J0)
+			buf = append(buf, l.Ex[c], l.Ey[c], l.Ez[c], l.Bx[c], l.By[c], l.Bz[c])
+		}
+		r.Compute(len(gids) * 2)
+		comm.SendFloat64s(r, src, tagGatherReply, buf)
+	}
+
+	// Collect replies for our own ghost points.
+	if cap(st.ghostEB) < gatherWireFloats*st.table.Len() {
+		st.ghostEB = make([]float64, gatherWireFloats*st.table.Len())
+	}
+	st.ghostEB = st.ghostEB[:gatherWireFloats*st.table.Len()]
+	for k, dst := range st.registry.Dest {
+		buf := comm.RecvFloat64s(r, dst, tagGatherReply)
+		for idx, slot := range st.registry.Slots[k] {
+			copy(st.ghostEB[gatherWireFloats*slot:], buf[gatherWireFloats*idx:gatherWireFloats*idx+gatherWireFloats])
+		}
+		wire.Put(buf)
+	}
+
+	// Interpolate fields at particles and push.
+	dt := st.cfg.Dt
+	for i := 0; i < s.Len(); i++ {
+		w := pusher.Weights(g, s.X[i], s.Y[i])
+		var ex, ey, ez, bx, by, bz float64
+		for k, off := range pusher.VertexOffsets {
+			gi := w.CX + off[0]
+			gj := w.CY + off[1]
+			if gi >= g.Nx {
+				gi = 0
+			}
+			if gj >= g.Ny {
+				gj = 0
+			}
+			wk := w.W[k]
+			if l.Contains(gi, gj) {
+				c := l.Idx(gi-l.I0, gj-l.J0)
+				ex += wk * l.Ex[c]
+				ey += wk * l.Ey[c]
+				ez += wk * l.Ez[c]
+				bx += wk * l.Bx[c]
+				by += wk * l.By[c]
+				bz += wk * l.Bz[c]
+				continue
+			}
+			slot := st.table.Lookup(gj*g.Nx + gi)
+			if slot < 0 {
+				panic(fmt.Sprintf("pic: rank %d gather miss at point (%d,%d)", r.Rank(), gi, gj))
+			}
+			o := gatherWireFloats * slot
+			ex += wk * st.ghostEB[o]
+			ey += wk * st.ghostEB[o+1]
+			ez += wk * st.ghostEB[o+2]
+			bx += wk * st.ghostEB[o+3]
+			by += wk * st.ghostEB[o+4]
+			bz += wk * st.ghostEB[o+5]
+		}
+		pusher.BorisPush(s, i, ex, ey, ez, bx, by, bz, dt)
+	}
+	r.Compute(s.Len() * 4 * pusher.GatherWorkPerVertex)
+
+	// Push phase: move particles (no interprocessor communication — the
+	// direct Lagrangian property).
+	r.SetPhase(machine.PhasePush)
+	for i := 0; i < s.Len(); i++ {
+		pusher.Move(s, i, g, dt)
+	}
+	r.Compute(s.Len() * pusher.PushWorkPerParticle)
+}

@@ -1,3 +1,8 @@
+// The driver of the full simulation: Run launches one Transport endpoint
+// per rank, runRank sets up the rank's state and walks the engine-layer
+// pipeline composed in phases.go, and the measurement between pipeline
+// steps feeds the per-iteration records and the redistribution trigger.
+
 package pic
 
 import (
@@ -5,14 +10,13 @@ import (
 
 	"picpar/internal/comm"
 	"picpar/internal/commopt"
+	"picpar/internal/engine"
 	"picpar/internal/field"
 	"picpar/internal/machine"
 	"picpar/internal/mesh"
 	"picpar/internal/particle"
-	"picpar/internal/partition"
 	"picpar/internal/policy"
 	"picpar/internal/psort"
-	"picpar/internal/pusher"
 	"picpar/internal/sfc"
 	"picpar/internal/wire"
 )
@@ -59,8 +63,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Config: cfg, Records: make([]IterationRecord, cfg.Iterations)}
-	world := comm.NewWorld(cfg.P, cfg.Machine)
-	ws := world.Run(func(r *comm.Rank) {
+	ws := comm.Launch(cfg.P, cfg.Machine, func(r comm.Transport) {
 		runRank(r, cfg, dist, indexer, res)
 	})
 	res.Stats = ws
@@ -79,9 +82,10 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// rankState bundles one rank's simulation state.
+// rankState bundles one rank's simulation state, shared by the Phase
+// implementations in phases.go.
 type rankState struct {
-	r       *comm.Rank
+	r       comm.Transport
 	cfg     Config
 	dist    *mesh.Dist
 	indexer sfc.Indexer
@@ -90,6 +94,15 @@ type rankState struct {
 	fields *field.Local
 	inc    *psort.Incremental
 	pol    policy.Policy
+
+	// Pipeline composition: the per-iteration phases, the trigger deciding
+	// whether the post-iteration movement phase runs, and that phase.
+	pipe    *engine.Pipeline
+	trigger engine.Trigger
+	post    engine.Phase
+	// rec points at the record of the iteration in flight, so triggered
+	// phases can mark it (Redistributed, RedistTime).
+	rec *IterationRecord
 
 	// Ghost bookkeeping, rebuilt (in place, allocation-free once warm)
 	// every iteration.
@@ -110,13 +123,13 @@ type rankState struct {
 	spare      *particle.Store
 }
 
-func runRank(r *comm.Rank, cfg Config, dist *mesh.Dist, indexer sfc.Indexer, res *Result) {
+func runRank(r comm.Transport, cfg Config, dist *mesh.Dist, indexer sfc.Indexer, res *Result) {
 	st := &rankState{
 		r:       r,
 		cfg:     cfg,
 		dist:    dist,
 		indexer: indexer,
-		fields:  field.NewLocal(dist, r.ID),
+		fields:  field.NewLocal(dist, r.Rank()),
 		inc:     psort.NewIncremental(cfg.Buckets),
 		pol:     cfg.Policy(),
 	}
@@ -134,37 +147,34 @@ func runRank(r *comm.Rank, cfg Config, dist *mesh.Dist, indexer sfc.Indexer, res
 		// particle to its cell's owner.
 		st.migrate()
 	}
-	r.Barrier()
-	initTime := r.ExposeMaxFloat64(r.Clock.Now())
+	comm.Barrier(r)
+	initTime := comm.ExposeMaxFloat64(r, r.Clock().Now())
 	st.pol.NotifyRedistribution(-1, initTime)
-	if r.ID == 0 {
+	if r.Rank() == 0 {
 		res.InitTime = initTime
 	}
-	runStart := r.Clock.Now()
+	runStart := r.Clock().Now()
+
+	st.composePipeline()
 
 	// ---- Time-step loop ----
 	for iter := 0; iter < cfg.Iterations; iter++ {
-		iterStart := r.Clock.Now()
-		snap := r.Stats.Snapshot()
+		iterStart := r.Clock().Now()
+		snap := r.Stats().Snapshot()
 
-		st.scatterPhase()
-		if cfg.Verify {
-			st.verifyInvariants(iter)
-		}
-		st.fieldSolvePhase()
-		st.gatherAndPushPhase()
+		st.pipe.Step(iter)
 
 		r.SetPhase(machine.PhaseCommSetup)
-		r.Barrier()
+		comm.Barrier(r)
 
-		diff := r.Stats.Diff(&snap)
+		diff := r.Stats().Diff(&snap)
 		sc := diff.Phases[machine.PhaseScatter]
 		comp := 0.0
 		for p := range diff.Phases {
 			comp += diff.Phases[p].ComputeTime
 		}
-		meas := r.ExposeMaxFloat64s([]float64{
-			r.Clock.Now() - iterStart,
+		meas := comm.ExposeMaxFloat64s(r, []float64{
+			r.Clock().Now() - iterStart,
 			comp,
 			float64(sc.BytesSent), float64(sc.BytesRecv),
 			float64(sc.MsgsSent), float64(sc.MsgsRecv),
@@ -182,82 +192,31 @@ func runRank(r *comm.Rank, cfg Config, dist *mesh.Dist, indexer sfc.Indexer, res
 		}
 
 		if cfg.Diagnostics && iter%cfg.DiagEvery == 0 {
-			rec.FieldEnergy = r.ExposeSumFloat64(st.fields.Energy())
-			rec.KineticEnergy = r.ExposeSumFloat64(st.store.KineticEnergy())
+			rec.FieldEnergy = comm.ExposeSumFloat64(r, st.fields.Energy())
+			rec.KineticEnergy = comm.ExposeSumFloat64(r, st.store.KineticEnergy())
 		}
 
 		// ---- Particle movement between ranks ----
-		if cfg.Eulerian {
-			// Eulerian migration happens every iteration and is part of
-			// the push phase's cost.
-			r.SetPhase(machine.PhasePush)
-			st.migrate()
-			if r.ID == 0 {
-				res.Records[iter] = rec
-			}
-			continue
+		// The trigger decides (identically on all ranks) whether the
+		// post-iteration phase runs: Eulerian migration every iteration,
+		// Lagrangian redistribution when the policy fires.
+		st.rec = &rec
+		if st.trigger.Decide(iter, iterTime) {
+			st.pipe.RunPhase(st.post, iter)
 		}
 
-		// ---- Redistribution decision (identical on all ranks) ----
-		if st.pol.Decide(iter, iterTime) {
-			r.SetPhase(machine.PhaseRedistribute)
-			t0 := r.Clock.Now()
-			st.redistribute()
-			r.Barrier()
-			rt := r.ExposeMaxFloat64(r.Clock.Now() - t0)
-			st.pol.NotifyRedistribution(iter, rt)
-			rec.Redistributed = true
-			rec.RedistTime = rt
-		}
-
-		if r.ID == 0 {
+		if r.Rank() == 0 {
 			res.Records[iter] = rec
 		}
 	}
 
-	r.Barrier()
-	total := r.ExposeMaxFloat64(r.Clock.Now() - runStart)
-	finalCount := int(r.ExposeSumFloat64(float64(st.store.Len())) + 0.5)
-	if r.ID == 0 {
+	comm.Barrier(r)
+	total := comm.ExposeMaxFloat64(r, r.Clock().Now()-runStart)
+	finalCount := int(comm.ExposeSumFloat64(r, float64(st.store.Len())) + 0.5)
+	if r.Rank() == 0 {
 		res.TotalTime = total
 		res.FinalParticleCount = finalCount
 	}
-}
-
-// verifyInvariants checks, out of band, that the mesh-deposited charge sums
-// to n·q (scatter conserved every contribution, local and ghost) and that
-// no particles were lost. Runs right after the scatter phase.
-func (st *rankState) verifyInvariants(iter int) {
-	r := st.r
-	l := st.fields
-	// The check's barriers are bookkeeping, not ghost traffic.
-	prev := r.Stats.CurrentPhase()
-	r.SetPhase(machine.PhaseCommSetup)
-	defer r.SetPhase(prev)
-	rho := 0.0
-	for j := 0; j < l.Ny; j++ {
-		for i := 0; i < l.Nx; i++ {
-			rho += l.Rho[l.Idx(i, j)]
-		}
-	}
-	totalRho := r.ExposeSumFloat64(rho)
-	want := float64(st.cfg.NumParticles) * st.cfg.MacroCharge
-	tol := 1e-9 * (1 + absF(want))
-	if absF(totalRho-want) > tol {
-		panic(fmt.Sprintf("pic: iter %d: mesh charge %g, want %g (scatter lost contributions)",
-			iter, totalRho, want))
-	}
-	count := int(r.ExposeSumFloat64(float64(st.store.Len())) + 0.5)
-	if count != st.cfg.NumParticles {
-		panic(fmt.Sprintf("pic: iter %d: %d particles, want %d", iter, count, st.cfg.NumParticles))
-	}
-}
-
-func absF(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }
 
 // initialDistribution generates the global population on rank 0, deals
@@ -266,7 +225,7 @@ func absF(x float64) float64 {
 func (st *rankState) initialDistribution() {
 	r := st.r
 	cfg := st.cfg
-	if r.ID == 0 {
+	if r.Rank() == 0 {
 		var global *particle.Store
 		if cfg.CustomParticles != nil {
 			global = cfg.CustomParticles.Clone()
@@ -287,8 +246,8 @@ func (st *rankState) initialDistribution() {
 				panic(fmt.Sprintf("pic: generate: %v", err))
 			}
 		}
-		for dst := r.P - 1; dst >= 0; dst-- {
-			lo, hi := mesh.BlockRange(global.Len(), r.P, dst)
+		for dst := r.Size() - 1; dst >= 0; dst-- {
+			lo, hi := mesh.BlockRange(global.Len(), r.Size(), dst)
 			if dst == 0 {
 				local := particle.NewStore(hi-lo, global.Charge, global.Mass)
 				for i := lo; i < hi; i++ {
@@ -298,10 +257,10 @@ func (st *rankState) initialDistribution() {
 				continue
 			}
 			chunk := global.MarshalRange(wire.Get((hi-lo)*particle.WireFloats), lo, hi)
-			r.SendFloat64s(dst, tagInitChunk, chunk)
+			comm.SendFloat64s(r, dst, tagInitChunk, chunk)
 		}
 	} else {
-		chunk := r.RecvFloat64s(0, tagInitChunk)
+		chunk := comm.RecvFloat64s(r, 0, tagInitChunk)
 		st.store = particle.NewStore(len(chunk)/particle.WireFloats, cfg.MacroCharge, 1)
 		if err := st.store.AppendWire(chunk); err != nil {
 			panic(err)
@@ -311,293 +270,4 @@ func (st *rankState) initialDistribution() {
 	st.assignKeys()
 	st.store = psort.SampleSort(r, st.store)
 	st.inc.Prime(st.store)
-}
-
-// assignKeys refreshes every particle's SFC key and charges the indexing
-// cost.
-func (st *rankState) assignKeys() {
-	partition.AssignKeys(st.store, st.cfg.Grid, st.indexer)
-	st.r.Compute(st.store.Len() * partition.KeyAssignWorkPerParticle)
-}
-
-// redistribute runs Hilbert_Base_Indexing + Bucket_Incremental_Sorting +
-// Order_Maintain_Load_Balance (Figure 12).
-func (st *rankState) redistribute() {
-	st.assignKeys()
-	out, _ := st.inc.Redistribute(st.r, st.store)
-	st.store = out
-}
-
-// migrate moves every particle to the rank owning its cell's lower-left
-// grid point — the per-iteration particle movement of the direct Eulerian
-// method. Communication uses the same traffic-table + all-to-many protocol
-// as redistribution.
-func (st *rankState) migrate() {
-	r := st.r
-	g := st.cfg.Grid
-	s := st.store
-
-	if st.migrateIdx == nil {
-		st.migrateIdx = make([][]int, r.P)
-	}
-	sendIdx := st.migrateIdx
-	for d := range sendIdx {
-		sendIdx[d] = sendIdx[d][:0]
-	}
-	// Ping-pong the kept store with the spare slot so each migration
-	// recycles the arrays freed by the previous one.
-	kept := st.spare
-	if kept == nil {
-		kept = particle.NewStore(s.Len(), s.Charge, s.Mass)
-	} else {
-		kept.Truncate(0)
-		kept.Charge, kept.Mass = s.Charge, s.Mass
-	}
-	for i := 0; i < s.Len(); i++ {
-		cx, cy := g.CellOf(s.X[i], s.Y[i])
-		owner := st.dist.OwnerOfPoint(cx, cy)
-		if owner == r.ID {
-			kept.AppendFrom(s, i)
-		} else {
-			sendIdx[owner] = append(sendIdx[owner], i)
-		}
-	}
-	r.Compute(s.Len() * 2)
-
-	send, counts := st.exchangeScratch()
-	for d := 0; d < r.P; d++ {
-		if len(sendIdx[d]) > 0 {
-			send[d] = s.MarshalIndices(wire.Get(len(sendIdx[d])*particle.WireFloats), sendIdx[d])
-			counts[d] = len(send[d])
-			r.Compute(len(sendIdx[d]) * 7)
-		}
-	}
-	recvCounts := r.ExchangeCounts(counts)
-	recv := comm.AllToMany(r, send, recvCounts, comm.Float64Bytes)
-	for src := 0; src < r.P; src++ {
-		if src != r.ID && len(recv[src]) > 0 {
-			if err := kept.AppendWire(recv[src]); err != nil {
-				panic(err)
-			}
-			r.Compute(len(recv[src]))
-			wire.Put(recv[src])
-		}
-	}
-	st.spare = s
-	st.store = kept
-}
-
-// exchangeScratch returns the reusable per-destination send headers and
-// counts, cleared for a new exchange.
-func (st *rankState) exchangeScratch() ([][]float64, []int) {
-	if st.sendBufs == nil {
-		st.sendBufs = make([][]float64, st.r.P)
-		st.sendCounts = make([]int, st.r.P)
-	}
-	for d := range st.sendBufs {
-		st.sendBufs[d] = nil
-		st.sendCounts[d] = 0
-	}
-	return st.sendBufs, st.sendCounts
-}
-
-// scatterPhase deposits every particle's current and charge onto the four
-// vertex grid points of its cell, accumulating off-processor contributions
-// in the duplicate-removal table and shipping one coalesced message per
-// destination owner.
-func (st *rankState) scatterPhase() {
-	r := st.r
-	r.SetPhase(machine.PhaseScatter)
-	l := st.fields
-	g := st.cfg.Grid
-	s := st.store
-
-	l.ZeroSources()
-	st.table.Reset()
-	st.ghostVals = st.ghostVals[:0]
-
-	tableCost := st.table.CostPerOp()
-	offprocOps := 0
-	for i := 0; i < s.Len(); i++ {
-		w := pusher.Weights(g, s.X[i], s.Y[i])
-		gamma := s.Gamma(i)
-		vx, vy, vz := s.Px[i]/gamma, s.Py[i]/gamma, s.Pz[i]/gamma
-		q := s.Charge
-		for k, off := range pusher.VertexOffsets {
-			wq := w.W[k] * q
-			gi := w.CX + off[0]
-			gj := w.CY + off[1]
-			if gi >= g.Nx {
-				gi = 0
-			}
-			if gj >= g.Ny {
-				gj = 0
-			}
-			if l.Contains(gi, gj) {
-				c := l.Idx(gi-l.I0, gj-l.J0)
-				l.Jx[c] += wq * vx
-				l.Jy[c] += wq * vy
-				l.Jz[c] += wq * vz
-				l.Rho[c] += wq
-				continue
-			}
-			gid := gj*g.Nx + gi
-			slot := st.table.Slot(gid)
-			if 4*slot == len(st.ghostVals) {
-				st.ghostVals = append(st.ghostVals, 0, 0, 0, 0)
-			}
-			st.ghostVals[4*slot] += wq * vx
-			st.ghostVals[4*slot+1] += wq * vy
-			st.ghostVals[4*slot+2] += wq * vz
-			st.ghostVals[4*slot+3] += wq
-			offprocOps++
-		}
-	}
-	r.Compute(s.Len()*4*pusher.ScatterWorkPerVertex + offprocOps*tableCost)
-
-	// Communication coalescing: one message per destination owner.
-	st.registry.Build(st.table, r.ID, r.P, func(gid int) int {
-		ci, cj := g.PointCoords(gid)
-		return st.dist.OwnerOfPoint(ci, cj)
-	})
-	send, counts := st.exchangeScratch()
-	for k, dst := range st.registry.Dest {
-		buf := wire.Get(len(st.registry.Gids[k]) * scatterWireFloats)
-		for idx, gid := range st.registry.Gids[k] {
-			slot := st.registry.Slots[k][idx]
-			buf = append(buf, float64(gid),
-				st.ghostVals[4*slot], st.ghostVals[4*slot+1],
-				st.ghostVals[4*slot+2], st.ghostVals[4*slot+3])
-		}
-		send[dst] = buf
-		counts[dst] = len(buf)
-	}
-
-	// The traffic table is protocol setup, not ghost data.
-	r.SetPhase(machine.PhaseCommSetup)
-	recvCounts := r.ExchangeCounts(counts)
-	r.SetPhase(machine.PhaseScatter)
-	recv := r.AllToManyFloat64s(send, recvCounts)
-
-	// Accumulate received contributions; remember who asked for what so
-	// the gather phase can reply in kind.
-	if st.recvGids == nil {
-		st.recvGids = make([][]float64, r.P)
-	}
-	for src := 0; src < r.P; src++ {
-		st.recvGids[src] = st.recvGids[src][:0]
-		buf := recv[src]
-		if src == r.ID || len(buf) == 0 {
-			continue
-		}
-		gids := st.recvGids[src]
-		for o := 0; o < len(buf); o += scatterWireFloats {
-			gid := int(buf[o])
-			ci, cj := g.PointCoords(gid)
-			c := l.Idx(ci-l.I0, cj-l.J0)
-			l.Jx[c] += buf[o+1]
-			l.Jy[c] += buf[o+2]
-			l.Jz[c] += buf[o+3]
-			l.Rho[c] += buf[o+4]
-			gids = append(gids, buf[o])
-		}
-		st.recvGids[src] = gids
-		r.Compute(len(gids) * 4)
-		wire.Put(buf)
-	}
-}
-
-// fieldSolvePhase advances Maxwell's equations one leapfrog step.
-func (st *rankState) fieldSolvePhase() {
-	st.r.SetPhase(machine.PhaseFieldSolve)
-	st.fields.Solve(st.r, st.dist, st.cfg.Dt)
-}
-
-// gatherAndPushPhase is the inverse of scatter: mesh owners return E and B
-// at exactly the ghost points each rank contributed to, then every particle
-// gathers its fields from the four vertices and is pushed.
-func (st *rankState) gatherAndPushPhase() {
-	r := st.r
-	r.SetPhase(machine.PhaseGather)
-	l := st.fields
-	g := st.cfg.Grid
-	s := st.store
-
-	// Reply to every rank that deposited here.
-	for src := 0; src < r.P; src++ {
-		gids := st.recvGids[src]
-		if len(gids) == 0 {
-			continue
-		}
-		buf := wire.Get(len(gids) * gatherWireFloats)
-		for _, fgid := range gids {
-			ci, cj := g.PointCoords(int(fgid))
-			c := l.Idx(ci-l.I0, cj-l.J0)
-			buf = append(buf, l.Ex[c], l.Ey[c], l.Ez[c], l.Bx[c], l.By[c], l.Bz[c])
-		}
-		r.Compute(len(gids) * 2)
-		r.SendFloat64s(src, tagGatherReply, buf)
-	}
-
-	// Collect replies for our own ghost points.
-	if cap(st.ghostEB) < gatherWireFloats*st.table.Len() {
-		st.ghostEB = make([]float64, gatherWireFloats*st.table.Len())
-	}
-	st.ghostEB = st.ghostEB[:gatherWireFloats*st.table.Len()]
-	for k, dst := range st.registry.Dest {
-		buf := r.RecvFloat64s(dst, tagGatherReply)
-		for idx, slot := range st.registry.Slots[k] {
-			copy(st.ghostEB[gatherWireFloats*slot:], buf[gatherWireFloats*idx:gatherWireFloats*idx+gatherWireFloats])
-		}
-		wire.Put(buf)
-	}
-
-	// Interpolate fields at particles and push.
-	dt := st.cfg.Dt
-	for i := 0; i < s.Len(); i++ {
-		w := pusher.Weights(g, s.X[i], s.Y[i])
-		var ex, ey, ez, bx, by, bz float64
-		for k, off := range pusher.VertexOffsets {
-			gi := w.CX + off[0]
-			gj := w.CY + off[1]
-			if gi >= g.Nx {
-				gi = 0
-			}
-			if gj >= g.Ny {
-				gj = 0
-			}
-			wk := w.W[k]
-			if l.Contains(gi, gj) {
-				c := l.Idx(gi-l.I0, gj-l.J0)
-				ex += wk * l.Ex[c]
-				ey += wk * l.Ey[c]
-				ez += wk * l.Ez[c]
-				bx += wk * l.Bx[c]
-				by += wk * l.By[c]
-				bz += wk * l.Bz[c]
-				continue
-			}
-			slot := st.table.Lookup(gj*g.Nx + gi)
-			if slot < 0 {
-				panic(fmt.Sprintf("pic: rank %d gather miss at point (%d,%d)", r.ID, gi, gj))
-			}
-			o := gatherWireFloats * slot
-			ex += wk * st.ghostEB[o]
-			ey += wk * st.ghostEB[o+1]
-			ez += wk * st.ghostEB[o+2]
-			bx += wk * st.ghostEB[o+3]
-			by += wk * st.ghostEB[o+4]
-			bz += wk * st.ghostEB[o+5]
-		}
-		pusher.BorisPush(s, i, ex, ey, ez, bx, by, bz, dt)
-	}
-	r.Compute(s.Len() * 4 * pusher.GatherWorkPerVertex)
-
-	// Push phase: move particles (no interprocessor communication — the
-	// direct Lagrangian property).
-	r.SetPhase(machine.PhasePush)
-	for i := 0; i < s.Len(); i++ {
-		pusher.Move(s, i, g, dt)
-	}
-	r.Compute(s.Len() * pusher.PushWorkPerParticle)
 }

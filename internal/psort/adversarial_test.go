@@ -19,12 +19,11 @@ func runAdversarial(t *testing.T, p int, makeKeys func(rank, i, perRank int) flo
 	const perRank = 64
 	total := p * perRank
 	g := newGather()
-	w := comm.NewWorld(p, machine.CM5())
-	w.Run(func(r *comm.Rank) {
+		comm.Launch(p, machine.CM5(), func(r comm.Transport) {
 		s := particle.NewStore(perRank, -1, 1)
 		for i := 0; i < perRank; i++ {
-			s.Append(0, 0, 0, 0, 0, float64(r.ID*perRank+i))
-			s.Key[s.Len()-1] = makeKeys(r.ID, i, perRank)
+			s.Append(0, 0, 0, 0, 0, float64(r.Rank()*perRank+i))
+			s.Key[s.Len()-1] = makeKeys(r.Rank(), i, perRank)
 		}
 		s = SampleSort(r, s)
 		inc := NewIncremental(8)
@@ -34,7 +33,7 @@ func runAdversarial(t *testing.T, p int, makeKeys func(rank, i, perRank int) flo
 			s.Key[i] = math.Max(0, s.Key[i]+float64(i%5-2))
 		}
 		s, _ = inc.Redistribute(r, s)
-		g.put(r.ID, s)
+		g.put(r.Rank(), s)
 	})
 	wantIDs := map[float64]bool{}
 	for i := 0; i < total; i++ {
@@ -87,10 +86,9 @@ func TestIncrementalConvergesUnderRepeatedShuffles(t *testing.T) {
 	total := p * perRank
 	for round := 0; round < 3; round++ {
 		g := newGather()
-		w := comm.NewWorld(p, machine.CM5())
-		w.Run(func(r *comm.Rank) {
-			rng := rand.New(rand.NewSource(int64(round*100 + r.ID)))
-			s := makeLocal(rng, perRank, r.ID*perRank, 1000)
+				comm.Launch(p, machine.CM5(), func(r comm.Transport) {
+			rng := rand.New(rand.NewSource(int64(round*100 + r.Rank())))
+			s := makeLocal(rng, perRank, r.Rank()*perRank, 1000)
 			s = SampleSort(r, s)
 			inc := NewIncremental(8)
 			inc.Prime(s)
@@ -100,7 +98,7 @@ func TestIncrementalConvergesUnderRepeatedShuffles(t *testing.T) {
 				}
 				s, _ = inc.Redistribute(r, s)
 			}
-			g.put(r.ID, s)
+			g.put(r.Rank(), s)
 		})
 		wantIDs := map[float64]bool{}
 		for i := 0; i < total; i++ {
@@ -116,16 +114,15 @@ func TestLoadBalanceExtremeSkew(t *testing.T) {
 	const p = 8
 	const total = 801 // deliberately not divisible by p
 	g := newGather()
-	w := comm.NewWorld(p, machine.CM5())
-	w.Run(func(r *comm.Rank) {
+		comm.Launch(p, machine.CM5(), func(r comm.Transport) {
 		s := particle.NewStore(0, -1, 1)
-		if r.ID == p-1 { // skew at the end of the chain
+		if r.Rank() == p-1 { // skew at the end of the chain
 			for i := 0; i < total; i++ {
 				s.Append(0, 0, 0, 0, 0, float64(i))
 				s.Key[s.Len()-1] = float64(i)
 			}
 		}
-		g.put(r.ID, LoadBalance(r, s))
+		g.put(r.Rank(), LoadBalance(r, s))
 	})
 	wantIDs := map[float64]bool{}
 	for i := 0; i < total; i++ {
@@ -135,8 +132,7 @@ func TestLoadBalanceExtremeSkew(t *testing.T) {
 }
 
 func BenchmarkLocalSort(b *testing.B) {
-	w := comm.NewWorld(1, machine.Zero())
-	w.Run(func(r *comm.Rank) {
+		comm.Launch(1, machine.Zero(), func(r comm.Transport) {
 		rng := rand.New(rand.NewSource(1))
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()

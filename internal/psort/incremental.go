@@ -95,25 +95,25 @@ type Stats struct {
 // valid until the second following Redistribute call (callers that only
 // keep the latest store — the usual pattern — are unaffected). The input
 // store is never modified.
-func (inc *Incremental) Redistribute(r *comm.Rank, s *particle.Store) (*particle.Store, Stats) {
-	p := r.P
+func (inc *Incremental) Redistribute(r comm.Transport, s *particle.Store) (*particle.Store, Stats) {
+	p := r.Size()
 	n := s.Len()
 
 	// Line 1: global concatenation of every rank's upper key bound.
-	globalUpper := r.AllgatherFloat64s([]float64{inc.upper})
+	globalUpper := comm.AllgatherFloat64s(r, []float64{inc.upper})
 
 	// Lines 3–14: classify, then marshal the off-processor particles.
 	st := inc.classify(r, s, globalUpper)
 	send, counts := inc.pack(r, s)
 
 	// Lines 15–20: exchange the traffic table, then all-to-many.
-	recvCounts := r.ExchangeCounts(counts)
+	recvCounts := comm.ExchangeCounts(r, counts)
 	recv := comm.AllToMany(r, send, recvCounts, comm.Float64Bytes)
 
 	// Line 21: collect and sort the received particles.
 	recvStore := resetStore(&inc.recvS, 0, s)
 	for src := 0; src < p; src++ {
-		if src != r.ID && len(recv[src]) > 0 {
+		if src != r.Rank() && len(recv[src]) > 0 {
 			if err := recvStore.AppendWire(recv[src]); err != nil {
 				panic(err)
 			}
@@ -151,16 +151,16 @@ func (inc *Incremental) Redistribute(r *comm.Rank, s *particle.Store) (*particle
 // list (Figure 12 lines 3–14), filling inc.bucketOf and inc.sendIdx from
 // reused scratch. It charges the modelled classification δ but performs no
 // communication, so its steady-state allocation count is exactly zero.
-func (inc *Incremental) classify(r *comm.Rank, s *particle.Store, globalUpper []float64) Stats {
+func (inc *Incremental) classify(r comm.Transport, s *particle.Store, globalUpper []float64) Stats {
 	n := s.Len()
 	var st Stats
 	for b := range inc.bucketOf {
 		inc.bucketOf[b] = inc.bucketOf[b][:0]
 	}
-	if cap(inc.sendIdx) < r.P {
-		inc.sendIdx = make([][]int, r.P)
+	if cap(inc.sendIdx) < r.Size() {
+		inc.sendIdx = make([][]int, r.Size())
 	}
-	inc.sendIdx = inc.sendIdx[:r.P]
+	inc.sendIdx = inc.sendIdx[:r.Size()]
 	for d := range inc.sendIdx {
 		inc.sendIdx[d] = inc.sendIdx[d][:0]
 	}
@@ -182,7 +182,7 @@ func (inc *Incremental) classify(r *comm.Rank, s *particle.Store, globalUpper []
 			continue
 		}
 		dest := searchOwner(globalUpper, key)
-		if dest == r.ID {
+		if dest == r.Rank() {
 			// Keys outside the remembered bounds can still map to this
 			// rank (e.g. below the old lower bound but above the previous
 			// rank's upper, or above every recorded bound on the last
@@ -204,8 +204,8 @@ func (inc *Incremental) classify(r *comm.Rank, s *particle.Store, globalUpper []
 // The returned buffers transfer ownership with the messages; the receiving
 // ranks return them to the wire pool. With a warm pool, pack allocates
 // nothing.
-func (inc *Incremental) pack(r *comm.Rank, s *particle.Store) ([][]float64, []int) {
-	p := r.P
+func (inc *Incremental) pack(r comm.Transport, s *particle.Store) ([][]float64, []int) {
+	p := r.Size()
 	if cap(inc.send) < p {
 		inc.send = make([][]float64, p)
 		inc.counts = make([]int, p)
@@ -288,13 +288,13 @@ func searchOwner(globalUpper []float64, key float64) int {
 }
 
 // mergeSorted merges two locally sorted stores into a new sorted store.
-func mergeSorted(r *comm.Rank, a, b *particle.Store) *particle.Store {
+func mergeSorted(r comm.Transport, a, b *particle.Store) *particle.Store {
 	return mergeSortedInto(r, a, b, particle.NewStore(a.Len()+b.Len(), a.Charge, a.Mass))
 }
 
 // mergeSortedInto merges a and b (each locally sorted) into out, which must
 // be empty and alias neither input.
-func mergeSortedInto(r *comm.Rank, a, b, out *particle.Store) *particle.Store {
+func mergeSortedInto(r comm.Transport, a, b, out *particle.Store) *particle.Store {
 	i, j := 0, 0
 	for i < a.Len() && j < b.Len() {
 		if b.Key[j] < a.Key[i] {

@@ -45,7 +45,7 @@ const (
 // The real work is a radix sort plus one permutation apply (see radix.go),
 // but the simulated charge stays the comparison-sort formula
 // n·⌈log₂ n⌉·compareWork so all paper results are unchanged.
-func LocalSort(r *comm.Rank, s *particle.Store) {
+func LocalSort(r comm.Transport, s *particle.Store) {
 	n := s.Len()
 	radixSortStore(s)
 	if n > 1 {
@@ -85,8 +85,8 @@ func IsLocallySorted(s *particle.Store) bool {
 // particle population and returns this rank's sorted, balanced share. This
 // is the paper's initial "distribution algorithm"; the incremental sort is
 // the cheaper alternative for subsequent redistributions.
-func SampleSort(r *comm.Rank, s *particle.Store) *particle.Store {
-	p := r.P
+func SampleSort(r comm.Transport, s *particle.Store) *particle.Store {
+	p := r.Size()
 	LocalSort(r, s)
 	if p == 1 {
 		return s
@@ -102,7 +102,7 @@ func SampleSort(r *comm.Rank, s *particle.Store) *particle.Store {
 		}
 		samples[k] = s.Key[k*n/p]
 	}
-	all := r.AllgatherFloat64s(samples)
+	all := comm.AllgatherFloat64s(r, samples)
 	sort.Float64s(all)
 	r.Compute(len(all) * ilog2(len(all)) * compareWork)
 	// p−1 splitters: every p-th sample.
@@ -129,7 +129,7 @@ func SampleSort(r *comm.Rank, s *particle.Store) *particle.Store {
 			r.Compute((hi - lo) * packWorkPerParticle)
 		}
 	}
-	recvCounts := r.ExchangeCounts(counts)
+	recvCounts := comm.ExchangeCounts(r, counts)
 	recv := comm.AllToMany(r, send, recvCounts, comm.Float64Bytes)
 
 	out := particle.NewStore(n, s.Charge, s.Mass)
@@ -151,7 +151,7 @@ func SampleSort(r *comm.Rank, s *particle.Store) *particle.Store {
 // offset+i) moves to the BLOCK owner of that position. Requires that the
 // per-rank stores concatenate to a globally key-sorted sequence, and
 // preserves that property.
-func LoadBalance(r *comm.Rank, s *particle.Store) *particle.Store {
+func LoadBalance(r comm.Transport, s *particle.Store) *particle.Store {
 	return loadBalanceInto(r, s, nil)
 }
 
@@ -180,10 +180,10 @@ func (sc *lbScratch) grow(p int) {
 // reuse is non-nil its arrays are recycled for the output (it must not
 // alias s). When reuse is nil the behaviour is the original LoadBalance,
 // including returning s itself on the p = 1 / empty fast path.
-func loadBalanceInto(r *comm.Rank, s, reuse *particle.Store) *particle.Store {
-	p := r.P
+func loadBalanceInto(r comm.Transport, s, reuse *particle.Store) *particle.Store {
+	p := r.Size()
 	n := s.Len()
-	total := r.AllreduceSumInt(n)
+	total := comm.AllreduceSumInt(r, n)
 	if p == 1 || total == 0 {
 		if reuse == nil {
 			return s
@@ -196,7 +196,7 @@ func loadBalanceInto(r *comm.Rank, s, reuse *particle.Store) *particle.Store {
 		particle.SwapContents(reuse, s)
 		return reuse
 	}
-	offset := r.ScanSumInt(n)
+	offset := comm.ScanSumInt(r, n)
 
 	sc := lbPool.Get().(*lbScratch)
 	sc.grow(p)
@@ -211,20 +211,20 @@ func loadBalanceInto(r *comm.Rank, s, reuse *particle.Store) *particle.Store {
 		if runEnd > n {
 			runEnd = n
 		}
-		if d != r.ID {
+		if d != r.Rank() {
 			send[d] = s.MarshalRange(wire.Get((runEnd-i)*particle.WireFloats), i, runEnd)
 			counts[d] = len(send[d])
 			r.Compute((runEnd - i) * packWorkPerParticle)
 		}
 		i = runEnd
 	}
-	recvCounts := r.ExchangeCounts(counts)
+	recvCounts := comm.ExchangeCounts(r, counts)
 	recv := comm.AllToMany(r, send, recvCounts, comm.Float64Bytes)
 	lbPool.Put(sc)
 
 	// Reassemble in source-rank order, splicing the retained local run in
 	// rank position. Retained run: positions owned by self.
-	myLo, myHi := mesh.BlockRange(total, p, r.ID)
+	myLo, myHi := mesh.BlockRange(total, p, r.Rank())
 	out := reuse
 	if out == nil {
 		out = particle.NewStore(myHi-myLo, s.Charge, s.Mass)
@@ -243,7 +243,7 @@ func loadBalanceInto(r *comm.Rank, s, reuse *particle.Store) *particle.Store {
 		wire.Put(w)
 	}
 	for src := 0; src < p; src++ {
-		if src == r.ID {
+		if src == r.Rank() {
 			keepLo, keepHi := myLo-offset, myHi-offset
 			if keepLo < 0 {
 				keepLo = 0

@@ -83,8 +83,7 @@ func (g *gather) checkGlobal(t *testing.T, p, total int, wantIDs map[float64]boo
 }
 
 func TestLocalSort(t *testing.T) {
-	w := comm.NewWorld(1, machine.CM5())
-	ws := w.Run(func(r *comm.Rank) {
+		ws := comm.Launch(1, machine.CM5(), func(r comm.Transport) {
 		s := makeLocal(rand.New(rand.NewSource(1)), 100, 0, 50)
 		LocalSort(r, s)
 		if !IsLocallySorted(s) {
@@ -119,11 +118,10 @@ func TestSampleSortGlobal(t *testing.T) {
 			for i := 0; i < total; i++ {
 				wantIDs[float64(i)] = true
 			}
-			w := comm.NewWorld(p, machine.CM5())
-			w.Run(func(r *comm.Rank) {
-				rng := rand.New(rand.NewSource(int64(100 + r.ID)))
-				s := makeLocal(rng, perRank, r.ID*perRank, 1000)
-				g.put(r.ID, SampleSort(r, s))
+						comm.Launch(p, machine.CM5(), func(r comm.Transport) {
+				rng := rand.New(rand.NewSource(int64(100 + r.Rank())))
+				s := makeLocal(rng, perRank, r.Rank()*perRank, 1000)
+				g.put(r.Rank(), SampleSort(r, s))
 			})
 			g.checkGlobal(t, p, total, wantIDs)
 		}
@@ -135,15 +133,14 @@ func TestSampleSortSkewedInput(t *testing.T) {
 	const p = 4
 	const total = 400
 	g := newGather()
-	w := comm.NewWorld(p, machine.CM5())
-	w.Run(func(r *comm.Rank) {
+		comm.Launch(p, machine.CM5(), func(r comm.Transport) {
 		var s *particle.Store
-		if r.ID == 0 {
+		if r.Rank() == 0 {
 			s = makeLocal(rand.New(rand.NewSource(7)), total, 0, 64)
 		} else {
 			s = particle.NewStore(0, -1, 1)
 		}
-		g.put(r.ID, SampleSort(r, s))
+		g.put(r.Rank(), SampleSort(r, s))
 	})
 	wantIDs := map[float64]bool{}
 	for i := 0; i < total; i++ {
@@ -158,18 +155,17 @@ func TestLoadBalancePreservesOrder(t *testing.T) {
 	counts := []int{37, 1, 0, 62}
 	total := 100
 	g := newGather()
-	w := comm.NewWorld(p, machine.CM5())
-	w.Run(func(r *comm.Rank) {
+		comm.Launch(p, machine.CM5(), func(r comm.Transport) {
 		s := particle.NewStore(0, -1, 1)
 		base := 0
-		for k := 0; k < r.ID; k++ {
+		for k := 0; k < r.Rank(); k++ {
 			base += counts[k]
 		}
-		for i := 0; i < counts[r.ID]; i++ {
+		for i := 0; i < counts[r.Rank()]; i++ {
 			s.Append(0, 0, 0, 0, 0, float64(base+i))
 			s.Key[s.Len()-1] = float64(base + i) // keys already globally sorted
 		}
-		g.put(r.ID, LoadBalance(r, s))
+		g.put(r.Rank(), LoadBalance(r, s))
 	})
 	wantIDs := map[float64]bool{}
 	for i := 0; i < total; i++ {
@@ -189,8 +185,7 @@ func TestLoadBalancePreservesOrder(t *testing.T) {
 }
 
 func TestLoadBalanceSingleRankNoOp(t *testing.T) {
-	w := comm.NewWorld(1, machine.CM5())
-	w.Run(func(r *comm.Rank) {
+		comm.Launch(1, machine.CM5(), func(r comm.Transport) {
 		s := makeLocal(rand.New(rand.NewSource(1)), 10, 0, 10)
 		out := LoadBalance(r, s)
 		if out != s {
@@ -207,10 +202,9 @@ func TestIncrementalRedistributeFromScratch(t *testing.T) {
 		total := p * perRank
 		g := newGather()
 		statsCh := make(chan Stats, p)
-		w := comm.NewWorld(p, machine.CM5())
-		w.Run(func(r *comm.Rank) {
-			rng := rand.New(rand.NewSource(int64(500 + r.ID)))
-			s := makeLocal(rng, perRank, r.ID*perRank, 4096)
+				comm.Launch(p, machine.CM5(), func(r comm.Transport) {
+			rng := rand.New(rand.NewSource(int64(500 + r.Rank())))
+			s := makeLocal(rng, perRank, r.Rank()*perRank, 4096)
 			s = SampleSort(r, s)
 			inc := NewIncremental(8)
 			inc.Prime(s)
@@ -224,7 +218,7 @@ func TestIncrementalRedistributeFromScratch(t *testing.T) {
 			}
 			out, st := inc.Redistribute(r, s)
 			statsCh <- st
-			g.put(r.ID, out)
+			g.put(r.Rank(), out)
 		})
 		wantIDs := map[float64]bool{}
 		for i := 0; i < total; i++ {
@@ -257,10 +251,9 @@ func TestIncrementalRepeatedRedistributions(t *testing.T) {
 	for round := 0; round < 5; round++ {
 		round := round
 		g := newGather()
-		w := comm.NewWorld(p, machine.CM5())
-		w.Run(func(r *comm.Rank) {
-			rng := rand.New(rand.NewSource(int64(r.ID*1000 + 17)))
-			s := makeLocal(rng, perRank, r.ID*perRank, 1024)
+				comm.Launch(p, machine.CM5(), func(r comm.Transport) {
+			rng := rand.New(rand.NewSource(int64(r.Rank()*1000 + 17)))
+			s := makeLocal(rng, perRank, r.Rank()*perRank, 1024)
 			s = SampleSort(r, s)
 			inc := NewIncremental(0) // default bucket count
 			inc.Prime(s)
@@ -270,7 +263,7 @@ func TestIncrementalRepeatedRedistributions(t *testing.T) {
 				}
 				s, _ = inc.Redistribute(r, s)
 			}
-			g.put(r.ID, s)
+			g.put(r.Rank(), s)
 		})
 		wantIDs := map[float64]bool{}
 		for i := 0; i < total; i++ {
@@ -284,24 +277,23 @@ func TestIncrementalNoMovement(t *testing.T) {
 	// If keys do not change, redistribution must classify everything
 	// same-bucket and move nothing off-processor.
 	const p = 4
-	w := comm.NewWorld(p, machine.CM5())
-	w.Run(func(r *comm.Rank) {
-		rng := rand.New(rand.NewSource(int64(900 + r.ID)))
-		s := makeLocal(rng, 64, r.ID*64, 512)
+		comm.Launch(p, machine.CM5(), func(r comm.Transport) {
+		rng := rand.New(rand.NewSource(int64(900 + r.Rank())))
+		s := makeLocal(rng, 64, r.Rank()*64, 512)
 		s = SampleSort(r, s)
 		inc := NewIncremental(8)
 		inc.Prime(s)
 		out, st := inc.Redistribute(r, s)
 		if st.OffProc != 0 {
-			t.Errorf("rank %d: %d particles moved without key changes", r.ID, st.OffProc)
+			t.Errorf("rank %d: %d particles moved without key changes", r.Rank(), st.OffProc)
 		}
 		// Duplicate keys sitting exactly on a bucket boundary may classify
 		// as other-bucket; everything else must be a same-bucket hit.
 		if st.SameBucket+st.OtherBucket != 64 || st.SameBucket < 56 {
-			t.Errorf("rank %d: same-bucket %d other %d, want ~64 same", r.ID, st.SameBucket, st.OtherBucket)
+			t.Errorf("rank %d: same-bucket %d other %d, want ~64 same", r.Rank(), st.SameBucket, st.OtherBucket)
 		}
 		if out.Len() != 64 {
-			t.Errorf("rank %d: count changed to %d", r.ID, out.Len())
+			t.Errorf("rank %d: count changed to %d", r.Rank(), out.Len())
 		}
 	})
 }
@@ -317,10 +309,9 @@ func TestIncrementalCheaperThanFullSort(t *testing.T) {
 	run := func(incremental bool) float64 {
 		var maxTime float64
 		var mu sync.Mutex
-		w := comm.NewWorld(p, params)
-		w.Run(func(r *comm.Rank) {
-			rng := rand.New(rand.NewSource(int64(33 + r.ID)))
-			s := makeLocal(rng, perRank, r.ID*perRank, 8192)
+				comm.Launch(p, params, func(r comm.Transport) {
+			rng := rand.New(rand.NewSource(int64(33 + r.Rank())))
+			s := makeLocal(rng, perRank, r.Rank()*perRank, 8192)
 			s = SampleSort(r, s)
 			inc := NewIncremental(16)
 			inc.Prime(s)
@@ -328,15 +319,15 @@ func TestIncrementalCheaperThanFullSort(t *testing.T) {
 			for i := 0; i < s.Len(); i++ {
 				s.Key[i] = math.Max(0, s.Key[i]+math.Floor(rng.Float64()*6-3))
 			}
-			r.Barrier()
-			t0 := r.Clock.Now()
+			comm.Barrier(r)
+			t0 := r.Clock().Now()
 			if incremental {
 				s, _ = inc.Redistribute(r, s)
 			} else {
 				s = SampleSort(r, s)
 			}
-			r.Barrier()
-			elapsed := r.Clock.Now() - t0
+			comm.Barrier(r)
+			elapsed := r.Clock().Now() - t0
 			mu.Lock()
 			if elapsed > maxTime {
 				maxTime = elapsed
@@ -354,8 +345,7 @@ func TestIncrementalCheaperThanFullSort(t *testing.T) {
 }
 
 func TestMergeSorted(t *testing.T) {
-	w := comm.NewWorld(1, machine.Zero())
-	w.Run(func(r *comm.Rank) {
+		comm.Launch(1, machine.Zero(), func(r comm.Transport) {
 		a := particle.NewStore(0, -1, 1)
 		b := particle.NewStore(0, -1, 1)
 		for i, k := range []float64{1, 3, 5} {
@@ -428,10 +418,9 @@ func TestPrimeEmptyStore(t *testing.T) {
 func TestSampleSortDeterministic(t *testing.T) {
 	run := func() []float64 {
 		g := newGather()
-		w := comm.NewWorld(4, machine.CM5())
-		w.Run(func(r *comm.Rank) {
-			s := makeLocal(rand.New(rand.NewSource(int64(r.ID))), 50, r.ID*50, 777)
-			g.put(r.ID, SampleSort(r, s))
+				comm.Launch(4, machine.CM5(), func(r comm.Transport) {
+			s := makeLocal(rand.New(rand.NewSource(int64(r.Rank()))), 50, r.Rank()*50, 777)
+			g.put(r.Rank(), SampleSort(r, s))
 		})
 		var ids []float64
 		for r := 0; r < 4; r++ {

@@ -119,10 +119,9 @@ func TestRedistributeClassifyPackZeroAlloc(t *testing.T) {
 	if raceflag.Enabled {
 		t.Skip("race detector distorts allocation counts")
 	}
-	w := comm.NewWorld(4, machine.Zero())
-	w.Run(func(r *comm.Rank) {
+		comm.Launch(4, machine.Zero(), func(r comm.Transport) {
 		// classify and pack are communication-free, so only rank 0 runs.
-		if r.ID != 0 {
+		if r.Rank() != 0 {
 			return
 		}
 		rng := rand.New(rand.NewSource(17))

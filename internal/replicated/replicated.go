@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"picpar/internal/comm"
+	"picpar/internal/engine"
 	"picpar/internal/machine"
 	"picpar/internal/mesh"
 	"picpar/internal/particle"
@@ -60,8 +61,7 @@ func Run(cfg pic.Config) (*Result, error) {
 	}
 
 	res := &Result{}
-	world := comm.NewWorld(cfg.P, cfg.Machine)
-	ws := world.Run(func(r *comm.Rank) { runRank(r, cfg, res) })
+	ws := comm.Launch(cfg.P, cfg.Machine, func(r comm.Transport) { runRank(r, cfg, res) })
 	res.Stats = ws
 	res.ComputeSum = ws.TotalCompute()
 	res.ComputeMax = ws.MaxCompute()
@@ -115,7 +115,7 @@ func newFullMesh(g mesh.Grid) *fullMesh {
 
 const tagInit comm.Tag = comm.TagUser + 300
 
-func runRank(r *comm.Rank, cfg pic.Config, res *Result) {
+func runRank(r comm.Transport, cfg pic.Config, res *Result) {
 	g := cfg.Grid
 	m := g.NumPoints()
 	fm := newFullMesh(g)
@@ -124,7 +124,7 @@ func runRank(r *comm.Rank, cfg pic.Config, res *Result) {
 	// Lagrangian) share. No alignment machinery — that is the point.
 	r.SetPhase(machine.PhaseRedistribute)
 	var store *particle.Store
-	if r.ID == 0 {
+	if r.Rank() == 0 {
 		var global *particle.Store
 		if cfg.CustomParticles != nil {
 			global = cfg.CustomParticles.Clone()
@@ -140,8 +140,8 @@ func runRank(r *comm.Rank, cfg pic.Config, res *Result) {
 				panic(err)
 			}
 		}
-		for dst := r.P - 1; dst >= 0; dst-- {
-			lo, hi := mesh.BlockRange(global.Len(), r.P, dst)
+		for dst := r.Size() - 1; dst >= 0; dst-- {
+			lo, hi := mesh.BlockRange(global.Len(), r.Size(), dst)
 			if dst == 0 {
 				store = particle.NewStore(hi-lo, global.Charge, global.Mass)
 				for i := lo; i < hi; i++ {
@@ -149,32 +149,35 @@ func runRank(r *comm.Rank, cfg pic.Config, res *Result) {
 				}
 				continue
 			}
-			r.SendFloat64s(dst, tagInit, global.MarshalRange(nil, lo, hi))
+			comm.SendFloat64s(r, dst, tagInit, global.MarshalRange(nil, lo, hi))
 		}
 	} else {
-		wire := r.RecvFloat64s(0, tagInit)
+		wire := comm.RecvFloat64s(r, 0, tagInit)
 		store = particle.NewStore(len(wire)/particle.WireFloats, cfg.MacroCharge, 1)
 		if err := store.AppendWire(wire); err != nil {
 			panic(err)
 		}
 	}
-	r.Barrier()
-	start := r.Clock.Now()
+	comm.Barrier(r)
+	start := r.Clock().Now()
 
 	// The field solve is row-partitioned; rows [j0, j1) belong to this rank.
-	j0, j1 := mesh.BlockRange(g.Ny, r.P, r.ID)
+	j0, j1 := mesh.BlockRange(g.Ny, r.Size(), r.Rank())
 
+	// The baseline is an alternate composition of the same engine-layer
+	// pipeline the distributed simulation uses: three phases, no trigger
+	// (no redistribution exists here — that is the point).
+	st := &replState{r: r, g: g, fm: fm, store: store, j0: j0, j1: j1, dt: cfg.Dt}
+	pipe := engine.New(replScatter{st}, replFieldSolve{st}, replGatherPush{st})
 	for iter := 0; iter < cfg.Iterations; iter++ {
-		scatterReplicated(r, g, fm, store)
-		fieldSolveReplicated(r, g, fm, j0, j1, cfg.Dt)
-		gatherPushReplicated(r, g, fm, store, cfg.Dt)
+		pipe.Step(iter)
 		r.SetPhase(machine.PhaseCommSetup)
-		r.Barrier()
+		comm.Barrier(r)
 	}
 
-	total := r.ExposeMaxFloat64(r.Clock.Now() - start)
-	kinetic := r.ExposeSumFloat64(store.KineticEnergy())
-	if r.ID == 0 {
+	total := comm.ExposeMaxFloat64(r, r.Clock().Now() - start)
+	kinetic := comm.ExposeSumFloat64(r, store.KineticEnergy())
+	if r.Rank() == 0 {
 		res.TotalTime = total
 		res.FinalKineticEnergy = kinetic
 		fieldE := 0.0
@@ -186,10 +189,44 @@ func runRank(r *comm.Rank, cfg pic.Config, res *Result) {
 	}
 }
 
+// replState bundles one rank's baseline state for the phase values.
+type replState struct {
+	r      comm.Transport
+	g      mesh.Grid
+	fm     *fullMesh
+	store  *particle.Store
+	j0, j1 int
+	dt     float64
+}
+
+// replScatter is the replicated-mesh scatter as an engine.Phase.
+type replScatter struct{ st *replState }
+
+func (p replScatter) Name() string { return "scatter" }
+func (p replScatter) Run(int) {
+	scatterReplicated(p.st.r, p.st.g, p.st.fm, p.st.store)
+}
+
+// replFieldSolve is the row-partitioned field solve as an engine.Phase.
+type replFieldSolve struct{ st *replState }
+
+func (p replFieldSolve) Name() string { return "fieldsolve" }
+func (p replFieldSolve) Run(int) {
+	fieldSolveReplicated(p.st.r, p.st.g, p.st.fm, p.st.j0, p.st.j1, p.st.dt)
+}
+
+// replGatherPush is the local gather + push as an engine.Phase.
+type replGatherPush struct{ st *replState }
+
+func (p replGatherPush) Name() string { return "gatherpush" }
+func (p replGatherPush) Run(int) {
+	gatherPushReplicated(p.st.r, p.st.g, p.st.fm, p.st.store, p.st.dt)
+}
+
 // scatterReplicated deposits into the local full-mesh copy and element-wise
 // sums J and Rho over all processors — the global operation Lubeck and
 // Faber identified as the scalability bottleneck.
-func scatterReplicated(r *comm.Rank, g mesh.Grid, fm *fullMesh, s *particle.Store) {
+func scatterReplicated(r comm.Transport, g mesh.Grid, fm *fullMesh, s *particle.Store) {
 	r.SetPhase(machine.PhaseScatter)
 	for i := range fm.Jx {
 		fm.Jx[i], fm.Jy[i], fm.Jz[i], fm.Rho[i] = 0, 0, 0, 0
@@ -212,10 +249,10 @@ func scatterReplicated(r *comm.Rank, g mesh.Grid, fm *fullMesh, s *particle.Stor
 	// Global element-wise sum of the source arrays (4·m values).
 	// The reduction result is a broadcast body shared by all ranks, so
 	// copy it into owned storage before anyone mutates their replica.
-	copy(fm.Jx, r.AllreduceSumFloat64s(fm.Jx))
-	copy(fm.Jy, r.AllreduceSumFloat64s(fm.Jy))
-	copy(fm.Jz, r.AllreduceSumFloat64s(fm.Jz))
-	copy(fm.Rho, r.AllreduceSumFloat64s(fm.Rho))
+	copy(fm.Jx, comm.AllreduceSumFloat64s(r, fm.Jx))
+	copy(fm.Jy, comm.AllreduceSumFloat64s(r, fm.Jy))
+	copy(fm.Jz, comm.AllreduceSumFloat64s(r, fm.Jz))
+	copy(fm.Rho, comm.AllreduceSumFloat64s(r, fm.Rho))
 }
 
 // fieldSolveWork mirrors the distributed solver's per-point cost.
@@ -225,13 +262,13 @@ const fieldSolveWork = 24
 // central-difference scheme as the distributed solver, then globally
 // concatenates the six field components so every rank again holds the full
 // mesh.
-func fieldSolveReplicated(r *comm.Rank, g mesh.Grid, fm *fullMesh, j0, j1 int, dt float64) {
+func fieldSolveReplicated(r comm.Transport, g mesh.Grid, fm *fullMesh, j0, j1 int, dt float64) {
 	r.SetPhase(machine.PhaseFieldSolve)
 	nx := g.Nx
 	rows := j1 - j0
 	// Allgather needs equal block sizes; pad every rank's buffer to the
 	// largest row count (the tail stays zero and is ignored on unpack).
-	maxRows := (g.Ny + r.P - 1) / r.P
+	maxRows := (g.Ny + r.Size() - 1) / r.Size()
 	// Update E on owned rows from the (globally consistent) B replica.
 	eBuf := make([]float64, 3*maxRows*nx)
 	for j := j0; j < j1; j++ {
@@ -251,8 +288,8 @@ func fieldSolveReplicated(r *comm.Rank, g mesh.Grid, fm *fullMesh, j0, j1 int, d
 	}
 	r.Compute(rows * nx * fieldSolveWork)
 	// Global concatenation of the new E (3·m values), then install.
-	allE := r.AllgatherFloat64s(eBuf)
-	installRows3(g, r.P, maxRows, allE, fm.Ex, fm.Ey, fm.Ez)
+	allE := comm.AllgatherFloat64s(r, eBuf)
+	installRows3(g, r.Size(), maxRows, allE, fm.Ex, fm.Ey, fm.Ez)
 
 	bBuf := make([]float64, 3*maxRows*nx)
 	for j := j0; j < j1; j++ {
@@ -271,8 +308,8 @@ func fieldSolveReplicated(r *comm.Rank, g mesh.Grid, fm *fullMesh, j0, j1 int, d
 		}
 	}
 	r.Compute(rows * nx * fieldSolveWork)
-	allB := r.AllgatherFloat64s(bBuf)
-	installRows3(g, r.P, maxRows, allB, fm.Bx, fm.By, fm.Bz)
+	allB := comm.AllgatherFloat64s(r, bBuf)
+	installRows3(g, r.Size(), maxRows, allB, fm.Bx, fm.By, fm.Bz)
 }
 
 // installRows3 unpacks an allgathered per-rank row-block buffer of 3
@@ -298,7 +335,7 @@ func installRows3(g mesh.Grid, p, maxRows int, all []float64, c0, c1, c2 []float
 
 // gatherPushReplicated interpolates from the local replica (no
 // communication) and pushes.
-func gatherPushReplicated(r *comm.Rank, g mesh.Grid, fm *fullMesh, s *particle.Store, dt float64) {
+func gatherPushReplicated(r comm.Transport, g mesh.Grid, fm *fullMesh, s *particle.Store, dt float64) {
 	r.SetPhase(machine.PhaseGather)
 	for i := 0; i < s.Len(); i++ {
 		w := pusher.Weights(g, s.X[i], s.Y[i])

@@ -13,6 +13,10 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== examples smoke =="
+go run ./examples/quickstart >/dev/null
+go run ./examples/indexing >/dev/null
+
 echo "== bench smoke =="
 go test -run NONE -bench BenchmarkLocalSort -benchtime 100x -benchmem .
 
