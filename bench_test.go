@@ -14,6 +14,7 @@ import (
 
 	"picpar"
 	"picpar/internal/comm"
+	"picpar/internal/commtest"
 	"picpar/internal/experiments"
 	"picpar/internal/machine"
 	"picpar/internal/mesh"
@@ -125,6 +126,36 @@ func BenchmarkSimulationIteration(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulationIterationReliable is BenchmarkSimulationIteration with
+// the reliable-delivery layer installed on a fault-free transport: the two
+// must stay within noise of each other (the chaos harness's "fault-free
+// overhead" acceptance bar). The sequence-number envelopes add a few bytes
+// per wire message but no simulated time and no extra round trips.
+func BenchmarkSimulationIterationReliable(b *testing.B) {
+	rel := picpar.NewReliable(picpar.ReliableConfig{})
+	cfg := picpar.Config{
+		Grid:         picpar.NewGrid(64, 32),
+		P:            8,
+		NumParticles: 8192,
+		Distribution: picpar.DistIrregular,
+		Seed:         1,
+		Iterations:   b.N,
+		Policy:       picpar.PeriodicPolicy(25),
+		Transport:    rel.Wrap,
+	}
+	b.ResetTimer()
+	res, err := picpar.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if b.N > 0 {
+		b.ReportMetric(res.TotalTime/float64(b.N), "sim-s/iter")
+	}
+	if s := rel.Stats(); s.Retransmissions+s.DupsSuppressed+s.ReordersHealed+s.Failures != 0 {
+		b.Fatalf("fault-free run exercised recovery: %+v", s)
+	}
+}
+
 // BenchmarkHilbertIndex measures the per-particle indexing cost.
 func BenchmarkHilbertIndex(b *testing.B) {
 	ix := sfc.MustNew(sfc.SchemeHilbert, 512, 256)
@@ -166,7 +197,7 @@ func unsortedStore(rng *rand.Rand, n int) *particle.Store {
 // BenchmarkLocalSort measures the radix sort + permutation apply behind
 // every LocalSort call, at 32k particles. Steady state allocates nothing.
 func BenchmarkLocalSort(b *testing.B) {
-		comm.Launch(1, machine.Zero(), func(r comm.Transport) {
+	commtest.Launch(1, machine.Zero(), func(r comm.Transport) {
 		rng := rand.New(rand.NewSource(1))
 		ref := unsortedStore(rng, localSortN)
 		s := ref.Clone()
@@ -206,7 +237,7 @@ func TestLocalSortSteadyStateAllocs(t *testing.T) {
 	if raceflag.Enabled {
 		t.Skip("race detector distorts allocation counts")
 	}
-		comm.Launch(1, machine.Zero(), func(r comm.Transport) {
+	commtest.Launch(1, machine.Zero(), func(r comm.Transport) {
 		rng := rand.New(rand.NewSource(7))
 		ref := unsortedStore(rng, 4096)
 		s := ref.Clone()

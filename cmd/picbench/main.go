@@ -17,6 +17,12 @@
 // <bench-dir>/BENCH_<date>.json, and compared against the most recent
 // previous snapshot; ns/op slowdowns beyond -bench-tol or any allocs/op
 // growth exit non-zero. See README.md for the JSON schema.
+//
+// With -traffic, picbench runs the per-phase traffic-regression gate: a
+// fixed reference simulation is traced through comm.Tracer, its per-phase
+// message/byte totals written to <bench-dir>/TRAFFIC_<date>.json, and any
+// increase over the previous snapshot exits non-zero — the simulated
+// transport is deterministic, so the comparison tolerates zero inflation.
 package main
 
 import (
@@ -40,6 +46,7 @@ func main() {
 	full := flag.Bool("full", false, "use the paper's full problem sizes (slow)")
 	csvDir := flag.String("csv", "", "directory to write <exp>.csv files into (created if absent)")
 	bench := flag.Bool("bench", false, "run the perf-regression harness instead of the experiments")
+	traffic := flag.Bool("traffic", false, "run the per-phase traffic-regression gate instead of the experiments")
 	benchDir := flag.String("bench-dir", "bench", "directory for BENCH_<date>.json snapshots")
 	benchPattern := flag.String("bench-pattern",
 		"BenchmarkLocalSort|BenchmarkSampleSort|BenchmarkIncrementalRedistribute|BenchmarkSimulationIteration",
@@ -50,6 +57,13 @@ func main() {
 
 	if *bench {
 		if err := runBench(*benchDir, *benchPattern, *benchTime, *benchTol); err != nil {
+			fmt.Fprintf(os.Stderr, "picbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *traffic {
+		if err := runTraffic(*benchDir); err != nil {
 			fmt.Fprintf(os.Stderr, "picbench: %v\n", err)
 			os.Exit(1)
 		}

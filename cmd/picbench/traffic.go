@@ -1,0 +1,201 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"picpar/internal/comm"
+	"picpar/internal/machine"
+	"picpar/internal/mesh"
+	"picpar/internal/particle"
+	"picpar/internal/pic"
+	"picpar/internal/policy"
+)
+
+// trafficSnapshot is the on-disk schema of a TRAFFIC_<date>.json file: the
+// per-phase message/byte totals of one deterministic traced reference
+// simulation. Unlike the wall-clock bench snapshots, these numbers carry no
+// noise at all — the simulated transport is fully deterministic — so the
+// comparison tolerates zero inflation.
+type trafficSnapshot struct {
+	Schema    string              `json:"schema"` // always "picpar-traffic/v1"
+	Date      string              `json:"date"`   // YYYY-MM-DD of the run
+	GoVersion string              `json:"go"`
+	Config    trafficConfig       `json:"config"`
+	Phases    []trafficPhaseEntry `json:"phases"`
+}
+
+// trafficConfig pins the reference run so snapshots stay comparable; a
+// mismatch against the previous snapshot resets the baseline instead of
+// comparing apples to oranges.
+type trafficConfig struct {
+	Nx           int    `json:"nx"`
+	Ny           int    `json:"ny"`
+	P            int    `json:"p"`
+	NumParticles int    `json:"num_particles"`
+	Iterations   int    `json:"iterations"`
+	Policy       string `json:"policy"`
+	Seed         int64  `json:"seed"`
+}
+
+// trafficPhaseEntry is one accounting phase's traffic, summed over ranks.
+type trafficPhaseEntry struct {
+	Phase     string `json:"phase"`
+	MsgsSent  int64  `json:"msgs_sent"`
+	BytesSent int64  `json:"bytes_sent"`
+	MsgsRecv  int64  `json:"msgs_recv"`
+	BytesRecv int64  `json:"bytes_recv"`
+}
+
+// trafficReferenceConfig is the fixed simulation the gate measures: small
+// enough to run in well under a second, irregular enough that every phase
+// (halo exchange, reductions, redistribution all-to-many) moves real
+// traffic. Periodic(3) pins the redistribution schedule so traffic cannot
+// legitimately drift with timing.
+func trafficReferenceConfig() (pic.Config, trafficConfig) {
+	cfg := pic.Config{
+		Grid:         mesh.NewGrid(32, 16),
+		P:            4,
+		NumParticles: 2048,
+		Distribution: particle.DistIrregular,
+		Seed:         7,
+		Iterations:   10,
+		Policy:       policy.NewPeriodic(3),
+	}
+	meta := trafficConfig{
+		Nx: 32, Ny: 16,
+		P:            cfg.P,
+		NumParticles: cfg.NumParticles,
+		Iterations:   cfg.Iterations,
+		Policy:       "periodic(3)",
+		Seed:         cfg.Seed,
+	}
+	return cfg, meta
+}
+
+// runTraffic runs the traced reference simulation, writes
+// TRAFFIC_<date>.json into dir, and fails on any per-phase message or byte
+// increase over the most recent previous snapshot.
+func runTraffic(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	prev, prevPath, err := latestTrafficSnapshot(dir)
+	if err != nil {
+		return err
+	}
+
+	cfg, meta := trafficReferenceConfig()
+	tracer := comm.NewTracer()
+	cfg.Transport = tracer.Wrap
+	if _, err := pic.Run(cfg); err != nil {
+		return fmt.Errorf("traced reference simulation failed: %v", err)
+	}
+
+	totals := tracer.PhaseTotals()
+	snap := &trafficSnapshot{
+		Schema:    "picpar-traffic/v1",
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		Config:    meta,
+	}
+	for i, c := range totals {
+		snap.Phases = append(snap.Phases, trafficPhaseEntry{
+			Phase:     machine.Phase(i).String(),
+			MsgsSent:  c.MsgsSent,
+			BytesSent: c.BytesSent,
+			MsgsRecv:  c.MsgsRecv,
+			BytesRecv: c.BytesRecv,
+		})
+	}
+
+	path := filepath.Join(dir, "TRAFFIC_"+snap.Date+".json")
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("picbench: traffic snapshot written to %s\n", path)
+
+	if prev == nil {
+		fmt.Println("picbench: no previous traffic snapshot to compare against")
+		return nil
+	}
+	if prevPath == path {
+		fmt.Println("picbench: comparing against the overwritten same-day snapshot")
+	}
+	return compareTraffic(prev, snap, prevPath)
+}
+
+// latestTrafficSnapshot loads the newest TRAFFIC_*.json in dir (the
+// date-stamped names sort chronologically), or nil if none exist.
+func latestTrafficSnapshot(dir string) (*trafficSnapshot, string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "TRAFFIC_*.json"))
+	if err != nil {
+		return nil, "", err
+	}
+	if len(matches) == 0 {
+		return nil, "", nil
+	}
+	sort.Strings(matches)
+	path := matches[len(matches)-1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var snap trafficSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, "", fmt.Errorf("%s: %v", path, err)
+	}
+	return &snap, path, nil
+}
+
+// compareTraffic fails on any per-phase increase in messages or bytes, in
+// either direction of the wire. The simulated transport is deterministic,
+// so any inflation is a real change someone must explain — by deleting the
+// stale snapshot and committing the new baseline alongside the change that
+// caused it.
+func compareTraffic(prev, cur *trafficSnapshot, prevPath string) error {
+	if prev.Config != cur.Config {
+		fmt.Printf("picbench: previous snapshot %s used a different reference config; baseline reset\n", prevPath)
+		return nil
+	}
+	fmt.Printf("picbench: comparing traffic against %s\n", prevPath)
+	prevBy := map[string]trafficPhaseEntry{}
+	for _, e := range prev.Phases {
+		prevBy[e.Phase] = e
+	}
+	var inflations []string
+	for _, e := range cur.Phases {
+		p, ok := prevBy[e.Phase]
+		if !ok {
+			fmt.Printf("  %-14s %6d msgs %10d bytes sent  (new phase)\n", e.Phase, e.MsgsSent, e.BytesSent)
+			continue
+		}
+		fmt.Printf("  %-14s msgs %6d -> %-6d  bytes %10d -> %-10d\n",
+			e.Phase, p.MsgsSent, e.MsgsSent, p.BytesSent, e.BytesSent)
+		check := func(name string, old, now int64) {
+			if now > old {
+				inflations = append(inflations,
+					fmt.Sprintf("%s %s grew %d -> %d", e.Phase, name, old, now))
+			}
+		}
+		check("msgs_sent", p.MsgsSent, e.MsgsSent)
+		check("bytes_sent", p.BytesSent, e.BytesSent)
+		check("msgs_recv", p.MsgsRecv, e.MsgsRecv)
+		check("bytes_recv", p.BytesRecv, e.BytesRecv)
+	}
+	if len(inflations) > 0 {
+		return fmt.Errorf("unexplained traffic inflation:\n  %s", strings.Join(inflations, "\n  "))
+	}
+	fmt.Println("picbench: no traffic inflation")
+	return nil
+}

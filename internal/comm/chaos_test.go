@@ -1,0 +1,408 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"picpar/internal/machine"
+)
+
+// soakPlans are the seeded fault plans the chaos soak runs under; each
+// stresses a different mix of the fault kinds.
+var soakPlans = []FaultPlan{
+	{Seed: 0xC0FFEE, DropProb: 0.25, MaxDropAttempts: 3},
+	{Seed: 0xDECAF, DupProb: 0.2, ReorderProb: 0.2},
+	{Seed: 0xBEEF01, DropProb: 0.1, MaxDropAttempts: 2, DupProb: 0.1,
+		ReorderProb: 0.1, DelayProb: 0.2, MaxDelay: 1e-3},
+}
+
+// exerciseCollectives drives the full collective surface plus point-to-point
+// traffic with deterministic data and returns a digest of every result this
+// rank observed. Equal digests across runs mean byte-identical outputs.
+func exerciseCollectives(t Transport) string {
+	r, p := t.Rank(), t.Size()
+	Barrier(t)
+	bc := Bcast(t, 0, fmt.Sprintf("payload-from-%d", 0), 16)
+	sum := AllreduceSumInt(t, r+1)
+	maxv := AllreduceMaxFloat64(t, 1.5*float64(r))
+	vec := AllreduceSumFloat64s(t, []float64{float64(r), 1, float64(r * r)})
+	ag := AllgatherInts(t, []int{10 * r, 10*r + 1})
+	scan := ScanSumInt(t, r+1)
+
+	// All-to-many: every rank sends one float to every rank (self included).
+	send := make([][]float64, p)
+	counts := make([]int, p)
+	for j := 0; j < p; j++ {
+		send[j] = []float64{float64(100*r + j)}
+		counts[j] = 1
+	}
+	recvCounts := ExchangeCounts(t, counts)
+	a2m := AllToManyFloat64s(t, send, recvCounts)
+
+	// Point-to-point ring with a user tag, two laps so per-link sequence
+	// numbers grow past 0.
+	const tagRing = TagUser + 9
+	var ring []int
+	for lap := 0; lap < 2; lap++ {
+		next, prev := (r+1)%p, (r-1+p)%p
+		SendInts(t, next, tagRing, []int{1000*lap + r})
+		ring = append(ring, RecvInts(t, prev, tagRing)...)
+	}
+	Barrier(t)
+	return fmt.Sprint(bc, sum, maxv, vec, ag, scan, a2m, ring)
+}
+
+// runSoak executes the exerciser on a fresh world with the given decorator
+// stack and returns the per-rank digests.
+func runSoak(p int, wrap func(Transport) Transport) []any {
+	var digests []any
+	w := newTestWorld(p, machine.CM5())
+	w.RunWrapped(wrap, func(t Transport) {
+		d := exerciseCollectives(t)
+		out := t.Expose(d)
+		if t.Rank() == 0 {
+			digests = out
+		}
+	})
+	return digests
+}
+
+// TestChaosSoakReliableByteIdentical: under every seeded fault plan, the
+// full collective surface wrapped in Reliable ∘ Faulty produces outputs
+// byte-identical to the fault-free run.
+func TestChaosSoakReliableByteIdentical(t *testing.T) {
+	for _, p := range []int{2, 4, 8} {
+		baseline := runSoak(p, nil)
+		for pi, plan := range soakPlans {
+			faulty := NewFaulty(plan)
+			rel := NewReliable(ReliableConfig{})
+			got := runSoak(p, func(tr Transport) Transport { return rel.Wrap(faulty.Wrap(tr)) })
+			for r := range baseline {
+				if got[r] != baseline[r] {
+					t.Errorf("p=%d plan=%d rank %d: output diverged under faults\n got %v\nwant %v",
+						p, pi, r, got[r], baseline[r])
+				}
+			}
+			c := faulty.Counts()
+			if c.Drops+c.Dups+c.Reorders+c.Delays == 0 {
+				t.Errorf("p=%d plan=%d: plan injected no faults — soak exercised nothing", p, pi)
+			}
+		}
+	}
+}
+
+// TestChaosSoakTracedStackByteIdentical: the full documented stack
+// Tracer ∘ Reliable ∘ Faulty ∘ World also recovers, and the tracer observes
+// the recovered (application-order) traffic without disturbing it.
+func TestChaosSoakTracedStackByteIdentical(t *testing.T) {
+	const p = 4
+	baseline := runSoak(p, nil)
+	faulty := NewFaulty(soakPlans[2])
+	rel := NewReliable(ReliableConfig{})
+	tracer := NewTracer()
+	got := runSoak(p, func(tr Transport) Transport {
+		return tracer.Wrap(rel.Wrap(faulty.Wrap(tr)))
+	})
+	for r := range baseline {
+		if got[r] != baseline[r] {
+			t.Errorf("rank %d: output diverged under traced chaos stack", r)
+		}
+	}
+	if tracer.Total().MsgsSent == 0 {
+		t.Error("tracer observed no traffic through the chaos stack")
+	}
+}
+
+// TestChaosDeterministic: the same seed injects exactly the same faults and
+// charges exactly the same recovery time, run after run.
+func TestChaosDeterministic(t *testing.T) {
+	run := func() (FaultCounts, RecoveryStats, []any) {
+		faulty := NewFaulty(soakPlans[2])
+		rel := NewReliable(ReliableConfig{})
+		d := runSoak(4, func(tr Transport) Transport { return rel.Wrap(faulty.Wrap(tr)) })
+		return faulty.Counts(), rel.Stats(), d
+	}
+	c1, s1, d1 := run()
+	c2, s2, d2 := run()
+	// The aggregate float sums (DelayInjected, WastedTime) accumulate in
+	// rank-scheduling order under a mutex, so identical runs can differ in
+	// the last ULP; every per-message value and all integer counts are
+	// exactly deterministic.
+	if !closeEnough(c1.DelayInjected, c2.DelayInjected) {
+		t.Errorf("injected delay differs between identical seeded runs: %v vs %v",
+			c1.DelayInjected, c2.DelayInjected)
+	}
+	c1.DelayInjected, c2.DelayInjected = 0, 0
+	if c1 != c2 {
+		t.Errorf("fault counts differ between identical seeded runs: %+v vs %+v", c1, c2)
+	}
+	if !closeEnough(s1.WastedTime, s2.WastedTime) {
+		t.Errorf("wasted time differs between identical seeded runs: %v vs %v",
+			s1.WastedTime, s2.WastedTime)
+	}
+	s1.WastedTime, s2.WastedTime = 0, 0
+	if s1 != s2 {
+		t.Errorf("recovery stats differ between identical seeded runs: %+v vs %+v", s1, s2)
+	}
+	for r := range d1 {
+		if d1[r] != d2[r] {
+			t.Errorf("rank %d digest differs between identical seeded runs", r)
+		}
+	}
+}
+
+// closeEnough compares two float sums up to relative accumulation-order
+// error.
+func closeEnough(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestFaultyWithoutReliableFailsLoudly: every plan, run without a
+// reliability layer, must fail with a diagnostic DeliveryError naming the
+// receiving rank, peer and tag — never hang (the armed watchdog would
+// convert a hang into a different panic and fail the assertion).
+func TestFaultyWithoutReliableFailsLoudly(t *testing.T) {
+	for pi, plan := range soakPlans {
+		func() {
+			defer func() {
+				e := recover()
+				if e == nil {
+					t.Errorf("plan %d: perturbed run without Reliable did not fail", pi)
+					return
+				}
+				de := AsDeliveryError(e)
+				if de == nil {
+					t.Errorf("plan %d: panic %T (%v), want a *DeliveryError", pi, e, e)
+					return
+				}
+				if de.Rank < 0 || de.Rank >= 4 || de.Peer < 0 || de.Peer >= 4 {
+					t.Errorf("plan %d: DeliveryError names no valid ranks: %v", pi, de)
+				}
+				if de.Reason == "" {
+					t.Errorf("plan %d: DeliveryError has no reason: %v", pi, de)
+				}
+			}()
+			w := NewWorld(4, machine.CM5())
+			// Short watchdog: once one rank raises its DeliveryError, its
+			// peers are genuinely stuck and must drain quickly. The first
+			// panic in the channel — the DeliveryError — is what Run
+			// re-raises.
+			w.SetWatchdog(time.Second)
+			faulty := NewFaulty(plan)
+			w.RunWrapped(faulty.Wrap, func(tr Transport) { exerciseCollectives(tr) })
+		}()
+	}
+}
+
+// TestReliableFaultFreeTransparent: over a clean world, Reliable changes
+// nothing — identical digests, identical simulated clocks, zero recovery
+// activity. This is the simulated-cost half of the "fault-free overhead
+// within noise" acceptance bar (the wall-clock half lives in bench_test.go).
+func TestReliableFaultFreeTransparent(t *testing.T) {
+	const p = 4
+	clocks := func(wrap func(Transport) Transport) ([]any, []any) {
+		var digests, times []any
+		w := newTestWorld(p, machine.CM5())
+		w.RunWrapped(wrap, func(tr Transport) {
+			d := exerciseCollectives(tr)
+			dg := tr.Expose(d)
+			ts := tr.Expose(tr.Clock().Now())
+			if tr.Rank() == 0 {
+				digests, times = dg, ts
+			}
+		})
+		return digests, times
+	}
+	baseDig, baseClk := clocks(nil)
+	rel := NewReliable(ReliableConfig{})
+	relDig, relClk := clocks(rel.Wrap)
+	for r := 0; r < p; r++ {
+		if relDig[r] != baseDig[r] {
+			t.Errorf("rank %d: Reliable changed output on a fault-free world", r)
+		}
+		if relClk[r] != baseClk[r] {
+			t.Errorf("rank %d: Reliable changed the simulated clock on a fault-free world: %v vs %v",
+				r, relClk[r], baseClk[r])
+		}
+	}
+	if s := rel.Stats(); s != (RecoveryStats{}) {
+		t.Errorf("Reliable recorded recovery activity on a fault-free world: %+v", s)
+	}
+}
+
+// TestReliableChargesRecoveryTime: drops must cost simulated time — the
+// perturbed run's max clock strictly exceeds the fault-free run's, and the
+// layer's WastedTime ledger is positive.
+func TestReliableChargesRecoveryTime(t *testing.T) {
+	const p = 4
+	maxClock := func(wrap func(Transport) Transport) float64 {
+		var max float64
+		w := newTestWorld(p, machine.CM5())
+		w.RunWrapped(wrap, func(tr Transport) {
+			ts := tr.Expose(tr.Clock().Now())
+			_ = exerciseCollectives(tr)
+			ts = tr.Expose(tr.Clock().Now())
+			if tr.Rank() == 0 {
+				for _, v := range ts {
+					if f := v.(float64); f > max {
+						max = f
+					}
+				}
+			}
+		})
+		return max
+	}
+	base := maxClock(nil)
+	faulty := NewFaulty(soakPlans[0])
+	rel := NewReliable(ReliableConfig{})
+	perturbed := maxClock(func(tr Transport) Transport { return rel.Wrap(faulty.Wrap(tr)) })
+	if perturbed <= base {
+		t.Errorf("recovery charged no simulated time: perturbed %v <= fault-free %v", perturbed, base)
+	}
+	if s := rel.Stats(); s.WastedTime <= 0 || s.Retransmissions <= 0 {
+		t.Errorf("recovery ledger empty under a drop-heavy plan: %+v", s)
+	}
+}
+
+// TestReliableRetriesExhausted: a drop burst beyond the retry budget is
+// terminal — a DeliveryError with reason "retries exhausted", not a hang.
+func TestReliableRetriesExhausted(t *testing.T) {
+	plan := FaultPlan{Seed: 7, DropProb: 1, MaxDropAttempts: 6}
+	defer func() {
+		de := AsDeliveryError(recover())
+		if de == nil {
+			t.Fatal("expected a DeliveryError when drops exceed the retry budget")
+		}
+		if de.Reason != "retries exhausted" {
+			t.Errorf("reason %q, want %q", de.Reason, "retries exhausted")
+		}
+		if de.Attempts <= 2 {
+			t.Errorf("attempts %d, want > MaxRetries", de.Attempts)
+		}
+	}()
+	faulty := NewFaulty(plan)
+	rel := NewReliable(ReliableConfig{MaxRetries: 2})
+	w := newTestWorld(2, machine.CM5())
+	w.RunWrapped(func(tr Transport) Transport { return rel.Wrap(faulty.Wrap(tr)) },
+		func(tr Transport) {
+			// Enough messages that some draw drops > MaxRetries copies.
+			for i := 0; i < 8; i++ {
+				if tr.Rank() == 0 {
+					SendInts(tr, 1, TagUser, []int{i})
+				} else {
+					RecvInts(tr, 0, TagUser)
+				}
+			}
+		})
+}
+
+// TestCollectFailures: inside a CollectFailures scope a terminal delivery
+// failure is recorded, not raised; the exchange still completes
+// structurally and both ranks agree the data arrived (lossless substrate).
+func TestCollectFailures(t *testing.T) {
+	plan := FaultPlan{Seed: 7, DropProb: 1, MaxDropAttempts: 6}
+	faulty := NewFaulty(plan)
+	rel := NewReliable(ReliableConfig{MaxRetries: 2})
+	var rank1Failures []*DeliveryError
+	w := newTestWorld(2, machine.CM5())
+	w.RunWrapped(func(tr Transport) Transport { return rel.Wrap(faulty.Wrap(tr)) },
+		func(tr Transport) {
+			deg, ok := AsDegradable(tr)
+			if !ok {
+				t.Error("Reliable transport not discovered as Degradable")
+				return
+			}
+			errs := deg.CollectFailures(func() {
+				for i := 0; i < 8; i++ {
+					if tr.Rank() == 0 {
+						SendInts(tr, 1, TagUser, []int{i})
+					} else {
+						got := RecvInts(tr, 0, TagUser)
+						if got[0] != i {
+							t.Errorf("rank 1: message %d corrupted: %v", i, got)
+						}
+					}
+				}
+			})
+			if tr.Rank() == 1 {
+				rank1Failures = errs
+			}
+		})
+	if len(rank1Failures) == 0 {
+		t.Fatal("CollectFailures recorded nothing under a certain-drop plan")
+	}
+	for _, de := range rank1Failures {
+		if de.Reason != "retries exhausted" {
+			t.Errorf("collected failure reason %q, want %q", de.Reason, "retries exhausted")
+		}
+	}
+}
+
+// TestDegradableThroughTracer: AsDegradable finds the Reliable layer through
+// a Tracer wrapped above it.
+func TestDegradableThroughTracer(t *testing.T) {
+	rel := NewReliable(ReliableConfig{})
+	tracer := NewTracer()
+	w := newTestWorld(2, machine.Zero())
+	w.RunWrapped(func(tr Transport) Transport { return tracer.Wrap(rel.Wrap(tr)) },
+		func(tr Transport) {
+			if _, ok := AsDegradable(tr); !ok {
+				t.Error("AsDegradable failed to walk through the Tracer")
+			}
+		})
+}
+
+// TestClosedWorldTypedError: a rank outliving its Launch world fails with a
+// *TransportError wrapping ErrClosedWorld — typed, so the reliability layer
+// (or any recover site) can tell a teardown bug from a network fault.
+func TestClosedWorldTypedError(t *testing.T) {
+	var leaked Transport
+	Launch(2, machine.Zero(), func(tr Transport) {
+		if tr.Rank() == 0 {
+			leaked = tr
+		}
+		Barrier(tr)
+	})
+	defer func() {
+		e := recover()
+		var te *TransportError
+		err, ok := e.(error)
+		if !ok || !errors.As(err, &te) {
+			t.Fatalf("panic %T (%v), want *TransportError", e, e)
+		}
+		if !errors.Is(te, ErrClosedWorld) {
+			t.Errorf("error %v does not wrap ErrClosedWorld", te)
+		}
+	}()
+	leaked.Send(1, TagUser, nil, 0)
+}
+
+// TestReliableDoesNotMaskClosedWorld: the same teardown bug through a full
+// chaos stack still surfaces as ErrClosedWorld — Reliable must not retry or
+// swallow structural misuse.
+func TestReliableDoesNotMaskClosedWorld(t *testing.T) {
+	rel := NewReliable(ReliableConfig{})
+	faulty := NewFaulty(soakPlans[2])
+	var leaked Transport
+	w := newTestWorld(2, machine.Zero())
+	w.RunWrapped(func(tr Transport) Transport { return rel.Wrap(faulty.Wrap(tr)) },
+		func(tr Transport) {
+			if tr.Rank() == 0 {
+				leaked = tr
+			}
+			Barrier(tr)
+		})
+	w.Close()
+	defer func() {
+		e := recover()
+		err, ok := e.(error)
+		var te *TransportError
+		if !ok || !errors.As(err, &te) || !errors.Is(te, ErrClosedWorld) {
+			t.Fatalf("panic %T (%v), want *TransportError wrapping ErrClosedWorld", e, e)
+		}
+	}()
+	leaked.Send(1, TagUser, nil, 0)
+}

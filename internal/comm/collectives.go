@@ -16,7 +16,13 @@ import (
 // rounds in which rank i signals (i+2^k) mod p and waits for (i−2^k) mod p.
 // Because receives are causal, every rank's clock leaves the barrier at a
 // time no earlier than every other rank's entry time.
-func Barrier(t Transport) {
+func Barrier(t Transport) { barrier(t, tagBarrier) }
+
+// barrier is the dissemination barrier on an explicit tag. Expose's
+// internal barriers use the dedicated tagExpose so they can never pair with
+// decorator-level tagBarrier traffic (e.g. a duplicate envelope a Faulty
+// decorator left behind after the application's barrier completed).
+func barrier(t Transport, tag Tag) {
 	p := t.Size()
 	if p == 1 {
 		return
@@ -25,8 +31,8 @@ func Barrier(t Transport) {
 	for k := 1; k < p; k <<= 1 {
 		dst := (id + k) % p
 		src := (id - k + p) % p
-		t.Send(dst, tagBarrier, nil, 0)
-		t.Recv(src, tagBarrier)
+		t.Send(dst, tag, nil, 0)
+		t.Recv(src, tag)
 	}
 }
 

@@ -25,6 +25,7 @@ package comm
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -47,6 +48,7 @@ const (
 	tagAllgather
 	tagAlltoMany
 	tagScan
+	tagExpose
 )
 
 // TagUser is the first tag value free for application use.
@@ -93,6 +95,10 @@ type Transport interface {
 	Clock() machine.Clock
 	// Stats returns this rank's per-phase accounting ledger.
 	Stats() *machine.Stats
+	// Params returns the machine cost parameters of the backend, so layers
+	// above (e.g. the Reliable decorator charging retransmission costs) can
+	// price a message without a handle on the backend itself.
+	Params() machine.Params
 }
 
 type message struct {
@@ -122,6 +128,12 @@ type World struct {
 	// blocked[i] describes what rank i is currently blocked on, for the
 	// watchdog's deadlock report; nil when the rank is making progress.
 	blocked []atomic.Pointer[string]
+
+	// closed is set by Close; any subsequent Send/Recv panics with a typed
+	// *TransportError wrapping ErrClosedWorld so a reliability layer knows
+	// never to retry it (a retried send-to-closed-world would mask a
+	// teardown bug).
+	closed atomic.Bool
 }
 
 // DefaultMailboxDepth is the per-channel buffering. Deep enough that
@@ -151,12 +163,41 @@ func NewWorld(p int, params machine.Params) *World {
 // first panic is re-raised on the caller. Call before Run; d <= 0 disables.
 func (w *World) SetWatchdog(d time.Duration) { w.watchdog = d }
 
+// Close marks the world shut down. Any later Send or Recv on one of its
+// ranks panics with a *TransportError wrapping ErrClosedWorld — a typed,
+// never-retried failure, so a rank outliving its world is diagnosed rather
+// than masked. Launch closes its world when the program returns.
+func (w *World) Close() { w.closed.Store(true) }
+
+// EnvWatchdog returns the watchdog duration configured in the
+// PICPAR_WATCHDOG environment variable, or fallback when it is unset or
+// unparseable. The values "0" and "off" disable the watchdog. Test helpers
+// use this so one knob tunes deadlock detection across every package.
+func EnvWatchdog(fallback time.Duration) time.Duration {
+	switch v := os.Getenv("PICPAR_WATCHDOG"); v {
+	case "":
+		return fallback
+	case "0", "off":
+		return 0
+	default:
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return fallback
+		}
+		return d
+	}
+}
+
 // Launch runs fn as an SPMD program on p ranks of a fresh channel-backed
 // world with the given machine parameters and returns the per-rank stats.
 // It is the standard entry point for engine-layer code, which needs no
-// handle on the backend itself.
+// handle on the backend itself. The world is closed when the program
+// returns, so a goroutine leaked past the run fails loudly with
+// ErrClosedWorld instead of corrupting a later experiment.
 func Launch(p int, params machine.Params, fn func(t Transport)) machine.WorldStats {
-	return NewWorld(p, params).Run(fn)
+	w := NewWorld(p, params)
+	defer w.Close()
+	return w.Run(fn)
 }
 
 // Run executes fn on every rank concurrently and returns the per-rank stats
@@ -184,13 +225,20 @@ func (w *World) RunWrapped(wrap func(Transport) Transport, fn func(t Transport))
 			defer wg.Done()
 			defer func() {
 				if e := recover(); e != nil {
-					panics <- fmt.Sprintf("rank %d: %v", r.id, e)
+					panics <- &RankPanic{Rank: r.id, Value: e}
 				}
 			}()
 			t := Transport(r)
 			if wrap != nil {
 				t = wrap(t)
 			}
+			// Release any messages a decorator is still holding (e.g. a
+			// Faulty reorder hold) when the program returns, even on panic,
+			// so no peer is stranded waiting for withheld traffic.
+			defer func() {
+				defer func() { _ = recover() }() // a failed flush must not mask fn's panic
+				flushChain(t)
+			}()
 			fn(t)
 		}(ranks[i])
 	}
@@ -234,6 +282,9 @@ func (r *rank) Clock() machine.Clock { return r.clock }
 // Stats implements Transport.
 func (r *rank) Stats() *machine.Stats { return &r.stats }
 
+// Params implements Transport.
+func (r *rank) Params() machine.Params { return r.world.Params }
+
 // Compute implements Transport.
 func (r *rank) Compute(n int) {
 	if n <= 0 {
@@ -256,10 +307,16 @@ func (r *rank) ComputeTime(t float64) {
 // SetPhase implements Transport.
 func (r *rank) SetPhase(p machine.Phase) { r.stats.SetPhase(p) }
 
-// Send implements Transport.
+// Send implements Transport. Structural misuse — an invalid destination or
+// a world already closed — panics with a typed *TransportError that no
+// reliability layer will retry.
 func (r *rank) Send(dst int, tag Tag, body any, nbytes int) {
+	if r.world.closed.Load() {
+		panic(&TransportError{Op: "send", Rank: r.id, Peer: dst, Tag: tag, Err: ErrClosedWorld})
+	}
 	if dst < 0 || dst >= r.p {
-		panic(fmt.Sprintf("comm: send to invalid rank %d (P=%d)", dst, r.p))
+		panic(&TransportError{Op: "send", Rank: r.id, Peer: dst, Tag: tag,
+			Err: fmt.Errorf("invalid rank %d (P=%d)", dst, r.p)})
 	}
 	if dst == r.id {
 		// Self-sends bypass the network: no τ/μ charge, matching the
@@ -308,8 +365,12 @@ func (r *rank) deliverLocal(m message) {
 
 // Recv implements Transport.
 func (r *rank) Recv(src int, tag Tag) (any, int) {
+	if r.world.closed.Load() {
+		panic(&TransportError{Op: "recv", Rank: r.id, Peer: src, Tag: tag, Err: ErrClosedWorld})
+	}
 	if src < 0 || src >= r.p {
-		panic(fmt.Sprintf("comm: recv from invalid rank %d (P=%d)", src, r.p))
+		panic(&TransportError{Op: "recv", Rank: r.id, Peer: src, Tag: tag,
+			Err: fmt.Errorf("invalid rank %d (P=%d)", src, r.p)})
 	}
 	if r.pending == nil {
 		r.pending = make([][]message, r.p)
@@ -393,9 +454,9 @@ func (r *rank) consume(src int, m message) (any, int) {
 // (Expose is out-of-band by contract).
 func (r *rank) Expose(v any) []any {
 	r.world.scratch[r.id] = v
-	Barrier(r) // all publications complete
+	barrier(r, tagExpose) // all publications complete
 	out := append([]any(nil), r.world.scratch...)
-	Barrier(r) // all reads complete before anyone publishes again
+	barrier(r, tagExpose) // all reads complete before anyone publishes again
 	return out
 }
 

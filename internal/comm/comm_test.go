@@ -307,7 +307,7 @@ func TestScanSumInt(t *testing.T) {
 	for _, p := range testPs {
 		w := newTestWorld(p, machine.Zero())
 		w.Run(func(r Transport) {
-			got := ScanSumInt(r, r.Rank() + 1) // contribute 1,2,...,p
+			got := ScanSumInt(r, r.Rank()+1)      // contribute 1,2,...,p
 			want := r.Rank() * (r.Rank() + 1) / 2 // sum of 1..ID
 			if got != want {
 				t.Errorf("p=%d rank=%d scan = %d, want %d", p, r.Rank(), got, want)

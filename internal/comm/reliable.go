@@ -1,0 +1,266 @@
+// The reliable-delivery decorator transport: wraps any Transport and makes
+// message delivery exactly-once, in-order, even when the layer below it is
+// a Faulty decorator perturbing the traffic. The protocol is the classic
+// one — sequence-numbered envelopes, duplicate suppression, an out-of-order
+// stash, and a capped exponential-backoff retry budget for retransmissions —
+// projected onto the simulator's cost model: recovery costs simulated time
+// (backoff waits plus one message cost per retransmission) charged through
+// machine.Clock, and a message whose retransmission count exceeds the retry
+// budget raises a terminal DeliveryError naming rank, peer, tag and phase
+// instead of hanging.
+//
+// On a fault-free transport the decorator is free in simulated terms: the
+// envelope is modelled as link-layer framing (no extra bytes, no extra
+// messages, no clock charges), so wrapping a clean World in Reliable
+// changes no experiment output.
+//
+// Stack order: Reliable wraps Faulty, never the other way around
+// (Tracer ∘ Reliable ∘ Faulty ∘ World) — see DESIGN.md.
+
+package comm
+
+import (
+	"sync"
+)
+
+// ReliableConfig tunes the recovery protocol. Durations are simulated
+// seconds, the same unit as machine.Params costs.
+type ReliableConfig struct {
+	// Timeout is the first retransmission timeout. Default 1e-3.
+	Timeout float64
+	// Backoff multiplies the timeout after each failed attempt. Default 2.
+	Backoff float64
+	// MaxBackoff caps a single wait. Default 64×Timeout.
+	MaxBackoff float64
+	// MaxRetries bounds retransmissions per message before the layer gives
+	// up with a DeliveryError. Default 8.
+	MaxRetries int
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (c ReliableConfig) withDefaults() ReliableConfig {
+	if c.Timeout <= 0 {
+		c.Timeout = 1e-3
+	}
+	if c.Backoff <= 1 {
+		c.Backoff = 2
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 64 * c.Timeout
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 8
+	}
+	return c
+}
+
+// backoff returns the wait before retransmission attempt i (0-based).
+func (c ReliableConfig) backoff(i int) float64 {
+	w := c.Timeout
+	for ; i > 0 && w < c.MaxBackoff; i-- {
+		w *= c.Backoff
+	}
+	return min(w, c.MaxBackoff)
+}
+
+// RecoveryStats tallies what the reliability layer had to do.
+type RecoveryStats struct {
+	Retransmissions int64 // lost copies recovered by retransmission
+	DupsSuppressed  int64 // duplicate (or stale) copies discarded
+	ReordersHealed  int64 // messages stashed and delivered in order
+	Failures        int64 // terminal failures (raised or collected)
+	// WastedTime is the simulated seconds charged to recovery: backoff
+	// waits plus the transit cost of every retransmitted copy.
+	WastedTime float64
+}
+
+// relEnvelope is the wire format of the reliability layer: a per-link
+// sequence number plus the application body. Like the fault envelope it is
+// modelled as framing and adds no bytes to the cost model.
+type relEnvelope struct {
+	seq  uint64
+	body any
+}
+
+// Reliable is the recovery decorator. Wrap every rank with it (outside any
+// Faulty layer) via World.RunWrapped.
+type Reliable struct {
+	cfg ReliableConfig
+
+	mu    sync.Mutex
+	stats RecoveryStats
+}
+
+// NewReliable returns a reliability layer with the given configuration;
+// zero fields take the documented defaults.
+func NewReliable(cfg ReliableConfig) *Reliable {
+	return &Reliable{cfg: cfg.withDefaults()}
+}
+
+// Wrap decorates t; pass a composition like
+//
+//	func(t comm.Transport) comm.Transport { return rel.Wrap(faulty.Wrap(t)) }
+//
+// to World.RunWrapped to install the full chaos stack.
+func (r *Reliable) Wrap(t Transport) Transport {
+	return &reliableTransport{
+		Transport: t,
+		rel:       r,
+		sendSeq:   make(map[linkKey]uint64),
+		recvSeq:   make(map[linkKey]uint64),
+		stash:     make(map[stashKey]stashed),
+	}
+}
+
+// Stats returns the recovery tallies accumulated so far across all ranks.
+func (r *Reliable) Stats() RecoveryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// stashKey identifies one out-of-order message waiting for its turn.
+type stashKey struct {
+	peer int
+	tag  Tag
+	seq  uint64
+}
+
+// stashed is a payload parked in the out-of-order stash.
+type stashed struct {
+	body   any
+	nbytes int
+}
+
+// reliableTransport is the per-rank recovery endpoint.
+type reliableTransport struct {
+	Transport
+	rel     *Reliable
+	sendSeq map[linkKey]uint64
+	recvSeq map[linkKey]uint64
+	stash   map[stashKey]stashed
+	// collecting, when non-nil, records terminal failures instead of
+	// raising them (see Degradable).
+	collecting *[]*DeliveryError
+}
+
+// Unwrap implements Wrapper.
+func (t *reliableTransport) Unwrap() Transport { return t.Transport }
+
+// Send implements Transport: every payload (self-sends included, for a
+// uniform wire format) is wrapped in a sequence-numbered envelope.
+func (t *reliableTransport) Send(dst int, tag Tag, body any, nbytes int) {
+	key := linkKey{dst, tag}
+	seq := t.sendSeq[key]
+	t.sendSeq[key] = seq + 1
+	t.Transport.Send(dst, tag, relEnvelope{seq: seq, body: body}, nbytes)
+}
+
+// recvMeta pulls the next message off the (src, tag) stream together with
+// its fault metadata, whether or not a fault layer sits below.
+func (t *reliableTransport) recvMeta(src int, tag Tag) (faultMeta, any, int) {
+	if er, ok := t.Transport.(envelopeReceiver); ok {
+		return er.recvEnvelope(src, tag)
+	}
+	body, nbytes := t.Transport.Recv(src, tag)
+	return faultMeta{inOrder: true}, body, nbytes
+}
+
+// Recv implements Transport: it delivers payloads exactly once in sequence
+// order, recovering drops (charging simulated retransmission time),
+// suppressing duplicates, and healing reorders through the stash.
+func (t *reliableTransport) Recv(src int, tag Tag) (any, int) {
+	key := linkKey{src, tag}
+	for {
+		expect := t.recvSeq[key]
+		if st, ok := t.stash[stashKey{src, tag, expect}]; ok {
+			delete(t.stash, stashKey{src, tag, expect})
+			t.recvSeq[key] = expect + 1
+			return st.body, st.nbytes
+		}
+		meta, raw, nbytes := t.recvMeta(src, tag)
+		env, ok := raw.(relEnvelope)
+		if !ok {
+			// A peer outside the reliability layer sent a bare payload;
+			// pass it through untouched (degenerate but well-defined).
+			return raw, nbytes
+		}
+		if meta.dup {
+			t.rel.note(func(s *RecoveryStats) { s.DupsSuppressed++ })
+			continue
+		}
+		if meta.drops > 0 {
+			t.recover(src, tag, meta, nbytes)
+		}
+		switch {
+		case env.seq == expect:
+			t.recvSeq[key] = expect + 1
+			return env.body, nbytes
+		case env.seq > expect:
+			t.stash[stashKey{src, tag, env.seq}] = stashed{env.body, nbytes}
+			t.rel.note(func(s *RecoveryStats) { s.ReordersHealed++ })
+		default:
+			// Stale copy of an already-delivered sequence number.
+			t.rel.note(func(s *RecoveryStats) { s.DupsSuppressed++ })
+		}
+	}
+}
+
+// recover charges the simulated cost of retransmitting a dropped message:
+// one capped-exponential-backoff wait plus one transit cost per lost copy.
+// If the loss count exceeds the retry budget the failure is terminal — a
+// DeliveryError, raised or (inside CollectFailures) recorded.
+func (t *reliableTransport) recover(src int, tag Tag, meta faultMeta, nbytes int) {
+	cfg := t.rel.cfg
+	attempts := min(meta.drops, cfg.MaxRetries)
+	wasted := 0.0
+	for i := 0; i < attempts; i++ {
+		wasted += cfg.backoff(i) + t.Params().MsgCost(nbytes)
+	}
+	t.Clock().Advance(wasted)
+	t.rel.note(func(s *RecoveryStats) {
+		s.Retransmissions += int64(attempts)
+		s.WastedTime += wasted
+	})
+	if meta.drops > cfg.MaxRetries {
+		de := &DeliveryError{
+			Rank: t.Rank(), Peer: src, Tag: tag, Phase: t.Stats().CurrentPhase(),
+			Attempts: meta.drops, Reason: "retries exhausted",
+		}
+		t.rel.note(func(s *RecoveryStats) { s.Failures++ })
+		if t.collecting != nil {
+			*t.collecting = append(*t.collecting, de)
+			return
+		}
+		panic(de)
+	}
+}
+
+// note applies fn to the shared stats under the lock.
+func (r *Reliable) note(fn func(*RecoveryStats)) {
+	r.mu.Lock()
+	fn(&r.stats)
+	r.mu.Unlock()
+}
+
+// CollectFailures implements Degradable: fn runs with terminal delivery
+// failures recorded and returned instead of raised. The lossless substrate
+// still delivers every payload, so the exchange completes structurally and
+// the SPMD world stays synchronised; the caller inspects the returned
+// failures and decides what to discard (e.g. a redistribution result).
+func (t *reliableTransport) CollectFailures(fn func()) []*DeliveryError {
+	var errs []*DeliveryError
+	prev := t.collecting
+	t.collecting = &errs
+	defer func() { t.collecting = prev }()
+	fn()
+	return errs
+}
+
+// ensure interface conformance at compile time.
+var (
+	_ Wrapper    = (*reliableTransport)(nil)
+	_ Degradable = (*reliableTransport)(nil)
+	_ Wrapper    = (*faultyTransport)(nil)
+	_ flusher    = (*faultyTransport)(nil)
+)

@@ -91,6 +91,20 @@ func (tr *Tracer) Total() TraceCounts {
 	return total
 }
 
+// PhaseTotals aggregates all ranks' traffic per accounting phase. The
+// traffic regression gate snapshots this table into the bench JSON.
+func (tr *Tracer) PhaseTotals() [machine.NumPhases]TraceCounts {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	var totals [machine.NumPhases]TraceCounts
+	for _, rt := range tr.ranks {
+		for i := range rt.Phases {
+			totals[i].add(rt.Phases[i])
+		}
+	}
+	return totals
+}
+
 // Reset clears all recorded traffic.
 func (tr *Tracer) Reset() {
 	tr.mu.Lock()
@@ -137,6 +151,10 @@ type tracedTransport struct {
 	Transport
 	tracer *Tracer
 }
+
+// Unwrap implements Wrapper, so capabilities of layers below (Degradable,
+// held-message flushing) stay reachable through a tracing wrapper.
+func (t *tracedTransport) Unwrap() Transport { return t.Transport }
 
 func (t *tracedTransport) Send(dst int, tag Tag, body any, nbytes int) {
 	if dst != t.Rank() {

@@ -11,15 +11,18 @@ import (
 // newTestWorld is the standard world constructor for this package's tests:
 // the deadlock watchdog is armed so a stuck protocol fails with a
 // diagnostic naming the blocked ranks and tags instead of hanging the test
-// binary until the go test timeout.
+// binary until the go test timeout. (This package cannot import commtest —
+// it would be an import cycle — so it arms the watchdog directly through
+// the same EnvWatchdog knob.)
 func newTestWorld(p int, params machine.Params) *World {
 	w := NewWorld(p, params)
-	w.SetWatchdog(10 * time.Second)
+	w.SetWatchdog(EnvWatchdog(10 * time.Second))
 	return w
 }
 
 // expectWatchdogPanic runs fn and asserts it panics with a watchdog
-// diagnostic containing every fragment.
+// diagnostic containing every fragment. The panic surfaces as a *RankPanic
+// wrapping the diagnostic string.
 func expectWatchdogPanic(t *testing.T, fragments []string, fn func()) {
 	t.Helper()
 	defer func() {
@@ -27,9 +30,13 @@ func expectWatchdogPanic(t *testing.T, fragments []string, fn func()) {
 		if e == nil {
 			t.Fatal("expected a watchdog panic, got none")
 		}
-		msg, ok := e.(string)
+		rp, ok := e.(*RankPanic)
 		if !ok {
-			t.Fatalf("panic value %T (%v), want string", e, e)
+			t.Fatalf("panic value %T (%v), want *RankPanic", e, e)
+		}
+		msg, ok := rp.Value.(string)
+		if !ok {
+			t.Fatalf("rank panic value %T (%v), want string diagnostic", rp.Value, rp.Value)
 		}
 		if !strings.Contains(msg, "deadlock watchdog") {
 			t.Fatalf("panic is not a watchdog diagnostic: %q", msg)

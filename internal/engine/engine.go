@@ -45,6 +45,16 @@ type Hook interface {
 // iteration iter, given the iteration's measured (simulated) duration.
 // policy.Policy satisfies it; Always is the degenerate trigger for modes
 // whose post phase runs unconditionally.
+//
+// Failure contract: a post phase may fail without aborting the run when the
+// transport is degradable (comm.Degradable — a reliability layer recording
+// delivery failures instead of raising them). The driver then discards the
+// phase's partial effects, keeps the previous state, and charges the wasted
+// attempt time — but does NOT feed the attempt back to the trigger (for
+// policy.Policy, NotifyRedistribution is not called). The trigger therefore
+// still sees the degraded load balance and fires again at its next
+// opportunity: failed attempts are retried, never silently consumed. See
+// pic's attemptRedistribute for the canonical implementation.
 type Trigger interface {
 	Decide(iter int, iterTime float64) bool
 }

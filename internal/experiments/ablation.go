@@ -99,7 +99,7 @@ func measureRedist(p, n int, incremental bool) float64 {
 	perRank := n / p
 	var mu sync.Mutex
 	maxTime := 0.0
-		comm.Launch(p, machine.CM5(), func(r comm.Transport) {
+	comm.Launch(p, machine.CM5(), func(r comm.Transport) {
 		rng := rand.New(rand.NewSource(int64(40 + r.Rank())))
 		s := particle.NewStore(perRank, -1, 1)
 		for i := 0; i < perRank; i++ {

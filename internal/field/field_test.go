@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"picpar/internal/comm"
+	"picpar/internal/commtest"
 	"picpar/internal/machine"
 	"picpar/internal/mesh"
 )
@@ -83,7 +84,7 @@ func TestZeroSources(t *testing.T) {
 
 // runWorld executes fn on p ranks with a zero-cost machine.
 func runWorld(p int, fn func(r comm.Transport)) machine.WorldStats {
-	return comm.Launch(p, machine.Zero(), fn)
+	return commtest.Launch(p, machine.Zero(), fn)
 }
 
 func TestExchangeHaloMatchesGlobalField(t *testing.T) {
@@ -131,7 +132,7 @@ func TestExchangeHaloMessageCount(t *testing.T) {
 	// Each rank sends exactly 4 coalesced messages per exchange on a
 	// processor grid with distinct neighbours.
 	d := dist(t, 16, 16, 16) // 4x4
-		ws := comm.Launch(16, machine.Params{Tau: 1}, func(r comm.Transport) {
+	ws := commtest.Launch(16, machine.Params{Tau: 1}, func(r comm.Transport) {
 		l := NewLocal(d, r.Rank())
 		l.ExchangeHalo(r, d, CompB)
 	})

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"picpar/internal/comm"
+	"picpar/internal/commtest"
 	"picpar/internal/machine"
 	"picpar/internal/mesh"
 )
@@ -60,7 +61,7 @@ func TestSelfHaloNoNetworkTraffic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-		ws := comm.Launch(2, machine.Params{Tau: 1}, func(r comm.Transport) {
+	ws := commtest.Launch(2, machine.Params{Tau: 1}, func(r comm.Transport) {
 		l := NewLocal(d, r.Rank())
 		l.ExchangeHalo(r, d, CompE)
 	})

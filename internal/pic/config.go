@@ -8,7 +8,9 @@ package pic
 
 import (
 	"fmt"
+	"time"
 
+	"picpar/internal/comm"
 	"picpar/internal/commopt"
 	"picpar/internal/machine"
 	"picpar/internal/mesh"
@@ -76,6 +78,17 @@ type Config struct {
 	// Thermal and Drift are then ignored; NumParticles is derived from
 	// it). The store is not mutated — the simulation works on a copy.
 	CustomParticles *particle.Store
+	// Transport, when non-nil, decorates every rank's transport endpoint
+	// (comm.World.RunWrapped semantics). This is how chaos stacks are
+	// installed under a simulation: e.g. rel.Wrap ∘ faulty.Wrap to run the
+	// experiment over a perturbed-but-recovered network. With a Degradable
+	// layer installed (comm.Reliable), a failed redistribution exchange
+	// degrades gracefully instead of aborting the run.
+	Transport func(comm.Transport) comm.Transport
+	// Watchdog, when positive, arms the deadlock watchdog on the world
+	// (comm.World.SetWatchdog) so a stuck protocol fails with a diagnostic
+	// instead of hanging.
+	Watchdog time.Duration
 }
 
 // withDefaults fills zero fields.
@@ -160,6 +173,12 @@ type IterationRecord struct {
 	// iteration; RedistTime is its cost.
 	Redistributed bool
 	RedistTime    float64
+	// RedistFailed reports that a triggered redistribution was attempted
+	// but its exchange failed (delivery failures beyond the reliability
+	// layer's retry budget); the previous alignment was kept, RedistTime
+	// holds the wasted attempt time, and the policy was not notified — it
+	// retries at the next trigger.
+	RedistFailed bool
 	// Energies are recorded when diagnostics are enabled (else zero).
 	FieldEnergy   float64
 	KineticEnergy float64
@@ -189,8 +208,14 @@ type Result struct {
 	NumRedistributions int
 	// RedistTime is the total time spent redistributing.
 	RedistTime float64
-	Records    []IterationRecord
-	Stats      machine.WorldStats
+	// FailedRedistributions counts triggered redistributions that were
+	// discarded after a failed exchange (graceful degradation);
+	// WastedRedistTime is the simulated time those attempts burned. Both
+	// stay zero on a healthy network.
+	FailedRedistributions int
+	WastedRedistTime      float64
+	Records               []IterationRecord
+	Stats                 machine.WorldStats
 }
 
 // MaxScatterBytes returns the peak per-iteration scatter traffic (sent), a

@@ -77,6 +77,15 @@ func (p phMigrate) Run(int) {
 // phRedistribute is the policy-triggered redistribution as an engine.Phase.
 // It owns its measurement (the globally agreed redistribution time feeds
 // back into the policy) and marks the current iteration record.
+//
+// Failure contract: when the transport stack is Degradable (a
+// comm.Reliable layer is installed), a redistribution whose exchange
+// suffers unrecoverable delivery failures is discarded — every rank keeps
+// its previous alignment, the wasted attempt time stays on the simulated
+// clock (it is real time the machine burned), the policy is NOT notified
+// (no new measurement baseline), and the trigger fires again at the next
+// opportunity. Without a Degradable layer the failure propagates as a
+// panic, aborting the run loudly.
 type phRedistribute struct{ st *rankState }
 
 func (p phRedistribute) Name() string { return phaseNameRedistribute }
@@ -85,12 +94,47 @@ func (p phRedistribute) Run(iter int) {
 	r := st.r
 	r.SetPhase(machine.PhaseRedistribute)
 	t0 := r.Clock().Now()
-	st.redistribute()
+	failed := st.attemptRedistribute()
 	comm.Barrier(r)
 	rt := comm.ExposeMaxFloat64(r, r.Clock().Now()-t0)
+	if failed {
+		st.rec.RedistFailed = true
+		st.rec.RedistTime = rt
+		return
+	}
 	st.pol.NotifyRedistribution(iter, rt)
 	st.rec.Redistributed = true
 	st.rec.RedistTime = rt
+}
+
+// attemptRedistribute runs the redistribution exchange, degrading
+// gracefully when the transport can scope failures. Returns true when the
+// attempt was discarded.
+func (st *rankState) attemptRedistribute() bool {
+	deg, ok := comm.AsDegradable(st.r)
+	if !ok {
+		st.redistribute()
+		return false
+	}
+	prevStore := st.store
+	bounds := st.inc.SnapshotBounds()
+	failures := deg.CollectFailures(func() { st.redistribute() })
+	// The discard decision must be unanimous — one rank's failed exchange
+	// invalidates the redistribution everywhere, or the bucket-boundary
+	// tables would diverge across ranks. Expose is out-of-band, so the
+	// agreement itself cannot be perturbed.
+	localFailed := 0.0
+	if len(failures) > 0 {
+		localFailed = 1
+	}
+	if comm.ExposeMaxFloat64(st.r, localFailed) == 0 {
+		return false
+	}
+	// Roll back: the input store is never modified by Redistribute, so the
+	// previous alignment is exactly (previous store, previous bounds).
+	st.store = prevStore
+	st.inc.RestoreBounds(bounds)
+	return true
 }
 
 // verifyHook runs the conservation checks right after the scatter phase,

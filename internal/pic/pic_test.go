@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"picpar/internal/commopt"
+	"picpar/internal/commtest"
 	"picpar/internal/machine"
 	"picpar/internal/mesh"
 	"picpar/internal/particle"
@@ -12,7 +13,8 @@ import (
 	"picpar/internal/sfc"
 )
 
-// base returns a small, fast configuration with invariant checking on.
+// base returns a small, fast configuration with invariant checking on and
+// the deadlock watchdog armed (PICPAR_WATCHDOG-tunable).
 func base() Config {
 	return Config{
 		Grid:         mesh.NewGrid(32, 16),
@@ -22,6 +24,7 @@ func base() Config {
 		Seed:         7,
 		Iterations:   10,
 		Verify:       true,
+		Watchdog:     commtest.Watchdog(),
 	}
 }
 

@@ -63,7 +63,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Config: cfg, Records: make([]IterationRecord, cfg.Iterations)}
-	ws := comm.Launch(cfg.P, cfg.Machine, func(r comm.Transport) {
+	w := comm.NewWorld(cfg.P, cfg.Machine)
+	if cfg.Watchdog > 0 {
+		w.SetWatchdog(cfg.Watchdog)
+	}
+	defer w.Close()
+	ws := w.RunWrapped(cfg.Transport, func(r comm.Transport) {
 		runRank(r, cfg, dist, indexer, res)
 	})
 	res.Stats = ws
@@ -77,6 +82,10 @@ func Run(cfg Config) (*Result, error) {
 		if res.Records[i].Redistributed {
 			res.NumRedistributions++
 			res.RedistTime += res.Records[i].RedistTime
+		}
+		if res.Records[i].RedistFailed {
+			res.FailedRedistributions++
+			res.WastedRedistTime += res.Records[i].RedistTime
 		}
 	}
 	return res, nil

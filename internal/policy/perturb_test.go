@@ -1,0 +1,112 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// prime builds a Dynamic with a known internal state: last redistribution
+// at iteration i0 costing tRedist, baseline iteration time t0 established
+// at i0+1.
+func prime(i0 int, tRedist, t0 float64) *Dynamic {
+	d := &Dynamic{}
+	d.NotifyRedistribution(i0, tRedist)
+	if d.Decide(i0+1, t0) {
+		panic("baseline-establishing call fired")
+	}
+	return d
+}
+
+// TestDynamicMonotoneInDelay: the SAR decision is monotone in injected
+// delay — for any policy state, if Decide fires at measured time t1 it
+// fires at t1+δ for every δ ≥ 0. A reliability layer charging recovery time
+// can therefore only advance a pending trigger, never mask one.
+func TestDynamicMonotoneInDelay(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		i0 := rng.Intn(50)
+		tRedist := rng.Float64() * 4
+		t0 := 0.5 + rng.Float64()
+		iter := i0 + 2 + rng.Intn(30)
+		t1 := t0 + (rng.Float64()-0.3)*2 // sometimes below baseline
+		fired := prime(i0, tRedist, t0).Decide(iter, t1)
+		for _, delay := range []float64{0, 1e-9, 1e-3, 0.1, 1, 100} {
+			delayed := prime(i0, tRedist, t0).Decide(iter, t1+delay)
+			if fired && !delayed {
+				t.Fatalf("trial %d: fired at t1=%g but not at t1+%g (i0=%d iter=%d t0=%g T=%g)",
+					trial, t1, delay, i0, iter, t0, tRedist)
+			}
+		}
+	}
+}
+
+// TestDynamicFirstTriggerNotLaterUnderDelay: across a whole measured
+// iteration-time stream, pointwise-inflating every post-baseline
+// measurement (injected network delay accumulating over iterations) never
+// postpones the first trigger.
+func TestDynamicFirstTriggerNotLaterUnderDelay(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 40
+	for trial := 0; trial < 500; trial++ {
+		base := make([]float64, n)
+		t0 := 0.5 + rng.Float64()
+		for i := range base {
+			// A slowly degrading load balance plus noise.
+			base[i] = t0 + 0.02*float64(i)*rng.Float64()
+		}
+		tRedist := rng.Float64() * 2
+		firstFire := func(delay float64) int {
+			d := &Dynamic{}
+			d.NotifyRedistribution(-1, tRedist)
+			for i := 0; i < n; i++ {
+				t1 := base[i]
+				if i > 0 {
+					t1 += delay * float64(i) // delay accrues after the baseline
+				}
+				if d.Decide(i, t1) {
+					return i
+				}
+			}
+			return n
+		}
+		clean := firstFire(0)
+		for _, delay := range []float64{1e-6, 1e-3, 0.05} {
+			if perturbed := firstFire(delay); perturbed > clean {
+				t.Fatalf("trial %d: delay %g postponed the first trigger: %d > %d",
+					trial, delay, perturbed, clean)
+			}
+		}
+	}
+}
+
+// TestDynamicNeverFiresOnZeroWindow: a measurement window of zero (or
+// negative) length — Decide called for the redistribution iteration itself
+// or an earlier one — never triggers, no matter how large the measured
+// time.
+func TestDynamicNeverFiresOnZeroWindow(t *testing.T) {
+	for _, iterTime := range []float64{0, 1, 1e6, 1e300} {
+		d := prime(10, 0.5, 1.0)
+		if d.Decide(10, iterTime) {
+			t.Errorf("fired on zero-length window at iterTime=%g", iterTime)
+		}
+		if d.Decide(9, iterTime) {
+			t.Errorf("fired on negative window at iterTime=%g", iterTime)
+		}
+		// A genuine window with the same measurement still fires when the
+		// projected saving clears the threshold (the guard is about the
+		// window, not a blanket suppression).
+		if iterTime >= 2 && !d.Decide(11, iterTime) {
+			t.Errorf("did not fire on a one-iteration window at iterTime=%g", iterTime)
+		}
+	}
+}
+
+// TestDynamicZeroWindowLeavesStateIntact: a zero-window call is a no-op —
+// it neither fires nor disturbs the established baseline.
+func TestDynamicZeroWindowLeavesStateIntact(t *testing.T) {
+	d := prime(10, 0.5, 1.0)
+	_ = d.Decide(10, 1e9) // zero window, huge measurement
+	if !d.Decide(12, 2.0) {
+		t.Error("baseline was disturbed by a zero-window call")
+	}
+}

@@ -77,6 +77,11 @@ type Dynamic struct {
 }
 
 // Decide implements Policy: triggers when (t1−t0)·(i1−i0) ≥ T_redist.
+// The decision is monotone in the measured iteration time — extra delay on
+// t1 (network jitter, recovery charges) can only move the trigger earlier,
+// never suppress it — and a non-positive measurement window (i1 ≤ i0, e.g.
+// a caller replaying the redistribution iteration itself) never fires: it
+// carries no degradation signal.
 func (d *Dynamic) Decide(iter int, iterTime float64) bool {
 	if !d.haveT0 {
 		// First iteration after a redistribution establishes the baseline.
@@ -84,7 +89,11 @@ func (d *Dynamic) Decide(iter int, iterTime float64) bool {
 		d.haveT0 = true
 		return false
 	}
-	saved := (iterTime - d.t0) * float64(iter-d.i0)
+	window := iter - d.i0
+	if window <= 0 {
+		return false
+	}
+	saved := (iterTime - d.t0) * float64(window)
 	return saved >= d.tRedist && d.tRedist > 0
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"picpar/internal/comm"
+	"picpar/internal/commtest"
 	"picpar/internal/machine"
 	"picpar/internal/particle"
 )
@@ -19,7 +20,7 @@ func runAdversarial(t *testing.T, p int, makeKeys func(rank, i, perRank int) flo
 	const perRank = 64
 	total := p * perRank
 	g := newGather()
-		comm.Launch(p, machine.CM5(), func(r comm.Transport) {
+	commtest.Launch(p, machine.CM5(), func(r comm.Transport) {
 		s := particle.NewStore(perRank, -1, 1)
 		for i := 0; i < perRank; i++ {
 			s.Append(0, 0, 0, 0, 0, float64(r.Rank()*perRank+i))
@@ -86,7 +87,7 @@ func TestIncrementalConvergesUnderRepeatedShuffles(t *testing.T) {
 	total := p * perRank
 	for round := 0; round < 3; round++ {
 		g := newGather()
-				comm.Launch(p, machine.CM5(), func(r comm.Transport) {
+		commtest.Launch(p, machine.CM5(), func(r comm.Transport) {
 			rng := rand.New(rand.NewSource(int64(round*100 + r.Rank())))
 			s := makeLocal(rng, perRank, r.Rank()*perRank, 1000)
 			s = SampleSort(r, s)
@@ -114,7 +115,7 @@ func TestLoadBalanceExtremeSkew(t *testing.T) {
 	const p = 8
 	const total = 801 // deliberately not divisible by p
 	g := newGather()
-		comm.Launch(p, machine.CM5(), func(r comm.Transport) {
+	commtest.Launch(p, machine.CM5(), func(r comm.Transport) {
 		s := particle.NewStore(0, -1, 1)
 		if r.Rank() == p-1 { // skew at the end of the chain
 			for i := 0; i < total; i++ {
@@ -132,7 +133,7 @@ func TestLoadBalanceExtremeSkew(t *testing.T) {
 }
 
 func BenchmarkLocalSort(b *testing.B) {
-		comm.Launch(1, machine.Zero(), func(r comm.Transport) {
+	commtest.Launch(1, machine.Zero(), func(r comm.Transport) {
 		rng := rand.New(rand.NewSource(1))
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()

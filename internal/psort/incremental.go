@@ -78,6 +78,31 @@ func (inc *Incremental) Prime(s *particle.Store) {
 	}
 }
 
+// Bounds is a snapshot of the remembered bucket state: the boundary table
+// plus the upper key. A caller that may discard a redistribution (e.g. the
+// engine degrading gracefully after a failed exchange) snapshots before the
+// attempt and restores afterwards, since Redistribute reprimes the bounds
+// from its output before the caller can decide to keep it.
+type Bounds struct {
+	localBound []float64
+	upper      float64
+}
+
+// SnapshotBounds captures the current bucket boundaries and upper key.
+func (inc *Incremental) SnapshotBounds() Bounds {
+	return Bounds{localBound: append([]float64(nil), inc.localBound...), upper: inc.upper}
+}
+
+// RestoreBounds reinstates a snapshot taken by SnapshotBounds, as if the
+// Redistribute calls since then had not happened. The particle store the
+// caller kept must be the one the snapshot was taken against (Redistribute
+// never modifies its input store, so rolling back is pairing the old store
+// with its old bounds).
+func (inc *Incremental) RestoreBounds(b Bounds) {
+	copy(inc.localBound, b.localBound)
+	inc.upper = b.upper
+}
+
 // Stats reports what the classification pass observed, for ablation and
 // instrumentation.
 type Stats struct {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"picpar/internal/comm"
+	"picpar/internal/commtest"
 	"picpar/internal/machine"
 	"picpar/internal/particle"
 )
@@ -83,7 +84,7 @@ func (g *gather) checkGlobal(t *testing.T, p, total int, wantIDs map[float64]boo
 }
 
 func TestLocalSort(t *testing.T) {
-		ws := comm.Launch(1, machine.CM5(), func(r comm.Transport) {
+	ws := commtest.Launch(1, machine.CM5(), func(r comm.Transport) {
 		s := makeLocal(rand.New(rand.NewSource(1)), 100, 0, 50)
 		LocalSort(r, s)
 		if !IsLocallySorted(s) {
@@ -118,7 +119,7 @@ func TestSampleSortGlobal(t *testing.T) {
 			for i := 0; i < total; i++ {
 				wantIDs[float64(i)] = true
 			}
-						comm.Launch(p, machine.CM5(), func(r comm.Transport) {
+			commtest.Launch(p, machine.CM5(), func(r comm.Transport) {
 				rng := rand.New(rand.NewSource(int64(100 + r.Rank())))
 				s := makeLocal(rng, perRank, r.Rank()*perRank, 1000)
 				g.put(r.Rank(), SampleSort(r, s))
@@ -133,7 +134,7 @@ func TestSampleSortSkewedInput(t *testing.T) {
 	const p = 4
 	const total = 400
 	g := newGather()
-		comm.Launch(p, machine.CM5(), func(r comm.Transport) {
+	commtest.Launch(p, machine.CM5(), func(r comm.Transport) {
 		var s *particle.Store
 		if r.Rank() == 0 {
 			s = makeLocal(rand.New(rand.NewSource(7)), total, 0, 64)
@@ -155,7 +156,7 @@ func TestLoadBalancePreservesOrder(t *testing.T) {
 	counts := []int{37, 1, 0, 62}
 	total := 100
 	g := newGather()
-		comm.Launch(p, machine.CM5(), func(r comm.Transport) {
+	commtest.Launch(p, machine.CM5(), func(r comm.Transport) {
 		s := particle.NewStore(0, -1, 1)
 		base := 0
 		for k := 0; k < r.Rank(); k++ {
@@ -185,7 +186,7 @@ func TestLoadBalancePreservesOrder(t *testing.T) {
 }
 
 func TestLoadBalanceSingleRankNoOp(t *testing.T) {
-		comm.Launch(1, machine.CM5(), func(r comm.Transport) {
+	commtest.Launch(1, machine.CM5(), func(r comm.Transport) {
 		s := makeLocal(rand.New(rand.NewSource(1)), 10, 0, 10)
 		out := LoadBalance(r, s)
 		if out != s {
@@ -202,7 +203,7 @@ func TestIncrementalRedistributeFromScratch(t *testing.T) {
 		total := p * perRank
 		g := newGather()
 		statsCh := make(chan Stats, p)
-				comm.Launch(p, machine.CM5(), func(r comm.Transport) {
+		commtest.Launch(p, machine.CM5(), func(r comm.Transport) {
 			rng := rand.New(rand.NewSource(int64(500 + r.Rank())))
 			s := makeLocal(rng, perRank, r.Rank()*perRank, 4096)
 			s = SampleSort(r, s)
@@ -251,7 +252,7 @@ func TestIncrementalRepeatedRedistributions(t *testing.T) {
 	for round := 0; round < 5; round++ {
 		round := round
 		g := newGather()
-				comm.Launch(p, machine.CM5(), func(r comm.Transport) {
+		commtest.Launch(p, machine.CM5(), func(r comm.Transport) {
 			rng := rand.New(rand.NewSource(int64(r.Rank()*1000 + 17)))
 			s := makeLocal(rng, perRank, r.Rank()*perRank, 1024)
 			s = SampleSort(r, s)
@@ -277,7 +278,7 @@ func TestIncrementalNoMovement(t *testing.T) {
 	// If keys do not change, redistribution must classify everything
 	// same-bucket and move nothing off-processor.
 	const p = 4
-		comm.Launch(p, machine.CM5(), func(r comm.Transport) {
+	commtest.Launch(p, machine.CM5(), func(r comm.Transport) {
 		rng := rand.New(rand.NewSource(int64(900 + r.Rank())))
 		s := makeLocal(rng, 64, r.Rank()*64, 512)
 		s = SampleSort(r, s)
@@ -309,7 +310,7 @@ func TestIncrementalCheaperThanFullSort(t *testing.T) {
 	run := func(incremental bool) float64 {
 		var maxTime float64
 		var mu sync.Mutex
-				comm.Launch(p, params, func(r comm.Transport) {
+		commtest.Launch(p, params, func(r comm.Transport) {
 			rng := rand.New(rand.NewSource(int64(33 + r.Rank())))
 			s := makeLocal(rng, perRank, r.Rank()*perRank, 8192)
 			s = SampleSort(r, s)
@@ -345,7 +346,7 @@ func TestIncrementalCheaperThanFullSort(t *testing.T) {
 }
 
 func TestMergeSorted(t *testing.T) {
-		comm.Launch(1, machine.Zero(), func(r comm.Transport) {
+	commtest.Launch(1, machine.Zero(), func(r comm.Transport) {
 		a := particle.NewStore(0, -1, 1)
 		b := particle.NewStore(0, -1, 1)
 		for i, k := range []float64{1, 3, 5} {
@@ -418,7 +419,7 @@ func TestPrimeEmptyStore(t *testing.T) {
 func TestSampleSortDeterministic(t *testing.T) {
 	run := func() []float64 {
 		g := newGather()
-				comm.Launch(4, machine.CM5(), func(r comm.Transport) {
+		commtest.Launch(4, machine.CM5(), func(r comm.Transport) {
 			s := makeLocal(rand.New(rand.NewSource(int64(r.Rank()))), 50, r.Rank()*50, 777)
 			g.put(r.Rank(), SampleSort(r, s))
 		})

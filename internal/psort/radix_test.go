@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"picpar/internal/comm"
+	"picpar/internal/commtest"
 	"picpar/internal/machine"
 	"picpar/internal/particle"
 	"picpar/internal/raceflag"
@@ -119,7 +120,7 @@ func TestRedistributeClassifyPackZeroAlloc(t *testing.T) {
 	if raceflag.Enabled {
 		t.Skip("race detector distorts allocation counts")
 	}
-		comm.Launch(4, machine.Zero(), func(r comm.Transport) {
+	commtest.Launch(4, machine.Zero(), func(r comm.Transport) {
 		// classify and pack are communication-free, so only rank 0 runs.
 		if r.Rank() != 0 {
 			return

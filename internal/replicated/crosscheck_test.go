@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"picpar/internal/commtest"
 	"picpar/internal/mesh"
 	"picpar/internal/particle"
 	"picpar/internal/pic"
@@ -29,6 +30,7 @@ func TestCrossImplementationPhysics(t *testing.T) {
 		Dt:              0.2,
 		Diagnostics:     true,
 		DiagEvery:       1,
+		Watchdog:        commtest.Watchdog(),
 	}
 	d, err := pic.Run(cfg)
 	if err != nil {

@@ -61,7 +61,12 @@ func Run(cfg pic.Config) (*Result, error) {
 	}
 
 	res := &Result{}
-	ws := comm.Launch(cfg.P, cfg.Machine, func(r comm.Transport) { runRank(r, cfg, res) })
+	w := comm.NewWorld(cfg.P, cfg.Machine)
+	if cfg.Watchdog > 0 {
+		w.SetWatchdog(cfg.Watchdog)
+	}
+	defer w.Close()
+	ws := w.RunWrapped(cfg.Transport, func(r comm.Transport) { runRank(r, cfg, res) })
 	res.Stats = ws
 	res.ComputeSum = ws.TotalCompute()
 	res.ComputeMax = ws.MaxCompute()
@@ -175,7 +180,7 @@ func runRank(r comm.Transport, cfg pic.Config, res *Result) {
 		comm.Barrier(r)
 	}
 
-	total := comm.ExposeMaxFloat64(r, r.Clock().Now() - start)
+	total := comm.ExposeMaxFloat64(r, r.Clock().Now()-start)
 	kinetic := comm.ExposeSumFloat64(r, store.KineticEnergy())
 	if r.Rank() == 0 {
 		res.TotalTime = total

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"picpar/internal/commtest"
 	"picpar/internal/mesh"
 	"picpar/internal/particle"
 	"picpar/internal/pic"
@@ -17,6 +18,7 @@ func base() pic.Config {
 		Distribution: particle.DistIrregular,
 		Seed:         7,
 		Iterations:   10,
+		Watchdog:     commtest.Watchdog(),
 	}
 }
 

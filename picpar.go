@@ -34,6 +34,7 @@
 package picpar
 
 import (
+	"picpar/internal/comm"
 	"picpar/internal/machine"
 	"picpar/internal/mesh"
 	"picpar/internal/particle"
@@ -107,3 +108,51 @@ func CM5Machine() MachineParams { return machine.CM5() }
 
 // ModernMachine returns contemporary-cluster cost-model constants.
 func ModernMachine() MachineParams { return machine.Modern() }
+
+// Transport is the per-rank message-passing interface; Config.Transport
+// accepts a decorator chain over it (see DESIGN.md "The decorator stack").
+type Transport = comm.Transport
+
+// FaultPlan is a deterministic, seeded fault-injection schedule for the
+// Faulty transport decorator: per-link drop/duplicate/reorder/delay
+// probabilities with optional rank, tag and phase filters.
+type FaultPlan = comm.FaultPlan
+
+// Faulty injects the faults of a FaultPlan; Reliable recovers them.
+type Faulty = comm.Faulty
+
+// NewFaulty builds a fault-injecting transport decorator from plan.
+func NewFaulty(plan FaultPlan) *Faulty { return comm.NewFaulty(plan) }
+
+// Reliable is the reliable-delivery transport decorator: it recovers
+// drops, duplicates and reorderings injected by Faulty underneath it, or
+// fails with a diagnostic *DeliveryError when the retry budget is
+// exhausted — never by hanging.
+type Reliable = comm.Reliable
+
+// ReliableConfig tunes the reliability layer's retry budget and simulated
+// backoff; the zero value selects sensible defaults.
+type ReliableConfig = comm.ReliableConfig
+
+// NewReliable builds a reliable-delivery transport decorator.
+func NewReliable(cfg ReliableConfig) *Reliable { return comm.NewReliable(cfg) }
+
+// DeliveryError is the terminal, diagnostic delivery failure: it names the
+// rank, peer, tag, accounting phase and attempt count of the message that
+// could not be delivered.
+type DeliveryError = comm.DeliveryError
+
+// AsDeliveryError extracts a *DeliveryError from a recovered panic value,
+// or returns nil.
+func AsDeliveryError(v any) *DeliveryError { return comm.AsDeliveryError(v) }
+
+// TraceCounts is one bucket of traced traffic (messages and modelled bytes
+// in each direction).
+type TraceCounts = comm.TraceCounts
+
+// Tracer records per-rank, per-phase, per-tag traffic flowing through the
+// transports it wraps.
+type Tracer = comm.Tracer
+
+// NewTracer builds a traffic-tracing transport decorator.
+func NewTracer() *Tracer { return comm.NewTracer() }

@@ -1,6 +1,8 @@
 #!/bin/sh
-# Full CI gate: vet, build, race-enabled tests, and a short benchmark smoke
-# run that exercises the radix sort and allocation assertions.
+# Full CI gate: vet, build, plain tests, race-enabled tests, the chaos soak
+# (seeded fault plans through the Reliable stack), the per-phase traffic
+# regression gate, an examples smoke run, and a short benchmark smoke run
+# that exercises the radix sort and allocation assertions.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -10,8 +12,17 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== go test =="
+go test ./...
+
 echo "== go test -race =="
 go test -race ./...
+
+echo "== chaos soak =="
+go test -count=1 -run 'TestChaos' ./internal/comm/ ./internal/pic/
+
+echo "== traffic gate =="
+go run ./cmd/picbench -traffic
 
 echo "== examples smoke =="
 go run ./examples/quickstart >/dev/null
