@@ -126,6 +126,31 @@ func BenchmarkSimulationIteration(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulationIteration3D is the same per-iteration measurement
+// with the pipeline selected onto a 3-D geometry (1024 particles/rank on 8
+// ranks, 16^3 mesh): the dimension seam's dispatch cost shows up here if
+// it ever grows.
+func BenchmarkSimulationIteration3D(b *testing.B) {
+	cfg := picpar.Config{
+		Dims:         3,
+		Grid3:        picpar.NewGrid3(16, 16, 16),
+		P:            8,
+		NumParticles: 8192,
+		Distribution: picpar.DistIrregular,
+		Seed:         1,
+		Iterations:   b.N,
+		Policy:       picpar.PeriodicPolicy(25),
+	}
+	b.ResetTimer()
+	res, err := picpar.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if b.N > 0 {
+		b.ReportMetric(res.TotalTime/float64(b.N), "sim-s/iter")
+	}
+}
+
 // BenchmarkSimulationIterationReliable is BenchmarkSimulationIteration with
 // the reliable-delivery layer installed on a fault-free transport: the two
 // must stay within noise of each other (the chaos harness's "fault-free
@@ -249,6 +274,41 @@ func TestLocalSortSteadyStateAllocs(t *testing.T) {
 		})
 		if allocs != 0 {
 			t.Errorf("LocalSort steady state: %v allocs/op, want 0", allocs)
+		}
+	})
+}
+
+// unsortedStore3 is unsortedStore with a z axis: the 3-D population shape,
+// exercising the wider store in the same sort paths.
+func unsortedStore3(rng *rand.Rand, n int) *particle.Store {
+	s := particle.NewStore3(n, -1, 1)
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		s.Append3(0, 0, 0, 0, 0, 0, float64(perm[i]))
+		s.Key[i] = float64(rng.Intn(1 << 20))
+	}
+	return s
+}
+
+// TestLocalSort3DSteadyStateAllocs pins the 3-D steady state at zero
+// allocations too: the optional z column must ride the same pooled scratch
+// as the 2-D hot path.
+func TestLocalSort3DSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race detector distorts allocation counts")
+	}
+	commtest.Launch(1, machine.Zero(), func(r comm.Transport) {
+		rng := rand.New(rand.NewSource(7))
+		ref := unsortedStore3(rng, 4096)
+		s := ref.Clone()
+		psort.LocalSort(r, s) // warm the sorter pool
+		allocs := testing.AllocsPerRun(20, func() {
+			copy(s.Key, ref.Key)
+			copy(s.ID, ref.ID)
+			psort.LocalSort(r, s)
+		})
+		if allocs != 0 {
+			t.Errorf("3-D LocalSort steady state: %v allocs/op, want 0", allocs)
 		}
 	})
 }

@@ -6,6 +6,12 @@
 //
 //	picsim -mesh 128x64 -n 32768 -p 32 -iters 200 \
 //	       -dist irregular -policy dynamic -history
+//
+// Or the same physics in three dimensions over the dimension-generic
+// pipeline:
+//
+//	picsim -dim 3 -mesh 32x32x32 -n 32768 -p 32 -iters 200 \
+//	       -dist irregular -policy dynamic
 package main
 
 import (
@@ -19,7 +25,8 @@ import (
 )
 
 func main() {
-	meshFlag := flag.String("mesh", "128x64", "mesh size NXxNY")
+	dim := flag.Int("dim", 2, "spatial dimensionality: 2 or 3")
+	meshFlag := flag.String("mesh", "", "mesh size NXxNY (2-D, default 128x64) or NXxNYxNZ (3-D, default 32x32x32)")
 	n := flag.Int("n", 32768, "number of particles")
 	p := flag.Int("p", 32, "number of ranks (processors)")
 	iters := flag.Int("iters", 200, "iterations")
@@ -35,7 +42,14 @@ func main() {
 	diag := flag.Bool("energies", false, "record and print energy diagnostics")
 	flag.Parse()
 
-	nx, ny, err := parseMesh(*meshFlag)
+	if *meshFlag == "" {
+		if *dim == 3 {
+			*meshFlag = "32x32x32"
+		} else {
+			*meshFlag = "128x64"
+		}
+	}
+	ext, err := parseMesh(*meshFlag, *dim)
 	if err != nil {
 		fatal(err)
 	}
@@ -44,7 +58,7 @@ func main() {
 		fatal(err)
 	}
 	cfg := picpar.Config{
-		Grid:         picpar.NewGrid(nx, ny),
+		Dims:         *dim,
 		P:            *p,
 		NumParticles: *n,
 		Distribution: *dist,
@@ -56,6 +70,11 @@ func main() {
 		Thermal:      *thermal,
 		Diagnostics:  *diag,
 	}
+	if *dim == 3 {
+		cfg.Grid3 = picpar.NewGrid3(ext[0], ext[1], ext[2])
+	} else {
+		cfg.Grid = picpar.NewGrid(ext[0], ext[1])
+	}
 	if *modern {
 		cfg.Machine = picpar.ModernMachine()
 	}
@@ -65,8 +84,8 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("picsim: mesh=%dx%d particles=%d ranks=%d iterations=%d dist=%s indexing=%s policy=%s table=%s\n",
-		nx, ny, *n, *p, *iters, *dist, *indexing, *policyFlag, *table)
+	fmt.Printf("picsim: mesh=%s particles=%d ranks=%d iterations=%d dist=%s indexing=%s policy=%s table=%s\n",
+		*meshFlag, *n, *p, *iters, *dist, *indexing, *policyFlag, *table)
 	fmt.Printf("  initial distribution: %10.4f s\n", res.InitTime)
 	fmt.Printf("  total execution:      %10.4f s (simulated)\n", res.TotalTime)
 	fmt.Printf("  computation (max):    %10.4f s\n", res.ComputeMax)
@@ -95,20 +114,21 @@ func main() {
 	}
 }
 
-func parseMesh(s string) (nx, ny int, err error) {
+func parseMesh(s string, dim int) ([]int, error) {
 	parts := strings.Split(strings.ToLower(s), "x")
-	if len(parts) != 2 {
-		return 0, 0, fmt.Errorf("picsim: mesh %q, want NXxNY", s)
+	if len(parts) != dim {
+		return nil, fmt.Errorf("picsim: mesh %q has %d extents, want %d for -dim %d",
+			s, len(parts), dim, dim)
 	}
-	nx, err = strconv.Atoi(parts[0])
-	if err != nil {
-		return 0, 0, fmt.Errorf("picsim: mesh width: %v", err)
+	ext := make([]int, dim)
+	for i, part := range parts {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("picsim: mesh extent %q: %v", part, err)
+		}
+		ext[i] = v
 	}
-	ny, err = strconv.Atoi(parts[1])
-	if err != nil {
-		return 0, 0, fmt.Errorf("picsim: mesh height: %v", err)
-	}
-	return nx, ny, nil
+	return ext, nil
 }
 
 func parsePolicy(s string) (picpar.PolicyFactory, error) {

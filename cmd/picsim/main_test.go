@@ -3,16 +3,25 @@ package main
 import "testing"
 
 func TestParseMesh(t *testing.T) {
-	nx, ny, err := parseMesh("128x64")
-	if err != nil || nx != 128 || ny != 64 {
-		t.Errorf("parseMesh: %d %d %v", nx, ny, err)
+	ext, err := parseMesh("128x64", 2)
+	if err != nil || ext[0] != 128 || ext[1] != 64 {
+		t.Errorf("parseMesh: %v %v", ext, err)
 	}
-	if _, _, err := parseMesh("128X64"); err != nil {
+	if _, err := parseMesh("128X64", 2); err != nil {
 		t.Errorf("uppercase X should parse: %v", err)
 	}
+	ext, err = parseMesh("32x16x8", 3)
+	if err != nil || ext[0] != 32 || ext[1] != 16 || ext[2] != 8 {
+		t.Errorf("parseMesh 3-D: %v %v", ext, err)
+	}
 	for _, bad := range []string{"128", "ax64", "128xb", "1x2x3", ""} {
-		if _, _, err := parseMesh(bad); err == nil {
-			t.Errorf("parseMesh(%q) accepted", bad)
+		if _, err := parseMesh(bad, 2); err == nil {
+			t.Errorf("parseMesh(%q, 2) accepted", bad)
+		}
+	}
+	for _, bad := range []string{"128x64", "1x2x3x4", "1x2xq", ""} {
+		if _, err := parseMesh(bad, 3); err == nil {
+			t.Errorf("parseMesh(%q, 3) accepted", bad)
 		}
 	}
 }

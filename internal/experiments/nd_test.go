@@ -4,13 +4,13 @@ import (
 	"io"
 	"testing"
 
-	"picpar/internal/partition3"
+	"picpar/internal/particle"
 	"picpar/internal/sfc"
 )
 
 func TestNDShape(t *testing.T) {
 	res := ND(io.Discard, true)
-	for _, dist := range []string{partition3.DistUniform, partition3.DistIrregular} {
+	for _, dist := range []string{particle.DistUniform, particle.DistIrregular} {
 		for _, p := range []int{8, 64} {
 			h := res.Find(dist, sfc.SchemeHilbert, p)
 			s := res.Find(dist, sfc.SchemeSnake, p)
@@ -25,8 +25,8 @@ func TestNDShape(t *testing.T) {
 	}
 	// At 64 ranks, Hilbert communication is more local than snake for the
 	// uniform case.
-	h := res.Find(partition3.DistUniform, sfc.SchemeHilbert, 64)
-	s := res.Find(partition3.DistUniform, sfc.SchemeSnake, 64)
+	h := res.Find(particle.DistUniform, sfc.SchemeHilbert, 64)
+	s := res.Find(particle.DistUniform, sfc.SchemeSnake, 64)
 	if h.Quality.NonLocalFraction > s.Quality.NonLocalFraction {
 		t.Errorf("hilbert non-local %g should not exceed snake %g",
 			h.Quality.NonLocalFraction, s.Quality.NonLocalFraction)

@@ -1,0 +1,176 @@
+// The two-dimensional geometry: internal/mesh + internal/sfc + the 2-D
+// field and pusher substrates, adapted to the Geometry seam. Every formula
+// here is the one the pre-seam pipeline used inline, expression for
+// expression, so 2-D runs stay bit-identical.
+
+package geom
+
+import (
+	"picpar/internal/comm"
+	"picpar/internal/field"
+	"picpar/internal/mesh"
+	"picpar/internal/particle"
+	"picpar/internal/pusher"
+	"picpar/internal/sfc"
+)
+
+// G2 is the 2-D Geometry over a mesh.Dist and an sfc.Indexer.
+type G2 struct {
+	G  mesh.Grid
+	D  *mesh.Dist
+	Ix sfc.Indexer
+}
+
+// New2 builds the 2-D geometry.
+func New2(g mesh.Grid, d *mesh.Dist, ix sfc.Indexer) *G2 {
+	return &G2{G: g, D: d, Ix: ix}
+}
+
+// Dims implements Geometry.
+func (ge *G2) Dims() int { return 2 }
+
+// NumPoints implements Geometry.
+func (ge *G2) NumPoints() int { return ge.G.NumPoints() }
+
+// NumVertices implements Geometry.
+func (ge *G2) NumVertices() int { return 4 }
+
+// Ranks implements Geometry.
+func (ge *G2) Ranks() int { return ge.D.P }
+
+// AssignKeys implements Geometry.
+func (ge *G2) AssignKeys(s *particle.Store) {
+	for i := 0; i < s.Len(); i++ {
+		cx, cy := ge.G.CellOf(s.X[i], s.Y[i])
+		s.Key[i] = float64(ge.Ix.Index(cx, cy))
+	}
+}
+
+// Footprint implements Geometry: bilinear CIC over the four cell vertices,
+// with the high-edge wrap the scatter loop has always used.
+func (ge *G2) Footprint(s *particle.Store, i int, fp *Footprint) {
+	g := ge.G
+	w := pusher.Weights(g, s.X[i], s.Y[i])
+	fp.N = 4
+	for k, off := range pusher.VertexOffsets {
+		gi := w.CX + off[0]
+		gj := w.CY + off[1]
+		if gi >= g.Nx {
+			gi = 0
+		}
+		if gj >= g.Ny {
+			gj = 0
+		}
+		fp.Gid[k] = int32(gj*g.Nx + gi)
+		fp.W[k] = w.W[k]
+	}
+}
+
+// OwnerOfParticle implements Geometry.
+func (ge *G2) OwnerOfParticle(s *particle.Store, i int) int {
+	cx, cy := ge.G.CellOf(s.X[i], s.Y[i])
+	return ge.D.OwnerOfPoint(cx, cy)
+}
+
+// OwnerOfPoint implements Geometry.
+func (ge *G2) OwnerOfPoint(gid int) int {
+	ci, cj := ge.G.PointCoords(gid)
+	return ge.D.OwnerOfPoint(ci, cj)
+}
+
+// AdjacentRanks implements Geometry: identical or 8-neighbours on the
+// periodic processor grid.
+func (ge *G2) AdjacentRanks(a, b int) bool {
+	if a == b {
+		return true
+	}
+	ax, ay := ge.D.RankCoords(a)
+	bx, by := ge.D.RankCoords(b)
+	return wrapDist(ax-bx, ge.D.Px) <= 1 && wrapDist(ay-by, ge.D.Py) <= 1
+}
+
+// Move implements Geometry.
+func (ge *G2) Move(s *particle.Store, i int, dt float64) {
+	pusher.Move(s, i, ge.G, dt)
+}
+
+// Generate implements Geometry.
+func (ge *G2) Generate(cfg GenConfig) (*particle.Store, error) {
+	return particle.Generate(particle.Config{
+		N:            cfg.N,
+		Lx:           ge.G.Lx,
+		Ly:           ge.G.Ly,
+		Distribution: cfg.Distribution,
+		Seed:         cfg.Seed,
+		Thermal:      cfg.Thermal,
+		Drift:        cfg.Drift,
+		Charge:       cfg.Charge,
+		Mass:         1,
+	})
+}
+
+// NewStore implements Geometry.
+func (ge *G2) NewStore(n int, charge, mass float64) *particle.Store {
+	return particle.NewStore(n, charge, mass)
+}
+
+// NewFields implements Geometry.
+func (ge *G2) NewFields(r int) Fields {
+	l := field.NewLocal(ge.D, r)
+	f := &fields2{l: l, d: ge.D, nx: ge.G.Nx}
+	f.arr = Arrays{
+		Ex: l.Ex, Ey: l.Ey, Ez: l.Ez,
+		Bx: l.Bx, By: l.By, Bz: l.Bz,
+		Jx: l.Jx, Jy: l.Jy, Jz: l.Jz,
+		Rho: l.Rho,
+	}
+	return f
+}
+
+// fields2 adapts field.Local to the Fields interface, closing over the
+// distribution so Solve keeps its historical signature.
+type fields2 struct {
+	l   *field.Local
+	d   *mesh.Dist
+	nx  int // global grid width, for gid decoding
+	arr Arrays
+}
+
+func (f *fields2) ZeroSources() { f.l.ZeroSources() }
+
+func (f *fields2) Slot(gid int) int {
+	ci := gid % f.nx
+	cj := gid / f.nx
+	l := f.l
+	if !l.Contains(ci, cj) {
+		return -1
+	}
+	return l.Idx(ci-l.I0, cj-l.J0)
+}
+
+func (f *fields2) Arrays() *Arrays { return &f.arr }
+
+func (f *fields2) Solve(r comm.Transport, dt float64) { f.l.Solve(r, f.d, dt) }
+
+func (f *fields2) Energy() float64 { return f.l.Energy() }
+
+func (f *fields2) SumRho() float64 {
+	l := f.l
+	rho := 0.0
+	for j := 0; j < l.Ny; j++ {
+		for i := 0; i < l.Nx; i++ {
+			rho += l.Rho[l.Idx(i, j)]
+		}
+	}
+	return rho
+}
+
+func wrapDist(d, n int) int {
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}

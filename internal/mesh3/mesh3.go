@@ -35,6 +35,30 @@ func (g Grid) Validate() error {
 // NumPoints returns the total grid points.
 func (g Grid) NumPoints() int { return g.Nx * g.Ny * g.Nz }
 
+// Dx returns the cell size along x.
+func (g Grid) Dx() float64 { return g.Lx / float64(g.Nx) }
+
+// Dy returns the cell size along y.
+func (g Grid) Dy() float64 { return g.Ly / float64(g.Ny) }
+
+// Dz returns the cell size along z.
+func (g Grid) Dz() float64 { return g.Lz / float64(g.Nz) }
+
+// WrapPosition wraps a position into the periodic domain.
+func (g Grid) WrapPosition(x, y, z float64) (float64, float64, float64) {
+	return wrapF(x, g.Lx), wrapF(y, g.Ly), wrapF(z, g.Lz)
+}
+
+func wrapF(x, l float64) float64 {
+	for x < 0 {
+		x += l
+	}
+	for x >= l {
+		x -= l
+	}
+	return x
+}
+
 // PointIndex returns the row-major global id of grid point (i, j, k),
 // wrapped periodically.
 func (g Grid) PointIndex(i, j, k int) int {
@@ -183,6 +207,46 @@ func (d *Dist) Bounds(r int) (i0, i1, j0, j1, k0, k1 int) {
 	j0, j1 = mesh.BlockRange(d.G.Ny, d.Py, py)
 	k0, k1 = mesh.BlockRange(d.G.Nz, d.Pz, pz)
 	return
+}
+
+// RankAt returns the rank at processor-grid coordinates (px, py, pz),
+// wrapped periodically.
+func (d *Dist) RankAt(px, py, pz int) int {
+	px = wrap(px, d.Px)
+	py = wrap(py, d.Py)
+	pz = wrap(pz, d.Pz)
+	tile := (pz*d.Py+py)*d.Px + px
+	if d.tileRank != nil {
+		return d.tileRank[tile]
+	}
+	return tile
+}
+
+// Neighbours returns rank r's six face neighbours on the periodic
+// processor grid.
+func (d *Dist) Neighbours(r int) (left, right, down, up, back, front int) {
+	px, py, pz := d.RankCoords(r)
+	return d.RankAt(px-1, py, pz), d.RankAt(px+1, py, pz),
+		d.RankAt(px, py-1, pz), d.RankAt(px, py+1, pz),
+		d.RankAt(px, py, pz-1), d.RankAt(px, py, pz+1)
+}
+
+// LocalSize returns rank r's owned extents.
+func (d *Dist) LocalSize(r int) (nx, ny, nz int) {
+	i0, i1, j0, j1, k0, k1 := d.Bounds(r)
+	return i1 - i0, j1 - j0, k1 - k0
+}
+
+// MaxLocalPoints returns the largest owned block over all ranks.
+func (d *Dist) MaxLocalPoints() int {
+	m := 0
+	for r := 0; r < d.P; r++ {
+		nx, ny, nz := d.LocalSize(r)
+		if nx*ny*nz > m {
+			m = nx * ny * nz
+		}
+	}
+	return m
 }
 
 // OwnerOfPoint returns the rank owning grid point (i, j, k), wrapped.

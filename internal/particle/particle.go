@@ -15,17 +15,23 @@ import (
 	"math/rand"
 )
 
-// WireFloats is the number of float64 words one particle occupies in a
-// message: x, y, px, py, pz, id, key.
+// WireFloats is the number of float64 words one two-dimensional particle
+// occupies in a message: x, y, px, py, pz, id, key. Three-dimensional
+// particles additionally carry z; use Store.WireFloats for the layout of a
+// concrete store.
 const WireFloats = 7
 
-// WireBytes is the modelled wire size of one particle.
+// WireBytes is the modelled wire size of one 2-D particle.
 const WireBytes = WireFloats * 8
 
 // Store holds particles of one species in structure-of-arrays layout.
-// All slices always have equal length.
+// All slices always have equal length. Z is nil for two-dimensional
+// populations and present (same length as X) for three-dimensional ones —
+// the store's dimensionality is fixed at construction and preserved by
+// every operation, including the wire format.
 type Store struct {
 	X, Y       []float64 // positions, in physical domain coordinates
+	Z          []float64 // third position axis; nil for 2-D stores
 	Px, Py, Pz []float64 // momenta / (m c)
 	ID         []float64 // stable global id (integral values)
 	Key        []float64 // SFC cell index used for ordering (integral values)
@@ -35,8 +41,8 @@ type Store struct {
 	Charge, Mass float64
 }
 
-// NewStore returns an empty store with capacity for n particles and the
-// given species constants.
+// NewStore returns an empty 2-D store with capacity for n particles and
+// the given species constants.
 func NewStore(n int, charge, mass float64) *Store {
 	return &Store{
 		X:      make([]float64, 0, n),
@@ -49,6 +55,43 @@ func NewStore(n int, charge, mass float64) *Store {
 		Charge: charge,
 		Mass:   mass,
 	}
+}
+
+// NewStore3 returns an empty 3-D store (with a Z axis) with capacity for n
+// particles.
+func NewStore3(n int, charge, mass float64) *Store {
+	s := NewStore(n, charge, mass)
+	s.Z = make([]float64, 0, n)
+	return s
+}
+
+// NewLike returns an empty store of the same dimensionality and species
+// constants as s, with capacity for n particles. All code that creates
+// scratch or output stores for an existing population must use this so 3-D
+// particles never silently lose their Z axis.
+func (s *Store) NewLike(n int) *Store {
+	if s.Z != nil {
+		return NewStore3(n, s.Charge, s.Mass)
+	}
+	return NewStore(n, s.Charge, s.Mass)
+}
+
+// Dims returns the spatial dimensionality of the store (2 or 3).
+func (s *Store) Dims() int {
+	if s.Z != nil {
+		return 3
+	}
+	return 2
+}
+
+// WireFloats returns the number of float64 words one particle of this
+// store occupies in a message: 7 for 2-D (x, y, px, py, pz, id, key),
+// 8 for 3-D (z travels after y).
+func (s *Store) WireFloats() int {
+	if s.Z != nil {
+		return WireFloats + 1
+	}
+	return WireFloats
 }
 
 // Len returns the number of particles.
@@ -65,11 +108,21 @@ func (s *Store) Append(x, y, px, py, pz, id float64) {
 	s.Key = append(s.Key, 0)
 }
 
+// Append3 adds one 3-D particle. The store must have been created with
+// NewStore3.
+func (s *Store) Append3(x, y, z, px, py, pz, id float64) {
+	s.Append(x, y, px, py, pz, id)
+	s.Z = append(s.Z, z)
+}
+
 // AppendFrom copies particle i of src (all fields, including the sort key)
 // onto the end of s.
 func (s *Store) AppendFrom(src *Store, i int) {
 	s.X = append(s.X, src.X[i])
 	s.Y = append(s.Y, src.Y[i])
+	if s.Z != nil {
+		s.Z = append(s.Z, src.Z[i])
+	}
 	s.Px = append(s.Px, src.Px[i])
 	s.Py = append(s.Py, src.Py[i])
 	s.Pz = append(s.Pz, src.Pz[i])
@@ -81,6 +134,9 @@ func (s *Store) AppendFrom(src *Store, i int) {
 func (s *Store) Swap(i, j int) {
 	s.X[i], s.X[j] = s.X[j], s.X[i]
 	s.Y[i], s.Y[j] = s.Y[j], s.Y[i]
+	if s.Z != nil {
+		s.Z[i], s.Z[j] = s.Z[j], s.Z[i]
+	}
 	s.Px[i], s.Px[j] = s.Px[j], s.Px[i]
 	s.Py[i], s.Py[j] = s.Py[j], s.Py[i]
 	s.Pz[i], s.Pz[j] = s.Pz[j], s.Pz[i]
@@ -101,10 +157,10 @@ func (s *Store) Less(i, j int) bool {
 // store's previous arrays swap into the scratch), so repeated sorts of
 // similar-sized stores allocate nothing.
 type Scratch struct {
-	x, y, px, py, pz, id, key []float64
+	x, y, z, px, py, pz, id, key []float64
 }
 
-func (sc *Scratch) grow(n int) {
+func (sc *Scratch) grow(n int, withZ bool) {
 	if cap(sc.x) < n {
 		sc.x = make([]float64, n)
 		sc.y = make([]float64, n)
@@ -114,6 +170,9 @@ func (sc *Scratch) grow(n int) {
 		sc.id = make([]float64, n)
 		sc.key = make([]float64, n)
 	}
+	if withZ && cap(sc.z) < n {
+		sc.z = make([]float64, n)
+	}
 	sc.x = sc.x[:n]
 	sc.y = sc.y[:n]
 	sc.px = sc.px[:n]
@@ -121,6 +180,9 @@ func (sc *Scratch) grow(n int) {
 	sc.pz = sc.pz[:n]
 	sc.id = sc.id[:n]
 	sc.key = sc.key[:n]
+	if withZ {
+		sc.z = sc.z[:n]
+	}
 }
 
 // ApplyPermutation reorders the store so that position i holds the particle
@@ -137,7 +199,7 @@ func (s *Store) ApplyPermutation(perm []int32, scr *Scratch) {
 	if scr == nil {
 		scr = &Scratch{}
 	}
-	scr.grow(n)
+	scr.grow(n, s.Z != nil)
 	for i, p := range perm {
 		scr.x[i] = s.X[p]
 		scr.y[i] = s.Y[p]
@@ -146,6 +208,12 @@ func (s *Store) ApplyPermutation(perm []int32, scr *Scratch) {
 		scr.pz[i] = s.Pz[p]
 		scr.id[i] = s.ID[p]
 		scr.key[i] = s.Key[p]
+	}
+	if s.Z != nil {
+		for i, p := range perm {
+			scr.z[i] = s.Z[p]
+		}
+		s.Z, scr.z = scr.z, s.Z
 	}
 	s.X, scr.x = scr.x, s.X
 	s.Y, scr.y = scr.y, s.Y
@@ -163,6 +231,7 @@ func (s *Store) ApplyPermutation(perm []int32, scr *Scratch) {
 func SwapContents(a, b *Store) {
 	a.X, b.X = b.X, a.X
 	a.Y, b.Y = b.Y, a.Y
+	a.Z, b.Z = b.Z, a.Z
 	a.Px, b.Px = b.Px, a.Px
 	a.Py, b.Py = b.Py, a.Py
 	a.Pz, b.Pz = b.Pz, a.Pz
@@ -174,6 +243,9 @@ func SwapContents(a, b *Store) {
 func (s *Store) Truncate(n int) {
 	s.X = s.X[:n]
 	s.Y = s.Y[:n]
+	if s.Z != nil {
+		s.Z = s.Z[:n]
+	}
 	s.Px = s.Px[:n]
 	s.Py = s.Py[:n]
 	s.Pz = s.Pz[:n]
@@ -186,6 +258,9 @@ func (s *Store) Clone() *Store {
 	c := &Store{Charge: s.Charge, Mass: s.Mass}
 	c.X = append([]float64(nil), s.X...)
 	c.Y = append([]float64(nil), s.Y...)
+	if s.Z != nil {
+		c.Z = append(make([]float64, 0, len(s.Z)), s.Z...)
+	}
 	c.Px = append([]float64(nil), s.Px...)
 	c.Py = append([]float64(nil), s.Py...)
 	c.Pz = append([]float64(nil), s.Pz...)
@@ -194,10 +269,16 @@ func (s *Store) Clone() *Store {
 	return c
 }
 
-// MarshalRange packs particles [lo, hi) into dst (len ≥ (hi−lo)·WireFloats)
-// for transmission and returns the filled prefix.
+// MarshalRange packs particles [lo, hi) into dst (len ≥ (hi−lo)·WireFloats())
+// for transmission and returns the filled prefix. 3-D stores emit z after y.
 func (s *Store) MarshalRange(dst []float64, lo, hi int) []float64 {
 	dst = dst[:0]
+	if s.Z != nil {
+		for i := lo; i < hi; i++ {
+			dst = append(dst, s.X[i], s.Y[i], s.Z[i], s.Px[i], s.Py[i], s.Pz[i], s.ID[i], s.Key[i])
+		}
+		return dst
+	}
 	for i := lo; i < hi; i++ {
 		dst = append(dst, s.X[i], s.Y[i], s.Px[i], s.Py[i], s.Pz[i], s.ID[i], s.Key[i])
 	}
@@ -207,18 +288,39 @@ func (s *Store) MarshalRange(dst []float64, lo, hi int) []float64 {
 // MarshalIndices packs the particles at the given indices.
 func (s *Store) MarshalIndices(dst []float64, idx []int) []float64 {
 	dst = dst[:0]
+	if s.Z != nil {
+		for _, i := range idx {
+			dst = append(dst, s.X[i], s.Y[i], s.Z[i], s.Px[i], s.Py[i], s.Pz[i], s.ID[i], s.Key[i])
+		}
+		return dst
+	}
 	for _, i := range idx {
 		dst = append(dst, s.X[i], s.Y[i], s.Px[i], s.Py[i], s.Pz[i], s.ID[i], s.Key[i])
 	}
 	return dst
 }
 
-// AppendWire unpacks particles previously packed with MarshalRange.
+// AppendWire unpacks particles previously packed with MarshalRange by a
+// store of the same dimensionality.
 func (s *Store) AppendWire(wire []float64) error {
-	if len(wire)%WireFloats != 0 {
-		return fmt.Errorf("particle: wire length %d not a multiple of %d", len(wire), WireFloats)
+	wf := s.WireFloats()
+	if len(wire)%wf != 0 {
+		return fmt.Errorf("particle: wire length %d not a multiple of %d", len(wire), wf)
 	}
-	for i := 0; i < len(wire); i += WireFloats {
+	if s.Z != nil {
+		for i := 0; i < len(wire); i += wf {
+			s.X = append(s.X, wire[i])
+			s.Y = append(s.Y, wire[i+1])
+			s.Z = append(s.Z, wire[i+2])
+			s.Px = append(s.Px, wire[i+3])
+			s.Py = append(s.Py, wire[i+4])
+			s.Pz = append(s.Pz, wire[i+5])
+			s.ID = append(s.ID, wire[i+6])
+			s.Key = append(s.Key, wire[i+7])
+		}
+		return nil
+	}
+	for i := 0; i < len(wire); i += wf {
 		s.X = append(s.X, wire[i])
 		s.Y = append(s.Y, wire[i+1])
 		s.Px = append(s.Px, wire[i+2])

@@ -1,0 +1,109 @@
+// Geometry-generic independent partitioning: the same equal-count SFC-key
+// assignment and quality metrics as the 2-D Table 1 analysis, expressed
+// over the geom.Geometry seam so the identical code measures 2-D and 3-D
+// layouts. This is the collapsed form of the former partition3 package.
+
+package partition
+
+import (
+	"picpar/internal/geom"
+	"picpar/internal/mesh"
+	"picpar/internal/particle"
+	"picpar/internal/radix"
+)
+
+// IndependentLayout is an independent-partitioning assignment over any
+// geometry: particles into equal-count chunks by SFC key, while the mesh
+// keeps its BLOCK distribution (queried through the geometry).
+type IndependentLayout struct {
+	P         int
+	Particles []int // particle -> rank
+}
+
+// equalCountOwners deals the particles, in stable (key, original index)
+// order, into P equal-count contiguous chunks — the shared core of
+// StrategyIndependent in every dimensionality.
+func equalCountOwners(keys []uint64, p int) []int {
+	n := len(keys)
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	_, order = radix.SortKeysIndex(keys, order, nil)
+	owners := make([]int, n)
+	for pos, i := range order {
+		owners[i] = mesh.BlockOwner(n, p, pos)
+	}
+	return owners
+}
+
+// BuildIndependent computes the independent-partitioning layout for the
+// store's current positions under ge. The store's keys are refreshed as a
+// side effect (exactly what ge.AssignKeys produces).
+func BuildIndependent(ge geom.Geometry, s *particle.Store) *IndependentLayout {
+	ge.AssignKeys(s)
+	keys := make([]uint64, s.Len())
+	for i := range keys {
+		keys[i] = uint64(s.Key[i])
+	}
+	return &IndependentLayout{P: ge.Ranks(), Particles: equalCountOwners(keys, ge.Ranks())}
+}
+
+// MeasureIndependent computes the Table 1 quality metrics for an
+// independent layout in any dimensionality: per-rank ghost points of the
+// CIC footprint against the geometry's mesh ownership, partner counts, and
+// the local/non-local communication split under the geometry's neighbour
+// stencil.
+func MeasureIndependent(ge geom.Geometry, l *IndependentLayout, s *particle.Store) Quality {
+	p := l.P
+	partCount := make([]int, p)
+	for _, r := range l.Particles {
+		partCount[r]++
+	}
+	cellCount := make([]int, p)
+	for gid := 0; gid < ge.NumPoints(); gid++ {
+		cellCount[ge.OwnerOfPoint(gid)]++
+	}
+
+	ghost := make([]map[int]bool, p)
+	for r := range ghost {
+		ghost[r] = make(map[int]bool)
+	}
+	var fp geom.Footprint
+	for i := 0; i < s.Len(); i++ {
+		r := l.Particles[i]
+		ge.Footprint(s, i, &fp)
+		for k := 0; k < fp.N; k++ {
+			gid := int(fp.Gid[k])
+			if ge.OwnerOfPoint(gid) != r {
+				ghost[r][gid] = true
+			}
+		}
+	}
+
+	var q Quality
+	q.ParticleImbalance = imbalance(partCount)
+	q.GridImbalance = imbalance(cellCount)
+	nonLocal := 0
+	for r := 0; r < p; r++ {
+		if len(ghost[r]) > q.MaxGhostPoints {
+			q.MaxGhostPoints = len(ghost[r])
+		}
+		q.TotalGhostPoints += len(ghost[r])
+		owners := map[int]bool{}
+		for gid := range ghost[r] {
+			o := ge.OwnerOfPoint(gid)
+			owners[o] = true
+			if !ge.AdjacentRanks(r, o) {
+				nonLocal++
+			}
+		}
+		if len(owners) > q.MaxPartners {
+			q.MaxPartners = len(owners)
+		}
+	}
+	if q.TotalGhostPoints > 0 {
+		q.NonLocalFraction = float64(nonLocal) / float64(q.TotalGhostPoints)
+	}
+	return q
+}

@@ -14,10 +14,10 @@ import (
 	"fmt"
 	"sort"
 
+	"picpar/internal/geom"
 	"picpar/internal/mesh"
 	"picpar/internal/particle"
 	"picpar/internal/pusher"
-	"picpar/internal/radix"
 	"picpar/internal/sfc"
 )
 
@@ -32,8 +32,8 @@ func AssignKeys(s *particle.Store, g mesh.Grid, ix sfc.Indexer) {
 }
 
 // KeyAssignWorkPerParticle is the modelled δ units to index one particle
-// (cell computation plus one table lookup).
-const KeyAssignWorkPerParticle = 4
+// (cell computation plus one table lookup) — the seam-wide constant.
+const KeyAssignWorkPerParticle = geom.KeyAssignWorkPerParticle
 
 // Strategy selects one of the paper's three domain partitioning strategies.
 type Strategy int
@@ -129,27 +129,19 @@ func Build(strategy Strategy, g mesh.Grid, d *mesh.Dist, ix sfc.Indexer, s *part
 			}
 		}
 	case StrategyIndependent:
-		// Cells by BLOCK; particles into equal-count groups by SFC key.
+		// Cells by BLOCK; particles into equal-count groups by SFC key
+		// through the shared dimension-generic dealer.
 		for cy := 0; cy < g.Ny; cy++ {
 			for cx := 0; cx < g.Nx; cx++ {
 				l.cellOwner[cy*g.Nx+cx] = d.OwnerOfPoint(cx, cy)
 			}
 		}
-		// Stable radix by key with idx primed 0..n−1 gives exactly the
-		// (key, original index) order the old sort.Slice comparator
-		// produced, in linear passes.
-		n := s.Len()
-		keys := make([]uint64, n)
-		order := make([]int32, n)
-		for i := 0; i < n; i++ {
+		keys := make([]uint64, s.Len())
+		for i := range keys {
 			cx, cy := g.CellOf(s.X[i], s.Y[i])
 			keys[i] = uint64(ix.Index(cx, cy))
-			order[i] = int32(i)
 		}
-		_, order = radix.SortKeysIndex(keys, order, nil)
-		for pos, i := range order {
-			l.Particles[i] = mesh.BlockOwner(n, d.P, pos)
-		}
+		l.Particles = equalCountOwners(keys, d.P)
 	default:
 		return nil, fmt.Errorf("partition: unknown strategy %v", strategy)
 	}

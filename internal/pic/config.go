@@ -14,6 +14,7 @@ import (
 	"picpar/internal/commopt"
 	"picpar/internal/machine"
 	"picpar/internal/mesh"
+	"picpar/internal/mesh3"
 	"picpar/internal/particle"
 	"picpar/internal/policy"
 	"picpar/internal/sfc"
@@ -21,8 +22,17 @@ import (
 
 // Config describes one simulation run.
 type Config struct {
-	// Grid is the global mesh; zero value means 64×32.
+	// Dims selects the spatial dimensionality: 2 (default) or 3. The whole
+	// pipeline — phases, transport decorators, policies, redistribution —
+	// is dimension-generic over the geometry seam (internal/geom); Dims
+	// only picks which geometry is built.
+	Dims int
+	// Grid is the global 2-D mesh; zero value means 64×32. Used when
+	// Dims == 2.
 	Grid mesh.Grid
+	// Grid3 is the global 3-D mesh; zero value means 16×16×16. Used when
+	// Dims == 3.
+	Grid3 mesh3.Grid
 	// P is the number of ranks (processors).
 	P int
 	// NumParticles is the global particle count n.
@@ -93,8 +103,14 @@ type Config struct {
 
 // withDefaults fills zero fields.
 func (c Config) withDefaults() Config {
-	if c.Grid.Nx == 0 {
+	if c.Dims == 0 {
+		c.Dims = 2
+	}
+	if c.Dims == 2 && c.Grid.Nx == 0 {
 		c.Grid = mesh.NewGrid(64, 32)
+	}
+	if c.Dims == 3 && c.Grid3.Nx == 0 {
+		c.Grid3 = mesh3.NewGrid(16, 16, 16)
 	}
 	if c.P == 0 {
 		c.P = 4
@@ -131,8 +147,30 @@ func (c Config) withDefaults() Config {
 
 // validate rejects configurations the substrates cannot represent.
 func (c Config) validate() error {
-	if err := c.Grid.Validate(); err != nil {
-		return err
+	switch c.Dims {
+	case 2:
+		if err := c.Grid.Validate(); err != nil {
+			return err
+		}
+		if _, err := sfc.New(c.Indexing, c.Grid.Nx, c.Grid.Ny); err != nil {
+			return err
+		}
+	case 3:
+		if err := c.Grid3.Validate(); err != nil {
+			return err
+		}
+		if _, err := sfc.New3(c.Indexing, c.Grid3.Nx, c.Grid3.Ny, c.Grid3.Nz); err != nil {
+			return err
+		}
+		if c.MeshDist1D {
+			return fmt.Errorf("pic: MeshDist1D is a 2-D mesh option (Dims 3 given)")
+		}
+	default:
+		return fmt.Errorf("pic: unsupported dimensionality %d (want 2 or 3)", c.Dims)
+	}
+	if c.CustomParticles != nil && c.CustomParticles.Dims() != c.Dims {
+		return fmt.Errorf("pic: CustomParticles are %d-D but Dims is %d",
+			c.CustomParticles.Dims(), c.Dims)
 	}
 	if c.P <= 0 {
 		return fmt.Errorf("pic: non-positive rank count %d", c.P)
@@ -145,9 +183,6 @@ func (c Config) validate() error {
 	}
 	if c.Dt <= 0 || c.Dt > 0.7 {
 		return fmt.Errorf("pic: dt %g outside the stable range (0, 0.7]", c.Dt)
-	}
-	if _, err := sfc.New(c.Indexing, c.Grid.Nx, c.Grid.Ny); err != nil {
-		return err
 	}
 	if _, err := commopt.NewTable(c.Table, 1, 1); err != nil {
 		return err

@@ -11,9 +11,8 @@ import (
 
 	"picpar/internal/comm"
 	"picpar/internal/engine"
+	"picpar/internal/geom"
 	"picpar/internal/machine"
-	"picpar/internal/particle"
-	"picpar/internal/partition"
 	"picpar/internal/pusher"
 	"picpar/internal/wire"
 )
@@ -153,18 +152,11 @@ func (h verifyHook) After(p engine.Phase, iter int) {
 // no particles were lost.
 func (st *rankState) verifyInvariants(iter int) {
 	r := st.r
-	l := st.fields
 	// The check's barriers are bookkeeping, not ghost traffic.
 	prev := r.Stats().CurrentPhase()
 	r.SetPhase(machine.PhaseCommSetup)
 	defer r.SetPhase(prev)
-	rho := 0.0
-	for j := 0; j < l.Ny; j++ {
-		for i := 0; i < l.Nx; i++ {
-			rho += l.Rho[l.Idx(i, j)]
-		}
-	}
-	totalRho := comm.ExposeSumFloat64(r, rho)
+	totalRho := comm.ExposeSumFloat64(r, st.fields.SumRho())
 	want := float64(st.cfg.NumParticles) * st.cfg.MacroCharge
 	tol := 1e-9 * (1 + absF(want))
 	if absF(totalRho-want) > tol {
@@ -187,8 +179,8 @@ func absF(x float64) float64 {
 // assignKeys refreshes every particle's SFC key and charges the indexing
 // cost.
 func (st *rankState) assignKeys() {
-	partition.AssignKeys(st.store, st.cfg.Grid, st.indexer)
-	st.r.Compute(st.store.Len() * partition.KeyAssignWorkPerParticle)
+	st.ge.AssignKeys(st.store)
+	st.r.Compute(st.store.Len() * geom.KeyAssignWorkPerParticle)
 }
 
 // redistribute runs Hilbert_Base_Indexing + Bucket_Incremental_Sorting +
@@ -205,7 +197,6 @@ func (st *rankState) redistribute() {
 // as redistribution.
 func (st *rankState) migrate() {
 	r := st.r
-	g := st.cfg.Grid
 	s := st.store
 
 	if st.migrateIdx == nil {
@@ -219,14 +210,13 @@ func (st *rankState) migrate() {
 	// recycles the arrays freed by the previous one.
 	kept := st.spare
 	if kept == nil {
-		kept = particle.NewStore(s.Len(), s.Charge, s.Mass)
+		kept = s.NewLike(s.Len())
 	} else {
 		kept.Truncate(0)
 		kept.Charge, kept.Mass = s.Charge, s.Mass
 	}
 	for i := 0; i < s.Len(); i++ {
-		cx, cy := g.CellOf(s.X[i], s.Y[i])
-		owner := st.dist.OwnerOfPoint(cx, cy)
+		owner := st.ge.OwnerOfParticle(s, i)
 		if owner == r.Rank() {
 			kept.AppendFrom(s, i)
 		} else {
@@ -235,10 +225,11 @@ func (st *rankState) migrate() {
 	}
 	r.Compute(s.Len() * 2)
 
+	wf := s.WireFloats()
 	send, counts := st.exchangeScratch()
 	for d := 0; d < r.Size(); d++ {
 		if len(sendIdx[d]) > 0 {
-			send[d] = s.MarshalIndices(wire.Get(len(sendIdx[d])*particle.WireFloats), sendIdx[d])
+			send[d] = s.MarshalIndices(wire.Get(len(sendIdx[d])*wf), sendIdx[d])
 			counts[d] = len(send[d])
 			r.Compute(len(sendIdx[d]) * 7)
 		}
@@ -272,47 +263,39 @@ func (st *rankState) exchangeScratch() ([][]float64, []int) {
 	return st.sendBufs, st.sendCounts
 }
 
-// scatterPhase deposits every particle's current and charge onto the four
-// vertex grid points of its cell, accumulating off-processor contributions
-// in the duplicate-removal table and shipping one coalesced message per
-// destination owner.
+// scatterPhase deposits every particle's current and charge onto the
+// vertex grid points of its cell (four in 2-D, eight in 3-D), accumulating
+// off-processor contributions in the duplicate-removal table and shipping
+// one coalesced message per destination owner.
 func (st *rankState) scatterPhase() {
 	r := st.r
 	r.SetPhase(machine.PhaseScatter)
-	l := st.fields
-	g := st.cfg.Grid
+	fa := st.farr
 	s := st.store
 
-	l.ZeroSources()
+	st.fields.ZeroSources()
 	st.table.Reset()
 	st.ghostVals = st.ghostVals[:0]
 
+	nv := st.ge.NumVertices()
 	tableCost := st.table.CostPerOp()
 	offprocOps := 0
+	fp := &st.fp
 	for i := 0; i < s.Len(); i++ {
-		w := pusher.Weights(g, s.X[i], s.Y[i])
+		st.ge.Footprint(s, i, fp)
 		gamma := s.Gamma(i)
 		vx, vy, vz := s.Px[i]/gamma, s.Py[i]/gamma, s.Pz[i]/gamma
 		q := s.Charge
-		for k, off := range pusher.VertexOffsets {
-			wq := w.W[k] * q
-			gi := w.CX + off[0]
-			gj := w.CY + off[1]
-			if gi >= g.Nx {
-				gi = 0
-			}
-			if gj >= g.Ny {
-				gj = 0
-			}
-			if l.Contains(gi, gj) {
-				c := l.Idx(gi-l.I0, gj-l.J0)
-				l.Jx[c] += wq * vx
-				l.Jy[c] += wq * vy
-				l.Jz[c] += wq * vz
-				l.Rho[c] += wq
+		for k := 0; k < fp.N; k++ {
+			wq := fp.W[k] * q
+			gid := int(fp.Gid[k])
+			if c := st.fields.Slot(gid); c >= 0 {
+				fa.Jx[c] += wq * vx
+				fa.Jy[c] += wq * vy
+				fa.Jz[c] += wq * vz
+				fa.Rho[c] += wq
 				continue
 			}
-			gid := gj*g.Nx + gi
 			slot := st.table.Slot(gid)
 			if 4*slot == len(st.ghostVals) {
 				st.ghostVals = append(st.ghostVals, 0, 0, 0, 0)
@@ -324,13 +307,10 @@ func (st *rankState) scatterPhase() {
 			offprocOps++
 		}
 	}
-	r.Compute(s.Len()*4*pusher.ScatterWorkPerVertex + offprocOps*tableCost)
+	r.Compute(s.Len()*nv*pusher.ScatterWorkPerVertex + offprocOps*tableCost)
 
 	// Communication coalescing: one message per destination owner.
-	st.registry.Build(st.table, r.Rank(), r.Size(), func(gid int) int {
-		ci, cj := g.PointCoords(gid)
-		return st.dist.OwnerOfPoint(ci, cj)
-	})
+	st.registry.Build(st.table, r.Rank(), r.Size(), st.ge.OwnerOfPoint)
 	send, counts := st.exchangeScratch()
 	for k, dst := range st.registry.Dest {
 		buf := wire.Get(len(st.registry.Gids[k]) * scatterWireFloats)
@@ -363,13 +343,11 @@ func (st *rankState) scatterPhase() {
 		}
 		gids := st.recvGids[src]
 		for o := 0; o < len(buf); o += scatterWireFloats {
-			gid := int(buf[o])
-			ci, cj := g.PointCoords(gid)
-			c := l.Idx(ci-l.I0, cj-l.J0)
-			l.Jx[c] += buf[o+1]
-			l.Jy[c] += buf[o+2]
-			l.Jz[c] += buf[o+3]
-			l.Rho[c] += buf[o+4]
+			c := st.fields.Slot(int(buf[o]))
+			fa.Jx[c] += buf[o+1]
+			fa.Jy[c] += buf[o+2]
+			fa.Jz[c] += buf[o+3]
+			fa.Rho[c] += buf[o+4]
 			gids = append(gids, buf[o])
 		}
 		st.recvGids[src] = gids
@@ -381,17 +359,16 @@ func (st *rankState) scatterPhase() {
 // fieldSolvePhase advances Maxwell's equations one leapfrog step.
 func (st *rankState) fieldSolvePhase() {
 	st.r.SetPhase(machine.PhaseFieldSolve)
-	st.fields.Solve(st.r, st.dist, st.cfg.Dt)
+	st.fields.Solve(st.r, st.cfg.Dt)
 }
 
 // gatherAndPushPhase is the inverse of scatter: mesh owners return E and B
 // at exactly the ghost points each rank contributed to, then every particle
-// gathers its fields from the four vertices and is pushed.
+// gathers its fields from its cell's vertices and is pushed.
 func (st *rankState) gatherAndPushPhase() {
 	r := st.r
 	r.SetPhase(machine.PhaseGather)
-	l := st.fields
-	g := st.cfg.Grid
+	fa := st.farr
 	s := st.store
 
 	// Reply to every rank that deposited here.
@@ -402,9 +379,8 @@ func (st *rankState) gatherAndPushPhase() {
 		}
 		buf := wire.Get(len(gids) * gatherWireFloats)
 		for _, fgid := range gids {
-			ci, cj := g.PointCoords(int(fgid))
-			c := l.Idx(ci-l.I0, cj-l.J0)
-			buf = append(buf, l.Ex[c], l.Ey[c], l.Ez[c], l.Bx[c], l.By[c], l.Bz[c])
+			c := st.fields.Slot(int(fgid))
+			buf = append(buf, fa.Ex[c], fa.Ey[c], fa.Ez[c], fa.Bx[c], fa.By[c], fa.Bz[c])
 		}
 		r.Compute(len(gids) * 2)
 		comm.SendFloat64s(r, src, tagGatherReply, buf)
@@ -424,33 +400,27 @@ func (st *rankState) gatherAndPushPhase() {
 	}
 
 	// Interpolate fields at particles and push.
+	nv := st.ge.NumVertices()
 	dt := st.cfg.Dt
+	fp := &st.fp
 	for i := 0; i < s.Len(); i++ {
-		w := pusher.Weights(g, s.X[i], s.Y[i])
+		st.ge.Footprint(s, i, fp)
 		var ex, ey, ez, bx, by, bz float64
-		for k, off := range pusher.VertexOffsets {
-			gi := w.CX + off[0]
-			gj := w.CY + off[1]
-			if gi >= g.Nx {
-				gi = 0
-			}
-			if gj >= g.Ny {
-				gj = 0
-			}
-			wk := w.W[k]
-			if l.Contains(gi, gj) {
-				c := l.Idx(gi-l.I0, gj-l.J0)
-				ex += wk * l.Ex[c]
-				ey += wk * l.Ey[c]
-				ez += wk * l.Ez[c]
-				bx += wk * l.Bx[c]
-				by += wk * l.By[c]
-				bz += wk * l.Bz[c]
+		for k := 0; k < fp.N; k++ {
+			gid := int(fp.Gid[k])
+			wk := fp.W[k]
+			if c := st.fields.Slot(gid); c >= 0 {
+				ex += wk * fa.Ex[c]
+				ey += wk * fa.Ey[c]
+				ez += wk * fa.Ez[c]
+				bx += wk * fa.Bx[c]
+				by += wk * fa.By[c]
+				bz += wk * fa.Bz[c]
 				continue
 			}
-			slot := st.table.Lookup(gj*g.Nx + gi)
+			slot := st.table.Lookup(gid)
 			if slot < 0 {
-				panic(fmt.Sprintf("pic: rank %d gather miss at point (%d,%d)", r.Rank(), gi, gj))
+				panic(fmt.Sprintf("pic: rank %d gather miss at point %d", r.Rank(), gid))
 			}
 			o := gatherWireFloats * slot
 			ex += wk * st.ghostEB[o]
@@ -462,13 +432,13 @@ func (st *rankState) gatherAndPushPhase() {
 		}
 		pusher.BorisPush(s, i, ex, ey, ez, bx, by, bz, dt)
 	}
-	r.Compute(s.Len() * 4 * pusher.GatherWorkPerVertex)
+	r.Compute(s.Len() * nv * pusher.GatherWorkPerVertex)
 
 	// Push phase: move particles (no interprocessor communication — the
 	// direct Lagrangian property).
 	r.SetPhase(machine.PhasePush)
 	for i := 0; i < s.Len(); i++ {
-		pusher.Move(s, i, g, dt)
+		st.ge.Move(s, i, dt)
 	}
 	r.Compute(s.Len() * pusher.PushWorkPerParticle)
 }

@@ -11,9 +11,10 @@ import (
 	"picpar/internal/comm"
 	"picpar/internal/commopt"
 	"picpar/internal/engine"
-	"picpar/internal/field"
+	"picpar/internal/geom"
 	"picpar/internal/machine"
 	"picpar/internal/mesh"
+	"picpar/internal/mesh3"
 	"picpar/internal/particle"
 	"picpar/internal/policy"
 	"picpar/internal/psort"
@@ -45,19 +46,7 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	var dist *mesh.Dist
-	var err error
-	if cfg.MeshDist1D {
-		dist, err = mesh.NewDist1D(cfg.Grid, cfg.P)
-	} else {
-		// Number the mesh blocks along the same curve that orders the
-		// particles, aligning particle chunk r with mesh block r.
-		dist, err = mesh.NewDistOrdered(cfg.Grid, cfg.P, cfg.Indexing)
-	}
-	if err != nil {
-		return nil, err
-	}
-	indexer, err := sfc.New(cfg.Indexing, cfg.Grid.Nx, cfg.Grid.Ny)
+	ge, err := newGeometry(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +58,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	defer w.Close()
 	ws := w.RunWrapped(cfg.Transport, func(r comm.Transport) {
-		runRank(r, cfg, dist, indexer, res)
+		runRank(r, cfg, ge, res)
 	})
 	res.Stats = ws
 	res.ComputeSum = ws.TotalCompute()
@@ -91,16 +80,49 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// newGeometry builds the run's Geometry: the BLOCK mesh distribution with
+// its tiles numbered along the same curve that orders the particles
+// (aligning particle chunk r with mesh block r), plus the matching cell
+// indexer — in the configured dimensionality.
+func newGeometry(cfg Config) (geom.Geometry, error) {
+	if cfg.Dims == 3 {
+		dist, err := mesh3.NewDistOrdered(cfg.Grid3, cfg.P, cfg.Indexing)
+		if err != nil {
+			return nil, err
+		}
+		indexer, err := sfc.New3(cfg.Indexing, cfg.Grid3.Nx, cfg.Grid3.Ny, cfg.Grid3.Nz)
+		if err != nil {
+			return nil, err
+		}
+		return geom.New3(cfg.Grid3, dist, indexer), nil
+	}
+	var dist *mesh.Dist
+	var err error
+	if cfg.MeshDist1D {
+		dist, err = mesh.NewDist1D(cfg.Grid, cfg.P)
+	} else {
+		dist, err = mesh.NewDistOrdered(cfg.Grid, cfg.P, cfg.Indexing)
+	}
+	if err != nil {
+		return nil, err
+	}
+	indexer, err := sfc.New(cfg.Indexing, cfg.Grid.Nx, cfg.Grid.Ny)
+	if err != nil {
+		return nil, err
+	}
+	return geom.New2(cfg.Grid, dist, indexer), nil
+}
+
 // rankState bundles one rank's simulation state, shared by the Phase
 // implementations in phases.go.
 type rankState struct {
-	r       comm.Transport
-	cfg     Config
-	dist    *mesh.Dist
-	indexer sfc.Indexer
+	r   comm.Transport
+	cfg Config
+	ge  geom.Geometry
 
 	store  *particle.Store
-	fields *field.Local
+	fields geom.Fields
+	farr   *geom.Arrays
 	inc    *psort.Incremental
 	pol    policy.Policy
 
@@ -114,7 +136,10 @@ type rankState struct {
 	rec *IterationRecord
 
 	// Ghost bookkeeping, rebuilt (in place, allocation-free once warm)
-	// every iteration.
+	// every iteration. fp is the footprint scratch the per-particle loops
+	// fill through the geometry interface (a local would escape to the
+	// heap at every phase call).
+	fp        geom.Footprint
 	table     commopt.DupTable
 	ghostVals []float64 // 4 source values per ghost slot (Jx, Jy, Jz, Rho)
 	ghostEB   []float64 // 6 field values per ghost slot, filled in gather
@@ -132,17 +157,17 @@ type rankState struct {
 	spare      *particle.Store
 }
 
-func runRank(r comm.Transport, cfg Config, dist *mesh.Dist, indexer sfc.Indexer, res *Result) {
+func runRank(r comm.Transport, cfg Config, ge geom.Geometry, res *Result) {
 	st := &rankState{
-		r:       r,
-		cfg:     cfg,
-		dist:    dist,
-		indexer: indexer,
-		fields:  field.NewLocal(dist, r.Rank()),
-		inc:     psort.NewIncremental(cfg.Buckets),
-		pol:     cfg.Policy(),
+		r:      r,
+		cfg:    cfg,
+		ge:     ge,
+		fields: ge.NewFields(r.Rank()),
+		inc:    psort.NewIncremental(cfg.Buckets),
+		pol:    cfg.Policy(),
 	}
-	tab, err := commopt.NewTable(cfg.Table, cfg.Grid.NumPoints(), 4*cfg.NumParticles/cfg.P+16)
+	st.farr = st.fields.Arrays()
+	tab, err := commopt.NewTable(cfg.Table, ge.NumPoints(), ge.NumVertices()*cfg.NumParticles/cfg.P+16)
 	if err != nil {
 		panic(err)
 	}
@@ -240,37 +265,39 @@ func (st *rankState) initialDistribution() {
 			global = cfg.CustomParticles.Clone()
 		} else {
 			var err error
-			global, err = particle.Generate(particle.Config{
+			global, err = st.ge.Generate(geom.GenConfig{
 				N:            cfg.NumParticles,
-				Lx:           cfg.Grid.Lx,
-				Ly:           cfg.Grid.Ly,
 				Distribution: cfg.Distribution,
 				Seed:         cfg.Seed,
 				Thermal:      cfg.Thermal,
 				Drift:        cfg.Drift,
 				Charge:       cfg.MacroCharge,
-				Mass:         1,
 			})
 			if err != nil {
 				panic(fmt.Sprintf("pic: generate: %v", err))
 			}
 		}
+		wf := global.WireFloats()
 		for dst := r.Size() - 1; dst >= 0; dst-- {
 			lo, hi := mesh.BlockRange(global.Len(), r.Size(), dst)
 			if dst == 0 {
-				local := particle.NewStore(hi-lo, global.Charge, global.Mass)
+				local := global.NewLike(hi - lo)
 				for i := lo; i < hi; i++ {
 					local.AppendFrom(global, i)
 				}
 				st.store = local
 				continue
 			}
-			chunk := global.MarshalRange(wire.Get((hi-lo)*particle.WireFloats), lo, hi)
+			chunk := global.MarshalRange(wire.Get((hi-lo)*wf), lo, hi)
 			comm.SendFloat64s(r, dst, tagInitChunk, chunk)
 		}
 	} else {
 		chunk := comm.RecvFloat64s(r, 0, tagInitChunk)
-		st.store = particle.NewStore(len(chunk)/particle.WireFloats, cfg.MacroCharge, 1)
+		wf := particle.WireFloats
+		if st.ge.Dims() == 3 {
+			wf++
+		}
+		st.store = st.ge.NewStore(len(chunk)/wf, cfg.MacroCharge, 1)
 		if err := st.store.AppendWire(chunk); err != nil {
 			panic(err)
 		}

@@ -1,0 +1,182 @@
+package pic
+
+import (
+	"testing"
+
+	"picpar/internal/comm"
+	"picpar/internal/commtest"
+	"picpar/internal/mesh3"
+	"picpar/internal/particle"
+	"picpar/internal/policy"
+)
+
+// base3 is the 3-D counterpart of base(): the same pipeline selected onto
+// a 3-D geometry by Config.Dims.
+func base3() Config {
+	return Config{
+		Dims:         3,
+		Grid3:        mesh3.NewGrid(16, 16, 16),
+		P:            8,
+		NumParticles: 2048,
+		Distribution: particle.DistIrregular,
+		Seed:         7,
+		Iterations:   10,
+		Verify:       true,
+		Watchdog:     commtest.Watchdog(),
+	}
+}
+
+func TestRun3DBasic(t *testing.T) {
+	res, err := Run(base3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 10 {
+		t.Fatalf("records %d, want 10", len(res.Records))
+	}
+	if res.FinalParticleCount != 2048 {
+		t.Fatalf("particles not conserved: %d, want 2048", res.FinalParticleCount)
+	}
+	if res.TotalTime <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+}
+
+// TestGolden3DDeterminism pins the exact simulated total of the 3-D
+// reference run, exactly as TestGoldenDeterminism does for 2-D: the
+// dimension-generic pipeline is fully deterministic, so any drift means
+// the cost model, the protocol, or the physics changed.
+func TestGolden3DDeterminism(t *testing.T) {
+	res, err := Run(base3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Run(base3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime != again.TotalTime {
+		t.Fatalf("3-D run not reproducible: %.12g vs %.12g", res.TotalTime, again.TotalTime)
+	}
+	got := res.TotalTime
+	// Reference recorded when the 3-D pipeline first ran end-to-end.
+	const recorded = 1.5221545
+	if diff := got - recorded; diff > 1e-7 || diff < -1e-7 {
+		t.Errorf("3-D reference run total changed: got %.12g, recorded %.12g", got, recorded)
+	}
+}
+
+// TestRun3DDynamicRedistributes: the Stop-At-Rise policy observes the 3-D
+// run's measured iteration times and triggers incremental redistributions
+// through the same degradable phase as 2-D — with conservation intact.
+func TestRun3DDynamicRedistributes(t *testing.T) {
+	cfg := base3()
+	cfg.Iterations = 30
+	cfg.Policy = policy.NewDynamic()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRedistributions == 0 {
+		t.Fatal("SAR policy never fired over 30 drifting 3-D iterations")
+	}
+	if res.FinalParticleCount != cfg.NumParticles {
+		t.Fatalf("particles lost across 3-D redistribution: %d, want %d",
+			res.FinalParticleCount, cfg.NumParticles)
+	}
+	redistIters := 0
+	for _, rec := range res.Records {
+		if rec.Redistributed {
+			redistIters++
+			if rec.RedistTime <= 0 {
+				t.Errorf("iter %d redistributed in zero time", rec.Iter)
+			}
+		}
+	}
+	if redistIters != res.NumRedistributions {
+		t.Errorf("record marks %d redistributions, result says %d", redistIters, res.NumRedistributions)
+	}
+}
+
+// chaosBase3 mirrors chaosBase in three dimensions: a Periodic policy so
+// the redistribution schedule is clock-independent and physics must be
+// byte-identical under recovered perturbation.
+func chaosBase3() Config {
+	cfg := base3()
+	cfg.Policy = policy.NewPeriodic(3)
+	return cfg
+}
+
+// TestChaos3DByteIdenticalUnderReliable: the full 3-D simulation, perturbed
+// by every seeded plan but recovered by Reliable underneath a Tracer (the
+// production decorator stack Tracer∘Reliable∘Faulty), reproduces the
+// fault-free physics exactly — the graceful-degradation machinery composes
+// over the geometry seam unchanged.
+func TestChaos3DByteIdenticalUnderReliable(t *testing.T) {
+	cfg := chaosBase3()
+	cfg.Diagnostics = true
+	cfg.DiagEvery = 1
+	clean, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(clean)
+
+	for pi, plan := range e2ePlans {
+		faulty := comm.NewFaulty(plan)
+		rel := comm.NewReliable(comm.ReliableConfig{})
+		tracer := comm.NewTracer()
+		perturbed := cfg
+		perturbed.Transport = func(tr comm.Transport) comm.Transport {
+			return tracer.Wrap(rel.Wrap(faulty.Wrap(tr)))
+		}
+		res, err := Run(perturbed)
+		if err != nil {
+			t.Fatalf("plan %d: %v", pi, err)
+		}
+		got := fingerprint(res)
+		if !equalFingerprints(got, want) {
+			t.Errorf("plan %d: 3-D physics diverged under recovered faults\n got %+v\nwant %+v",
+				pi, got, want)
+		}
+		if res.FailedRedistributions != 0 {
+			t.Errorf("plan %d: %d redistributions failed under a recoverable plan",
+				pi, res.FailedRedistributions)
+		}
+		c := faulty.Counts()
+		if c.Drops+c.Dups+c.Reorders+c.Delays == 0 {
+			t.Errorf("plan %d injected no faults — soak exercised nothing", pi)
+		}
+		if res.TotalTime <= clean.TotalTime {
+			t.Errorf("plan %d: perturbed run not slower than clean (%.9g <= %.9g)",
+				pi, res.TotalTime, clean.TotalTime)
+		}
+	}
+}
+
+// TestChaos3DDegradesGracefully: unrecoverable redistribution exchanges in
+// 3-D are rolled back exactly like 2-D — the run completes on the previous
+// alignment with conservation and the invariant checks intact.
+func TestChaos3DDegradesGracefully(t *testing.T) {
+	cfg := chaosBase3()
+	cfg.Verify = true
+	faulty := comm.NewFaulty(redistKillPlan())
+	rel := comm.NewReliable(comm.ReliableConfig{MaxRetries: 2})
+	cfg.Transport = func(tr comm.Transport) comm.Transport {
+		return rel.Wrap(faulty.Wrap(tr))
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedRedistributions == 0 {
+		t.Fatal("no redistribution failed under a redistribution-killing plan")
+	}
+	if res.NumRedistributions != 0 {
+		t.Errorf("%d redistributions succeeded despite certain exchange failure", res.NumRedistributions)
+	}
+	if res.FinalParticleCount != cfg.NumParticles {
+		t.Errorf("particles lost across failed 3-D redistributions: %d, want %d",
+			res.FinalParticleCount, cfg.NumParticles)
+	}
+}

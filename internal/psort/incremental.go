@@ -136,13 +136,14 @@ func (inc *Incremental) Redistribute(r comm.Transport, s *particle.Store) (*part
 	recv := comm.AllToMany(r, send, recvCounts, comm.Float64Bytes)
 
 	// Line 21: collect and sort the received particles.
+	wf := s.WireFloats()
 	recvStore := resetStore(&inc.recvS, 0, s)
 	for src := 0; src < p; src++ {
 		if src != r.Rank() && len(recv[src]) > 0 {
 			if err := recvStore.AppendWire(recv[src]); err != nil {
 				panic(err)
 			}
-			r.Compute(len(recv[src]) / particle.WireFloats * packWorkPerParticle)
+			r.Compute(len(recv[src]) / wf * packWorkPerParticle)
 			wire.Put(recv[src])
 		}
 	}
@@ -231,6 +232,7 @@ func (inc *Incremental) classify(r comm.Transport, s *particle.Store, globalUppe
 // nothing.
 func (inc *Incremental) pack(r comm.Transport, s *particle.Store) ([][]float64, []int) {
 	p := r.Size()
+	wf := s.WireFloats()
 	if cap(inc.send) < p {
 		inc.send = make([][]float64, p)
 		inc.counts = make([]int, p)
@@ -241,7 +243,7 @@ func (inc *Incremental) pack(r comm.Transport, s *particle.Store) ([][]float64, 
 		inc.send[d] = nil
 		inc.counts[d] = 0
 		if len(inc.sendIdx[d]) > 0 {
-			inc.send[d] = s.MarshalIndices(wire.Get(len(inc.sendIdx[d])*particle.WireFloats), inc.sendIdx[d])
+			inc.send[d] = s.MarshalIndices(wire.Get(len(inc.sendIdx[d])*wf), inc.sendIdx[d])
 			inc.counts[d] = len(inc.send[d])
 			r.Compute(len(inc.sendIdx[d]) * packWorkPerParticle)
 		}
@@ -253,7 +255,7 @@ func (inc *Incremental) pack(r comm.Transport, s *particle.Store) ([][]float64, 
 // capacity hint and the species constants of ref.
 func resetStore(slot **particle.Store, capHint int, ref *particle.Store) *particle.Store {
 	if *slot == nil {
-		*slot = particle.NewStore(capHint, ref.Charge, ref.Mass)
+		*slot = ref.NewLike(capHint)
 		return *slot
 	}
 	s := *slot
@@ -266,10 +268,10 @@ func resetStore(slot **particle.Store, capHint int, ref *particle.Store) *partic
 // the store handed to the caller last time survives this call.
 func (inc *Incremental) outSlot(s *particle.Store) *particle.Store {
 	if inc.outA == nil {
-		inc.outA = particle.NewStore(0, s.Charge, s.Mass)
+		inc.outA = s.NewLike(0)
 	}
 	if inc.outB == nil {
-		inc.outB = particle.NewStore(0, s.Charge, s.Mass)
+		inc.outB = s.NewLike(0)
 	}
 	if s == inc.outA {
 		return inc.outB
@@ -314,7 +316,7 @@ func searchOwner(globalUpper []float64, key float64) int {
 
 // mergeSorted merges two locally sorted stores into a new sorted store.
 func mergeSorted(r comm.Transport, a, b *particle.Store) *particle.Store {
-	return mergeSortedInto(r, a, b, particle.NewStore(a.Len()+b.Len(), a.Charge, a.Mass))
+	return mergeSortedInto(r, a, b, a.NewLike(a.Len()+b.Len()))
 }
 
 // mergeSortedInto merges a and b (each locally sorted) into out, which must

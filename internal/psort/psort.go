@@ -119,12 +119,13 @@ func SampleSort(r comm.Transport, s *particle.Store) *particle.Store {
 	}
 	r.Compute((p - 1) * ilog2(n+1) * compareWork)
 
+	wf := s.WireFloats()
 	send := make([][]float64, p)
 	counts := make([]int, p)
 	for d := 0; d < p; d++ {
 		lo, hi := cuts[d], cuts[d+1]
 		if hi > lo {
-			send[d] = s.MarshalRange(wire.Get((hi-lo)*particle.WireFloats), lo, hi)
+			send[d] = s.MarshalRange(wire.Get((hi-lo)*wf), lo, hi)
 			counts[d] = len(send[d])
 			r.Compute((hi - lo) * packWorkPerParticle)
 		}
@@ -132,13 +133,13 @@ func SampleSort(r comm.Transport, s *particle.Store) *particle.Store {
 	recvCounts := comm.ExchangeCounts(r, counts)
 	recv := comm.AllToMany(r, send, recvCounts, comm.Float64Bytes)
 
-	out := particle.NewStore(n, s.Charge, s.Mass)
+	out := s.NewLike(n)
 	for src := 0; src < p; src++ {
 		if len(recv[src]) > 0 {
 			if err := out.AppendWire(recv[src]); err != nil {
 				panic(err)
 			}
-			r.Compute(len(recv[src]) / particle.WireFloats * packWorkPerParticle)
+			r.Compute(len(recv[src]) / wf * packWorkPerParticle)
 			wire.Put(recv[src])
 		}
 	}
@@ -198,6 +199,7 @@ func loadBalanceInto(r comm.Transport, s, reuse *particle.Store) *particle.Store
 	}
 	offset := comm.ScanSumInt(r, n)
 
+	wf := s.WireFloats()
 	sc := lbPool.Get().(*lbScratch)
 	sc.grow(p)
 	send, counts := sc.send, sc.counts
@@ -212,7 +214,7 @@ func loadBalanceInto(r comm.Transport, s, reuse *particle.Store) *particle.Store
 			runEnd = n
 		}
 		if d != r.Rank() {
-			send[d] = s.MarshalRange(wire.Get((runEnd-i)*particle.WireFloats), i, runEnd)
+			send[d] = s.MarshalRange(wire.Get((runEnd-i)*wf), i, runEnd)
 			counts[d] = len(send[d])
 			r.Compute((runEnd - i) * packWorkPerParticle)
 		}
@@ -227,7 +229,7 @@ func loadBalanceInto(r comm.Transport, s, reuse *particle.Store) *particle.Store
 	myLo, myHi := mesh.BlockRange(total, p, r.Rank())
 	out := reuse
 	if out == nil {
-		out = particle.NewStore(myHi-myLo, s.Charge, s.Mass)
+		out = s.NewLike(myHi - myLo)
 	} else {
 		out.Truncate(0)
 		out.Charge, out.Mass = s.Charge, s.Mass
@@ -239,7 +241,7 @@ func loadBalanceInto(r comm.Transport, s, reuse *particle.Store) *particle.Store
 		if err := out.AppendWire(w); err != nil {
 			panic(err)
 		}
-		r.Compute(len(w) / particle.WireFloats * packWorkPerParticle)
+		r.Compute(len(w) / wf * packWorkPerParticle)
 		wire.Put(w)
 	}
 	for src := 0; src < p; src++ {

@@ -1,0 +1,64 @@
+// The three-dimensional counterparts of the per-particle kernels: trilinear
+// (cloud-in-cell) weights over the eight vertices of a 3-D cell and the
+// position update. The Boris momentum push is already dimension-independent
+// (particles carry full 3-momenta in 2d3v), so BorisPush is shared.
+
+package pusher
+
+import (
+	"picpar/internal/mesh3"
+	"picpar/internal/particle"
+)
+
+// VertexOffsets3 enumerates the eight vertices of a 3-D cell relative to
+// its lower corner grid point, in the order weights are produced
+// (x fastest, then y, then z).
+var VertexOffsets3 = [8][3]int{
+	{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0},
+	{0, 0, 1}, {1, 0, 1}, {0, 1, 1}, {1, 1, 1},
+}
+
+// Interp3 holds the interpolation footprint of one 3-D particle: its cell
+// and the trilinear weights of the cell's eight vertices.
+type Interp3 struct {
+	CX, CY, CZ int
+	W          [8]float64
+}
+
+// Weights3 computes the CIC interpolation of position (x, y, z) on grid g.
+// The weights are non-negative and sum to 1.
+func Weights3(g mesh3.Grid, x, y, z float64) Interp3 {
+	cx, cy, cz := g.CellOf(x, y, z)
+	fx := x/g.Dx() - float64(cx)
+	fy := y/g.Dy() - float64(cy)
+	fz := z/g.Dz() - float64(cz)
+	fx = clamp01(fx)
+	fy = clamp01(fy)
+	fz = clamp01(fz)
+	wx0, wy0, wz0 := 1-fx, 1-fy, 1-fz
+	return Interp3{
+		CX: cx,
+		CY: cy,
+		CZ: cz,
+		W: [8]float64{
+			wx0 * wy0 * wz0,
+			fx * wy0 * wz0,
+			wx0 * fy * wz0,
+			fx * fy * wz0,
+			wx0 * wy0 * fz,
+			fx * wy0 * fz,
+			wx0 * fy * fz,
+			fx * fy * fz,
+		},
+	}
+}
+
+// Move3 advances the position of particle i of s by dt using its current
+// momentum, wrapping periodically on grid g.
+func Move3(s *particle.Store, i int, g mesh3.Grid, dt float64) {
+	gamma := s.Gamma(i)
+	x := s.X[i] + s.Px[i]/gamma*dt
+	y := s.Y[i] + s.Py[i]/gamma*dt
+	z := s.Z[i] + s.Pz[i]/gamma*dt
+	s.X[i], s.Y[i], s.Z[i] = g.WrapPosition(x, y, z)
+}

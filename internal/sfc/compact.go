@@ -1,0 +1,57 @@
+package sfc
+
+// Dimension-independent index-construction machinery shared by the 2-D and
+// 3-D curve indexers. Two pieces recur in every scheme:
+//
+//   - table compaction: Hilbert and Morton curves are defined on enclosing
+//     power-of-two boxes; embedding a general W×H(×D) grid means walking the
+//     box curve in rank order and assigning consecutive compact indices to
+//     the cells that fall inside the grid, and
+//   - the boustrophedon row formula: snake ordering in any dimension is
+//     "row-major over rows, with x reversed on odd rows" once the rows are
+//     themselves linearised (y in 2-D; the z-alternating z·H+y strip in 3-D).
+//
+// Keeping one implementation of each here means the 2-D and 3-D indexers
+// cannot drift apart; the property tests cross-check them against the
+// closed-form definitions.
+
+// buildCompactTables walks `total` curve ranks of an enclosing power-of-two
+// box. cellAt maps a curve rank to the row-major cell number of the cell at
+// that rank, or ok=false when the rank falls outside the target grid. Cells
+// are assigned consecutive compact indices in rank order; the returned
+// tables are mutually inverse bijections over 0..numCells−1.
+func buildCompactTables(numCells int, total uint64, cellAt func(rank uint64) (cell int32, ok bool)) (cellToIdx, idxToCell []int32) {
+	cellToIdx = make([]int32, numCells)
+	idxToCell = make([]int32, numCells)
+	next := int32(0)
+	for rank := uint64(0); rank < total; rank++ {
+		cell, ok := cellAt(rank)
+		if !ok {
+			continue
+		}
+		cellToIdx[cell] = next
+		idxToCell[next] = cell
+		next++
+	}
+	return cellToIdx, idxToCell
+}
+
+// snakeRowIndex is the shared boustrophedon formula: cells are ordered row
+// by row (rows of width w, already linearised by the caller), with the x
+// direction reversed on odd rows so consecutive indices stay adjacent.
+func snakeRowIndex(w, row, x int) int {
+	if row%2 == 1 {
+		x = w - 1 - x
+	}
+	return row*w + x
+}
+
+// snakeRowCoords inverts snakeRowIndex.
+func snakeRowCoords(w, idx int) (row, x int) {
+	row = idx / w
+	x = idx % w
+	if row%2 == 1 {
+		x = w - 1 - x
+	}
+	return row, x
+}

@@ -79,34 +79,26 @@ func NewMorton(w, h int) (*Morton, error) {
 }
 
 // newCompacted walks the enclosing square's curve in rank order and assigns
-// consecutive compact indices to the cells inside the rectangle.
+// consecutive compact indices to the cells inside the rectangle, via the
+// shared buildCompactTables walker. The 2-D Hilbert curve itself stays the
+// classic quadrant-rotation formulation (HilbertD2XY) — only the table
+// compaction is shared with 3-D.
 func newCompacted(w, h int, hilbert bool) *Hilbert {
-	side := 1
-	for side < w || side < h {
-		side <<= 1
-	}
-	hx := &Hilbert{
-		w:         w,
-		h:         h,
-		cellToIdx: make([]int32, w*h),
-		idxToCell: make([]int32, w*h),
-	}
-	next := int32(0)
-	for d := 0; d < side*side; d++ {
-		var x, y int
-		if hilbert {
-			x, y = HilbertD2XY(side, d)
-		} else {
-			x, y = mortonD2XY(d)
-		}
-		if x >= w || y >= h {
-			continue
-		}
-		cell := int32(y*w + x)
-		hx.cellToIdx[cell] = next
-		hx.idxToCell[next] = cell
-		next++
-	}
+	side := SideForGrid(w, h)
+	hx := &Hilbert{w: w, h: h}
+	hx.cellToIdx, hx.idxToCell = buildCompactTables(w*h, uint64(side)*uint64(side),
+		func(rank uint64) (int32, bool) {
+			var x, y int
+			if hilbert {
+				x, y = HilbertD2XY(side, int(rank))
+			} else {
+				x, y = mortonD2XY(int(rank))
+			}
+			if x >= w || y >= h {
+				return 0, false
+			}
+			return int32(y*w + x), true
+		})
 	return hx
 }
 

@@ -87,21 +87,12 @@ func (r RowMajor) Name() string { return SchemeRowMajor }
 // indexing" the paper compares Hilbert indexing against.
 type Snake struct{ W, H int }
 
-// Index implements Indexer.
-func (s Snake) Index(x, y int) int {
-	if y%2 == 0 {
-		return y*s.W + x
-	}
-	return y*s.W + (s.W - 1 - x)
-}
+// Index implements Indexer (shared boustrophedon formula; rows are y).
+func (s Snake) Index(x, y int) int { return snakeRowIndex(s.W, y, x) }
 
 // Coords implements Indexer.
 func (s Snake) Coords(idx int) (int, int) {
-	y := idx / s.W
-	x := idx % s.W
-	if y%2 == 1 {
-		x = s.W - 1 - x
-	}
+	y, x := snakeRowCoords(s.W, idx)
 	return x, y
 }
 

@@ -79,28 +79,18 @@ type Snake3 struct{ W, H, D int }
 
 // Index implements Indexer3. The x direction alternates with the global
 // row parity (z·H + yy) so the path stays continuous across plane seams
-// even for odd H.
+// even for odd H; the per-row formula is the shared snakeRowIndex.
 func (s Snake3) Index(x, y, z int) int {
 	yy := y
 	if z%2 == 1 {
 		yy = s.H - 1 - y
 	}
-	row := z*s.H + yy
-	xx := x
-	if row%2 == 1 {
-		xx = s.W - 1 - x
-	}
-	return row*s.W + xx
+	return snakeRowIndex(s.W, z*s.H+yy, x)
 }
 
 // Coords implements Indexer3.
 func (s Snake3) Coords(idx int) (int, int, int) {
-	row := idx / s.W
-	xx := idx % s.W
-	x := xx
-	if row%2 == 1 {
-		x = s.W - 1 - xx
-	}
+	row, x := snakeRowCoords(s.W, idx)
 	z := row / s.H
 	yy := row % s.H
 	y := yy
@@ -140,38 +130,31 @@ func newCompacted3(w, h, d int, kind curveKind3) *compacted3 {
 	if bits == 0 {
 		bits = 1
 	}
-	c := &compacted3{
-		w: w, h: h, d: d,
-		cellToIdx: make([]int32, w*h*d),
-		idxToCell: make([]int32, w*h*d),
-	}
+	c := &compacted3{w: w, h: h, d: d}
 	switch kind {
 	case curveHilbert3:
 		c.name = SchemeHilbert
 	case curveMorton3:
 		c.name = SchemeMorton
 	}
-	next := int32(0)
 	total := uint64(1) << uint(3*bits)
 	coords := make([]uint32, 3)
-	for rank := uint64(0); rank < total; rank++ {
-		var x, y, z int
-		if kind == curveHilbert3 {
-			HilbertIndexToAxes(rank, bits, coords)
-			x, y, z = int(coords[0]), int(coords[1]), int(coords[2])
-		} else {
-			x = int(compact3Bits(rank))
-			y = int(compact3Bits(rank >> 1))
-			z = int(compact3Bits(rank >> 2))
-		}
-		if x >= w || y >= h || z >= d {
-			continue
-		}
-		cell := int32((z*h+y)*w + x)
-		c.cellToIdx[cell] = next
-		c.idxToCell[next] = cell
-		next++
-	}
+	c.cellToIdx, c.idxToCell = buildCompactTables(w*h*d, total,
+		func(rank uint64) (int32, bool) {
+			var x, y, z int
+			if kind == curveHilbert3 {
+				HilbertIndexToAxes(rank, bits, coords)
+				x, y, z = int(coords[0]), int(coords[1]), int(coords[2])
+			} else {
+				x = int(compact3Bits(rank))
+				y = int(compact3Bits(rank >> 1))
+				z = int(compact3Bits(rank >> 2))
+			}
+			if x >= w || y >= h || z >= d {
+				return 0, false
+			}
+			return int32((z*h+y)*w + x), true
+		})
 	return c
 }
 

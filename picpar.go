@@ -3,11 +3,13 @@
 // Parallelization of Particle-in-Cell Problems" (Liao, Ou, Ranka,
 // IPPS 1996).
 //
-// It provides a complete 2d3v relativistic electromagnetic particle-in-cell
-// simulation parallelised over an SPMD runtime of goroutine "ranks" with a
-// hand-rolled message-passing layer, and — the paper's contribution — the
-// machinery that keeps the two irregularly coupled data arrays (particles
-// and mesh fields) aligned, balanced and cheap to communicate between:
+// It provides a complete relativistic electromagnetic particle-in-cell
+// simulation — 2d3v by default, 3d3v with Config.Dims = 3 over the same
+// dimension-generic pipeline — parallelised over an SPMD runtime of
+// goroutine "ranks" with a hand-rolled message-passing layer, and — the
+// paper's contribution — the machinery that keeps the two irregularly
+// coupled data arrays (particles and mesh fields) aligned, balanced and
+// cheap to communicate between:
 //
 //   - Hilbert (and snake/row-major/Morton) space-filling-curve particle
 //     ordering aligned with an SFC-numbered BLOCK mesh distribution,
@@ -37,6 +39,7 @@ import (
 	"picpar/internal/comm"
 	"picpar/internal/machine"
 	"picpar/internal/mesh"
+	"picpar/internal/mesh3"
 	"picpar/internal/particle"
 	"picpar/internal/pic"
 	"picpar/internal/policy"
@@ -55,8 +58,11 @@ type Result = pic.Result
 // IterationRecord is one iteration's measurements (max over ranks).
 type IterationRecord = pic.IterationRecord
 
-// Grid is the global mesh geometry.
+// Grid is the global 2-D mesh geometry.
 type Grid = mesh.Grid
+
+// Grid3 is the global 3-D mesh geometry, used when Config.Dims is 3.
+type Grid3 = mesh3.Grid
 
 // MachineParams are the two-level cost-model constants (τ, μ, δ).
 type MachineParams = machine.Params
@@ -69,6 +75,10 @@ func Run(cfg Config) (*Result, error) { return pic.Run(cfg) }
 
 // NewGrid builds an Nx×Ny mesh with unit cells.
 func NewGrid(nx, ny int) Grid { return mesh.NewGrid(nx, ny) }
+
+// NewGrid3 builds an Nx×Ny×Nz mesh with unit cells; set Config.Dims to 3
+// and Config.Grid3 to run the same pipeline in three dimensions.
+func NewGrid3(nx, ny, nz int) Grid3 { return mesh3.NewGrid(nx, ny, nz) }
 
 // Particle distribution names for Config.Distribution.
 const (

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Full CI gate: vet, build, plain tests, race-enabled tests, the chaos soak
-# (seeded fault plans through the Reliable stack), the per-phase traffic
-# regression gate, an examples smoke run, and a short benchmark smoke run
-# that exercises the radix sort and allocation assertions.
+# (seeded fault plans through the Reliable stack, 2-D and 3-D), the
+# per-phase traffic regression gate, the 2-D and 3-D golden pins, an
+# examples smoke run, and a short benchmark smoke run that exercises the
+# radix sort and allocation assertions.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -18,17 +19,24 @@ go test ./...
 echo "== go test -race =="
 go test -race ./...
 
-echo "== chaos soak =="
+echo "== chaos soak (2-D and 3-D) =="
 go test -count=1 -run 'TestChaos' ./internal/comm/ ./internal/pic/
+
+echo "== golden pins (2-D and 3-D) =="
+go test -count=1 -run 'TestGolden' ./internal/pic/
+
+echo "== 3-D smoke =="
+go run ./cmd/picsim -dim 3 -mesh 16x16x16 -n 4096 -p 8 -iters 10 -dist irregular -policy dynamic >/dev/null
 
 echo "== traffic gate =="
 go run ./cmd/picbench -traffic
 
 echo "== examples smoke =="
 go run ./examples/quickstart >/dev/null
+go run ./examples/quickstart3d >/dev/null
 go run ./examples/indexing >/dev/null
 
 echo "== bench smoke =="
-go test -run NONE -bench BenchmarkLocalSort -benchtime 100x -benchmem .
+go test -run NONE -bench 'BenchmarkLocalSort|BenchmarkSimulationIteration3D' -benchtime 100x -benchmem .
 
 echo "CI OK"
