@@ -12,14 +12,31 @@
 //
 //	picsim -dim 3 -mesh 32x32x32 -n 32768 -p 32 -iters 200 \
 //	       -dist irregular -policy dynamic
+//
+// With -net the same simulation runs over real TCP sockets, one OS process
+// per rank. The launcher form starts a rendezvous coordinator, re-executes
+// itself once per rank, and supervises the world:
+//
+//	picsim -net 127.0.0.1:0 -mesh 32x16 -n 2048 -p 4 -iters 10 \
+//	       -dist irregular -seed 7 -policy static
+//
+// A single rank joins an existing coordinator with -rank (normally only the
+// launcher does this, but it is how a world spreads across hosts), and
+// -coordinate runs just the rendezvous service for such a hand-assembled
+// world:
+//
+//	picsim -net host0:9999 -coordinate -p 4          # on host0
+//	picsim -net host0:9999 -rank 2 -p 4 ...same simulation flags...
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
+	"time"
 
 	"picpar"
 )
@@ -40,6 +57,11 @@ func main() {
 	history := flag.Bool("history", false, "print per-iteration history")
 	phases := flag.Bool("phases", false, "print per-phase communication/computation breakdown")
 	diag := flag.Bool("energies", false, "record and print energy diagnostics")
+	verify := flag.Bool("verify", false, "enable per-iteration invariant checking (charged compute, changes timings)")
+	netAddr := flag.String("net", "", "run over TCP: coordinator address (host:port, port 0 picks one); launcher mode unless -rank is given")
+	rank := flag.Int("rank", -1, "with -net: join the coordinator as this rank instead of launching the world")
+	wallclock := flag.Bool("wallclock", false, "with -net: charge real elapsed time instead of the simulated cost model")
+	coordinate := flag.Bool("coordinate", false, "with -net: run only the rendezvous coordinator (for ranks started by hand, e.g. on other hosts)")
 	flag.Parse()
 
 	if *meshFlag == "" {
@@ -69,6 +91,7 @@ func main() {
 		Table:        *table,
 		Thermal:      *thermal,
 		Diagnostics:  *diag,
+		Verify:       *verify,
 	}
 	if *dim == 3 {
 		cfg.Grid3 = picpar.NewGrid3(ext[0], ext[1], ext[2])
@@ -79,20 +102,59 @@ func main() {
 		cfg.Machine = picpar.ModernMachine()
 	}
 
-	res, err := picpar.Run(cfg)
-	if err != nil {
-		fatal(err)
+	var res *picpar.Result
+	switch {
+	case *netAddr != "" && *coordinate:
+		// Rendezvous-only mode: assemble one world of -p hand-started
+		// ranks, then exit (the mesh does not route through us).
+		co, err := picpar.StartCoordinator(*netAddr, *p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "picsim: coordinating world of %d ranks on %s\n", *p, co.Addr())
+		if err := co.Serve(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "picsim: world assembled, coordinator done\n")
+		return
+	case *netAddr != "" && *rank >= 0:
+		// One rank endpoint of a TCP world: join the coordinator and run.
+		ncfg := picpar.NetConfig{Coordinator: *netAddr, Rank: *rank, Size: *p, WallClock: *wallclock}
+		res, err = picpar.RunNet(ncfg, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if res == nil {
+			return // only rank 0 reports
+		}
+	case *netAddr != "":
+		// Launcher mode: coordinator plus one re-executed process per rank.
+		if err := launchWorld(*netAddr, *p); err != nil {
+			fatal(err)
+		}
+		return
+	default:
+		res, err = picpar.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	fmt.Printf("picsim: mesh=%s particles=%d ranks=%d iterations=%d dist=%s indexing=%s policy=%s table=%s\n",
 		*meshFlag, *n, *p, *iters, *dist, *indexing, *policyFlag, *table)
 	fmt.Printf("  initial distribution: %10.4f s\n", res.InitTime)
-	fmt.Printf("  total execution:      %10.4f s (simulated)\n", res.TotalTime)
+	clockKind := "simulated"
+	if *wallclock {
+		clockKind = "wall-clock"
+	}
+	fmt.Printf("  total execution:      %10.4f s (%s)\n", res.TotalTime, clockKind)
 	fmt.Printf("  computation (max):    %10.4f s\n", res.ComputeMax)
 	fmt.Printf("  overhead:             %10.4f s\n", res.Overhead)
 	fmt.Printf("  efficiency:           %10.4f\n", res.Efficiency)
 	fmt.Printf("  redistributions:      %10d (%.4f s)\n", res.NumRedistributions, res.RedistTime)
 	fmt.Printf("  peak scatter traffic: %10d B, %d messages\n", res.MaxScatterBytes(), res.MaxScatterMsgs())
+	// Full-precision pin for scripts (the golden gate greps this line).
+	fmt.Printf("  TotalTime %.7f\n", res.TotalTime)
 
 	if *phases {
 		fmt.Printf("\nper-phase breakdown (max over ranks):\n%s", res.Stats.Format())
@@ -112,6 +174,70 @@ func main() {
 			}
 		}
 	}
+}
+
+// launchWorld is picsim's coordinator mode: it starts the rendezvous
+// service on addr, re-executes this binary once per rank with the same
+// simulation flags plus -net/-rank, prints each child's pid to stderr (so
+// harnesses can kill a specific rank), and supervises the world. A dead
+// rank surfaces as a nonzero exit with its peers' DeliveryError
+// diagnostics on stderr within the backend's failure-detection window —
+// never as a hang.
+func launchWorld(addr string, p int) error {
+	co, err := picpar.StartCoordinator(addr, p)
+	if err != nil {
+		return err
+	}
+	defer co.Close()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- co.Serve() }()
+
+	self, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("picsim: cannot re-execute self: %v", err)
+	}
+	base := childArgs()
+	procs := make([]*picpar.RankProc, p)
+	for k := 0; k < p; k++ {
+		args := append(append([]string{}, base...),
+			"-net", co.Addr(), "-rank", strconv.Itoa(k), "-p", strconv.Itoa(p))
+		cmd := exec.Command(self, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			for _, q := range procs[:k] {
+				_ = q.Cmd.Process.Kill()
+				_ = q.Cmd.Wait()
+			}
+			return fmt.Errorf("picsim: start rank %d: %v", k, err)
+		}
+		fmt.Fprintf(os.Stderr, "picsim: rank %d pid %d\n", k, cmd.Process.Pid)
+		procs[k] = &picpar.RankProc{Rank: k, Cmd: cmd}
+	}
+	if err := picpar.SuperviseRanks(procs, 15*time.Second); err != nil {
+		return err
+	}
+	select {
+	case err := <-serveErr:
+		return err
+	default:
+		return nil
+	}
+}
+
+// childArgs reproduces the explicitly-set simulation flags for a rank
+// child, excluding the launcher-control flags that the child gets its own
+// values for.
+func childArgs() []string {
+	var args []string
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "net", "rank", "p":
+			return
+		}
+		args = append(args, "-"+f.Name+"="+f.Value.String())
+	})
+	return args
 }
 
 func parseMesh(s string, dim int) ([]int, error) {

@@ -169,10 +169,18 @@ func (w *World) SetWatchdog(d time.Duration) { w.watchdog = d }
 // than masked. Launch closes its world when the program returns.
 func (w *World) Close() { w.closed.Store(true) }
 
+// warnf emits configuration warnings; a package variable so tests can
+// capture them. Default: stderr.
+var warnf = func(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
 // EnvWatchdog returns the watchdog duration configured in the
-// PICPAR_WATCHDOG environment variable, or fallback when it is unset or
-// unparseable. The values "0" and "off" disable the watchdog. Test helpers
-// use this so one knob tunes deadlock detection across every package.
+// PICPAR_WATCHDOG environment variable, or fallback when it is unset. The
+// values "0" and "off" disable the watchdog. A malformed or negative value
+// is rejected loudly — a warning naming the bad value, then the fallback —
+// so a typo can never silently disarm (or rearm) deadlock detection. Test
+// helpers use this so one knob tunes detection across every package.
 func EnvWatchdog(fallback time.Duration) time.Duration {
 	switch v := os.Getenv("PICPAR_WATCHDOG"); v {
 	case "":
@@ -182,6 +190,11 @@ func EnvWatchdog(fallback time.Duration) time.Duration {
 	default:
 		d, err := time.ParseDuration(v)
 		if err != nil {
+			warnf("comm: PICPAR_WATCHDOG=%q is not a duration (%v); using fallback %v", v, err, fallback)
+			return fallback
+		}
+		if d < 0 {
+			warnf("comm: PICPAR_WATCHDOG=%q is negative; using fallback %v (use \"0\" or \"off\" to disable)", v, fallback)
 			return fallback
 		}
 		return d

@@ -1,0 +1,912 @@
+// The real-network Transport backend: one OS process per rank, TCP sockets
+// between them, the same SPMD rank functions and collectives as the
+// goroutine World. This is the ROADMAP "real-network transport" item, built
+// as a robustness exercise: every seam of the connection lifecycle is
+// supervised so that a killed, wedged or misconfigured peer surfaces as a
+// typed diagnostic within a bounded timeout instead of a hang.
+//
+// Lifecycle of a rank endpoint (NetRank):
+//
+//  1. Rendezvous — dial the coordinator (capped-backoff retry with jitter),
+//     register rank identity and mesh listen address, receive the world
+//     membership table. Mismatched world size, duplicate ranks and codec
+//     version skew are rejected here, before any data can flow.
+//  2. Mesh — every pair of ranks shares one TCP connection: rank j dials
+//     every i < j and accepts from every k > j. Each connection is verified
+//     by a peer handshake carrying the coordinator-issued world id and both
+//     rank identities, so a stray or crossed connection can never join.
+//  3. Steady state — frames (netcodec.go) carry the modelled byte size and
+//     the sender's simulated clock, so the cost model charges exactly what
+//     the goroutine backend charges and experiment outputs stay
+//     byte-identical across processes. A per-connection reader goroutine
+//     demultiplexes data, out-of-band Expose values and heartbeats; a
+//     heartbeat loop beacons liveness; read deadlines bound how long a
+//     silent peer goes unnoticed.
+//  4. Teardown — a clean exit announces itself with a goodbye frame, then
+//     drains (keeps reading) until every peer has said goodbye or the
+//     drain timeout passes, so no close can race in-flight frames into a
+//     TCP reset. A crashed rank (panic, kill) closes abruptly: its peers
+//     see EOF within milliseconds and fail their next Recv with a
+//     *DeliveryError naming rank, peer, tag and phase.
+//
+// Failure taxonomy (see DESIGN.md "Error taxonomy"): a vanished or wedged
+// peer is a *DeliveryError (the network failed the program); protocol
+// misuse, codec version skew and operations on a torn-down endpoint are
+// *TransportError (the program is broken); both surface as panics exactly
+// like the goroutine backend's, and NetRank converts them into a *RankPanic
+// error for the process's main function to report.
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"picpar/internal/machine"
+	"picpar/internal/wire"
+)
+
+// NetConfig describes one rank's endpoint of a TCP-backed world. Zero
+// duration fields take the documented defaults; Coordinator, Rank and Size
+// are mandatory.
+type NetConfig struct {
+	// Coordinator is the rendezvous address (host:port) every rank reports
+	// to before the mesh is built.
+	Coordinator string
+	// Rank and Size are this process's SPMD identity.
+	Rank, Size int
+	// ListenAddr is the address the rank's mesh listener binds; default
+	// "127.0.0.1:0" (loopback, kernel-chosen port). Multi-host runs set it
+	// to an address the other hosts can reach.
+	ListenAddr string
+	// Params are the cost-model constants, identical on every rank.
+	Params machine.Params
+	// WallClock switches the rank's clock from the simulated cost model to
+	// real elapsed time (machine.WallClock), turning the simulator into an
+	// actual parallel runtime. Defaults to off; simulated goldens only hold
+	// with it off.
+	WallClock bool
+	// Watchdog, when positive, bounds how long a Recv may block without any
+	// traffic from the awaited peer before the rank panics with a
+	// diagnostic (the net analogue of World.SetWatchdog).
+	Watchdog time.Duration
+
+	// DialTimeout bounds one dial attempt (default 2s); DialAttempts is the
+	// retry budget (default 8) with exponential backoff from DialBackoff
+	// (default 100ms) capped at DialMaxBackoff (default 2s), ±20% jitter.
+	DialTimeout    time.Duration
+	DialAttempts   int
+	DialBackoff    time.Duration
+	DialMaxBackoff time.Duration
+	// RendezvousTimeout bounds the whole rendezvous and mesh handshake
+	// (default 30s).
+	RendezvousTimeout time.Duration
+	// HeartbeatInterval is the liveness beacon period (default 250ms);
+	// HeartbeatTimeout is how long a connection may stay silent before the
+	// peer is declared lost (default 10s). A crashed process is usually
+	// detected much faster via EOF; the heartbeat catches wedged-but-alive
+	// peers.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// WriteTimeout bounds one frame write (default 10s).
+	WriteTimeout time.Duration
+	// DrainTimeout bounds the clean-teardown drain (default 5s).
+	DrainTimeout time.Duration
+}
+
+// withNetDefaults fills zero fields with the documented defaults.
+func (c NetConfig) withNetDefaults() NetConfig {
+	if c.ListenAddr == "" {
+		c.ListenAddr = "127.0.0.1:0"
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.DialAttempts <= 0 {
+		c.DialAttempts = 8
+	}
+	if c.DialBackoff <= 0 {
+		c.DialBackoff = 100 * time.Millisecond
+	}
+	if c.DialMaxBackoff <= 0 {
+		c.DialMaxBackoff = 2 * time.Second
+	}
+	if c.RendezvousTimeout <= 0 {
+		c.RendezvousTimeout = 30 * time.Second
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 250 * time.Millisecond
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 10 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// NetRank joins the world described by cfg, runs fn as this process's rank
+// (wrapped by wrap if non-nil, with World.RunWrapped semantics), and tears
+// the endpoint down — gracefully after a normal return, abruptly after a
+// panic so peers fail fast. A panic inside fn (including the typed
+// *DeliveryError and *TransportError panics of the transport) is returned
+// as a *RankPanic error, mirroring World.Run's re-raise.
+func NetRank(cfg NetConfig, wrap func(Transport) Transport, fn func(Transport)) (st machine.Stats, err error) {
+	cfg = cfg.withNetDefaults()
+	if cfg.Size <= 0 || cfg.Rank < 0 || cfg.Rank >= cfg.Size {
+		return st, fmt.Errorf("comm: NetRank with rank %d of %d", cfg.Rank, cfg.Size)
+	}
+	if cfg.Coordinator == "" {
+		return st, errors.New("comm: NetRank needs a coordinator address")
+	}
+	n, err := dialWorld(cfg)
+	if err != nil {
+		return st, fmt.Errorf("comm: rank %d join: %w", cfg.Rank, err)
+	}
+	defer func() {
+		if e := recover(); e != nil {
+			// Crash-safe teardown: no goodbye, close everything now. Peers
+			// observe EOF and diagnose this rank within their next Recv.
+			n.shutdown(false)
+			err = &RankPanic{Rank: cfg.Rank, Value: e}
+			return
+		}
+		n.shutdown(true)
+	}()
+	t := Transport(n)
+	if wrap != nil {
+		t = wrap(t)
+	}
+	func() {
+		// Release decorator-held messages (e.g. a Faulty reorder hold) even
+		// on panic, exactly as RunWrapped does for the goroutine backend.
+		defer func() {
+			defer func() { _ = recover() }() // a failed flush must not mask fn's panic
+			flushChain(t)
+		}()
+		fn(t)
+	}()
+	st = n.stats
+	return st, nil
+}
+
+// LaunchLoopback runs fn as a p-rank SPMD program over real loopback TCP
+// sockets inside one process: a coordinator plus p NetRank endpoints, each
+// on its own goroutine. It is the net backend's analogue of Launch, used by
+// tests and for trying out the backend without spawning processes. tmpl
+// supplies Params and any timeout overrides; Coordinator, Rank and Size are
+// filled in. Returns every rank's stats ledger and a per-rank error slice
+// (nil entries for clean ranks).
+func LaunchLoopback(tmpl NetConfig, p int, wrap func(Transport) Transport, fn func(Transport)) (machine.WorldStats, []error) {
+	ws := machine.WorldStats{Ranks: make([]machine.Stats, p)}
+	errs := make([]error, p)
+	co, err := StartCoordinator("127.0.0.1:0", p, tmpl.withNetDefaults().RendezvousTimeout)
+	if err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return ws, errs
+	}
+	defer co.Close()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- co.Serve() }()
+
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			cfg := tmpl
+			cfg.Coordinator = co.Addr()
+			cfg.Rank, cfg.Size = rank, p
+			ws.Ranks[rank], errs[rank] = NetRank(cfg, wrap, fn)
+		}(i)
+	}
+	wg.Wait()
+	if e := <-serveErr; e != nil {
+		for i := range errs {
+			if errs[i] == nil {
+				errs[i] = fmt.Errorf("comm: rendezvous: %w", e)
+			}
+		}
+	}
+	return ws, errs
+}
+
+// netPeer is one live connection to a remote rank.
+type netPeer struct {
+	id   int
+	conn net.Conn
+	wmu  sync.Mutex // serialises frame writes (rank goroutine + heartbeats)
+
+	inbox chan message // data frames, closed by the reader on exit
+	oob   chan any     // Expose publications, closed with inbox
+
+	// dead holds the first failure reason observed on this connection; nil
+	// while the peer is healthy. clean marks a goodbye-announced departure.
+	dead       atomic.Pointer[string]
+	clean      atomic.Bool
+	readerDone chan struct{}
+}
+
+// fail records the first failure reason; later reasons are ignored.
+func (p *netPeer) fail(reason string) {
+	r := reason
+	p.dead.CompareAndSwap(nil, &r)
+}
+
+// failure returns the recorded reason, or a generic one.
+func (p *netPeer) failure() string {
+	if r := p.dead.Load(); r != nil {
+		return *r
+	}
+	return "peer connection lost"
+}
+
+// netTransport is the per-process Transport endpoint over the TCP mesh.
+// Like every Transport it is owned by one goroutine; the reader and
+// heartbeat goroutines only touch the channels and atomics.
+type netTransport struct {
+	cfg  NetConfig
+	rank int
+	size int
+
+	clock machine.Clock
+	stats machine.Stats
+
+	peers   []*netPeer // indexed by rank; peers[rank] is nil
+	pending [][]message
+
+	closed  atomic.Bool
+	closing chan struct{} // closed at shutdown; unblocks reader channel pushes
+	stopHB  chan struct{}
+	hbDone  chan struct{}
+}
+
+// Rank implements Transport.
+func (n *netTransport) Rank() int { return n.rank }
+
+// Size implements Transport.
+func (n *netTransport) Size() int { return n.size }
+
+// Clock implements Transport.
+func (n *netTransport) Clock() machine.Clock { return n.clock }
+
+// Stats implements Transport.
+func (n *netTransport) Stats() *machine.Stats { return &n.stats }
+
+// Params implements Transport.
+func (n *netTransport) Params() machine.Params { return n.cfg.Params }
+
+// Compute implements Transport.
+func (n *netTransport) Compute(c int) {
+	if c <= 0 {
+		return
+	}
+	cost := n.cfg.Params.ComputeCost(c)
+	n.clock.Advance(cost)
+	n.stats.RecordCompute(cost)
+}
+
+// ComputeTime implements Transport.
+func (n *netTransport) ComputeTime(t float64) {
+	if t <= 0 {
+		return
+	}
+	n.clock.Advance(t)
+	n.stats.RecordCompute(t)
+}
+
+// SetPhase implements Transport.
+func (n *netTransport) SetPhase(p machine.Phase) { n.stats.SetPhase(p) }
+
+// Send implements Transport. The modelled charge is identical to the
+// goroutine backend's; the frame carries the modelled size and post-send
+// clock so the receiver's charge matches too. A dead peer or failed write
+// raises a *DeliveryError; an unencodable body or structural misuse raises
+// a *TransportError.
+func (n *netTransport) Send(dst int, tag Tag, body any, nbytes int) {
+	if n.closed.Load() {
+		panic(&TransportError{Op: "send", Rank: n.rank, Peer: dst, Tag: tag, Err: ErrClosedWorld})
+	}
+	if dst < 0 || dst >= n.size {
+		panic(&TransportError{Op: "send", Rank: n.rank, Peer: dst, Tag: tag,
+			Err: fmt.Errorf("invalid rank %d (P=%d)", dst, n.size)})
+	}
+	if dst == n.rank {
+		// Self-sends bypass the network: no τ/μ charge, matching the model.
+		n.deliverLocal(message{tag: tag, bytes: nbytes, sentAt: n.clock.Now(), body: body})
+		return
+	}
+	cost := n.cfg.Params.MsgCost(nbytes)
+	n.clock.Advance(cost)
+	n.stats.RecordSend(nbytes, cost)
+	f := netFrame{kind: frameData, tag: tag, nbytes: nbytes, sentAt: n.clock.Now(), body: body}
+	if err := n.writePeer(dst, &f); err != nil {
+		var ce *CodecError
+		if errors.As(err, &ce) {
+			// The body cannot travel this wire: a programming error, never
+			// retried.
+			panic(&TransportError{Op: "send", Rank: n.rank, Peer: dst, Tag: tag, Err: ce})
+		}
+		panic(&DeliveryError{
+			Rank: n.rank, Peer: dst, Tag: tag, Phase: n.stats.CurrentPhase(),
+			Reason: "send failed: " + err.Error(),
+		})
+	}
+}
+
+// writePeer encodes and writes one frame to dst, marking the peer dead on a
+// write failure.
+func (n *netTransport) writePeer(dst int, f *netFrame) error {
+	p := n.peers[dst]
+	if r := p.dead.Load(); r != nil {
+		return errors.New(*r)
+	}
+	err := writeFrame(p.conn, &p.wmu, n.cfg.WriteTimeout, f)
+	if err != nil {
+		var ce *CodecError
+		if !errors.As(err, &ce) {
+			p.fail("write failed: " + err.Error())
+		}
+	}
+	return err
+}
+
+func (n *netTransport) deliverLocal(m message) {
+	if n.pending == nil {
+		n.pending = make([][]message, n.size)
+	}
+	n.pending[n.rank] = append(n.pending[n.rank], m)
+}
+
+// Recv implements Transport. A peer that died — abrupt EOF, heartbeat
+// silence, clean goodbye while traffic was still owed — fails the call with
+// a *DeliveryError within a bounded time instead of hanging.
+func (n *netTransport) Recv(src int, tag Tag) (any, int) {
+	if n.closed.Load() {
+		panic(&TransportError{Op: "recv", Rank: n.rank, Peer: src, Tag: tag, Err: ErrClosedWorld})
+	}
+	if src < 0 || src >= n.size {
+		panic(&TransportError{Op: "recv", Rank: n.rank, Peer: src, Tag: tag,
+			Err: fmt.Errorf("invalid rank %d (P=%d)", src, n.size)})
+	}
+	if n.pending == nil {
+		n.pending = make([][]message, n.size)
+	}
+	q := n.pending[src]
+	for i := range q {
+		if q[i].tag == tag {
+			m := q[i]
+			n.pending[src] = append(q[:i], q[i+1:]...)
+			return n.consume(src, m)
+		}
+	}
+	if src == n.rank {
+		panic(fmt.Sprintf("comm: rank %d self-recv tag %d with no matching self-send", n.rank, tag))
+	}
+	p := n.peers[src]
+	for {
+		m := n.pullNet(p, tag)
+		if m.tag == tag {
+			return n.consume(src, m)
+		}
+		n.pending[src] = append(n.pending[src], m)
+	}
+}
+
+// pullNet takes the next data message from p's reader, converting peer
+// death into a *DeliveryError and a watchdog overrun into a diagnostic
+// panic.
+func (n *netTransport) pullNet(p *netPeer, tag Tag) message {
+	deliveryPanic := func() {
+		panic(&DeliveryError{
+			Rank: n.rank, Peer: p.id, Tag: tag, Phase: n.stats.CurrentPhase(),
+			Reason: p.failure(),
+		})
+	}
+	if n.cfg.Watchdog <= 0 {
+		m, ok := <-p.inbox
+		if !ok {
+			deliveryPanic()
+		}
+		return m
+	}
+	select {
+	case m, ok := <-p.inbox:
+		if !ok {
+			deliveryPanic()
+		}
+		return m
+	default:
+	}
+	timer := time.NewTimer(n.cfg.Watchdog)
+	defer timer.Stop()
+	select {
+	case m, ok := <-p.inbox:
+		if !ok {
+			deliveryPanic()
+		}
+		return m
+	case <-timer.C:
+		panic(fmt.Sprintf("comm: deadlock watchdog fired after %v: rank %d blocked receiving tag %d from rank %d (tcp backend)",
+			n.cfg.Watchdog, n.rank, tag, p.id))
+	}
+}
+
+// consume charges the receive exactly like the goroutine backend: advance
+// to the sender's post-send clock, then charge the transfer.
+func (n *netTransport) consume(src int, m message) (any, int) {
+	if src == n.rank {
+		return m.body, m.bytes // local delivery is free
+	}
+	cost := n.cfg.Params.MsgCost(m.bytes)
+	n.clock.AdvanceTo(m.sentAt)
+	n.clock.Advance(cost)
+	n.stats.RecordRecv(m.bytes, cost)
+	return m.body, m.bytes
+}
+
+// Expose implements Transport: barrier, uncharged out-of-band exchange of
+// the published values over dedicated oob frames, barrier — the same two
+// charged barriers as the goroutine backend, so modelled time is identical.
+func (n *netTransport) Expose(v any) []any {
+	barrier(n, tagExpose) // all ranks inside Expose; previous round fully read
+	out := make([]any, n.size)
+	out[n.rank] = v
+	f := netFrame{kind: frameOOB, body: v}
+	for _, p := range n.peers {
+		if p == nil {
+			continue
+		}
+		if err := n.writePeer(p.id, &f); err != nil {
+			panic(&DeliveryError{
+				Rank: n.rank, Peer: p.id, Tag: tagExpose, Phase: n.stats.CurrentPhase(),
+				Reason: "expose publication failed: " + err.Error(),
+			})
+		}
+	}
+	for _, p := range n.peers {
+		if p == nil {
+			continue
+		}
+		val, ok := <-p.oob
+		if !ok {
+			panic(&DeliveryError{
+				Rank: n.rank, Peer: p.id, Tag: tagExpose, Phase: n.stats.CurrentPhase(),
+				Reason: p.failure(),
+			})
+		}
+		out[p.id] = val
+	}
+	barrier(n, tagExpose) // all reads complete before anyone publishes again
+	return out
+}
+
+// readLoop demultiplexes one peer connection until goodbye, EOF, error or
+// shutdown. It owns closing the inbox and oob channels; buffered messages
+// stay receivable after close, so a goodbye never discards delivered data.
+func (n *netTransport) readLoop(p *netPeer) {
+	defer close(p.readerDone)
+	defer close(p.oob)
+	defer close(p.inbox)
+	for {
+		f, err := readFrame(p.conn, n.cfg.HeartbeatTimeout)
+		if err != nil {
+			p.fail(classifyReadError(err, n.cfg.HeartbeatTimeout))
+			return
+		}
+		switch f.kind {
+		case frameHeartbeat:
+			// Liveness only; the successful read already reset the deadline.
+		case frameGoodbye:
+			p.clean.Store(true)
+			p.fail("peer departed (clean goodbye, no more traffic will arrive)")
+			return
+		case frameData:
+			select {
+			case p.inbox <- message{tag: f.tag, bytes: f.nbytes, sentAt: f.sentAt, body: f.body}:
+			case <-n.closing:
+				return
+			}
+		case frameOOB:
+			select {
+			case p.oob <- f.body:
+			case <-n.closing:
+				return
+			}
+		default:
+			p.fail(fmt.Sprintf("protocol violation: unexpected frame kind 0x%02x", f.kind))
+			return
+		}
+	}
+}
+
+// classifyReadError renders a read failure as a diagnostic reason.
+func classifyReadError(err error, hbTimeout time.Duration) string {
+	var ne net.Error
+	switch {
+	case errors.As(err, &ne) && ne.Timeout():
+		return fmt.Sprintf("heartbeat timeout: no traffic for %v (peer wedged or partitioned)", hbTimeout)
+	case errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF):
+		return "connection closed by peer without goodbye (peer crashed or was killed)"
+	default:
+		return "read failed: " + err.Error()
+	}
+}
+
+// heartbeatLoop beacons liveness to every healthy peer so silent-but-alive
+// phases (long local computation) are not mistaken for death.
+func (n *netTransport) heartbeatLoop() {
+	defer close(n.hbDone)
+	tick := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer tick.Stop()
+	hb := netFrame{kind: frameHeartbeat}
+	for {
+		select {
+		case <-n.stopHB:
+			return
+		case <-tick.C:
+			for _, p := range n.peers {
+				if p == nil || p.dead.Load() != nil {
+					continue
+				}
+				if err := writeFrame(p.conn, &p.wmu, n.cfg.WriteTimeout, &hb); err != nil {
+					p.fail("heartbeat write failed: " + err.Error())
+				}
+			}
+		}
+	}
+}
+
+// shutdown tears the endpoint down. clean performs the goodbye + drain
+// protocol; !clean (crash path) closes immediately so peers fail fast.
+// Idempotent; after it returns no goroutine of this endpoint survives.
+func (n *netTransport) shutdown(clean bool) {
+	if !n.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(n.stopHB)
+	<-n.hbDone
+	if clean {
+		bye := netFrame{kind: frameGoodbye}
+		for _, p := range n.peers {
+			if p == nil || p.dead.Load() != nil {
+				continue
+			}
+			// Best effort: a peer that died mid-teardown is already
+			// diagnosed elsewhere.
+			_ = writeFrame(p.conn, &p.wmu, n.cfg.WriteTimeout, &bye)
+		}
+		// Drain: keep connections open until every peer has said goodbye
+		// (its reader exits) or the drain budget runs out, so closing can
+		// never turn a peer's in-flight frames into a TCP reset.
+		deadline := time.NewTimer(n.cfg.DrainTimeout)
+		defer deadline.Stop()
+	drain:
+		for _, p := range n.peers {
+			if p == nil {
+				continue
+			}
+			select {
+			case <-p.readerDone:
+			case <-deadline.C:
+				break drain
+			}
+		}
+	}
+	// Unblock any reader parked on a full channel, then close the sockets;
+	// readers exit on the next read.
+	close(n.closing)
+	for _, p := range n.peers {
+		if p != nil {
+			_ = p.conn.Close()
+		}
+	}
+	for _, p := range n.peers {
+		if p != nil {
+			<-p.readerDone
+		}
+	}
+}
+
+// dialWorld performs rendezvous and mesh establishment and returns a live
+// endpoint with its reader and heartbeat goroutines running.
+func dialWorld(cfg NetConfig) (*netTransport, error) {
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("mesh listen on %q: %w", cfg.ListenAddr, err)
+	}
+	worldID, addrs, err := rendezvous(cfg, ln.Addr().String())
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	conns, err := buildMesh(cfg, ln, worldID, addrs)
+	ln.Close()
+	if err != nil {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		return nil, err
+	}
+	var clock machine.Clock = machine.NewSimClock()
+	if cfg.WallClock {
+		clock = machine.NewWallClock()
+	}
+	n := &netTransport{
+		cfg:     cfg,
+		rank:    cfg.Rank,
+		size:    cfg.Size,
+		clock:   clock,
+		peers:   make([]*netPeer, cfg.Size),
+		closing: make(chan struct{}),
+		stopHB:  make(chan struct{}),
+		hbDone:  make(chan struct{}),
+	}
+	for id, c := range conns {
+		if c == nil {
+			continue
+		}
+		p := &netPeer{
+			id:         id,
+			conn:       c,
+			inbox:      make(chan message, DefaultMailboxDepth),
+			oob:        make(chan any, 2),
+			readerDone: make(chan struct{}),
+		}
+		n.peers[id] = p
+		go n.readLoop(p)
+	}
+	go n.heartbeatLoop()
+	return n, nil
+}
+
+// rendezvous registers this rank with the coordinator and returns the world
+// id and per-rank mesh address table.
+func rendezvous(cfg NetConfig, listenAddr string) (uint64, []string, error) {
+	conn, err := dialRetry(cfg, cfg.Coordinator)
+	if err != nil {
+		return 0, nil, fmt.Errorf("rendezvous dial %s: %w", cfg.Coordinator, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(cfg.RendezvousTimeout))
+	hello := netFrame{kind: frameHello, rank: cfg.Rank, size: cfg.Size, addr: listenAddr}
+	var mu sync.Mutex
+	if err := writeFrame(conn, &mu, cfg.RendezvousTimeout, &hello); err != nil {
+		return 0, nil, fmt.Errorf("rendezvous hello: %w", err)
+	}
+	f, err := readFrame(conn, cfg.RendezvousTimeout)
+	if err != nil {
+		return 0, nil, fmt.Errorf("rendezvous reply: %w", err)
+	}
+	switch f.kind {
+	case frameWelcome:
+		if len(f.addrs) != cfg.Size {
+			return 0, nil, fmt.Errorf("rendezvous table has %d ranks, want %d", len(f.addrs), cfg.Size)
+		}
+		return f.worldID, f.addrs, nil
+	case frameReject:
+		return 0, nil, fmt.Errorf("rendezvous rejected: %s", f.reason)
+	}
+	return 0, nil, fmt.Errorf("rendezvous reply kind 0x%02x", f.kind)
+}
+
+// buildMesh establishes the pairwise connections: dial every lower rank,
+// accept from every higher rank, each verified by the peer handshake.
+// Returns per-rank connections (own slot nil).
+func buildMesh(cfg NetConfig, ln net.Listener, worldID uint64, addrs []string) ([]net.Conn, error) {
+	conns := make([]net.Conn, cfg.Size)
+	expect := cfg.Size - 1 - cfg.Rank // inbound connections from higher ranks
+
+	type accepted struct {
+		rank int
+		conn net.Conn
+	}
+	acceptCh := make(chan accepted, expect)
+	acceptErr := make(chan error, 1)
+	if expect > 0 {
+		go func() {
+			got := 0
+			for got < expect {
+				if tl, ok := ln.(*net.TCPListener); ok {
+					_ = tl.SetDeadline(time.Now().Add(cfg.RendezvousTimeout))
+				}
+				c, err := ln.Accept()
+				if err != nil {
+					acceptErr <- fmt.Errorf("mesh accept (%d/%d joined): %w", got, expect, err)
+					return
+				}
+				from, err := acceptPeer(cfg, c, worldID, conns)
+				if err != nil {
+					// A stray or invalid connection was rejected and closed;
+					// keep waiting for the legitimate peers.
+					continue
+				}
+				acceptCh <- accepted{from, c}
+				got++
+			}
+		}()
+	}
+
+	for i := 0; i < cfg.Rank; i++ {
+		c, err := dialPeer(cfg, worldID, i, addrs[i])
+		if err != nil {
+			return conns, err
+		}
+		conns[i] = c
+	}
+	for got := 0; got < expect; got++ {
+		select {
+		case a := <-acceptCh:
+			conns[a.rank] = a.conn
+		case err := <-acceptErr:
+			return conns, err
+		}
+	}
+	return conns, nil
+}
+
+// dialPeer connects to rank peer and performs the identity handshake.
+func dialPeer(cfg NetConfig, worldID uint64, peer int, addr string) (net.Conn, error) {
+	c, err := dialRetry(cfg, addr)
+	if err != nil {
+		return nil, fmt.Errorf("mesh dial rank %d at %s: %w", peer, addr, err)
+	}
+	_ = c.SetDeadline(time.Now().Add(cfg.RendezvousTimeout))
+	var mu sync.Mutex
+	hello := netFrame{kind: framePeerHello, worldID: worldID, rank: cfg.Rank, peer: peer}
+	if err := writeFrame(c, &mu, cfg.RendezvousTimeout, &hello); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("mesh handshake with rank %d: %w", peer, err)
+	}
+	f, err := readFrame(c, cfg.RendezvousTimeout)
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("mesh handshake reply from rank %d: %w", peer, err)
+	}
+	if f.kind == frameReject {
+		c.Close()
+		return nil, fmt.Errorf("mesh handshake rejected by rank %d: %s", peer, f.reason)
+	}
+	if f.kind != framePeerOK {
+		c.Close()
+		return nil, fmt.Errorf("mesh handshake reply kind 0x%02x from rank %d", f.kind, peer)
+	}
+	_ = c.SetDeadline(time.Time{})
+	return c, nil
+}
+
+// acceptPeer verifies one inbound mesh connection: world id, addressed-to
+// rank, dialing rank in range and not yet connected. Invalid connections
+// are answered with a reject frame and closed.
+func acceptPeer(cfg NetConfig, c net.Conn, worldID uint64, conns []net.Conn) (int, error) {
+	_ = c.SetDeadline(time.Now().Add(cfg.RendezvousTimeout))
+	var mu sync.Mutex
+	reject := func(reason string) (int, error) {
+		f := netFrame{kind: frameReject, reason: reason}
+		_ = writeFrame(c, &mu, cfg.RendezvousTimeout, &f)
+		c.Close()
+		return 0, errors.New(reason)
+	}
+	f, err := readFrame(c, cfg.RendezvousTimeout)
+	if err != nil {
+		c.Close()
+		return 0, err
+	}
+	if f.kind != framePeerHello {
+		return reject(fmt.Sprintf("expected peer hello, got frame kind 0x%02x", f.kind))
+	}
+	if f.worldID != worldID {
+		return reject("world id mismatch (connection from a different job?)")
+	}
+	if f.peer != cfg.Rank {
+		return reject(fmt.Sprintf("connection addressed to rank %d, this is rank %d", f.peer, cfg.Rank))
+	}
+	if f.rank <= cfg.Rank || f.rank >= cfg.Size {
+		return reject(fmt.Sprintf("unexpected dialing rank %d (accepting ranks %d..%d)", f.rank, cfg.Rank+1, cfg.Size-1))
+	}
+	if conns[f.rank] != nil {
+		return reject(fmt.Sprintf("rank %d is already connected (duplicate identity)", f.rank))
+	}
+	ok := netFrame{kind: framePeerOK}
+	if err := writeFrame(c, &mu, cfg.RendezvousTimeout, &ok); err != nil {
+		c.Close()
+		return 0, err
+	}
+	_ = c.SetDeadline(time.Time{})
+	return f.rank, nil
+}
+
+// dialRetry dials addr with capped exponential backoff and ±20% jitter.
+func dialRetry(cfg NetConfig, addr string) (net.Conn, error) {
+	var lastErr error
+	backoff := cfg.DialBackoff
+	for attempt := 0; attempt < cfg.DialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(jitter(backoff))
+			if backoff *= 2; backoff > cfg.DialMaxBackoff {
+				backoff = cfg.DialMaxBackoff
+			}
+		}
+		c, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%d attempts: %w", cfg.DialAttempts, lastErr)
+}
+
+// jitter spreads d by ±20% so restarting ranks do not dial in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	spread := int64(d) / 5
+	return d - time.Duration(spread) + time.Duration(rand.Int64N(2*spread+1))
+}
+
+// writeFrame encodes f and writes it (length-prefixed, one Write call)
+// under the connection's write lock with a bounded deadline.
+func writeFrame(c net.Conn, mu *sync.Mutex, timeout time.Duration, f *netFrame) error {
+	buf := wire.GetBytes(256)
+	buf = append(buf, 0, 0, 0, 0) // length prefix placeholder
+	buf, err := appendFrame(buf, f)
+	if err != nil {
+		wire.PutBytes(buf)
+		return err
+	}
+	n := len(buf) - 4
+	if n > maxFrameBytes {
+		wire.PutBytes(buf)
+		return &CodecError{Op: "encode", Msg: fmt.Sprintf("frame of %d bytes exceeds limit", n)}
+	}
+	buf[0] = byte(n)
+	buf[1] = byte(n >> 8)
+	buf[2] = byte(n >> 16)
+	buf[3] = byte(n >> 24)
+	mu.Lock()
+	if timeout > 0 {
+		_ = c.SetWriteDeadline(time.Now().Add(timeout))
+	}
+	_, werr := c.Write(buf)
+	mu.Unlock()
+	wire.PutBytes(buf)
+	return werr
+}
+
+// readFrame reads one length-prefixed frame with a bounded deadline and
+// decodes it. The scratch buffer is pooled; decoded values never alias it.
+func readFrame(c net.Conn, timeout time.Duration) (*netFrame, error) {
+	if timeout > 0 {
+		_ = c.SetReadDeadline(time.Now().Add(timeout))
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return nil, err
+	}
+	length := int(hdr[0]) | int(hdr[1])<<8 | int(hdr[2])<<16 | int(hdr[3])<<24
+	if length < 0 || length > maxFrameBytes {
+		return nil, decErr("frame length %d out of range", length)
+	}
+	buf := wire.GetBytes(length)[:length]
+	if _, err := io.ReadFull(c, buf); err != nil {
+		wire.PutBytes(buf)
+		return nil, err
+	}
+	f, err := decodeFrame(buf)
+	wire.PutBytes(buf)
+	return f, err
+}

@@ -1,0 +1,115 @@
+// Process supervision for multi-process worlds: the launcher side of the
+// TCP backend. SuperviseRanks babysits one OS process per rank and turns
+// "a rank died" into a prompt, typed-looking diagnostic at the launcher —
+// the process-level mirror of the in-world DeliveryError story. When any
+// rank fails, its peers fail fast on their own (EOF or heartbeat timeout),
+// so the supervisor only grants a short grace for those diagnostics to
+// print before killing stragglers.
+
+package comm
+
+import (
+	"fmt"
+	"os/exec"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RankProc is one spawned rank process under supervision. The caller builds
+// the Cmd (binary, args, stdio plumbing); SuperviseRanks starts and reaps it.
+type RankProc struct {
+	Rank int
+	Cmd  *exec.Cmd
+}
+
+// RankFailure records how one supervised rank exited.
+type RankFailure struct {
+	Rank   int
+	Err    error
+	Killed bool // terminated by the supervisor, not a failure of its own
+}
+
+// LaunchError aggregates every abnormal rank exit from one supervised run.
+type LaunchError struct {
+	Failures []RankFailure
+}
+
+// Error implements error, naming every failed rank.
+func (e *LaunchError) Error() string {
+	parts := make([]string, 0, len(e.Failures))
+	for _, f := range e.Failures {
+		if f.Killed {
+			parts = append(parts, fmt.Sprintf("rank %d: killed by supervisor after peer failure", f.Rank))
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("rank %d: %v", f.Rank, f.Err))
+	}
+	return "comm: launch failed: " + strings.Join(parts, "; ")
+}
+
+// SuperviseRanks starts every rank process and waits for the world to
+// finish. All ranks exiting cleanly returns nil. On the first abnormal
+// exit the supervisor waits up to grace for the remaining ranks to fail on
+// their own (printing their DeliveryError diagnostics), then kills any
+// stragglers, and returns a *LaunchError naming every failed rank.
+func SuperviseRanks(procs []*RankProc, grace time.Duration) error {
+	if grace <= 0 {
+		grace = 10 * time.Second
+	}
+	running := make(map[int]*RankProc, len(procs))
+	for _, p := range procs {
+		if p.Cmd.Process != nil {
+			// Already started by the caller (e.g. to print the pid).
+			running[p.Rank] = p
+			continue
+		}
+		if err := p.Cmd.Start(); err != nil {
+			for r := range running {
+				_ = running[r].Cmd.Process.Kill()
+				_ = running[r].Cmd.Wait()
+			}
+			return &LaunchError{Failures: []RankFailure{{Rank: p.Rank, Err: fmt.Errorf("start: %w", err)}}}
+		}
+		running[p.Rank] = p
+	}
+
+	type exit struct {
+		rank int
+		err  error
+	}
+	exits := make(chan exit, len(procs))
+	for _, p := range procs {
+		go func(p *RankProc) { exits <- exit{p.Rank, p.Cmd.Wait()} }(p)
+	}
+
+	var failures []RankFailure
+	killed := make(map[int]bool)
+	var graceC <-chan time.Time
+	for done := 0; done < len(procs); {
+		select {
+		case e := <-exits:
+			done++
+			delete(running, e.rank)
+			if e.err != nil {
+				failures = append(failures, RankFailure{Rank: e.rank, Err: e.err, Killed: killed[e.rank]})
+				if graceC == nil {
+					t := time.NewTimer(grace)
+					defer t.Stop()
+					graceC = t.C
+				}
+			}
+		case <-graceC:
+			graceC = nil
+			for rank, p := range running {
+				killed[rank] = true
+				_ = p.Cmd.Process.Kill()
+			}
+		}
+	}
+	if len(failures) == 0 {
+		return nil
+	}
+	sort.Slice(failures, func(i, j int) bool { return failures[i].Rank < failures[j].Rank })
+	return &LaunchError{Failures: failures}
+}

@@ -1,0 +1,197 @@
+// The rendezvous coordinator: the single well-known address a TCP world
+// starts from. Every rank dials it, announces its identity and mesh listen
+// address, and receives the full membership table plus a fresh random world
+// id that the mesh handshakes verify, so connections from a different job
+// (or a stale restart) can never be spliced into this world.
+//
+// The coordinator is deliberately dumb: it never carries data traffic and
+// exits once the table is broadcast. Robustness obligations: reject
+// malformed registrations (bad rank, wrong world size, duplicate identity)
+// with a reason the rank can report, and fail loudly — naming the missing
+// ranks — when the world does not assemble within the timeout.
+
+package comm
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Coordinator is the rendezvous service for one world launch.
+type Coordinator struct {
+	ln      net.Listener
+	size    int
+	timeout time.Duration
+	worldID uint64
+
+	closeOnce sync.Once
+}
+
+// StartCoordinator binds the rendezvous listener for a world of p ranks.
+// timeout bounds the whole assembly (zero takes the NetConfig default).
+// Serve must be called to actually assemble the world.
+func StartCoordinator(addr string, p int, timeout time.Duration) (*Coordinator, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("comm: coordinator for world of %d ranks", p)
+	}
+	if timeout <= 0 {
+		timeout = NetConfig{}.withNetDefaults().RendezvousTimeout
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("comm: coordinator listen on %q: %w", addr, err)
+	}
+	var idb [8]byte
+	if _, err := crand.Read(idb[:]); err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("comm: coordinator world id: %w", err)
+	}
+	return &Coordinator{
+		ln:      ln,
+		size:    p,
+		timeout: timeout,
+		worldID: binary.LittleEndian.Uint64(idb[:]),
+	}, nil
+}
+
+// Addr returns the address ranks must be pointed at (NetConfig.Coordinator).
+func (co *Coordinator) Addr() string { return co.ln.Addr().String() }
+
+// Close releases the listener. Safe to call concurrently with Serve (it
+// aborts a pending assembly) and after it.
+func (co *Coordinator) Close() {
+	co.closeOnce.Do(func() { co.ln.Close() })
+}
+
+// Serve assembles the world: it accepts registrations until every rank has
+// reported, then broadcasts the membership table and returns nil. Invalid
+// registrations are answered with a reject frame and do not poison the
+// assembly. If the world is incomplete when the timeout passes, Serve
+// returns an error naming the missing ranks.
+func (co *Coordinator) Serve() error {
+	deadline := time.Now().Add(co.timeout)
+	addrs := make([]string, co.size)
+	conns := make([]net.Conn, co.size)
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	registered := 0
+	for registered < co.size {
+		if tl, ok := co.ln.(*net.TCPListener); ok {
+			_ = tl.SetDeadline(deadline)
+		}
+		c, err := co.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("comm: rendezvous incomplete: %w (missing ranks: %s)",
+				err, missingRanks(conns))
+		}
+		rank, addr, err := co.register(c, conns)
+		if err != nil {
+			// The offender was told why and closed; keep assembling.
+			continue
+		}
+		conns[rank] = c
+		addrs[rank] = addr
+		registered++
+	}
+	welcome := netFrame{kind: frameWelcome, worldID: co.worldID, size: co.size, addrs: addrs}
+	var firstErr error
+	for rank, c := range conns {
+		var mu sync.Mutex
+		if err := writeFrame(c, &mu, co.timeout, &welcome); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("comm: rendezvous welcome to rank %d: %w", rank, err)
+		}
+	}
+	// Stragglers dialing after assembly (duplicate identities that lost the
+	// race, restarted ranks, crossed jobs) get an explicit rejection instead
+	// of waiting out their timeout against a silent socket.
+	go co.rejectStragglers()
+	return firstErr
+}
+
+// rejectStragglers answers every post-assembly registration with a reject
+// frame until the listener is closed.
+func (co *Coordinator) rejectStragglers() {
+	for {
+		if tl, ok := co.ln.(*net.TCPListener); ok {
+			_ = tl.SetDeadline(time.Time{})
+		}
+		c, err := co.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			_ = c.SetDeadline(time.Now().Add(2 * time.Second))
+			if _, err := readFrame(c, 2*time.Second); err != nil {
+				return
+			}
+			var mu sync.Mutex
+			f := netFrame{kind: frameReject, reason: "world already assembled (late or duplicate registration)"}
+			_ = writeFrame(c, &mu, 2*time.Second, &f)
+		}(c)
+	}
+}
+
+// register validates one inbound registration. Invalid ones get a reject
+// frame with the reason and are closed.
+func (co *Coordinator) register(c net.Conn, conns []net.Conn) (int, string, error) {
+	_ = c.SetDeadline(time.Now().Add(co.timeout))
+	var mu sync.Mutex
+	reject := func(reason string) (int, string, error) {
+		f := netFrame{kind: frameReject, reason: reason}
+		_ = writeFrame(c, &mu, co.timeout, &f)
+		c.Close()
+		return 0, "", fmt.Errorf("comm: rendezvous rejected registration: %s", reason)
+	}
+	f, err := readFrame(c, co.timeout)
+	if err != nil {
+		c.Close()
+		return 0, "", fmt.Errorf("comm: rendezvous registration read: %w", err)
+	}
+	if f.kind != frameHello {
+		return reject(fmt.Sprintf("expected hello, got frame kind 0x%02x", f.kind))
+	}
+	if f.size != co.size {
+		return reject(fmt.Sprintf("world size mismatch: rank built for P=%d, coordinator assembling P=%d", f.size, co.size))
+	}
+	if f.rank < 0 || f.rank >= co.size {
+		return reject(fmt.Sprintf("invalid rank %d (world has ranks 0..%d)", f.rank, co.size-1))
+	}
+	if conns[f.rank] != nil {
+		return reject(fmt.Sprintf("rank %d already registered (duplicate identity)", f.rank))
+	}
+	if f.addr == "" {
+		return reject(fmt.Sprintf("rank %d registered with no mesh address", f.rank))
+	}
+	return f.rank, f.addr, nil
+}
+
+// missingRanks renders the not-yet-registered ranks for the timeout error.
+func missingRanks(conns []net.Conn) string {
+	var missing []int
+	for i, c := range conns {
+		if c == nil {
+			missing = append(missing, i)
+		}
+	}
+	sort.Ints(missing)
+	parts := make([]string, len(missing))
+	for i, r := range missing {
+		parts[i] = fmt.Sprint(r)
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ", ")
+}

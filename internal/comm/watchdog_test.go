@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -97,6 +98,53 @@ func TestWatchdogReportsAllBlockedRanks(t *testing.T) {
 			r.Recv(src, TagUser+1)
 		})
 	})
+}
+
+// TestEnvWatchdogParsing: every shape of PICPAR_WATCHDOG resolves as
+// documented, and malformed values are rejected loudly — a warning naming
+// the bad value, then the fallback — never a silent fallback.
+func TestEnvWatchdogParsing(t *testing.T) {
+	const fallback = 10 * time.Second
+	cases := []struct {
+		env  string
+		want time.Duration
+		warn bool
+	}{
+		{"", fallback, false},
+		{"0", 0, false},
+		{"off", 0, false},
+		{"30s", 30 * time.Second, false},
+		{"1m30s", 90 * time.Second, false},
+		{"bogus", fallback, true},
+		{"12", fallback, true},    // missing unit — ParseDuration rejects it
+		{"-5s", fallback, true},   // negative: use "0"/"off" to disable
+		{"5 sec", fallback, true}, // spaces and spelled-out units
+		{"\t10s", fallback, true}, // leading whitespace is not trimmed
+	}
+	origWarnf := warnf
+	defer func() { warnf = origWarnf }()
+	for _, tc := range cases {
+		var warnings []string
+		warnf = func(format string, args ...any) {
+			warnings = append(warnings, fmt.Sprintf(format, args...))
+		}
+		t.Setenv("PICPAR_WATCHDOG", tc.env)
+		got := EnvWatchdog(fallback)
+		if got != tc.want {
+			t.Errorf("PICPAR_WATCHDOG=%q: got %v, want %v", tc.env, got, tc.want)
+		}
+		if tc.warn && len(warnings) == 0 {
+			t.Errorf("PICPAR_WATCHDOG=%q: malformed value accepted silently", tc.env)
+		}
+		if !tc.warn && len(warnings) != 0 {
+			t.Errorf("PICPAR_WATCHDOG=%q: unexpected warning %q", tc.env, warnings[0])
+		}
+		for _, w := range warnings {
+			if !strings.Contains(w, fmt.Sprintf("%q", tc.env)) || !strings.Contains(w, "PICPAR_WATCHDOG") {
+				t.Errorf("warning %q does not name the variable and bad value", w)
+			}
+		}
+	}
 }
 
 // TestWatchdogDisabledByDefault: an unarmed world behaves exactly as

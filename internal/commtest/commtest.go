@@ -42,3 +42,26 @@ func Launch(p int, params machine.Params, fn func(comm.Transport)) machine.World
 	defer w.Close()
 	return w.Run(fn)
 }
+
+// NetTemplate returns a NetConfig template for tests over the loopback TCP
+// backend: the test watchdog armed and the failure-detection timeouts
+// tightened so failure-path tests finish in seconds while staying far above
+// scheduler noise.
+func NetTemplate(params machine.Params) comm.NetConfig {
+	return comm.NetConfig{
+		Params:            params,
+		Watchdog:          Watchdog(),
+		DialTimeout:       time.Second,
+		DialBackoff:       10 * time.Millisecond,
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  5 * time.Second,
+		DrainTimeout:      5 * time.Second,
+		RendezvousTimeout: 20 * time.Second,
+	}
+}
+
+// LaunchNet runs fn as a p-rank world over real loopback TCP sockets (one
+// coordinator plus p NetRank endpoints in-process), watchdog armed.
+func LaunchNet(p int, params machine.Params, fn func(comm.Transport)) (machine.WorldStats, []error) {
+	return comm.LaunchLoopback(NetTemplate(params), p, nil, fn)
+}

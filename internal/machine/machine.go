@@ -12,7 +12,10 @@
 // which is what the paper reports.
 package machine
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Params holds the two-level machine model constants. All times are in
 // seconds.
@@ -120,3 +123,30 @@ func (c *SimClock) AdvanceTo(t float64) {
 
 // Reset implements Clock.
 func (c *SimClock) Reset() { c.now = 0 }
+
+// WallClock is the wall-clock execution mode: Now is the real elapsed time
+// since construction (or the last Reset). Modelled charges are no-ops —
+// when a send takes real time, real time has already passed — so the same
+// rank code runs unchanged while the clock reports what the hardware
+// actually did. The stats ledgers still accumulate modelled τ/μ/δ prices,
+// which is deliberate: comparing the modelled ledger against wall-clock
+// Now is exactly how the cost model gets calibrated.
+type WallClock struct {
+	start time.Time
+}
+
+// NewWallClock returns a wall clock whose zero is now.
+func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
+
+// Now implements Clock: seconds of real time since the epoch of the clock.
+func (c *WallClock) Now() float64 { return time.Since(c.start).Seconds() }
+
+// Advance implements Clock as a no-op: real time passes on its own.
+func (c *WallClock) Advance(d float64) {}
+
+// AdvanceTo implements Clock as a no-op: causality is physical — a message
+// genuinely cannot be read before it was sent.
+func (c *WallClock) AdvanceTo(t float64) {}
+
+// Reset implements Clock by rebasing the epoch to now.
+func (c *WallClock) Reset() { c.start = time.Now() }

@@ -1,0 +1,53 @@
+package machine
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWallClockTracksRealTime: Now reports real elapsed seconds,
+// monotonically, and Reset rebases the epoch back to ~zero.
+func TestWallClockTracksRealTime(t *testing.T) {
+	c := NewWallClock()
+	t0 := c.Now()
+	if t0 < 0 {
+		t.Fatalf("fresh wall clock reads %v, want >= 0", t0)
+	}
+	time.Sleep(20 * time.Millisecond)
+	t1 := c.Now()
+	if t1 <= t0 {
+		t.Fatalf("wall clock did not advance: %v then %v", t0, t1)
+	}
+	if t1 < 0.015 {
+		t.Fatalf("after 20ms sleep the clock reads %v s, want >= 0.015", t1)
+	}
+	c.Reset()
+	if r := c.Now(); r >= t1 {
+		t.Fatalf("Reset did not rebase the epoch: %v (was %v)", r, t1)
+	}
+}
+
+// TestWallClockChargesAreNoOps: the modelled charges must not move a wall
+// clock — real time passes on its own — so rank code charging τ/μ/δ runs
+// unchanged in wall-clock mode without double-counting.
+func TestWallClockChargesAreNoOps(t *testing.T) {
+	c := NewWallClock()
+	before := c.Now()
+	c.Advance(1e6)
+	c.AdvanceTo(1e9)
+	after := c.Now()
+	// Only real time may have passed between the two reads.
+	if after-before > 1 {
+		t.Fatalf("modelled charges moved the wall clock by %v s", after-before)
+	}
+	if after >= 1e6 {
+		t.Fatalf("Advance leaked into wall time: Now = %v", after)
+	}
+}
+
+// TestWallClockSatisfiesClock pins the interface contract at compile time
+// alongside SimClock.
+func TestWallClockSatisfiesClock(t *testing.T) {
+	var _ Clock = NewWallClock()
+	var _ Clock = NewSimClock()
+}

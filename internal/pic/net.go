@@ -1,0 +1,47 @@
+// RunNet: one OS process's rank of a simulation over the TCP transport
+// backend. The launcher/coordinator side lives in comm (StartCoordinator,
+// SuperviseRanks) and cmd/picsim; this is the piece every rank process
+// calls after parsing its flags.
+
+package pic
+
+import (
+	"picpar/internal/comm"
+	"picpar/internal/machine"
+)
+
+// RunNet joins the TCP world described by ncfg and runs this process's rank
+// of the configured simulation. The world size comes from ncfg; cfg.P is
+// overridden. cfg.Transport (the decorator chain) wraps the TCP endpoint
+// exactly as it wraps goroutine ranks, so the chaos stack composes
+// unchanged. Returns rank 0's Result, or (nil, nil) on other ranks; any
+// rank failure — including a peer dying mid-run — comes back as an error
+// (never a hang, bounded by the backend's timeouts).
+func RunNet(ncfg comm.NetConfig, cfg Config) (*Result, error) {
+	if cfg.CustomParticles != nil {
+		cfg.NumParticles = cfg.CustomParticles.Len()
+		if cfg.CustomParticles.Charge != 0 {
+			cfg.MacroCharge = cfg.CustomParticles.Charge
+		}
+	}
+	cfg.P = ncfg.Size
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if ncfg.Params == (machine.Params{}) {
+		ncfg.Params = cfg.Machine
+	}
+	if ncfg.Watchdog <= 0 {
+		ncfg.Watchdog = cfg.Watchdog
+	}
+	var res *Result
+	_, err := comm.NetRank(ncfg, cfg.Transport, func(t comm.Transport) {
+		r, rerr := RunRank(t, cfg)
+		if rerr != nil {
+			panic(rerr)
+		}
+		res = r
+	})
+	return res, err
+}

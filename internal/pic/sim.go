@@ -60,12 +60,63 @@ func Run(cfg Config) (*Result, error) {
 	ws := w.RunWrapped(cfg.Transport, func(r comm.Transport) {
 		runRank(r, cfg, ge, res)
 	})
+	res.finalize(cfg.P, ws)
+	return res, nil
+}
+
+// RunRank executes one rank of the configured simulation over an existing
+// Transport endpoint — the multi-process counterpart of Run, used when each
+// rank is its own OS process joined over the TCP backend (comm.NetRank).
+// cfg.P is taken from the transport; cfg.Transport (the decorator) is
+// ignored because wrapping is the endpoint creator's job. All ranks
+// participate fully, but only rank 0 returns a non-nil Result; the others
+// return (nil, nil) on success.
+func RunRank(t comm.Transport, cfg Config) (*Result, error) {
+	if cfg.CustomParticles != nil {
+		cfg.NumParticles = cfg.CustomParticles.Len()
+		if cfg.CustomParticles.Charge != 0 {
+			cfg.MacroCharge = cfg.CustomParticles.Charge
+		}
+	}
+	cfg.P = t.Size()
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ge, err := newGeometry(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Config: cfg, Records: make([]IterationRecord, cfg.Iterations)}
+	runRank(t, cfg, ge, res)
+	// Gather every rank's ledger so rank 0 can report world aggregates.
+	// This runs after runRank measured TotalTime, so the extra exchange
+	// cannot perturb the goldens.
+	vals := t.Expose(t.Stats().Snapshot())
+	if t.Rank() != 0 {
+		return nil, nil
+	}
+	ws := machine.WorldStats{Ranks: make([]machine.Stats, t.Size())}
+	for i, v := range vals {
+		st, ok := v.(machine.Stats)
+		if !ok {
+			return nil, fmt.Errorf("pic: rank %d published %T instead of its stats ledger", i, v)
+		}
+		ws.Ranks[i] = st
+	}
+	res.finalize(cfg.P, ws)
+	return res, nil
+}
+
+// finalize fills the aggregate figures derived from the per-rank ledgers
+// and the iteration records.
+func (res *Result) finalize(p int, ws machine.WorldStats) {
 	res.Stats = ws
 	res.ComputeSum = ws.TotalCompute()
 	res.ComputeMax = ws.MaxCompute()
 	res.Overhead = res.TotalTime - res.ComputeMax
 	if res.TotalTime > 0 {
-		res.Efficiency = res.ComputeSum / (float64(cfg.P) * res.TotalTime)
+		res.Efficiency = res.ComputeSum / (float64(p) * res.TotalTime)
 	}
 	for i := range res.Records {
 		if res.Records[i].Redistributed {
@@ -77,7 +128,6 @@ func Run(cfg Config) (*Result, error) {
 			res.WastedRedistTime += res.Records[i].RedistTime
 		}
 	}
-	return res, nil
 }
 
 // newGeometry builds the run's Geometry: the BLOCK mesh distribution with

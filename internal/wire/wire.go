@@ -21,6 +21,9 @@ import "sync"
 var bufPool sync.Pool // *[]float64 with usable backing arrays
 var hdrPool sync.Pool // spare *[]float64 headers (nil contents)
 
+var bytePool sync.Pool    // *[]byte with usable backing arrays
+var byteHdrPool sync.Pool // spare *[]byte headers (nil contents)
+
 // Get returns a zero-length buffer with capacity at least capHint. The
 // buffer comes from the pool when possible; a pooled buffer that is too
 // small is grown (and the grown version is what eventually returns to the
@@ -51,4 +54,36 @@ func Put(buf []float64) {
 	}
 	*h = buf[:0]
 	bufPool.Put(h)
+}
+
+// GetBytes returns a zero-length byte buffer with capacity at least capHint,
+// recycled through the same double-pool scheme as the float buffers. The
+// network codec uses these as encode/decode scratch so steady-state framing
+// allocates nothing.
+func GetBytes(capHint int) []byte {
+	h, _ := bytePool.Get().(*[]byte)
+	if h == nil {
+		return make([]byte, 0, capHint)
+	}
+	b := *h
+	*h = nil
+	byteHdrPool.Put(h)
+	if cap(b) < capHint {
+		return make([]byte, 0, capHint)
+	}
+	return b[:0]
+}
+
+// PutBytes returns a byte buffer to the pool. The caller must not use buf
+// afterwards. Nil and zero-capacity buffers are dropped.
+func PutBytes(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	h, _ := byteHdrPool.Get().(*[]byte)
+	if h == nil {
+		h = new([]byte)
+	}
+	*h = buf[:0]
+	bytePool.Put(h)
 }

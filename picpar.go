@@ -36,6 +36,8 @@
 package picpar
 
 import (
+	"time"
+
 	"picpar/internal/comm"
 	"picpar/internal/machine"
 	"picpar/internal/mesh"
@@ -166,3 +168,55 @@ type Tracer = comm.Tracer
 
 // NewTracer builds a traffic-tracing transport decorator.
 func NewTracer() *Tracer { return comm.NewTracer() }
+
+// TransportError is the structural-misuse failure of the comm layer:
+// invalid ranks, operations on a torn-down endpoint, unencodable message
+// bodies. It marks a programming error and is never retried.
+type TransportError = comm.TransportError
+
+// RankPanic wraps a panic that escaped one rank's function — including the
+// typed DeliveryError/TransportError panics of the transport — so the
+// launcher can report which rank failed and why.
+type RankPanic = comm.RankPanic
+
+// NetConfig describes one rank's endpoint of a TCP-backed world: the
+// coordinator address, rank identity, cost-model constants, and the
+// supervision timeouts (dial retry/backoff, heartbeats, drain).
+type NetConfig = comm.NetConfig
+
+// Coordinator is the rendezvous service a TCP world assembles through.
+type Coordinator = comm.Coordinator
+
+// RankProc is one spawned rank process under launcher supervision.
+type RankProc = comm.RankProc
+
+// LaunchError aggregates the abnormal rank exits of one supervised launch.
+type LaunchError = comm.LaunchError
+
+// StartCoordinator binds the rendezvous listener for a world of p ranks
+// with the default assembly timeout; call Serve to assemble the world.
+func StartCoordinator(addr string, p int) (*Coordinator, error) {
+	return comm.StartCoordinator(addr, p, 0)
+}
+
+// SuperviseRanks starts (if needed) and babysits one OS process per rank:
+// on the first abnormal exit it grants the grace period for peers to print
+// their own diagnostics, kills stragglers, and returns a *LaunchError
+// naming every failed rank.
+func SuperviseRanks(procs []*RankProc, grace time.Duration) error {
+	return comm.SuperviseRanks(procs, grace)
+}
+
+// RunNet runs this process's rank of the configured simulation over the
+// TCP backend (see NetConfig). Rank 0 returns the Result; other ranks
+// return (nil, nil) on success.
+func RunNet(ncfg NetConfig, cfg Config) (*Result, error) { return pic.RunNet(ncfg, cfg) }
+
+// NetRank joins a TCP world and runs fn as this process's rank, with
+// crash-safe teardown; see comm.NetRank.
+func NetRank(ncfg NetConfig, wrap func(Transport) Transport, fn func(Transport)) (machine.Stats, error) {
+	return comm.NetRank(ncfg, wrap, fn)
+}
+
+// MachineStats is one rank's per-phase time and traffic ledger.
+type MachineStats = machine.Stats

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Full CI gate: vet, build, plain tests, race-enabled tests, the chaos soak
 # (seeded fault plans through the Reliable stack, 2-D and 3-D), the
-# per-phase traffic regression gate, the 2-D and 3-D golden pins, an
+# per-phase traffic regression gate, the 2-D and 3-D golden pins, the
+# multi-process TCP smoke (loopback golden + kill -9 crash detection), an
 # examples smoke run, and a short benchmark smoke run that exercises the
 # radix sort and allocation assertions.
 set -eu
@@ -17,7 +18,9 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race =="
-go test -race ./...
+# internal/experiments alone takes ~9m under the race detector on an idle
+# machine; the default per-package 10m limit leaves no headroom.
+go test -race -timeout 30m ./...
 
 echo "== chaos soak (2-D and 3-D) =="
 go test -count=1 -run 'TestChaos' ./internal/comm/ ./internal/pic/
@@ -28,12 +31,16 @@ go test -count=1 -run 'TestGolden' ./internal/pic/
 echo "== 3-D smoke =="
 go run ./cmd/picsim -dim 3 -mesh 16x16x16 -n 4096 -p 8 -iters 10 -dist irregular -policy dynamic >/dev/null
 
+echo "== net smoke (multi-process TCP golden + crash detection) =="
+sh scripts/netsmoke.sh
+
 echo "== traffic gate =="
 go run ./cmd/picbench -traffic
 
 echo "== examples smoke =="
 go run ./examples/quickstart >/dev/null
 go run ./examples/quickstart3d >/dev/null
+go run ./examples/netquickstart >/dev/null
 go run ./examples/indexing >/dev/null
 
 echo "== bench smoke =="

@@ -1,0 +1,80 @@
+#!/bin/sh
+# Multi-process network smoke: the acceptance gates for the TCP transport.
+#
+#  1. Golden gate — 4 OS processes over loopback TCP must reproduce the
+#     2-D golden TotalTime 1.1831223 byte-identically to the in-process
+#     goroutine backend.
+#  2. Crash gate — kill -9 one rank mid-run; the coordinator process must
+#     exit nonzero with a typed delivery diagnostic within a bounded
+#     window, never hang.
+set -eu
+cd "$(dirname "$0")/.."
+
+BIN="$(mktemp -d)/picsim"
+trap 'rm -rf "$(dirname "$BIN")"' EXIT
+go build -o "$BIN" ./cmd/picsim
+
+echo "== net golden: 4 processes over loopback TCP =="
+OUT="$("$BIN" -net 127.0.0.1:0 -verify \
+	-mesh 32x16 -n 2048 -p 4 -iters 10 -dist irregular -seed 7 -policy static)"
+echo "$OUT" | grep -q 'TotalTime 1\.1831223' || {
+	echo "FAIL: net golden mismatch; output was:" >&2
+	echo "$OUT" >&2
+	exit 1
+}
+echo "golden TotalTime 1.1831223 reproduced over TCP"
+
+echo "== net crash: kill -9 one rank, expect typed failure =="
+LOG="$(dirname "$BIN")/crash.log"
+# Long enough that the kill lands mid-simulation on any machine.
+"$BIN" -net 127.0.0.1:0 -mesh 128x64 -n 16384 -p 4 -iters 2000 \
+	-dist irregular -seed 7 -policy static >"$LOG" 2>&1 &
+COORD=$!
+
+# The launcher prints "picsim: rank K pid N" to stderr as each rank starts.
+VICTIM=""
+i=0
+while [ $i -lt 100 ]; do
+	VICTIM="$(sed -n 's/^picsim: rank 2 pid \([0-9][0-9]*\)$/\1/p' "$LOG")"
+	[ -n "$VICTIM" ] && break
+	i=$((i + 1))
+	sleep 0.1
+done
+if [ -z "$VICTIM" ]; then
+	echo "FAIL: rank 2 pid never appeared in launcher output" >&2
+	kill "$COORD" 2>/dev/null || true
+	cat "$LOG" >&2
+	exit 1
+fi
+sleep 0.5 # let the ranks get into the iteration loop
+kill -9 "$VICTIM"
+KILLED_AT=$(date +%s)
+
+# The coordinator must exit on its own — nonzero — within the failure
+# detection budget (peer EOF is near-instant; heartbeat timeout bounds the
+# worst case at 10s; supervision grace adds 15s).
+STATUS=0
+wait "$COORD" || STATUS=$?
+ELAPSED=$(($(date +%s) - KILLED_AT))
+if [ "$STATUS" -eq 0 ]; then
+	echo "FAIL: coordinator exited 0 after a rank was killed" >&2
+	cat "$LOG" >&2
+	exit 1
+fi
+if [ "$ELAPSED" -gt 30 ]; then
+	echo "FAIL: coordinator took ${ELAPSED}s to notice the dead rank" >&2
+	exit 1
+fi
+grep -q 'delivery failed' "$LOG" || {
+	echo "FAIL: no typed delivery diagnostic in output:" >&2
+	cat "$LOG" >&2
+	exit 1
+}
+grep -q 'signal: killed' "$LOG" || {
+	echo "FAIL: launch error does not attribute the killed rank:" >&2
+	cat "$LOG" >&2
+	exit 1
+}
+echo "killed rank diagnosed in ${ELAPSED}s with a typed DeliveryError"
+
+echo "NET SMOKE OK"
