@@ -9,6 +9,7 @@ package picpar_test
 import (
 	"io"
 	"math/rand"
+	"runtime"
 	"sort"
 	"testing"
 
@@ -141,6 +142,59 @@ func BenchmarkSimulationIteration3D(b *testing.B) {
 		Iterations:   b.N,
 		Policy:       picpar.PeriodicPolicy(25),
 	}
+	b.ResetTimer()
+	res, err := picpar.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if b.N > 0 {
+		b.ReportMetric(res.TotalTime/float64(b.N), "sim-s/iter")
+	}
+}
+
+// BenchmarkSimulationIterationWorkers4 is BenchmarkSimulationIteration with
+// the physics kernels spread over 4 shared-memory workers per rank. The
+// simulated time is identical by construction (the cost model is
+// worker-count-invariant); the wall time and allocs/op show what the pool
+// costs on this host. Steady state must stay allocation-light: the pool
+// goroutines are pre-spawned and the deposition buckets are reused.
+func BenchmarkSimulationIterationWorkers4(b *testing.B) {
+	cfg := picpar.Config{
+		Grid:         picpar.NewGrid(64, 32),
+		P:            8,
+		NumParticles: 8192,
+		Distribution: picpar.DistIrregular,
+		Seed:         1,
+		Iterations:   b.N,
+		Policy:       picpar.PeriodicPolicy(25),
+		Workers:      4,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	res, err := picpar.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if b.N > 0 {
+		b.ReportMetric(res.TotalTime/float64(b.N), "sim-s/iter")
+	}
+}
+
+// BenchmarkSimulationIteration3DWorkers4 is the 3-D counterpart: trilinear
+// footprints over the same 4-worker pool.
+func BenchmarkSimulationIteration3DWorkers4(b *testing.B) {
+	cfg := picpar.Config{
+		Dims:         3,
+		Grid3:        picpar.NewGrid3(16, 16, 16),
+		P:            8,
+		NumParticles: 8192,
+		Distribution: picpar.DistIrregular,
+		Seed:         1,
+		Iterations:   b.N,
+		Policy:       picpar.PeriodicPolicy(25),
+		Workers:      4,
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	res, err := picpar.Run(cfg)
 	if err != nil {
@@ -311,6 +365,58 @@ func TestLocalSort3DSteadyStateAllocs(t *testing.T) {
 			t.Errorf("3-D LocalSort steady state: %v allocs/op, want 0", allocs)
 		}
 	})
+}
+
+// simAllocsPerIter measures the marginal heap allocations of one PIC
+// iteration at the given worker count: two runs differing only in iteration
+// count, so setup (stores, pools, first-touch bucket growth) cancels out.
+func simAllocsPerIter(t *testing.T, workers int) float64 {
+	t.Helper()
+	run := func(iters int) uint64 {
+		cfg := picpar.Config{
+			Grid:         picpar.NewGrid(32, 16),
+			P:            2,
+			NumParticles: 1024,
+			Distribution: picpar.DistIrregular,
+			Seed:         3,
+			Iterations:   iters,
+			Policy:       picpar.StaticPolicy(),
+			Workers:      workers,
+		}
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		if _, err := picpar.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&m1)
+		return m1.Mallocs - m0.Mallocs
+	}
+	run(4) // warm the shared pools (wire buffers, sorters)
+	short, long := run(4), run(28)
+	if long < short {
+		return 0
+	}
+	return float64(long-short) / 24
+}
+
+// TestSimulationSteadyStateAllocsWorkers pins the shared-memory layer's
+// steady-state allocation discipline at the whole-simulation level: a
+// 4-worker run must not allocate meaningfully more per iteration than the
+// sequential run. The pool's goroutines are parked once at rank startup and
+// the tiled deposition buckets are truncated, never freed, so the marginal
+// cost of an iteration is worker-count-independent.
+func TestSimulationSteadyStateAllocsWorkers(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race detector distorts allocation counts")
+	}
+	seq := simAllocsPerIter(t, 1)
+	par4 := simAllocsPerIter(t, 4)
+	// Generous absolute slack: world-level bookkeeping (timer wheels, GC
+	// noise) wobbles by a few allocations per iteration in both modes.
+	if par4 > seq+32 {
+		t.Errorf("workers=4 allocates %.1f/iter, sequential %.1f/iter — parallel layer leaks per-iteration allocations", par4, seq)
+	}
 }
 
 // BenchmarkSampleSort measures a full parallel sample sort of 32768

@@ -25,13 +25,16 @@ type benchSnapshot struct {
 	Benchmarks []benchmarkEntry `json:"benchmarks"`
 }
 
-// benchmarkEntry records one benchmark line of `go test -bench`.
+// benchmarkEntry records one benchmark line of `go test -bench`, or one
+// point of the -cpu intra-rank scaling sweep (Name "CPUSweep/workers=N",
+// Cores set, throughput in Metrics).
 type benchmarkEntry struct {
 	Name        string             `json:"name"`  // e.g. "BenchmarkLocalSort-8"
 	Iters       int64              `json:"iters"` // b.N of the final run
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  float64            `json:"bytes_per_op"`
 	AllocsPerOp float64            `json:"allocs_per_op"`
+	Cores       int                `json:"cores,omitempty"`   // -cpu sweep worker count
 	Metrics     map[string]float64 `json:"metrics,omitempty"` // b.ReportMetric extras
 }
 
@@ -69,6 +72,15 @@ func runBench(dir, pattern, benchtime string, tol float64) error {
 		Benchmarks: entries,
 	}
 	path := filepath.Join(dir, "BENCH_"+snap.Date+".json")
+	// Preserve any same-day -cpu sweep entries: the two harnesses share one
+	// trajectory file per day.
+	if prev != nil && prevPath == path {
+		for _, e := range prev.Benchmarks {
+			if strings.HasPrefix(e.Name, "CPUSweep/") {
+				snap.Benchmarks = append(snap.Benchmarks, e)
+			}
+		}
+	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err

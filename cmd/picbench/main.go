@@ -47,6 +47,7 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write <exp>.csv files into (created if absent)")
 	bench := flag.Bool("bench", false, "run the perf-regression harness instead of the experiments")
 	traffic := flag.Bool("traffic", false, "run the per-phase traffic-regression gate instead of the experiments")
+	cpu := flag.String("cpu", "", "comma-separated worker counts (e.g. 1,2,4): run the intra-rank scaling sweep and record particles/sec into the bench trajectory")
 	benchDir := flag.String("bench-dir", "bench", "directory for BENCH_<date>.json snapshots")
 	benchPattern := flag.String("bench-pattern",
 		"BenchmarkLocalSort|BenchmarkSampleSort|BenchmarkIncrementalRedistribute|BenchmarkSimulationIteration",
@@ -64,6 +65,13 @@ func main() {
 	}
 	if *traffic {
 		if err := runTraffic(*benchDir); err != nil {
+			fmt.Fprintf(os.Stderr, "picbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *cpu != "" {
+		if err := runCPUSweep(*benchDir, *cpu, *full); err != nil {
 			fmt.Fprintf(os.Stderr, "picbench: %v\n", err)
 			os.Exit(1)
 		}

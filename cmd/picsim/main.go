@@ -58,6 +58,7 @@ func main() {
 	phases := flag.Bool("phases", false, "print per-phase communication/computation breakdown")
 	diag := flag.Bool("energies", false, "record and print energy diagnostics")
 	verify := flag.Bool("verify", false, "enable per-iteration invariant checking (charged compute, changes timings)")
+	procs := flag.Int("procs", 0, "shared-memory workers per rank for the physics kernels; 0 = $PICPAR_PROCS or 1 (results are byte-identical for any count)")
 	netAddr := flag.String("net", "", "run over TCP: coordinator address (host:port, port 0 picks one); launcher mode unless -rank is given")
 	rank := flag.Int("rank", -1, "with -net: join the coordinator as this rank instead of launching the world")
 	wallclock := flag.Bool("wallclock", false, "with -net: charge real elapsed time instead of the simulated cost model")
@@ -92,6 +93,7 @@ func main() {
 		Thermal:      *thermal,
 		Diagnostics:  *diag,
 		Verify:       *verify,
+		Workers:      *procs,
 	}
 	if *dim == 3 {
 		cfg.Grid3 = picpar.NewGrid3(ext[0], ext[1], ext[2])

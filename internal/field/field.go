@@ -15,6 +15,7 @@ import (
 
 	"picpar/internal/comm"
 	"picpar/internal/mesh"
+	"picpar/internal/par"
 )
 
 // Local is the field storage of one rank: the owned submesh plus a one-point
@@ -30,6 +31,33 @@ type Local struct {
 	Rho        []float64
 
 	stride int
+
+	// pool, when set, parallelises the curl sweeps over owned rows. Every
+	// grid point's update reads only the other family of components (plus
+	// J), so row ranges are write-disjoint and the result is bit-identical
+	// for any worker count. task is stored so Run calls allocate nothing.
+	pool *par.Pool
+	task sweepTask
+}
+
+// SetPool installs the shared-memory worker pool the update sweeps run on;
+// nil (or a 1-worker pool) keeps the sequential loops.
+func (l *Local) SetPool(p *par.Pool) { l.pool = p }
+
+// sweepTask is the par.Task of one curl sweep: rows [jLo, jHi) of one
+// component-family update.
+type sweepTask struct {
+	l    *Local
+	dt   float64
+	comp Components // CompE: update E from B; CompB: update B from E
+}
+
+func (t *sweepTask) Work(_, jLo, jHi int) {
+	if t.comp == CompE {
+		t.l.updateERows(t.dt, jLo, jHi)
+	} else {
+		t.l.updateBRows(t.dt, jLo, jHi)
+	}
 }
 
 // NewLocal allocates zeroed fields for the owned region of rank r under
@@ -83,8 +111,20 @@ const fieldSolveWorkPerPoint = 24
 // The B halo must be current (call ExchangeHalo with the B components
 // first). Compute cost is charged to r's current phase.
 func (l *Local) UpdateE(r comm.Transport, dt float64) {
+	if l.pool != nil && l.pool.Workers() > 1 {
+		l.task = sweepTask{l: l, dt: dt, comp: CompE}
+		l.pool.Run(l.Ny, &l.task)
+	} else {
+		l.updateERows(dt, 0, l.Ny)
+	}
+	// The modelled charge is the total point count — invariant under the
+	// worker count, so simulated times never depend on host parallelism.
+	r.Compute(l.Nx * l.Ny * fieldSolveWorkPerPoint)
+}
+
+func (l *Local) updateERows(dt float64, jLo, jHi int) {
 	s := l.stride
-	for j := 0; j < l.Ny; j++ {
+	for j := jLo; j < jHi; j++ {
 		for i := 0; i < l.Nx; i++ {
 			c := l.Idx(i, j)
 			// Central differences with unit cells: ∂/∂x f = (f[i+1]−f[i−1])/2.
@@ -97,13 +137,22 @@ func (l *Local) UpdateE(r comm.Transport, dt float64) {
 			l.Ez[c] += dt * (dByDx - dBxDy - l.Jz[c])
 		}
 	}
-	r.Compute(l.Nx * l.Ny * fieldSolveWorkPerPoint)
 }
 
 // UpdateB advances B by dt using ∂B/∂t = −∇×E. The E halo must be current.
 func (l *Local) UpdateB(r comm.Transport, dt float64) {
+	if l.pool != nil && l.pool.Workers() > 1 {
+		l.task = sweepTask{l: l, dt: dt, comp: CompB}
+		l.pool.Run(l.Ny, &l.task)
+	} else {
+		l.updateBRows(dt, 0, l.Ny)
+	}
+	r.Compute(l.Nx * l.Ny * fieldSolveWorkPerPoint)
+}
+
+func (l *Local) updateBRows(dt float64, jLo, jHi int) {
 	s := l.stride
-	for j := 0; j < l.Ny; j++ {
+	for j := jLo; j < jHi; j++ {
 		for i := 0; i < l.Nx; i++ {
 			c := l.Idx(i, j)
 			dEzDy := (l.Ez[c+s] - l.Ez[c-s]) / 2
@@ -115,7 +164,6 @@ func (l *Local) UpdateB(r comm.Transport, dt float64) {
 			l.Bz[c] += dt * (-(dEyDx - dExDy))
 		}
 	}
-	r.Compute(l.Nx * l.Ny * fieldSolveWorkPerPoint)
 }
 
 // Components selects which vector fields ExchangeHalo moves.

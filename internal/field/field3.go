@@ -11,6 +11,7 @@ import (
 
 	"picpar/internal/comm"
 	"picpar/internal/mesh3"
+	"picpar/internal/par"
 )
 
 // Local3 is the field storage of one rank in three dimensions: the owned
@@ -27,6 +28,30 @@ type Local3 struct {
 	Rho        []float64
 
 	strideX, strideY int // strideX = Nx+2, strideY = (Nx+2)·(Ny+2)
+
+	// pool parallelises the curl sweeps over owned z slabs; see Local.pool
+	// for the determinism argument (identical in 3-D).
+	pool *par.Pool
+	task sweepTask3
+}
+
+// SetPool installs the shared-memory worker pool the update sweeps run on;
+// nil (or a 1-worker pool) keeps the sequential loops.
+func (l *Local3) SetPool(p *par.Pool) { l.pool = p }
+
+// sweepTask3 is the par.Task of one 3-D curl sweep: slabs [kLo, kHi).
+type sweepTask3 struct {
+	l    *Local3
+	dt   float64
+	comp Components
+}
+
+func (t *sweepTask3) Work(_, kLo, kHi int) {
+	if t.comp == CompE {
+		t.l.updateESlabs(t.dt, kLo, kHi)
+	} else {
+		t.l.updateBSlabs(t.dt, kLo, kHi)
+	}
 }
 
 // NewLocal3 allocates zeroed fields for the owned region of rank r under
@@ -76,8 +101,18 @@ const fieldSolveWorkPerPoint3 = 36
 // UpdateE advances E by dt using ∂E/∂t = ∇×B − J with central differences.
 // The B halo must be current. Compute cost is charged to r's current phase.
 func (l *Local3) UpdateE(r comm.Transport, dt float64) {
+	if l.pool != nil && l.pool.Workers() > 1 {
+		l.task = sweepTask3{l: l, dt: dt, comp: CompE}
+		l.pool.Run(l.Nz, &l.task)
+	} else {
+		l.updateESlabs(dt, 0, l.Nz)
+	}
+	r.Compute(l.Nx * l.Ny * l.Nz * fieldSolveWorkPerPoint3)
+}
+
+func (l *Local3) updateESlabs(dt float64, kLo, kHi int) {
 	sx, sy := l.strideX, l.strideY
-	for k := 0; k < l.Nz; k++ {
+	for k := kLo; k < kHi; k++ {
 		for j := 0; j < l.Ny; j++ {
 			for i := 0; i < l.Nx; i++ {
 				c := l.Idx(i, j, k)
@@ -93,13 +128,22 @@ func (l *Local3) UpdateE(r comm.Transport, dt float64) {
 			}
 		}
 	}
-	r.Compute(l.Nx * l.Ny * l.Nz * fieldSolveWorkPerPoint3)
 }
 
 // UpdateB advances B by dt using ∂B/∂t = −∇×E. The E halo must be current.
 func (l *Local3) UpdateB(r comm.Transport, dt float64) {
+	if l.pool != nil && l.pool.Workers() > 1 {
+		l.task = sweepTask3{l: l, dt: dt, comp: CompB}
+		l.pool.Run(l.Nz, &l.task)
+	} else {
+		l.updateBSlabs(dt, 0, l.Nz)
+	}
+	r.Compute(l.Nx * l.Ny * l.Nz * fieldSolveWorkPerPoint3)
+}
+
+func (l *Local3) updateBSlabs(dt float64, kLo, kHi int) {
 	sx, sy := l.strideX, l.strideY
-	for k := 0; k < l.Nz; k++ {
+	for k := kLo; k < kHi; k++ {
 		for j := 0; j < l.Ny; j++ {
 			for i := 0; i < l.Nx; i++ {
 				c := l.Idx(i, j, k)
@@ -115,7 +159,6 @@ func (l *Local3) UpdateB(r comm.Transport, dt float64) {
 			}
 		}
 	}
-	r.Compute(l.Nx * l.Ny * l.Nz * fieldSolveWorkPerPoint3)
 }
 
 // Halo exchange tags for the z direction (x and y reuse the 2-D tags).

@@ -15,6 +15,7 @@ package geom
 
 import (
 	"picpar/internal/comm"
+	"picpar/internal/par"
 	"picpar/internal/particle"
 )
 
@@ -114,6 +115,9 @@ type Geometry interface {
 	Generate(cfg GenConfig) (*particle.Store, error)
 	// NewStore returns an empty store of this geometry's dimensionality.
 	NewStore(n int, charge, mass float64) *particle.Store
-	// NewFields allocates rank r's field substrate.
-	NewFields(r int) Fields
+	// NewFields allocates rank r's field substrate. pool, when non-nil,
+	// parallelises the Maxwell update sweeps over the rank's shared-memory
+	// workers (bit-identical results for any pool size); nil keeps the
+	// sequential sweeps.
+	NewFields(r int, pool *par.Pool) Fields
 }

@@ -9,6 +9,7 @@ import (
 	"picpar/internal/comm"
 	"picpar/internal/field"
 	"picpar/internal/mesh"
+	"picpar/internal/par"
 	"picpar/internal/particle"
 	"picpar/internal/pusher"
 	"picpar/internal/sfc"
@@ -115,8 +116,9 @@ func (ge *G2) NewStore(n int, charge, mass float64) *particle.Store {
 }
 
 // NewFields implements Geometry.
-func (ge *G2) NewFields(r int) Fields {
+func (ge *G2) NewFields(r int, pool *par.Pool) Fields {
 	l := field.NewLocal(ge.D, r)
+	l.SetPool(pool)
 	f := &fields2{l: l, d: ge.D, nx: ge.G.Nx}
 	f.arr = Arrays{
 		Ex: l.Ex, Ey: l.Ey, Ez: l.Ez,

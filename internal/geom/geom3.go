@@ -9,6 +9,7 @@ import (
 	"picpar/internal/comm"
 	"picpar/internal/field"
 	"picpar/internal/mesh3"
+	"picpar/internal/par"
 	"picpar/internal/particle"
 	"picpar/internal/pusher"
 	"picpar/internal/sfc"
@@ -122,8 +123,9 @@ func (ge *G3) NewStore(n int, charge, mass float64) *particle.Store {
 }
 
 // NewFields implements Geometry.
-func (ge *G3) NewFields(r int) Fields {
+func (ge *G3) NewFields(r int, pool *par.Pool) Fields {
 	l := field.NewLocal3(ge.D, r)
+	l.SetPool(pool)
 	f := &fields3{l: l, d: ge.D, nx: ge.G.Nx, ny: ge.G.Ny}
 	f.arr = Arrays{
 		Ex: l.Ex, Ey: l.Ey, Ez: l.Ez,

@@ -15,6 +15,7 @@ import (
 	"picpar/internal/machine"
 	"picpar/internal/mesh"
 	"picpar/internal/mesh3"
+	"picpar/internal/par"
 	"picpar/internal/particle"
 	"picpar/internal/policy"
 	"picpar/internal/sfc"
@@ -56,6 +57,13 @@ type Config struct {
 	Table string
 	// Buckets is the incremental-sort bucket count per rank; 0 = default.
 	Buckets int
+	// Workers is the number of shared-memory workers each rank spreads its
+	// physics kernels over (scatter deposition, gather/push, Maxwell sweeps,
+	// radix sorts). 0 means $PICPAR_PROCS, defaulting to 1 (sequential).
+	// Results are bit-identical for every worker count: the parallel kernels
+	// reproduce the sequential accumulation order exactly, and the simulated
+	// machine.Clock charges never depend on Workers.
+	Workers int
 	// Machine gives the cost-model constants; zero value means CM5.
 	Machine machine.Params
 	// MeshDist1D selects a 1-D (row) BLOCK mesh distribution instead of
@@ -142,6 +150,9 @@ func (c Config) withDefaults() Config {
 	if c.DiagEvery == 0 {
 		c.DiagEvery = 10
 	}
+	if c.Workers == 0 {
+		c.Workers = par.EnvProcs(1)
+	}
 	return c
 }
 
@@ -180,6 +191,9 @@ func (c Config) validate() error {
 	}
 	if c.Iterations < 0 {
 		return fmt.Errorf("pic: negative iteration count %d", c.Iterations)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("pic: negative worker count %d", c.Workers)
 	}
 	if c.Dt <= 0 || c.Dt > 0.7 {
 		return fmt.Errorf("pic: dt %g outside the stable range (0, 0.7]", c.Dt)

@@ -1,0 +1,192 @@
+// Shared-memory parallel kernels of the per-iteration hot path: the tiled
+// two-pass scatter deposition and the per-particle gather/push and move
+// range tasks, run over the rank's par.Pool when cfg.Workers > 1.
+//
+// Bit-determinism contract: every kernel here reproduces the sequential
+// path's floating-point accumulation order exactly, so results are
+// byte-identical for every worker count.
+//
+//   - Scatter splits into a generate pass and a reduce pass. Generate gives
+//     worker w a contiguous particle range (par.Split, ascending in w) and
+//     buckets each owned-slot contribution into a per-(worker, tile) list,
+//     where a tile is a contiguous range of the halo slot space; ghost
+//     contributions go to a per-worker list. Reduce assigns tiles to
+//     workers and, per tile, replays the lists in ascending worker order,
+//     adding one contribution at a time — a slot's additions happen in
+//     exactly the global (particle, vertex) order of the sequential loop.
+//     Distinct tiles touch distinct slots, so the pass is race-free. The
+//     ghost lists merge sequentially in worker order, so the DupTable sees
+//     gids in first-occurrence order identical to the sequential path and
+//     the registry (hence the wire bytes) match bit for bit.
+//   - Gather/push and move touch only particle i's own state per index, so
+//     a plain range split is already order-identical.
+//
+// All buckets and tasks live in rankState and are truncated, never freed,
+// between iterations: the steady state allocates nothing.
+
+package pic
+
+import (
+	"fmt"
+
+	"picpar/internal/pusher"
+)
+
+// parTiles is the number of deposition tiles per worker. More tiles than
+// workers lets the reduce pass balance unevenly filled tiles; a small
+// constant keeps the bucket headers cache-resident.
+const parTiles = 4
+
+// scatterDeposit is the parallel deposition: generate pass over particle
+// ranges, reduce pass over tiles, then the sequential ghost merge. Returns
+// the number of off-processor contributions (the sequential loop's
+// offprocOps) for the phase's worker-count-invariant δ charge.
+func (st *rankState) scatterDeposit() int {
+	for b := range st.depSlots {
+		st.depSlots[b] = st.depSlots[b][:0]
+		st.depVals[b] = st.depVals[b][:0]
+	}
+	for w := range st.ghostGid {
+		st.ghostGid[w] = st.ghostGid[w][:0]
+		st.ghostVal[w] = st.ghostVal[w][:0]
+	}
+	st.genTask.st = st
+	st.pool.Run(st.store.Len(), &st.genTask)
+	st.redTask.st = st
+	st.pool.Run(st.tiles, &st.redTask)
+
+	// Ghost merge: ascending worker order replays the global particle
+	// order, so table insertion order and per-slot accumulation order both
+	// match the sequential path exactly.
+	ops := 0
+	for w := 0; w < st.workers; w++ {
+		gids := st.ghostGid[w]
+		vals := st.ghostVal[w]
+		for e, gid := range gids {
+			slot := st.table.Slot(int(gid))
+			if 4*slot == len(st.ghostVals) {
+				st.ghostVals = append(st.ghostVals, 0, 0, 0, 0)
+			}
+			st.ghostVals[4*slot] += vals[4*e]
+			st.ghostVals[4*slot+1] += vals[4*e+1]
+			st.ghostVals[4*slot+2] += vals[4*e+2]
+			st.ghostVals[4*slot+3] += vals[4*e+3]
+		}
+		ops += len(gids)
+	}
+	return ops
+}
+
+// scatterGenTask is the generate pass: worker w deposits its particle
+// range's contributions into its own buckets (owned slots, keyed by tile)
+// and its own ghost list. Workers write disjoint bucket indices, so the
+// pass is race-free.
+type scatterGenTask struct{ st *rankState }
+
+func (t *scatterGenTask) Work(w, lo, hi int) {
+	st := t.st
+	s := st.store
+	fp := &st.fps[w]
+	tiles := st.tiles
+	span := len(st.farr.Rho)
+	base := w * tiles
+	q := s.Charge
+	for i := lo; i < hi; i++ {
+		st.ge.Footprint(s, i, fp)
+		gamma := s.Gamma(i)
+		vx, vy, vz := s.Px[i]/gamma, s.Py[i]/gamma, s.Pz[i]/gamma
+		for k := 0; k < fp.N; k++ {
+			wq := fp.W[k] * q
+			gid := int(fp.Gid[k])
+			if c := st.fields.Slot(gid); c >= 0 {
+				b := base + c*tiles/span
+				st.depSlots[b] = append(st.depSlots[b], int32(c))
+				st.depVals[b] = append(st.depVals[b], wq*vx, wq*vy, wq*vz, wq)
+				continue
+			}
+			st.ghostGid[w] = append(st.ghostGid[w], fp.Gid[k])
+			st.ghostVal[w] = append(st.ghostVal[w], wq*vx, wq*vy, wq*vz, wq)
+		}
+	}
+}
+
+// scatterReduceTask is the reduce pass: each worker owns a contiguous range
+// of tiles and folds every worker's bucket for those tiles into the field
+// arrays, one contribution at a time, in ascending worker order.
+type scatterReduceTask struct{ st *rankState }
+
+func (t *scatterReduceTask) Work(_, tLo, tHi int) {
+	st := t.st
+	fa := st.farr
+	tiles := st.tiles
+	for tl := tLo; tl < tHi; tl++ {
+		for w := 0; w < st.workers; w++ {
+			slots := st.depSlots[w*tiles+tl]
+			vals := st.depVals[w*tiles+tl]
+			for e, c := range slots {
+				fa.Jx[c] += vals[4*e]
+				fa.Jy[c] += vals[4*e+1]
+				fa.Jz[c] += vals[4*e+2]
+				fa.Rho[c] += vals[4*e+3]
+			}
+		}
+	}
+}
+
+// gatherPushTask interpolates E and B at each particle of the range and
+// Boris-pushes it — per-particle independent, so the range split alone is
+// bit-identical to the sequential loop.
+type gatherPushTask struct {
+	st *rankState
+	dt float64
+}
+
+func (t *gatherPushTask) Work(w, lo, hi int) {
+	st := t.st
+	s := st.store
+	fa := st.farr
+	fp := &st.fps[w]
+	for i := lo; i < hi; i++ {
+		st.ge.Footprint(s, i, fp)
+		var ex, ey, ez, bx, by, bz float64
+		for k := 0; k < fp.N; k++ {
+			gid := int(fp.Gid[k])
+			wk := fp.W[k]
+			if c := st.fields.Slot(gid); c >= 0 {
+				ex += wk * fa.Ex[c]
+				ey += wk * fa.Ey[c]
+				ez += wk * fa.Ez[c]
+				bx += wk * fa.Bx[c]
+				by += wk * fa.By[c]
+				bz += wk * fa.Bz[c]
+				continue
+			}
+			slot := st.table.Lookup(gid)
+			if slot < 0 {
+				panic(fmt.Sprintf("pic: rank %d gather miss at point %d", st.r.Rank(), gid))
+			}
+			o := gatherWireFloats * slot
+			ex += wk * st.ghostEB[o]
+			ey += wk * st.ghostEB[o+1]
+			ez += wk * st.ghostEB[o+2]
+			bx += wk * st.ghostEB[o+3]
+			by += wk * st.ghostEB[o+4]
+			bz += wk * st.ghostEB[o+5]
+		}
+		pusher.BorisPush(s, i, ex, ey, ez, bx, by, bz, t.dt)
+	}
+}
+
+// moveTask advances each particle of the range — per-particle independent.
+type moveTask struct {
+	st *rankState
+	dt float64
+}
+
+func (t *moveTask) Work(_, lo, hi int) {
+	st := t.st
+	s := st.store
+	for i := lo; i < hi; i++ {
+		st.ge.Move(s, i, t.dt)
+	}
+}

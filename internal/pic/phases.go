@@ -280,33 +280,40 @@ func (st *rankState) scatterPhase() {
 	nv := st.ge.NumVertices()
 	tableCost := st.table.CostPerOp()
 	offprocOps := 0
-	fp := &st.fp
-	for i := 0; i < s.Len(); i++ {
-		st.ge.Footprint(s, i, fp)
-		gamma := s.Gamma(i)
-		vx, vy, vz := s.Px[i]/gamma, s.Py[i]/gamma, s.Pz[i]/gamma
-		q := s.Charge
-		for k := 0; k < fp.N; k++ {
-			wq := fp.W[k] * q
-			gid := int(fp.Gid[k])
-			if c := st.fields.Slot(gid); c >= 0 {
-				fa.Jx[c] += wq * vx
-				fa.Jy[c] += wq * vy
-				fa.Jz[c] += wq * vz
-				fa.Rho[c] += wq
-				continue
+	if st.workers > 1 {
+		offprocOps = st.scatterDeposit()
+	} else {
+		fp := &st.fp
+		for i := 0; i < s.Len(); i++ {
+			st.ge.Footprint(s, i, fp)
+			gamma := s.Gamma(i)
+			vx, vy, vz := s.Px[i]/gamma, s.Py[i]/gamma, s.Pz[i]/gamma
+			q := s.Charge
+			for k := 0; k < fp.N; k++ {
+				wq := fp.W[k] * q
+				gid := int(fp.Gid[k])
+				if c := st.fields.Slot(gid); c >= 0 {
+					fa.Jx[c] += wq * vx
+					fa.Jy[c] += wq * vy
+					fa.Jz[c] += wq * vz
+					fa.Rho[c] += wq
+					continue
+				}
+				slot := st.table.Slot(gid)
+				if 4*slot == len(st.ghostVals) {
+					st.ghostVals = append(st.ghostVals, 0, 0, 0, 0)
+				}
+				st.ghostVals[4*slot] += wq * vx
+				st.ghostVals[4*slot+1] += wq * vy
+				st.ghostVals[4*slot+2] += wq * vz
+				st.ghostVals[4*slot+3] += wq
+				offprocOps++
 			}
-			slot := st.table.Slot(gid)
-			if 4*slot == len(st.ghostVals) {
-				st.ghostVals = append(st.ghostVals, 0, 0, 0, 0)
-			}
-			st.ghostVals[4*slot] += wq * vx
-			st.ghostVals[4*slot+1] += wq * vy
-			st.ghostVals[4*slot+2] += wq * vz
-			st.ghostVals[4*slot+3] += wq
-			offprocOps++
 		}
 	}
+	// The δ charge never depends on Workers: the simulated machine has one
+	// compute stream per rank, so wall-clock parallelism must not move the
+	// modelled clock.
 	r.Compute(s.Len()*nv*pusher.ScatterWorkPerVertex + offprocOps*tableCost)
 
 	// Communication coalescing: one message per destination owner.
@@ -399,46 +406,58 @@ func (st *rankState) gatherAndPushPhase() {
 		wire.Put(buf)
 	}
 
-	// Interpolate fields at particles and push.
+	// Interpolate fields at particles and push. Per-particle independent,
+	// so the parallel range split is bit-identical; the δ charge is
+	// worker-count-invariant like the scatter's.
 	nv := st.ge.NumVertices()
 	dt := st.cfg.Dt
-	fp := &st.fp
-	for i := 0; i < s.Len(); i++ {
-		st.ge.Footprint(s, i, fp)
-		var ex, ey, ez, bx, by, bz float64
-		for k := 0; k < fp.N; k++ {
-			gid := int(fp.Gid[k])
-			wk := fp.W[k]
-			if c := st.fields.Slot(gid); c >= 0 {
-				ex += wk * fa.Ex[c]
-				ey += wk * fa.Ey[c]
-				ez += wk * fa.Ez[c]
-				bx += wk * fa.Bx[c]
-				by += wk * fa.By[c]
-				bz += wk * fa.Bz[c]
-				continue
+	if st.workers > 1 {
+		st.gpTask = gatherPushTask{st: st, dt: dt}
+		st.pool.Run(s.Len(), &st.gpTask)
+	} else {
+		fp := &st.fp
+		for i := 0; i < s.Len(); i++ {
+			st.ge.Footprint(s, i, fp)
+			var ex, ey, ez, bx, by, bz float64
+			for k := 0; k < fp.N; k++ {
+				gid := int(fp.Gid[k])
+				wk := fp.W[k]
+				if c := st.fields.Slot(gid); c >= 0 {
+					ex += wk * fa.Ex[c]
+					ey += wk * fa.Ey[c]
+					ez += wk * fa.Ez[c]
+					bx += wk * fa.Bx[c]
+					by += wk * fa.By[c]
+					bz += wk * fa.Bz[c]
+					continue
+				}
+				slot := st.table.Lookup(gid)
+				if slot < 0 {
+					panic(fmt.Sprintf("pic: rank %d gather miss at point %d", r.Rank(), gid))
+				}
+				o := gatherWireFloats * slot
+				ex += wk * st.ghostEB[o]
+				ey += wk * st.ghostEB[o+1]
+				ez += wk * st.ghostEB[o+2]
+				bx += wk * st.ghostEB[o+3]
+				by += wk * st.ghostEB[o+4]
+				bz += wk * st.ghostEB[o+5]
 			}
-			slot := st.table.Lookup(gid)
-			if slot < 0 {
-				panic(fmt.Sprintf("pic: rank %d gather miss at point %d", r.Rank(), gid))
-			}
-			o := gatherWireFloats * slot
-			ex += wk * st.ghostEB[o]
-			ey += wk * st.ghostEB[o+1]
-			ez += wk * st.ghostEB[o+2]
-			bx += wk * st.ghostEB[o+3]
-			by += wk * st.ghostEB[o+4]
-			bz += wk * st.ghostEB[o+5]
+			pusher.BorisPush(s, i, ex, ey, ez, bx, by, bz, dt)
 		}
-		pusher.BorisPush(s, i, ex, ey, ez, bx, by, bz, dt)
 	}
 	r.Compute(s.Len() * nv * pusher.GatherWorkPerVertex)
 
 	// Push phase: move particles (no interprocessor communication — the
 	// direct Lagrangian property).
 	r.SetPhase(machine.PhasePush)
-	for i := 0; i < s.Len(); i++ {
-		st.ge.Move(s, i, dt)
+	if st.workers > 1 {
+		st.mvTask = moveTask{st: st, dt: dt}
+		st.pool.Run(s.Len(), &st.mvTask)
+	} else {
+		for i := 0; i < s.Len(); i++ {
+			st.ge.Move(s, i, dt)
+		}
 	}
 	r.Compute(s.Len() * pusher.PushWorkPerParticle)
 }

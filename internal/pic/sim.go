@@ -15,6 +15,7 @@ import (
 	"picpar/internal/machine"
 	"picpar/internal/mesh"
 	"picpar/internal/mesh3"
+	"picpar/internal/par"
 	"picpar/internal/particle"
 	"picpar/internal/policy"
 	"picpar/internal/psort"
@@ -205,18 +206,49 @@ type rankState struct {
 	sendCounts []int
 	migrateIdx [][]int
 	spare      *particle.Store
+
+	// Shared-memory parallelism (partasks.go): the rank's worker pool, the
+	// per-worker footprint scratch, and the tiled deposition buckets of the
+	// two-pass parallel scatter. The bucket lists are truncated, never
+	// freed, between iterations, so the steady state allocates nothing.
+	// tiles = parTiles·workers; bucket (w, t) lives at index w·tiles + t.
+	pool     *par.Pool
+	workers  int
+	tiles    int
+	fps      []geom.Footprint
+	depSlots [][]int32
+	depVals  [][]float64 // 4 floats per entry: Jx, Jy, Jz, Rho
+	ghostGid [][]int32
+	ghostVal [][]float64 // 4 floats per entry, parallel to ghostGid
+	genTask  scatterGenTask
+	redTask  scatterReduceTask
+	gpTask   gatherPushTask
+	mvTask   moveTask
 }
 
 func runRank(r comm.Transport, cfg Config, ge geom.Geometry, res *Result) {
+	pool := par.New(cfg.Workers)
+	defer pool.Close()
 	st := &rankState{
-		r:      r,
-		cfg:    cfg,
-		ge:     ge,
-		fields: ge.NewFields(r.Rank()),
-		inc:    psort.NewIncremental(cfg.Buckets),
-		pol:    cfg.Policy(),
+		r:       r,
+		cfg:     cfg,
+		ge:      ge,
+		fields:  ge.NewFields(r.Rank(), pool),
+		inc:     psort.NewIncremental(cfg.Buckets),
+		pol:     cfg.Policy(),
+		pool:    pool,
+		workers: pool.Workers(),
 	}
+	st.inc.SetPool(pool)
 	st.farr = st.fields.Arrays()
+	if st.workers > 1 {
+		st.tiles = parTiles * st.workers
+		st.fps = make([]geom.Footprint, st.workers)
+		st.depSlots = make([][]int32, st.workers*st.tiles)
+		st.depVals = make([][]float64, st.workers*st.tiles)
+		st.ghostGid = make([][]int32, st.workers)
+		st.ghostVal = make([][]float64, st.workers)
+	}
 	tab, err := commopt.NewTable(cfg.Table, ge.NumPoints(), ge.NumVertices()*cfg.NumParticles/cfg.P+16)
 	if err != nil {
 		panic(err)
@@ -354,6 +386,6 @@ func (st *rankState) initialDistribution() {
 		wire.Put(chunk)
 	}
 	st.assignKeys()
-	st.store = psort.SampleSort(r, st.store)
+	st.store = psort.SampleSortPar(r, st.store, st.pool)
 	st.inc.Prime(st.store)
 }

@@ -110,7 +110,7 @@ func TestWire3DScatterLayoutRoundTrip(t *testing.T) {
 
 		// Decode on the destination: every gid must map to an owned slot of
 		// that rank's field substrate.
-		fields := ge.NewFields(owner)
+		fields := ge.NewFields(owner, nil)
 		for o := 0; o < len(buf); o += scatterWireFloats {
 			c := fields.Slot(int(buf[o]))
 			if c < 0 {
@@ -141,7 +141,7 @@ func TestWire3DScatterLayoutRoundTrip(t *testing.T) {
 // land on the requesting side unchanged.
 func TestWire3DGatherLayoutRoundTrip(t *testing.T) {
 	ge := testGeom3(t, 8)
-	fields := ge.NewFields(3)
+	fields := ge.NewFields(3, nil)
 	fa := fields.Arrays()
 
 	// Give every owned point a distinctive field value keyed by gid.

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"picpar/internal/comm"
+	"picpar/internal/par"
 	"picpar/internal/particle"
 	"picpar/internal/wire"
 )
@@ -42,6 +43,9 @@ type Incremental struct {
 	// Output slots: Redistribute alternates between them so the store it
 	// returned last time (usually this call's input) is never clobbered.
 	outA, outB *particle.Store
+	// pool, when non-nil, parallelises the received-run radix sort over the
+	// rank's shared-memory workers. Results are bit-identical either way.
+	pool *par.Pool
 }
 
 // DefaultBuckets is a reasonable bucket count per rank: fine enough that a
@@ -57,6 +61,11 @@ func NewIncremental(l int) *Incremental {
 	}
 	return &Incremental{L: l, localBound: make([]float64, l), bucketOf: make([][]int, l)}
 }
+
+// SetPool attaches a shared-memory worker pool used to parallelise the
+// local radix sorts inside Redistribute (nil detaches it). Safe to call any
+// time between redistributions; the sorted output is identical either way.
+func (inc *Incremental) SetPool(p *par.Pool) { inc.pool = p }
 
 // Prime records bucket boundaries from a locally sorted store, preparing
 // for the next Redistribute call (Figure 12, lines 4–6 of
@@ -147,7 +156,7 @@ func (inc *Incremental) Redistribute(r comm.Transport, s *particle.Store) (*part
 			wire.Put(recv[src])
 		}
 	}
-	LocalSort(r, recvStore)
+	LocalSortPar(r, recvStore, inc.pool)
 
 	// Lines 22–23: sort each bucket locally. Buckets are key-disjoint and
 	// ordered, so concatenating them yields a sorted run.

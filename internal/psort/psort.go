@@ -22,6 +22,7 @@ import (
 
 	"picpar/internal/comm"
 	"picpar/internal/mesh"
+	"picpar/internal/par"
 	"picpar/internal/particle"
 	"picpar/internal/wire"
 )
@@ -46,8 +47,16 @@ const (
 // but the simulated charge stays the comparison-sort formula
 // n·⌈log₂ n⌉·compareWork so all paper results are unchanged.
 func LocalSort(r comm.Transport, s *particle.Store) {
+	LocalSortPar(r, s, nil)
+}
+
+// LocalSortPar is LocalSort with the radix passes spread over pool's
+// shared-memory workers (nil or 1-worker pool: sequential). The sorted
+// order, the simulated charge and the steady-state zero-allocation property
+// are identical for every pool size.
+func LocalSortPar(r comm.Transport, s *particle.Store, pool *par.Pool) {
 	n := s.Len()
-	radixSortStore(s)
+	radixSortStorePool(s, pool)
 	if n > 1 {
 		r.Compute(n * ilog2(n) * compareWork)
 	}
@@ -86,8 +95,15 @@ func IsLocallySorted(s *particle.Store) bool {
 // is the paper's initial "distribution algorithm"; the incremental sort is
 // the cheaper alternative for subsequent redistributions.
 func SampleSort(r comm.Transport, s *particle.Store) *particle.Store {
+	return SampleSortPar(r, s, nil)
+}
+
+// SampleSortPar is SampleSort with the local radix sorts spread over pool's
+// shared-memory workers (nil: sequential). The returned distribution and
+// every simulated charge are identical for every pool size.
+func SampleSortPar(r comm.Transport, s *particle.Store, pool *par.Pool) *particle.Store {
 	p := r.Size()
-	LocalSort(r, s)
+	LocalSortPar(r, s, pool)
 	if p == 1 {
 		return s
 	}
@@ -143,7 +159,7 @@ func SampleSort(r comm.Transport, s *particle.Store) *particle.Store {
 			wire.Put(recv[src])
 		}
 	}
-	LocalSort(r, out)
+	LocalSortPar(r, out, pool)
 	return LoadBalance(r, out)
 }
 

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 
+	"picpar/internal/par"
 	"picpar/internal/particle"
 	"picpar/internal/radix"
 )
@@ -45,6 +46,13 @@ const smallStoreCutoff = 32
 
 // radixSortStore sorts s by (Key, ID) — the exact order of sort.Sort(s).
 func radixSortStore(s *particle.Store) {
+	radixSortStorePool(s, nil)
+}
+
+// radixSortStorePool is radixSortStore with the radix passes optionally
+// spread over pool's workers. The resulting permutation is identical for
+// every pool size (including nil).
+func radixSortStorePool(s *particle.Store, pool *par.Pool) {
 	n := s.Len()
 	if n < smallStoreCutoff {
 		sort.Sort(s)
@@ -57,7 +65,7 @@ func radixSortStore(s *particle.Store) {
 		so.lo[i] = radix.Bits64(s.ID[i])
 		so.idx[i] = int32(i)
 	}
-	so.hi, so.lo, so.idx = radix.SortPairs(so.hi, so.lo, so.idx, &so.rs)
+	so.hi, so.lo, so.idx = radix.SortPairsPar(so.hi, so.lo, so.idx, &so.rs, pool)
 	s.ApplyPermutation(so.idx, &so.ps)
 	sorterPool.Put(so)
 }

@@ -9,15 +9,23 @@
 // the ping-pong buffers and allocate nothing.
 package radix
 
-import "math"
+import (
+	"math"
 
-// Scratch holds the ping-pong destination arrays of a radix sort. The zero
-// value is ready to use; buffers grow on demand and are retained across
-// calls.
+	"picpar/internal/par"
+)
+
+// Scratch holds the ping-pong destination arrays of a radix sort, plus the
+// per-worker histograms of the parallel variants. The zero value is ready
+// to use; buffers grow on demand and are retained across calls.
 type Scratch struct {
 	hi2  []uint64
 	lo2  []uint64
 	idx2 []int32
+
+	counts [][256]int32 // per-worker digit histograms (parallel passes)
+	dif    []uint64     // per-worker varying-byte accumulators (2 per worker)
+	pass   parPass      // reusable task so steady-state calls allocate nothing
 }
 
 func (sc *Scratch) grow(n int) {
@@ -29,6 +37,13 @@ func (sc *Scratch) grow(n int) {
 	sc.hi2 = sc.hi2[:n]
 	sc.lo2 = sc.lo2[:n]
 	sc.idx2 = sc.idx2[:n]
+}
+
+func (sc *Scratch) growPar(workers int) {
+	if len(sc.counts) < workers {
+		sc.counts = make([][256]int32, workers)
+		sc.dif = make([]uint64, 2*workers)
+	}
 }
 
 // insertionCutoff is the length below which a branchy insertion sort beats
@@ -187,6 +202,194 @@ func insertionPairs(hi, lo []uint64, idx []int32) {
 		}
 		hi[j+1], lo[j+1], idx[j+1] = h, l, x
 	}
+}
+
+// parCutoff is the length below which the parallel passes' coordination
+// overhead exceeds the histogram work; shorter inputs use the sequential
+// sort (which is bit-identical anyway).
+const parCutoff = 4096
+
+// parPass phases.
+const (
+	passDif = iota
+	passHistogram
+	passScatter
+)
+
+// parPass is the reusable par.Task implementing one phase of one counting
+// pass: the varying-byte scan, the per-worker histogram, or the stable
+// scatter. src is the word array supplying the current digit; the scatter
+// phase additionally moves (hiS, loS, idxS) → (hiD, loD, idxD). hiS/hiD are
+// nil in keys-only mode.
+type parPass struct {
+	sc    *Scratch
+	phase int
+	shift uint
+	src   []uint64
+	hiS   []uint64
+	loS   []uint64
+	idxS  []int32
+	hiD   []uint64
+	loD   []uint64
+	idxD  []int32
+}
+
+func (t *parPass) Work(w, lo, hi int) {
+	switch t.phase {
+	case passDif:
+		// OR-accumulate the varying bytes over this worker's range; bitwise
+		// OR is associative, so the cross-worker merge order cannot matter.
+		var dl, dh uint64
+		l0 := t.loS[0]
+		var h0 uint64
+		if t.hiS != nil {
+			h0 = t.hiS[0]
+		}
+		for i := lo; i < hi; i++ {
+			dl |= t.loS[i] ^ l0
+			if t.hiS != nil {
+				dh |= t.hiS[i] ^ h0
+			}
+		}
+		t.sc.dif[2*w], t.sc.dif[2*w+1] = dl, dh
+	case passHistogram:
+		c := &t.sc.counts[w]
+		*c = [256]int32{}
+		for i := lo; i < hi; i++ {
+			c[uint8(t.src[i]>>t.shift)]++
+		}
+	case passScatter:
+		// c[d] was prefix-summed in (digit, worker) order, so this worker's
+		// writes land after every lower worker's same-digit entries —
+		// preserving input order within each digit, exactly like the
+		// sequential stable pass.
+		c := &t.sc.counts[w]
+		for i := lo; i < hi; i++ {
+			d := uint8(t.src[i] >> t.shift)
+			pos := c[d]
+			c[d] = pos + 1
+			t.loD[pos] = t.loS[i]
+			t.idxD[pos] = t.idxS[i]
+			if t.hiS != nil {
+				t.hiD[pos] = t.hiS[i]
+			}
+		}
+	}
+}
+
+// prefixCounts turns the per-worker histograms into global starting
+// offsets: for each digit in ascending order, each worker's slot begins
+// where the previous worker's same-digit entries end. This (digit, worker)
+// enumeration is what makes the parallel pass reproduce the sequential
+// stable permutation exactly.
+func (sc *Scratch) prefixCounts(workers int) {
+	sum := int32(0)
+	for d := 0; d < 256; d++ {
+		for w := 0; w < workers; w++ {
+			c := sc.counts[w][d]
+			sc.counts[w][d] = sum
+			sum += c
+		}
+	}
+}
+
+// SortPairsPar is SortPairs parallelised over p's workers: per-worker
+// histograms, (digit, worker)-order prefix sums, and a stable per-worker
+// scatter. The output — sorted contents and permutation — is bit-identical
+// to SortPairs for every pool size (each counting pass produces the exact
+// same stable permutation), so callers may mix worker counts freely. Small
+// inputs and 1-worker pools fall through to the sequential sort.
+func SortPairsPar(hi, lo []uint64, idx []int32, sc *Scratch, p *par.Pool) ([]uint64, []uint64, []int32) {
+	n := len(hi)
+	if p == nil || p.Workers() < 2 || n < parCutoff {
+		return SortPairs(hi, lo, idx, sc)
+	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.grow(n)
+	workers := p.Workers()
+	sc.growPar(workers)
+
+	t := &sc.pass
+	*t = parPass{sc: sc, phase: passDif, hiS: hi, loS: lo}
+	p.Run(n, t)
+	var difLo, difHi uint64
+	for w := 0; w < workers; w++ {
+		difLo |= sc.dif[2*w]
+		difHi |= sc.dif[2*w+1]
+	}
+
+	hi2, lo2, idx2 := sc.hi2, sc.lo2, sc.idx2
+	for pass := 0; pass < 16; pass++ {
+		shift := uint(8 * (pass & 7))
+		var src []uint64
+		if pass < 8 {
+			if (difLo>>shift)&0xff == 0 {
+				continue
+			}
+			src = lo
+		} else {
+			if (difHi>>shift)&0xff == 0 {
+				continue
+			}
+			src = hi
+		}
+		*t = parPass{sc: sc, phase: passHistogram, shift: shift, src: src}
+		p.Run(n, t)
+		sc.prefixCounts(workers)
+		*t = parPass{sc: sc, phase: passScatter, shift: shift, src: src,
+			hiS: hi, loS: lo, idxS: idx, hiD: hi2, loD: lo2, idxD: idx2}
+		p.Run(n, t)
+		hi, hi2 = hi2, hi
+		lo, lo2 = lo2, lo
+		idx, idx2 = idx2, idx
+	}
+	*t = parPass{}
+	sc.hi2, sc.lo2, sc.idx2 = hi2, lo2, idx2
+	return hi, lo, idx
+}
+
+// SortKeysIndexPar is SortKeysIndex parallelised over p's workers, with the
+// same bit-identical-output guarantee as SortPairsPar.
+func SortKeysIndexPar(keys []uint64, idx []int32, sc *Scratch, p *par.Pool) ([]uint64, []int32) {
+	n := len(keys)
+	if p == nil || p.Workers() < 2 || n < parCutoff {
+		return SortKeysIndex(keys, idx, sc)
+	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.grow(n)
+	workers := p.Workers()
+	sc.growPar(workers)
+
+	t := &sc.pass
+	*t = parPass{sc: sc, phase: passDif, loS: keys}
+	p.Run(n, t)
+	var dif uint64
+	for w := 0; w < workers; w++ {
+		dif |= sc.dif[2*w]
+	}
+
+	keys2, idx2 := sc.hi2, sc.idx2
+	for pass := 0; pass < 8; pass++ {
+		shift := uint(8 * pass)
+		if (dif>>shift)&0xff == 0 {
+			continue
+		}
+		*t = parPass{sc: sc, phase: passHistogram, shift: shift, src: keys}
+		p.Run(n, t)
+		sc.prefixCounts(workers)
+		*t = parPass{sc: sc, phase: passScatter, shift: shift, src: keys,
+			loS: keys, idxS: idx, loD: keys2, idxD: idx2}
+		p.Run(n, t)
+		keys, keys2 = keys2, keys
+		idx, idx2 = idx2, idx
+	}
+	*t = parPass{}
+	sc.hi2, sc.idx2 = keys2, idx2
+	return keys, idx
 }
 
 // insertionKeys stable-sorts short (key, idx) pairs in place by key.

@@ -22,6 +22,14 @@ echo "== go test -race =="
 # machine; the default per-package 10m limit leaves no headroom.
 go test -race -timeout 30m ./...
 
+echo "== go test -race, shared-memory workers =="
+# The parallel kernels again with real OS-thread concurrency and a
+# non-trivial default worker count: GOMAXPROCS>1 lets pool workers truly
+# interleave, PICPAR_PROCS=3 routes every zero-Workers config through the
+# pool, and the radix/pool property tests re-run in race mode.
+GOMAXPROCS=4 PICPAR_PROCS=3 go test -race -timeout 30m -count=1 \
+    ./internal/par/ ./internal/radix/ ./internal/field/ ./internal/psort/ ./internal/pic/
+
 echo "== chaos soak (2-D and 3-D) =="
 go test -count=1 -run 'TestChaos' ./internal/comm/ ./internal/pic/
 
@@ -33,6 +41,9 @@ go run ./cmd/picsim -dim 3 -mesh 16x16x16 -n 4096 -p 8 -iters 10 -dist irregular
 
 echo "== net smoke (multi-process TCP golden + crash detection) =="
 sh scripts/netsmoke.sh
+
+echo "== net smoke, 2 workers per rank (golden must not move) =="
+PICPAR_PROCS=2 sh scripts/netsmoke.sh
 
 echo "== traffic gate =="
 go run ./cmd/picbench -traffic
