@@ -235,6 +235,48 @@ func BenchmarkSimulationIterationReliable(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulationIterationStrategy measures per-iteration cost under
+// each layout strategy on the skewed spike workload, one sub-benchmark per
+// strategy — the strategy name lands in the bench-JSON entry names, so the
+// regression trajectory tracks the weighted and adaptive paths (ledger
+// observation, weight allgather, chooser scoring) separately from the
+// equal-count baseline.
+func BenchmarkSimulationIterationStrategy(b *testing.B) {
+	pols := []struct {
+		name string
+		pol  func() picpar.PolicyFactory
+	}{
+		{"equal-count", func() picpar.PolicyFactory {
+			return picpar.WithStrategy(picpar.PeriodicPolicy(10), picpar.StrategyEqualCount)
+		}},
+		{"cost-weighted", func() picpar.PolicyFactory {
+			return picpar.WithStrategy(picpar.PeriodicPolicy(10), picpar.StrategyCostWeighted)
+		}},
+		{"adaptive", func() picpar.PolicyFactory { return picpar.AdaptivePolicyEvery(10) }},
+	}
+	for _, p := range pols {
+		b.Run(p.name, func(b *testing.B) {
+			cfg := picpar.Config{
+				Grid:         picpar.NewGrid(128, 64),
+				P:            8,
+				NumParticles: 4096,
+				Distribution: picpar.DistSpike,
+				Seed:         11,
+				Iterations:   b.N,
+				Policy:       p.pol(),
+			}
+			b.ResetTimer()
+			res, err := picpar.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if b.N > 0 {
+				b.ReportMetric(res.TotalTime/float64(b.N), "sim-s/iter")
+			}
+		})
+	}
+}
+
 // BenchmarkHilbertIndex measures the per-particle indexing cost.
 func BenchmarkHilbertIndex(b *testing.B) {
 	ix := sfc.MustNew(sfc.SchemeHilbert, 512, 256)

@@ -9,7 +9,8 @@
 //	picbench -exp all -csv results/    # also write results/<exp>.csv
 //
 // Experiments: table1, fig16, fig17 (also covers figs 18–19), fig20,
-// table2 (also covers figs 21–22 and table3), ablation, baseline, all.
+// table2 (also covers figs 21–22 and table3), ablation, baseline, nd,
+// strategy (layout-strategy comparison on the skewed spike workload), all.
 //
 // With -bench, picbench instead runs the wall-clock perf-regression
 // harness: the hot-path benchmarks (with allocation counts) are executed
@@ -42,7 +43,7 @@ type csvWriter interface {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table1|fig16|fig17|fig20|table2|ablation|baseline|nd|all")
+	exp := flag.String("exp", "all", "experiment id: table1|fig16|fig17|fig20|table2|ablation|baseline|nd|strategy|all")
 	full := flag.Bool("full", false, "use the paper's full problem sizes (slow)")
 	csvDir := flag.String("csv", "", "directory to write <exp>.csv files into (created if absent)")
 	bench := flag.Bool("bench", false, "run the perf-regression harness instead of the experiments")
@@ -88,8 +89,9 @@ func main() {
 		"ablation": func() csvWriter { return experiments.Ablation(os.Stdout, quick) },
 		"baseline": func() csvWriter { return experiments.Baseline(os.Stdout, quick) },
 		"nd":       func() csvWriter { return experiments.ND(os.Stdout, quick) },
+		"strategy": func() csvWriter { return experiments.Strategies(os.Stdout, quick) },
 	}
-	order := []string{"table1", "fig16", "fig17", "fig20", "table2", "ablation", "baseline", "nd"}
+	order := []string{"table1", "fig16", "fig17", "fig20", "table2", "ablation", "baseline", "nd", "strategy"}
 
 	var todo []string
 	if *exp == "all" {

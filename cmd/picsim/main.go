@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -47,9 +48,10 @@ func main() {
 	n := flag.Int("n", 32768, "number of particles")
 	p := flag.Int("p", 32, "number of ranks (processors)")
 	iters := flag.Int("iters", 200, "iterations")
-	dist := flag.String("dist", "irregular", "distribution: uniform|irregular|twostream|beam")
+	dist := flag.String("dist", "irregular", "distribution: uniform|irregular|twostream|beam|spike|collapse")
 	indexing := flag.String("indexing", "hilbert", "particle ordering: hilbert|snake|rowmajor|morton")
-	policyFlag := flag.String("policy", "dynamic", "redistribution policy: static|dynamic|periodic:<k>")
+	policyFlag := flag.String("policy", "dynamic", "redistribution policy: static|dynamic|periodic:<k>|adaptive|adaptive:<k>")
+	strategyFlag := flag.String("strategy", "", "layout strategy the policy's firings rebuild into: equal-count|cost-weighted|eulerian (default equal-count; ignored by -policy adaptive, which chooses per firing)")
 	table := flag.String("table", "direct", "duplicate-removal table: direct|hash")
 	seed := flag.Int64("seed", 1, "random seed")
 	thermal := flag.Float64("thermal", 0.3, "thermal momentum spread (p/mc)")
@@ -79,6 +81,13 @@ func main() {
 	pol, err := parsePolicy(*policyFlag)
 	if err != nil {
 		fatal(err)
+	}
+	if *strategyFlag != "" {
+		strat, err := picpar.ParseStrategy(*strategyFlag)
+		if err != nil {
+			fatal(err)
+		}
+		pol = picpar.WithStrategy(pol, strat)
 	}
 	cfg := picpar.Config{
 		Dims:         *dim,
@@ -154,6 +163,18 @@ func main() {
 	fmt.Printf("  overhead:             %10.4f s\n", res.Overhead)
 	fmt.Printf("  efficiency:           %10.4f\n", res.Efficiency)
 	fmt.Printf("  redistributions:      %10d (%.4f s)\n", res.NumRedistributions, res.RedistTime)
+	if len(res.RedistByStrategy) > 0 {
+		names := make([]string, 0, len(res.RedistByStrategy))
+		for name := range res.RedistByStrategy {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		var parts []string
+		for _, name := range names {
+			parts = append(parts, fmt.Sprintf("%s:%d", name, res.RedistByStrategy[name]))
+		}
+		fmt.Printf("  redist strategies:    %10s\n", strings.Join(parts, " "))
+	}
 	fmt.Printf("  peak scatter traffic: %10d B, %d messages\n", res.MaxScatterBytes(), res.MaxScatterMsgs())
 	// Full-precision pin for scripts (the golden gate greps this line).
 	fmt.Printf("  TotalTime %.7f\n", res.TotalTime)
@@ -265,12 +286,20 @@ func parsePolicy(s string) (picpar.PolicyFactory, error) {
 		return picpar.StaticPolicy(), nil
 	case s == "dynamic":
 		return picpar.DynamicPolicy(), nil
+	case s == "adaptive":
+		return picpar.AdaptivePolicy(), nil
 	case strings.HasPrefix(s, "periodic:"):
 		k, err := strconv.Atoi(strings.TrimPrefix(s, "periodic:"))
 		if err != nil || k <= 0 {
 			return nil, fmt.Errorf("picsim: bad period in %q", s)
 		}
 		return picpar.PeriodicPolicy(k), nil
+	case strings.HasPrefix(s, "adaptive:"):
+		k, err := strconv.Atoi(strings.TrimPrefix(s, "adaptive:"))
+		if err != nil || k <= 0 {
+			return nil, fmt.Errorf("picsim: bad period in %q", s)
+		}
+		return picpar.AdaptivePolicyEvery(k), nil
 	}
 	return nil, fmt.Errorf("picsim: unknown policy %q", s)
 }

@@ -53,15 +53,17 @@ func ExampleNewIndexer() {
 }
 
 // ExamplePeriodicPolicy shows policy construction; each rank of a
-// simulation gets its own instance from the factory.
+// simulation gets its own instance from the factory. A decision carries
+// both whether to redistribute and which layout strategy to rebuild into.
 func ExamplePeriodicPolicy() {
 	factory := picpar.PeriodicPolicy(25)
 	p := factory()
 	fmt.Println(p.Name())
-	fmt.Println(p.Decide(24, 1.0)) // iteration 24 completes the 25th step
-	fmt.Println(p.Decide(25, 1.0))
+	d := p.Decide(24, 1.0) // iteration 24 completes the 25th step
+	fmt.Println(d.Redistribute, d.Strategy)
+	fmt.Println(p.Decide(25, 1.0).Redistribute)
 	// Output:
 	// periodic(25)
-	// true
+	// true equal-count
 	// false
 }

@@ -1,0 +1,77 @@
+// Skewedload: run the spike distribution — a dense Gaussian clump over a
+// sparse background, the workload where per-particle cost is genuinely
+// heterogeneous — under the equal-count split, the cost-weighted split and
+// the adaptive policy, and compare the per-rank busy-time imbalance each
+// leaves. Equal-count gives every rank the same number of particles, but
+// the sparse-background ranks straddle more mesh blocks and pay more ghost
+// traffic per particle; the cost-weighted split uses the live cost ledger
+// to shift the cuts, and the adaptive policy discovers that on its own.
+//
+//	go run ./examples/skewedload
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"picpar"
+	"picpar/internal/diag"
+	"picpar/internal/mesh"
+	"picpar/internal/particle"
+)
+
+func main() {
+	g := mesh.NewGrid(128, 64)
+	s, err := particle.Generate(particle.Config{
+		N: 4096, Lx: g.Lx, Ly: g.Ly, Distribution: particle.DistSpike, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("spike distribution (4096 particles, 128x64 domain):")
+	diag.DensityMap(os.Stdout, g, s, 64, 16)
+	fmt.Println()
+
+	runs := []struct {
+		name   string
+		policy picpar.PolicyFactory
+	}{
+		{"equal-count", picpar.WithStrategy(picpar.PeriodicPolicy(5), picpar.StrategyEqualCount)},
+		{"cost-weighted", picpar.WithStrategy(picpar.PeriodicPolicy(5), picpar.StrategyCostWeighted)},
+		{"adaptive", picpar.AdaptivePolicyEvery(5)},
+	}
+	fmt.Println("periodic redistribution every 5 iterations, 8 ranks, 30 iterations:")
+	for _, r := range runs {
+		res, err := picpar.Run(picpar.Config{
+			Grid:         g,
+			P:            8,
+			NumParticles: 4096,
+			Distribution: picpar.DistSpike,
+			Seed:         11,
+			Iterations:   30,
+			Policy:       r.policy,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		imbs := make([]float64, len(res.Records))
+		sum, n := 0.0, 0
+		for i, rec := range res.Records {
+			imbs[i] = rec.BusyImbalance
+			if i >= 10 {
+				sum += rec.BusyImbalance
+				n++
+			}
+		}
+		chosen := ""
+		for name, count := range res.RedistByStrategy {
+			chosen += fmt.Sprintf(" %s:%d", name, count)
+		}
+		fmt.Printf("  %-14s busy imbalance %s  mean %.4f  redists%s\n",
+			r.name, diag.Sparkline(imbs), sum/float64(n), chosen)
+	}
+	fmt.Println("\nthe cost-weighted split trades a little total traffic (the cuts no")
+	fmt.Println("longer align with mesh blocks) for markedly flatter per-rank busy")
+	fmt.Println("time — and the adaptive policy picks it from the ledger unprompted.")
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestStrategiesShape asserts the layout-strategy comparison's headline
+// results (quick mode): on the spike workload the cost-weighted split
+// leaves strictly less per-rank busy-time imbalance than the equal-count
+// split, and the adaptive policy discovers cost-weighted from the live
+// cost ledger without being told.
+func TestStrategiesShape(t *testing.T) {
+	var sb strings.Builder
+	res := Strategies(&sb, true)
+	if len(res.Cells) != 6 {
+		t.Fatalf("cells %d, want 6 (3 policies × 2 dims)", len(res.Cells))
+	}
+
+	for _, dims := range []int{2, 3} {
+		eq := res.Find(dims, "equal-count")
+		cw := res.Find(dims, "cost-weighted")
+		ad := res.Find(dims, "adaptive")
+		if eq == nil || cw == nil || ad == nil {
+			t.Fatalf("dims %d: missing cells", dims)
+		}
+
+		// The point of the weighted split: less busy-time imbalance.
+		if !(cw.BusyImbalance < eq.BusyImbalance) {
+			t.Errorf("dims %d: cost-weighted busy imbalance %g not below equal-count %g",
+				dims, cw.BusyImbalance, eq.BusyImbalance)
+		}
+		// Both redistribute on the same cadence.
+		if eq.Redistributions == 0 || cw.Redistributions != eq.Redistributions {
+			t.Errorf("dims %d: redistributions equal-count %d vs cost-weighted %d",
+				dims, eq.Redistributions, cw.Redistributions)
+		}
+		// The pinned policies report what they ran.
+		if got := eq.ByStrategy["equal-count"]; got != eq.Redistributions {
+			t.Errorf("dims %d: equal-count ByStrategy %v", dims, eq.ByStrategy)
+		}
+		if got := cw.ByStrategy["cost-weighted"]; got != cw.Redistributions {
+			t.Errorf("dims %d: cost-weighted ByStrategy %v", dims, cw.ByStrategy)
+		}
+
+		// The adaptive policy selects cost-weighted on its own.
+		if got := ad.ByStrategy["cost-weighted"]; got < 1 {
+			t.Errorf("dims %d: adaptive never chose cost-weighted: %v", dims, ad.ByStrategy)
+		}
+		// And reaps its balance: no worse than the pinned weighted run.
+		if ad.BusyImbalance > cw.BusyImbalance*1.01 {
+			t.Errorf("dims %d: adaptive busy imbalance %g above cost-weighted %g",
+				dims, ad.BusyImbalance, cw.BusyImbalance)
+		}
+	}
+
+	if !strings.Contains(sb.String(), "cost-weighted") {
+		t.Error("table output missing cost-weighted row")
+	}
+}
+
+func TestStrategiesCSV(t *testing.T) {
+	res := Strategies(io.Discard, true)
+	var sb strings.Builder
+	if err := res.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 1+len(res.Cells) {
+		t.Fatalf("csv lines %d, want %d", len(lines), 1+len(res.Cells))
+	}
+	if !strings.HasPrefix(lines[0], "dims,strategy,busy_imbalance") {
+		t.Errorf("csv header %q", lines[0])
+	}
+}

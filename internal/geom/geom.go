@@ -87,6 +87,9 @@ type Geometry interface {
 	Dims() int
 	// NumPoints returns the number of global grid points.
 	NumPoints() int
+	// NumCells returns the number of global cells — the size of the SFC key
+	// space (every key AssignKeys/CellKey produces lies in [0, NumCells)).
+	NumCells() int
 	// NumVertices returns the interpolation footprint size (4 or 8).
 	NumVertices() int
 	// Ranks returns the number of ranks the mesh is distributed over.
@@ -96,6 +99,12 @@ type Geometry interface {
 	// cell (the paper's "particle indexing"). Callers charge
 	// KeyAssignWorkPerParticle per particle.
 	AssignKeys(s *particle.Store)
+	// CellKey returns particle i's SFC cell key without mutating the store
+	// — the single-particle form of AssignKeys, used by the cost ledger.
+	CellKey(s *particle.Store, i int) uint64
+	// CellOwner returns the rank owning the cell with the given SFC key
+	// (its lower-corner grid point) — the Eulerian home of that cell.
+	CellOwner(key uint64) int
 	// Footprint fills fp with particle i's vertex grid points and weights.
 	Footprint(s *particle.Store, i int, fp *Footprint)
 	// OwnerOfParticle returns the rank owning particle i's cell (its lower

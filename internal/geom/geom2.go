@@ -33,6 +33,10 @@ func (ge *G2) Dims() int { return 2 }
 // NumPoints implements Geometry.
 func (ge *G2) NumPoints() int { return ge.G.NumPoints() }
 
+// NumCells implements Geometry: the SFC indexer is a bijection onto
+// [0, Nx·Ny), so the key space has one slot per cell.
+func (ge *G2) NumCells() int { return ge.G.Nx * ge.G.Ny }
+
 // NumVertices implements Geometry.
 func (ge *G2) NumVertices() int { return 4 }
 
@@ -45,6 +49,20 @@ func (ge *G2) AssignKeys(s *particle.Store) {
 		cx, cy := ge.G.CellOf(s.X[i], s.Y[i])
 		s.Key[i] = float64(ge.Ix.Index(cx, cy))
 	}
+}
+
+// CellKey implements Geometry: the same formula as AssignKeys, for one
+// particle, without touching s.Key.
+func (ge *G2) CellKey(s *particle.Store, i int) uint64 {
+	cx, cy := ge.G.CellOf(s.X[i], s.Y[i])
+	return uint64(ge.Ix.Index(cx, cy))
+}
+
+// CellOwner implements Geometry: ownership of the cell's lower-corner grid
+// point, matching OwnerOfParticle for any particle inside the cell.
+func (ge *G2) CellOwner(key uint64) int {
+	cx, cy := ge.Ix.Coords(int(key))
+	return ge.D.OwnerOfPoint(cx, cy)
 }
 
 // Footprint implements Geometry: bilinear CIC over the four cell vertices,

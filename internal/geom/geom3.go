@@ -33,6 +33,10 @@ func (ge *G3) Dims() int { return 3 }
 // NumPoints implements Geometry.
 func (ge *G3) NumPoints() int { return ge.G.NumPoints() }
 
+// NumCells implements Geometry: the 3-D SFC indexer is a bijection onto
+// [0, Nx·Ny·Nz), so the key space has one slot per cell.
+func (ge *G3) NumCells() int { return ge.G.Nx * ge.G.Ny * ge.G.Nz }
+
 // NumVertices implements Geometry.
 func (ge *G3) NumVertices() int { return 8 }
 
@@ -45,6 +49,20 @@ func (ge *G3) AssignKeys(s *particle.Store) {
 		cx, cy, cz := ge.G.CellOf(s.X[i], s.Y[i], s.Z[i])
 		s.Key[i] = float64(ge.Ix.Index(cx, cy, cz))
 	}
+}
+
+// CellKey implements Geometry: the same formula as AssignKeys, for one
+// particle, without touching s.Key.
+func (ge *G3) CellKey(s *particle.Store, i int) uint64 {
+	cx, cy, cz := ge.G.CellOf(s.X[i], s.Y[i], s.Z[i])
+	return uint64(ge.Ix.Index(cx, cy, cz))
+}
+
+// CellOwner implements Geometry: ownership of the cell's lower-corner grid
+// point, matching OwnerOfParticle for any particle inside the cell.
+func (ge *G3) CellOwner(key uint64) int {
+	cx, cy, cz := ge.Ix.Coords(int(key))
+	return ge.D.OwnerOfPoint(cx, cy, cz)
 }
 
 // Footprint implements Geometry: trilinear CIC over the eight cell

@@ -2,6 +2,7 @@ package particle
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -84,6 +85,34 @@ func Generate3(cfg Config3) (*Store, error) {
 				cfg.Drift+rng.NormFloat64()*cfg.Thermal,
 				rng.NormFloat64()*cfg.Thermal,
 				rng.NormFloat64()*cfg.Thermal, float64(i))
+		}
+	case DistSpike:
+		sx, sy, sz := 0.03*cfg.Lx, 0.03*cfg.Ly, 0.03*cfg.Lz
+		for i := 0; i < cfg.N; i++ {
+			var x, y, z float64
+			if i%5 == 0 { // uniform background, every fifth particle
+				x, y, z = rng.Float64()*cfg.Lx, rng.Float64()*cfg.Ly, rng.Float64()*cfg.Lz
+			} else {
+				x = gaussInDomain(rng, cfg.Lx*0.7, sx, cfg.Lx)
+				y = gaussInDomain(rng, cfg.Ly*0.3, sy, cfg.Ly)
+				z = gaussInDomain(rng, cfg.Lz/2, sz, cfg.Lz)
+			}
+			s.Append3(x, y, z,
+				rng.NormFloat64()*cfg.Thermal, rng.NormFloat64()*cfg.Thermal,
+				rng.NormFloat64()*cfg.Thermal, float64(i))
+		}
+	case DistCollapse:
+		for i := 0; i < cfg.N; i++ {
+			x, y, z := rng.Float64()*cfg.Lx, rng.Float64()*cfg.Ly, rng.Float64()*cfg.Lz
+			dx, dy, dz := cfg.Lx/2-x, cfg.Ly/2-y, cfg.Lz/2-z
+			norm := math.Sqrt(dx*dx + dy*dy + dz*dz)
+			if norm == 0 {
+				norm = 1
+			}
+			s.Append3(x, y, z,
+				cfg.Drift*dx/norm+rng.NormFloat64()*cfg.Thermal,
+				cfg.Drift*dy/norm+rng.NormFloat64()*cfg.Thermal,
+				cfg.Drift*dz/norm+rng.NormFloat64()*cfg.Thermal, float64(i))
 		}
 	default:
 		return nil, fmt.Errorf("particle: unknown distribution %q", cfg.Distribution)

@@ -353,6 +353,16 @@ const (
 	DistIrregular = "irregular"
 	DistTwoStream = "twostream"
 	DistBeam      = "beam"
+	// DistSpike puts four fifths of the particles in a very tight off-centre
+	// Gaussian spike (σ = 0.03·L at (0.7·Lx, 0.3·Ly)) over a uniform
+	// background — the skewed workload where the equal-count split piles the
+	// spike's cells onto few ranks and cost weighting pays off.
+	DistSpike = "spike"
+	// DistCollapse starts uniform with momenta aimed at the domain centre:
+	// an initially balanced population that collapses into a dense core,
+	// growing the imbalance over time — the adaptive policy's cue to switch
+	// strategy mid-run.
+	DistCollapse = "collapse"
 )
 
 // Config parameterises particle generation.
@@ -436,6 +446,33 @@ func Generate(cfg Config) (*Store, error) {
 			s.Append(x, y,
 				cfg.Drift+rng.NormFloat64()*cfg.Thermal,
 				rng.NormFloat64()*cfg.Thermal,
+				rng.NormFloat64()*cfg.Thermal, float64(i))
+		}
+	case DistSpike:
+		sx, sy := 0.03*cfg.Lx, 0.03*cfg.Ly
+		for i := 0; i < cfg.N; i++ {
+			var x, y float64
+			if i%5 == 0 { // uniform background, every fifth particle
+				x, y = rng.Float64()*cfg.Lx, rng.Float64()*cfg.Ly
+			} else {
+				x = gaussInDomain(rng, cfg.Lx*0.7, sx, cfg.Lx)
+				y = gaussInDomain(rng, cfg.Ly*0.3, sy, cfg.Ly)
+			}
+			s.Append(x, y,
+				rng.NormFloat64()*cfg.Thermal, rng.NormFloat64()*cfg.Thermal,
+				rng.NormFloat64()*cfg.Thermal, float64(i))
+		}
+	case DistCollapse:
+		for i := 0; i < cfg.N; i++ {
+			x, y := rng.Float64()*cfg.Lx, rng.Float64()*cfg.Ly
+			dx, dy := cfg.Lx/2-x, cfg.Ly/2-y
+			norm := math.Hypot(dx, dy)
+			if norm == 0 {
+				norm = 1
+			}
+			s.Append(x, y,
+				cfg.Drift*dx/norm+rng.NormFloat64()*cfg.Thermal,
+				cfg.Drift*dy/norm+rng.NormFloat64()*cfg.Thermal,
 				rng.NormFloat64()*cfg.Thermal, float64(i))
 		}
 	default:

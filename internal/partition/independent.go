@@ -83,6 +83,7 @@ func MeasureIndependent(ge geom.Geometry, l *IndependentLayout, s *particle.Stor
 
 	var q Quality
 	q.ParticleImbalance = imbalance(partCount)
+	q.WeightedImbalance = q.ParticleImbalance // unit weights
 	q.GridImbalance = imbalance(cellCount)
 	nonLocal := 0
 	for r := 0; r < p; r++ {

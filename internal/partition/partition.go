@@ -180,6 +180,11 @@ type Quality struct {
 	// ("local" vs "non-local" communication in Table 1). Only meaningful
 	// when the cell distribution is the BLOCK distribution d.
 	NonLocalFraction float64
+	// WeightedImbalance is max weighted load per rank divided by the mean,
+	// where each particle contributes the weight of its cell. Under the
+	// equal-count split (uniform weights) it coincides with
+	// ParticleImbalance.
+	WeightedImbalance float64
 }
 
 // Measure computes Quality for layout l at the particles' current
@@ -215,6 +220,7 @@ func Measure(l *Layout, g mesh.Grid, d *mesh.Dist, s *particle.Store) Quality {
 
 	var q Quality
 	q.ParticleImbalance = imbalance(partCount)
+	q.WeightedImbalance = q.ParticleImbalance // unit weights
 	q.GridImbalance = imbalance(cellCount)
 	partners := 0
 	nonLocal, totalGhost := 0, 0

@@ -1,0 +1,130 @@
+// Weighted independent partitioning: the equal-count SFC split of
+// independent.go generalised to arbitrary per-cell weights. Particles are
+// still dealt in (key, original index) order into P contiguous chunks, but
+// the chunk boundaries equalise cumulative *weight* rather than count —
+// Liu et al.'s Hilbert-SFC weighted splitting expressed over the same
+// radix-sorted order. Weights are quantized to integers on a shared
+// power-of-two scale so the prefix-sum arithmetic is exact: equal-count is
+// recovered bit for bit when every weight is the same, and the split is
+// exactly invariant under power-of-two weight rescaling.
+
+package partition
+
+import (
+	"picpar/internal/geom"
+	"picpar/internal/mesh"
+	"picpar/internal/particle"
+	"picpar/internal/radix"
+)
+
+// WeightFunc maps an SFC cell key to the estimated cost of one particle in
+// that cell. Non-finite and non-positive values are treated as zero weight.
+type WeightFunc func(cellKey uint64) float64
+
+// sanitizeWeight clamps NaN, ±Inf and negative weights to zero so a single
+// bad estimate cannot poison the split.
+func sanitizeWeight(w float64) float64 {
+	if !(w > 0) { // catches NaN, zero, negatives
+		return 0
+	}
+	return w
+}
+
+// weightedOwners deals the particles, in stable (key, original index)
+// order, into P contiguous chunks of approximately equal cumulative
+// weight. A nil wf (or all-zero weights) degrades to equalCountOwners'
+// BLOCK split.
+func weightedOwners(keys []uint64, p int, wf WeightFunc) []int {
+	n := len(keys)
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sorted, order := radix.SortKeysIndex(keys, order, nil)
+	owners := make([]int, n)
+	if wf == nil {
+		for pos, i := range order {
+			owners[i] = mesh.BlockOwner(n, p, pos)
+		}
+		return owners
+	}
+
+	// Quantize weights in sorted order on the shared power-of-two scale.
+	w := make([]float64, n)
+	maxW := 0.0
+	for pos := range sorted {
+		w[pos] = sanitizeWeight(wf(sorted[pos]))
+		if w[pos] > maxW {
+			maxW = w[pos]
+		}
+	}
+	scale := mesh.WeightScale(maxW)
+	iw := make([]int64, n)
+	total := int64(0)
+	for pos := range w {
+		iw[pos] = mesh.QuantizeWeight(w[pos], scale)
+		total += iw[pos]
+	}
+	if total <= 0 {
+		for pos, i := range order {
+			owners[i] = mesh.BlockOwner(n, p, pos)
+		}
+		return owners
+	}
+
+	cuts := mesh.WeightedCuts(total, n, p)
+	k, prefix := 0, int64(0)
+	for pos, i := range order {
+		k = mesh.AdvanceCut(cuts, k, prefix)
+		owners[i] = k
+		prefix += iw[pos]
+	}
+	return owners
+}
+
+// BuildIndependentWeighted computes the weighted independent-partitioning
+// layout for the store's current positions under ge, splitting the SFC
+// order by cumulative weight. A nil wf reproduces BuildIndependent exactly.
+// The store's keys are refreshed as a side effect.
+func BuildIndependentWeighted(ge geom.Geometry, s *particle.Store, wf WeightFunc) *IndependentLayout {
+	ge.AssignKeys(s)
+	keys := make([]uint64, s.Len())
+	for i := range keys {
+		keys[i] = uint64(s.Key[i])
+	}
+	return &IndependentLayout{P: ge.Ranks(), Particles: weightedOwners(keys, ge.Ranks(), wf)}
+}
+
+// MeasureIndependentWeighted computes the Table 1 quality metrics like
+// MeasureIndependent, and additionally fills Quality.WeightedImbalance
+// with the max/mean per-rank cumulative weight under wf (each particle
+// contributing its cell's weight). The store's keys must be current (both
+// Build functions refresh them).
+func MeasureIndependentWeighted(ge geom.Geometry, l *IndependentLayout, s *particle.Store, wf WeightFunc) Quality {
+	q := MeasureIndependent(ge, l, s)
+	if wf == nil {
+		return q
+	}
+	loads := make([]float64, l.P)
+	for i := 0; i < s.Len(); i++ {
+		loads[l.Particles[i]] += sanitizeWeight(wf(uint64(s.Key[i])))
+	}
+	q.WeightedImbalance = imbalanceF(loads)
+	return q
+}
+
+// imbalanceF is imbalance over float loads: max/mean, or 1 for zero total.
+func imbalanceF(loads []float64) float64 {
+	total, max := 0.0, 0.0
+	for _, l := range loads {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	mean := total / float64(len(loads))
+	return max / mean
+}

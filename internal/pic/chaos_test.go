@@ -198,6 +198,46 @@ func TestChaosSimDegradesGracefully(t *testing.T) {
 	}
 }
 
+// TestChaosAdaptiveRollsBackStrategyState: under the Adaptive policy with
+// every redistribution exchange made unrecoverable, each attempt's chosen
+// strategy is rolled back along with the layout — the policy is never
+// notified, no strategy is committed, and the chooser keeps firing at every
+// scheduled trigger (its own ledger allgather rides the clean allgather
+// tag, outside the killed all-to-many exchange).
+func TestChaosAdaptiveRollsBackStrategyState(t *testing.T) {
+	cfg := chaosBase()
+	cfg.Policy = policy.NewAdaptiveEvery(3)
+	faulty := comm.NewFaulty(redistKillPlan())
+	rel := comm.NewReliable(comm.ReliableConfig{MaxRetries: 2})
+	cfg.Transport = func(tr comm.Transport) comm.Transport {
+		return rel.Wrap(faulty.Wrap(tr))
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRedistributions != 0 {
+		t.Errorf("%d redistributions succeeded despite certain exchange failure",
+			res.NumRedistributions)
+	}
+	if len(res.RedistByStrategy) != 0 {
+		t.Errorf("failed attempts committed strategies: %v", res.RedistByStrategy)
+	}
+	if res.FailedRedistributions < 2 {
+		t.Errorf("only %d failed attempts — the adaptive trigger did not retry",
+			res.FailedRedistributions)
+	}
+	if res.FinalParticleCount != cfg.NumParticles {
+		t.Errorf("particles lost across failed adaptive attempts: %d, want %d",
+			res.FinalParticleCount, cfg.NumParticles)
+	}
+	for _, rec := range res.Records {
+		if rec.RedistFailed && rec.RedistStrategy == "" {
+			t.Errorf("iter %d failed attempt recorded no chosen strategy", rec.Iter)
+		}
+	}
+}
+
 // TestChaosSimVerifyInvariantsHoldAfterDegradation: the conservation checks
 // (Verify) pass across discarded redistributions — the rollback keeps a
 // consistent alignment, not a corrupted half-exchange.

@@ -39,7 +39,8 @@ type Config struct {
 	// NumParticles is the global particle count n.
 	NumParticles int
 	// Distribution selects the initial particle distribution
-	// (particle.DistUniform, DistIrregular, DistTwoStream, DistBeam).
+	// (particle.DistUniform, DistIrregular, DistTwoStream, DistBeam,
+	// DistSpike, DistCollapse).
 	Distribution string
 	// Seed drives all randomness; equal seeds reproduce runs exactly.
 	Seed int64
@@ -228,6 +229,14 @@ type IterationRecord struct {
 	// holds the wasted attempt time, and the policy was not notified — it
 	// retries at the next trigger.
 	RedistFailed bool
+	// RedistStrategy names the layout strategy of a redistribution decided
+	// after this iteration (successful or failed); empty when none was.
+	RedistStrategy string
+	// BusyImbalance is max/mean over ranks of the iteration's busy time
+	// (computation plus communication, excluding barrier idling) — the live
+	// per-rank iteration-time load measurement the strategy experiments
+	// compare (1.0 = perfectly balanced).
+	BusyImbalance float64
 	// Energies are recorded when diagnostics are enabled (else zero).
 	FieldEnergy   float64
 	KineticEnergy float64
@@ -263,8 +272,12 @@ type Result struct {
 	// stay zero on a healthy network.
 	FailedRedistributions int
 	WastedRedistTime      float64
-	Records               []IterationRecord
-	Stats                 machine.WorldStats
+	// RedistByStrategy counts successful redistributions per layout
+	// strategy name — under the Adaptive policy it shows which layouts the
+	// live Table-1 scoring actually picked.
+	RedistByStrategy map[string]int
+	Records          []IterationRecord
+	Stats            machine.WorldStats
 }
 
 // MaxScatterBytes returns the peak per-iteration scatter traffic (sent), a

@@ -13,6 +13,7 @@ import (
 	"picpar/internal/engine"
 	"picpar/internal/geom"
 	"picpar/internal/machine"
+	"picpar/internal/policy"
 	"picpar/internal/pusher"
 	"picpar/internal/wire"
 )
@@ -39,8 +40,18 @@ func (st *rankState) composePipeline() {
 		st.trigger, st.post = engine.Always{}, phMigrate{st}
 	} else {
 		// Lagrangian redistribution runs when the policy says so.
-		st.trigger, st.post = st.pol, phRedistribute{st}
+		st.trigger, st.post = policyTrigger{st}, phRedistribute{st}
 	}
+}
+
+// policyTrigger adapts the strategy-deciding policy to the engine's boolean
+// Trigger: the full decision — including which layout strategy to rebuild
+// into — is stashed on the rank state for phRedistribute to act on.
+type policyTrigger struct{ st *rankState }
+
+func (t policyTrigger) Decide(iter int, iterTime float64) bool {
+	t.st.decision = t.st.pol.Decide(iter, iterTime)
+	return t.st.decision.Redistribute
 }
 
 // phScatter is the scatter phase as an engine.Phase.
@@ -92,10 +103,12 @@ func (p phRedistribute) Run(iter int) {
 	st := p.st
 	r := st.r
 	r.SetPhase(machine.PhaseRedistribute)
+	strat := st.decision.Strategy
 	t0 := r.Clock().Now()
-	failed := st.attemptRedistribute()
+	failed := st.attemptRebalance(strat)
 	comm.Barrier(r)
 	rt := comm.ExposeMaxFloat64(r, r.Clock().Now()-t0)
+	st.rec.RedistStrategy = strat.String()
 	if failed {
 		st.rec.RedistFailed = true
 		st.rec.RedistTime = rt
@@ -106,18 +119,19 @@ func (p phRedistribute) Run(iter int) {
 	st.rec.RedistTime = rt
 }
 
-// attemptRedistribute runs the redistribution exchange, degrading
+// attemptRebalance runs the decided rebalance exchange, degrading
 // gracefully when the transport can scope failures. Returns true when the
-// attempt was discarded.
-func (st *rankState) attemptRedistribute() bool {
+// attempt was discarded. On discard the policy is not notified, so a
+// pending adaptive strategy choice rolls back with the layout.
+func (st *rankState) attemptRebalance(strat policy.Strategy) bool {
 	deg, ok := comm.AsDegradable(st.r)
 	if !ok {
-		st.redistribute()
+		st.rebalance(strat)
 		return false
 	}
 	prevStore := st.store
 	bounds := st.inc.SnapshotBounds()
-	failures := deg.CollectFailures(func() { st.redistribute() })
+	failures := deg.CollectFailures(func() { st.rebalance(strat) })
 	// The discard decision must be unanimous — one rank's failed exchange
 	// invalidates the redistribution everywhere, or the bucket-boundary
 	// tables would diverge across ranks. Expose is out-of-band, so the
@@ -183,12 +197,50 @@ func (st *rankState) assignKeys() {
 	st.r.Compute(st.store.Len() * geom.KeyAssignWorkPerParticle)
 }
 
+// rebalance rebuilds the particle layout the decided strategy names:
+// Lagrangian redistribution over the equal-count or cost-weighted split,
+// or a one-shot Eulerian migration onto the mesh owners. The zero-value
+// strategy is the classic equal-count redistribution, byte for byte.
+func (st *rankState) rebalance(strat policy.Strategy) {
+	switch {
+	case strat.Movement == policy.MovementEulerian:
+		st.migrateOneShot()
+	case strat.Split == policy.SplitCostWeighted:
+		st.redistributeWeighted()
+	default:
+		st.redistribute()
+	}
+}
+
 // redistribute runs Hilbert_Base_Indexing + Bucket_Incremental_Sorting +
 // Order_Maintain_Load_Balance (Figure 12).
 func (st *rankState) redistribute() {
 	st.assignKeys()
 	out, _ := st.inc.Redistribute(st.r, st.store)
 	st.store = out
+}
+
+// redistributeWeighted is redistribute with the ledger-derived per-key
+// weight function: the final order-maintaining balance cuts the sorted
+// sequence at equal cumulative estimated cost instead of equal count.
+func (st *rankState) redistributeWeighted() {
+	st.assignKeys()
+	wf := st.particleWeightFn()
+	out, _ := st.inc.RedistributeWeighted(st.r, st.store, wf)
+	st.store = out
+}
+
+// migrateOneShot runs one Eulerian migration as a strategy-selected
+// rebalance. migrate ping-pongs st.spare with the live store; in the
+// Lagrangian pipeline the live store may be one of the incremental
+// sorter's internal output slots, which a later Redistribute reuses — so
+// the spare is parked for the duration instead of capturing that slot,
+// and the migrated-out store is left to the collector.
+func (st *rankState) migrateOneShot() {
+	spare := st.spare
+	st.spare = nil
+	st.migrate()
+	st.spare = spare
 }
 
 // migrate moves every particle to the rank owning its cell's lower-left

@@ -123,6 +123,12 @@ func (res *Result) finalize(p int, ws machine.WorldStats) {
 		if res.Records[i].Redistributed {
 			res.NumRedistributions++
 			res.RedistTime += res.Records[i].RedistTime
+			if s := res.Records[i].RedistStrategy; s != "" {
+				if res.RedistByStrategy == nil {
+					res.RedistByStrategy = make(map[string]int)
+				}
+				res.RedistByStrategy[s]++
+			}
 		}
 		if res.Records[i].RedistFailed {
 			res.FailedRedistributions++
@@ -176,6 +182,16 @@ type rankState struct {
 	farr   *geom.Arrays
 	inc    *psort.Incremental
 	pol    policy.Policy
+	// led accumulates measured per-cell phase costs between redistributions
+	// (strategy.go); decision is the policy's latest verdict, stashed by
+	// policyTrigger so phRedistribute knows which layout to rebuild into.
+	led      *machine.CostLedger
+	decision policy.Decision
+	// observeLedger gates the per-iteration cost observation: real
+	// wall-clock work per particle (never simulated time), skipped when the
+	// policy declares it can never ask for cost weights
+	// (policy.CostWeightUser).
+	observeLedger bool
 
 	// Pipeline composition: the per-iteration phases, the trigger deciding
 	// whether the post-iteration movement phase runs, and that phase.
@@ -206,6 +222,11 @@ type rankState struct {
 	sendCounts []int
 	migrateIdx [][]int
 	spare      *particle.Store
+
+	// Strategy scratch (strategy.go): the flattened local ledger export,
+	// the world-summed per-cell cost and count estimates, and the derived
+	// per-cell weights. Truncated, never freed, between synchronisations.
+	ledgerBuf, gW, gN, pw []float64
 
 	// Shared-memory parallelism (partasks.go): the rank's worker pool, the
 	// per-worker footprint scratch, and the tiled deposition buckets of the
@@ -241,6 +262,15 @@ func runRank(r comm.Transport, cfg Config, ge geom.Geometry, res *Result) {
 	}
 	st.inc.SetPool(pool)
 	st.farr = st.fields.Arrays()
+	st.led = machine.NewCostLedger(ge.NumCells(), machine.DefaultLedgerDecay)
+	if u, ok := st.pol.(policy.CostWeightUser); ok {
+		st.observeLedger = u.UsesCostWeights()
+	} else {
+		st.observeLedger = true // unknown policies may ask at any time
+	}
+	if ad, ok := st.pol.(*policy.Adaptive); ok {
+		ad.SetChooser(st.chooseStrategy)
+	}
 	if st.workers > 1 {
 		st.tiles = parTiles * st.workers
 		st.fps = make([]geom.Footprint, st.workers)
@@ -284,18 +314,41 @@ func runRank(r comm.Transport, cfg Config, ge geom.Geometry, res *Result) {
 		comm.Barrier(r)
 
 		diff := r.Stats().Diff(&snap)
+		if st.observeLedger {
+			st.observeCosts(&diff)
+		}
 		sc := diff.Phases[machine.PhaseScatter]
-		comp := 0.0
+		comp, busy := 0.0, 0.0
 		for p := range diff.Phases {
 			comp += diff.Phases[p].ComputeTime
+			busy += diff.Phases[p].ComputeTime + diff.Phases[p].CommTime
 		}
-		meas := comm.ExposeMaxFloat64s(r, []float64{
+		// One out-of-band Expose serves the element-wise max the records
+		// always carried plus the busy-time max and sum behind the
+		// max/mean imbalance (same barriers as ExposeMaxFloat64s).
+		all := r.Expose([]float64{
 			r.Clock().Now() - iterStart,
 			comp,
 			float64(sc.BytesSent), float64(sc.BytesRecv),
 			float64(sc.MsgsSent), float64(sc.MsgsRecv),
+			busy,
 		})
+		var meas [7]float64
+		busySum := 0.0
+		for _, x := range all {
+			vec := x.([]float64)
+			busySum += vec[6]
+			for i := range meas {
+				if vec[i] > meas[i] {
+					meas[i] = vec[i]
+				}
+			}
+		}
 		iterTime := meas[0]
+		imb := 1.0
+		if busySum > 0 {
+			imb = meas[6] * float64(r.Size()) / busySum
+		}
 
 		rec := IterationRecord{
 			Iter:             iter,
@@ -305,6 +358,7 @@ func runRank(r comm.Transport, cfg Config, ge geom.Geometry, res *Result) {
 			ScatterBytesRecv: int64(meas[3]),
 			ScatterMsgsSent:  int64(meas[4]),
 			ScatterMsgsRecv:  int64(meas[5]),
+			BusyImbalance:    imb,
 		}
 
 		if cfg.Diagnostics && iter%cfg.DiagEvery == 0 {

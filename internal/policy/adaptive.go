@@ -1,0 +1,71 @@
+package policy
+
+// Adaptive reruns the paper's Table 1 comparison as a live decision
+// procedure: an inner when-trigger (SAR by default) decides *when* to
+// redistribute, and a chooser callback — installed by the pipeline, which
+// owns the cost ledger — scores the candidate strategies against measured
+// per-cell costs to decide *which* layout to rebuild.
+//
+// The chosen strategy is committed only when NotifyRedistribution reports
+// the rebuild succeeded. A failed, rolled-back redistribution therefore
+// rolls back the strategy state too: the policy never hears about the
+// attempt, keeps its previous committed strategy, and the when-trigger's
+// retry behaviour is exactly that of the inner policy.
+type Adaptive struct {
+	// When is the inner trigger policy deciding the redistribution moments;
+	// its own strategy field is ignored.
+	When Policy
+
+	chooser   func(iter int, current Strategy) Strategy
+	committed Strategy
+	pending   Strategy
+}
+
+// NewAdaptive returns a Factory for Adaptive over the SAR dynamic trigger.
+func NewAdaptive() Factory {
+	return func() Policy { return &Adaptive{When: &Dynamic{}} }
+}
+
+// NewAdaptiveEvery returns a Factory for Adaptive over a Periodic(k)
+// trigger — useful when the redistribution cadence should be fixed while
+// the strategy still adapts.
+func NewAdaptiveEvery(k int) Factory {
+	return func() Policy { return &Adaptive{When: &Periodic{K: k}} }
+}
+
+// SetChooser installs the strategy-scoring callback. Without one, Adaptive
+// keeps deciding its current committed strategy (initially equal-count).
+// The chooser must be deterministic and cross-rank agreed — the pipeline's
+// chooser derives everything from allgathered ledger state.
+func (a *Adaptive) SetChooser(f func(iter int, current Strategy) Strategy) { a.chooser = f }
+
+// Strategy returns the currently committed strategy.
+func (a *Adaptive) Strategy() Strategy { return a.committed }
+
+// Decide implements Policy: the inner trigger decides when; the chooser
+// decides what. The choice stays pending until the rebuild succeeds.
+func (a *Adaptive) Decide(iter int, iterTime float64) Decision {
+	if !a.When.Decide(iter, iterTime).Redistribute {
+		return KeepLayout
+	}
+	a.pending = a.committed
+	if a.chooser != nil {
+		a.pending = a.chooser(iter, a.committed)
+	}
+	return Rebalance(a.pending)
+}
+
+// NotifyRedistribution implements Policy: forwards to the inner trigger
+// and commits the pending strategy — the rollback seam for failed
+// attempts, which never reach this method.
+func (a *Adaptive) NotifyRedistribution(iter int, redistTime float64) {
+	a.When.NotifyRedistribution(iter, redistTime)
+	a.committed = a.pending
+}
+
+// Name implements Policy.
+func (a *Adaptive) Name() string { return "adaptive(" + a.When.Name() + ")" }
+
+// UsesCostWeights implements CostWeightUser: the chooser scores every
+// candidate layout from the ledger, so observation must always run.
+func (a *Adaptive) UsesCostWeights() bool { return true }

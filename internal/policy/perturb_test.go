@@ -11,7 +11,7 @@ import (
 func prime(i0 int, tRedist, t0 float64) *Dynamic {
 	d := &Dynamic{}
 	d.NotifyRedistribution(i0, tRedist)
-	if d.Decide(i0+1, t0) {
+	if d.Decide(i0+1, t0).Redistribute {
 		panic("baseline-establishing call fired")
 	}
 	return d
@@ -29,9 +29,9 @@ func TestDynamicMonotoneInDelay(t *testing.T) {
 		t0 := 0.5 + rng.Float64()
 		iter := i0 + 2 + rng.Intn(30)
 		t1 := t0 + (rng.Float64()-0.3)*2 // sometimes below baseline
-		fired := prime(i0, tRedist, t0).Decide(iter, t1)
+		fired := prime(i0, tRedist, t0).Decide(iter, t1).Redistribute
 		for _, delay := range []float64{0, 1e-9, 1e-3, 0.1, 1, 100} {
-			delayed := prime(i0, tRedist, t0).Decide(iter, t1+delay)
+			delayed := prime(i0, tRedist, t0).Decide(iter, t1+delay).Redistribute
 			if fired && !delayed {
 				t.Fatalf("trial %d: fired at t1=%g but not at t1+%g (i0=%d iter=%d t0=%g T=%g)",
 					trial, t1, delay, i0, iter, t0, tRedist)
@@ -63,7 +63,7 @@ func TestDynamicFirstTriggerNotLaterUnderDelay(t *testing.T) {
 				if i > 0 {
 					t1 += delay * float64(i) // delay accrues after the baseline
 				}
-				if d.Decide(i, t1) {
+				if d.Decide(i, t1).Redistribute {
 					return i
 				}
 			}
@@ -86,16 +86,16 @@ func TestDynamicFirstTriggerNotLaterUnderDelay(t *testing.T) {
 func TestDynamicNeverFiresOnZeroWindow(t *testing.T) {
 	for _, iterTime := range []float64{0, 1, 1e6, 1e300} {
 		d := prime(10, 0.5, 1.0)
-		if d.Decide(10, iterTime) {
+		if d.Decide(10, iterTime).Redistribute {
 			t.Errorf("fired on zero-length window at iterTime=%g", iterTime)
 		}
-		if d.Decide(9, iterTime) {
+		if d.Decide(9, iterTime).Redistribute {
 			t.Errorf("fired on negative window at iterTime=%g", iterTime)
 		}
 		// A genuine window with the same measurement still fires when the
 		// projected saving clears the threshold (the guard is about the
 		// window, not a blanket suppression).
-		if iterTime >= 2 && !d.Decide(11, iterTime) {
+		if iterTime >= 2 && !d.Decide(11, iterTime).Redistribute {
 			t.Errorf("did not fire on a one-iteration window at iterTime=%g", iterTime)
 		}
 	}
@@ -105,8 +105,8 @@ func TestDynamicNeverFiresOnZeroWindow(t *testing.T) {
 // it neither fires nor disturbs the established baseline.
 func TestDynamicZeroWindowLeavesStateIntact(t *testing.T) {
 	d := prime(10, 0.5, 1.0)
-	_ = d.Decide(10, 1e9) // zero window, huge measurement
-	if !d.Decide(12, 2.0) {
+	_ = d.Decide(10, 1e9).Redistribute // zero window, huge measurement
+	if !d.Decide(12, 2.0).Redistribute {
 		t.Error("baseline was disturbed by a zero-window call")
 	}
 }

@@ -9,6 +9,12 @@
 // where t0 is the iteration time observed right after the last
 // redistribution at iteration i0, and t1 is the current iteration time.
 //
+// A decision carries more than a boolean: it names the layout Strategy to
+// rebuild with — which splitter (equal-count or cost-weighted) and which
+// movement scheme (Lagrangian or Eulerian). The paper's policies always
+// answer with one fixed strategy; the Adaptive policy (adaptive.go) scores
+// candidates against live cost measurements first.
+//
 // Policies are driven with globally agreed values (iteration times reduced
 // over all ranks), so every rank instance of the same policy makes the same
 // decision at the same iteration.
@@ -16,14 +22,30 @@ package policy
 
 import "fmt"
 
-// Policy decides when to redistribute particles.
+// Decision is a policy's answer: keep the current layout, or rebuild it
+// with the named strategy.
+type Decision struct {
+	Redistribute bool
+	Strategy     Strategy
+}
+
+// KeepLayout is the no-redistribution decision.
+var KeepLayout = Decision{}
+
+// Rebalance returns the decision to rebuild the layout with strategy s.
+func Rebalance(s Strategy) Decision { return Decision{Redistribute: true, Strategy: s} }
+
+// Policy decides when — and with which strategy — to redistribute
+// particles.
 type Policy interface {
 	// Decide is called after iteration iter completes in iterTime
-	// (simulated seconds, max over ranks) and reports whether to
-	// redistribute now.
-	Decide(iter int, iterTime float64) bool
+	// (simulated seconds, max over ranks) and returns the layout decision
+	// for the next iteration.
+	Decide(iter int, iterTime float64) Decision
 	// NotifyRedistribution records that a redistribution completed at
-	// iteration iter, costing redistTime.
+	// iteration iter, costing redistTime. It is NOT called for failed,
+	// rolled-back redistributions — policy state must stay as if the
+	// attempt never happened, so the trigger retries.
 	NotifyRedistribution(iter int, redistTime float64)
 	// Name identifies the policy for reports.
 	Name() string
@@ -37,7 +59,7 @@ type Factory func() Policy
 type Static struct{}
 
 // Decide implements Policy.
-func (Static) Decide(int, float64) bool { return false }
+func (Static) Decide(int, float64) Decision { return KeepLayout }
 
 // NotifyRedistribution implements Policy.
 func (Static) NotifyRedistribution(int, float64) {}
@@ -48,12 +70,19 @@ func (Static) Name() string { return "static" }
 // NewStatic returns a Factory for Static.
 func NewStatic() Factory { return func() Policy { return Static{} } }
 
-// Periodic redistributes every K iterations.
-type Periodic struct{ K int }
+// Periodic redistributes every K iterations, always with its configured
+// Strategy (zero value: equal-count Lagrangian, the paper's scheme).
+type Periodic struct {
+	K        int
+	Strategy Strategy
+}
 
 // Decide implements Policy.
-func (p *Periodic) Decide(iter int, _ float64) bool {
-	return p.K > 0 && (iter+1)%p.K == 0
+func (p *Periodic) Decide(iter int, _ float64) Decision {
+	if p.K > 0 && (iter+1)%p.K == 0 {
+		return Rebalance(p.Strategy)
+	}
+	return KeepLayout
 }
 
 // NotifyRedistribution implements Policy.
@@ -62,14 +91,20 @@ func (p *Periodic) NotifyRedistribution(int, float64) {}
 // Name implements Policy.
 func (p *Periodic) Name() string { return fmt.Sprintf("periodic(%d)", p.K) }
 
+// SetStrategy fixes the strategy every firing decides (see WithStrategy).
+func (p *Periodic) SetStrategy(s Strategy) { p.Strategy = s }
+
 // NewPeriodic returns a Factory for Periodic with period k.
 func NewPeriodic(k int) Factory { return func() Policy { return &Periodic{K: k} } }
 
 // Dynamic is the SAR-style policy. Until the first redistribution its
 // T_redistribution estimate is the cost of the initial particle
 // distribution (reported via NotifyRedistribution at iteration −1 by the
-// simulation driver).
+// simulation driver). Every firing decides its configured Strategy (zero
+// value: equal-count Lagrangian).
 type Dynamic struct {
+	Strategy Strategy
+
 	i0      int     // iteration of last redistribution
 	t0      float64 // iteration time observed right after it (0 = unseen)
 	haveT0  bool
@@ -82,19 +117,22 @@ type Dynamic struct {
 // never suppress it — and a non-positive measurement window (i1 ≤ i0, e.g.
 // a caller replaying the redistribution iteration itself) never fires: it
 // carries no degradation signal.
-func (d *Dynamic) Decide(iter int, iterTime float64) bool {
+func (d *Dynamic) Decide(iter int, iterTime float64) Decision {
 	if !d.haveT0 {
 		// First iteration after a redistribution establishes the baseline.
 		d.t0 = iterTime
 		d.haveT0 = true
-		return false
+		return KeepLayout
 	}
 	window := iter - d.i0
 	if window <= 0 {
-		return false
+		return KeepLayout
 	}
 	saved := (iterTime - d.t0) * float64(window)
-	return saved >= d.tRedist && d.tRedist > 0
+	if saved >= d.tRedist && d.tRedist > 0 {
+		return Rebalance(d.Strategy)
+	}
+	return KeepLayout
 }
 
 // NotifyRedistribution implements Policy.
@@ -106,6 +144,9 @@ func (d *Dynamic) NotifyRedistribution(iter int, redistTime float64) {
 
 // Name implements Policy.
 func (d *Dynamic) Name() string { return "dynamic" }
+
+// SetStrategy fixes the strategy every firing decides (see WithStrategy).
+func (d *Dynamic) SetStrategy(s Strategy) { d.Strategy = s }
 
 // NewDynamic returns a Factory for Dynamic.
 func NewDynamic() Factory { return func() Policy { return &Dynamic{} } }

@@ -6,7 +6,7 @@ func TestStaticNeverFires(t *testing.T) {
 	p := NewStatic()()
 	p.NotifyRedistribution(-1, 1.0)
 	for i := 0; i < 1000; i++ {
-		if p.Decide(i, float64(i)*100) {
+		if p.Decide(i, float64(i)*100).Redistribute {
 			t.Fatalf("static fired at %d", i)
 		}
 	}
@@ -19,7 +19,7 @@ func TestPeriodicFiresEveryK(t *testing.T) {
 	p := NewPeriodic(5)()
 	var fired []int
 	for i := 0; i < 20; i++ {
-		if p.Decide(i, 1.0) {
+		if p.Decide(i, 1.0).Redistribute {
 			fired = append(fired, i)
 			p.NotifyRedistribution(i, 0.5)
 		}
@@ -41,7 +41,7 @@ func TestPeriodicFiresEveryK(t *testing.T) {
 func TestPeriodicZeroNeverFires(t *testing.T) {
 	p := NewPeriodic(0)()
 	for i := 0; i < 10; i++ {
-		if p.Decide(i, 1) {
+		if p.Decide(i, 1).Redistribute {
 			t.Fatal("periodic(0) fired")
 		}
 	}
@@ -52,29 +52,29 @@ func TestDynamicSARCondition(t *testing.T) {
 	p.NotifyRedistribution(-1, 2.0) // T_redist = 2
 
 	// Iteration 0 establishes t0 = 1.0 and must not fire.
-	if p.Decide(0, 1.0) {
+	if p.Decide(0, 1.0).Redistribute {
 		t.Fatal("fired while establishing baseline")
 	}
 	// (t1 − t0)·(i1 − i0) = (1.5−1.0)·(2−(−1)) = 1.5 < 2: no fire.
-	if p.Decide(2, 1.5) {
+	if p.Decide(2, 1.5).Redistribute {
 		t.Fatal("fired below threshold")
 	}
 	// (2.0−1.0)·(3−(−1)) = 4 ≥ 2: fire.
-	if !p.Decide(3, 2.0) {
+	if !p.Decide(3, 2.0).Redistribute {
 		t.Fatal("did not fire above threshold")
 	}
 	p.NotifyRedistribution(3, 3.0)
 
 	// New epoch: baseline re-established from the next iteration.
-	if p.Decide(4, 1.2) {
+	if p.Decide(4, 1.2).Redistribute {
 		t.Fatal("fired on baseline iteration of new epoch")
 	}
 	// (1.4−1.2)·(10−3) = 1.4 < 3: no fire.
-	if p.Decide(10, 1.4) {
+	if p.Decide(10, 1.4).Redistribute {
 		t.Fatal("fired below new threshold")
 	}
 	// (1.8−1.2)·(11−3) = 4.8 ≥ 3: fire.
-	if !p.Decide(11, 1.8) {
+	if !p.Decide(11, 1.8).Redistribute {
 		t.Fatal("did not fire in new epoch")
 	}
 }
@@ -83,7 +83,7 @@ func TestDynamicNoFireWhenTimesFlat(t *testing.T) {
 	p := NewDynamic()()
 	p.NotifyRedistribution(-1, 0.5)
 	for i := 0; i < 500; i++ {
-		if p.Decide(i, 1.0) {
+		if p.Decide(i, 1.0).Redistribute {
 			t.Fatalf("fired at %d with flat iteration times", i)
 		}
 	}
@@ -94,7 +94,7 @@ func TestDynamicNoFireWithZeroEstimate(t *testing.T) {
 	// (tRedist = 0 would otherwise fire on any rise).
 	p := NewDynamic()()
 	p.Decide(0, 1.0)
-	if p.Decide(1, 100.0) {
+	if p.Decide(1, 100.0).Redistribute {
 		t.Fatal("fired with no cost estimate")
 	}
 }
@@ -105,7 +105,7 @@ func TestDynamicFactoryIndependence(t *testing.T) {
 	a.NotifyRedistribution(-1, 1)
 	a.Decide(0, 1)
 	// b must be unaffected by a's state.
-	if b.Decide(0, 100) {
+	if b.Decide(0, 100).Redistribute {
 		t.Fatal("factory instances share state")
 	}
 }

@@ -1,0 +1,101 @@
+package policy
+
+import "fmt"
+
+// Split selects how the SFC-sorted particle order is cut into P chunks.
+type Split int
+
+const (
+	// SplitEqualCount cuts at equal particle counts — the paper's scheme
+	// and the default everywhere.
+	SplitEqualCount Split = iota
+	// SplitCostWeighted cuts at equal cumulative per-cell cost, using the
+	// cost ledger's weight estimates.
+	SplitCostWeighted
+)
+
+// Movement selects how particles reach their new owners.
+type Movement int
+
+const (
+	// MovementLagrangian keeps particles aligned with the SFC split of the
+	// particle array (the paper's direct Lagrangian movement).
+	MovementLagrangian Movement = iota
+	// MovementEulerian sends every particle to the rank owning its cell,
+	// aligning the particle array with the mesh BLOCK distribution
+	// (Sauget & Latu's Eulerian alternative; wins when particles cluster
+	// where their fields are).
+	MovementEulerian
+)
+
+// Strategy is one point of the {split} × {movement} layout space a
+// Decision can name. The zero value — equal-count Lagrangian — is the
+// paper's scheme and the byte-identical default.
+type Strategy struct {
+	Split    Split
+	Movement Movement
+}
+
+// Named strategies. Eulerian movement realigns particles with the mesh
+// regardless of splitter, so it is exposed as a single strategy.
+var (
+	EqualCount   = Strategy{}
+	CostWeighted = Strategy{Split: SplitCostWeighted}
+	Eulerian     = Strategy{Movement: MovementEulerian}
+)
+
+// String implements fmt.Stringer with the flag-value names.
+func (s Strategy) String() string {
+	if s.Movement == MovementEulerian {
+		return "eulerian"
+	}
+	if s.Split == SplitCostWeighted {
+		return "cost-weighted"
+	}
+	return "equal-count"
+}
+
+// ParseStrategy inverts String.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "equal-count", "":
+		return EqualCount, nil
+	case "cost-weighted":
+		return CostWeighted, nil
+	case "eulerian":
+		return Eulerian, nil
+	}
+	return Strategy{}, fmt.Errorf("policy: unknown strategy %q (want equal-count|cost-weighted|eulerian)", name)
+}
+
+// CostWeightUser is the optional interface a Policy implements to declare
+// whether its decisions can ever name the cost-weighted split. The
+// pipeline skips the per-iteration cost-ledger observation — real
+// wall-clock work per particle, though never simulated time — for policies
+// that answer false. Policies that do not implement it are observed
+// conservatively: an unknown Decide may ask for cost weights at any time.
+type CostWeightUser interface {
+	UsesCostWeights() bool
+}
+
+// UsesCostWeights implements CostWeightUser: Static never redistributes.
+func (Static) UsesCostWeights() bool { return false }
+
+// UsesCostWeights implements CostWeightUser.
+func (p *Periodic) UsesCostWeights() bool { return p.Strategy.Split == SplitCostWeighted }
+
+// UsesCostWeights implements CostWeightUser.
+func (d *Dynamic) UsesCostWeights() bool { return d.Strategy.Split == SplitCostWeighted }
+
+// WithStrategy decorates a Factory so every policy it builds decides the
+// fixed strategy s when it fires. Policies that do not expose SetStrategy
+// (Static never fires; Adaptive chooses for itself) pass through unchanged.
+func WithStrategy(f Factory, s Strategy) Factory {
+	return func() Policy {
+		p := f()
+		if fixed, ok := p.(interface{ SetStrategy(Strategy) }); ok {
+			fixed.SetStrategy(s)
+		}
+		return p
+	}
+}

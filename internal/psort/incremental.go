@@ -130,6 +130,19 @@ type Stats struct {
 // keep the latest store — the usual pattern — are unaffected). The input
 // store is never modified.
 func (inc *Incremental) Redistribute(r comm.Transport, s *particle.Store) (*particle.Store, Stats) {
+	return inc.redistribute(r, s, nil)
+}
+
+// RedistributeWeighted is Redistribute with the final order-maintaining
+// balance cutting at equal cumulative weight under wf (see
+// WeightedBalance) instead of equal counts. A nil wf is exactly
+// Redistribute. The classification and exchange machinery — and therefore
+// the snapshot/rollback contract — is shared unchanged.
+func (inc *Incremental) RedistributeWeighted(r comm.Transport, s *particle.Store, wf func(key float64) float64) (*particle.Store, Stats) {
+	return inc.redistribute(r, s, wf)
+}
+
+func (inc *Incremental) redistribute(r comm.Transport, s *particle.Store, wf func(key float64) float64) (*particle.Store, Stats) {
 	p := r.Size()
 	n := s.Len()
 
@@ -145,14 +158,14 @@ func (inc *Incremental) Redistribute(r comm.Transport, s *particle.Store) (*part
 	recv := comm.AllToMany(r, send, recvCounts, comm.Float64Bytes)
 
 	// Line 21: collect and sort the received particles.
-	wf := s.WireFloats()
+	wfl := s.WireFloats()
 	recvStore := resetStore(&inc.recvS, 0, s)
 	for src := 0; src < p; src++ {
 		if src != r.Rank() && len(recv[src]) > 0 {
 			if err := recvStore.AppendWire(recv[src]); err != nil {
 				panic(err)
 			}
-			r.Compute(len(recv[src]) / wf * packWorkPerParticle)
+			r.Compute(len(recv[src]) / wfl * packWorkPerParticle)
 			wire.Put(recv[src])
 		}
 	}
@@ -175,9 +188,10 @@ func (inc *Incremental) Redistribute(r comm.Transport, s *particle.Store) (*part
 	// Line 24: merge the kept run with the received run.
 	merged := mergeSortedInto(r, kept, recvStore, resetStore(&inc.merged, kept.Len()+recvStore.Len(), s))
 
-	// Order-maintaining load balance into the output slot that does not
-	// alias the caller's store, then remember the new boundaries.
-	out := loadBalanceInto(r, merged, inc.outSlot(s))
+	// Order-maintaining (possibly weighted) balance into the output slot
+	// that does not alias the caller's store, then remember the new
+	// boundaries.
+	out := weightedBalanceInto(r, merged, inc.outSlot(s), wf)
 	inc.Prime(out)
 	return out, st
 }

@@ -88,6 +88,8 @@ const (
 	DistIrregular = particle.DistIrregular
 	DistTwoStream = particle.DistTwoStream
 	DistBeam      = particle.DistBeam
+	DistSpike     = particle.DistSpike
+	DistCollapse  = particle.DistCollapse
 )
 
 // Indexing scheme names for Config.Indexing.
@@ -114,6 +116,35 @@ func PeriodicPolicy(k int) PolicyFactory { return policy.NewPeriodic(k) }
 // DynamicPolicy redistributes when the Stop-At-Rise condition
 // (t1−t0)·(i1−i0) ≥ T_redistribution is met.
 func DynamicPolicy() PolicyFactory { return policy.NewDynamic() }
+
+// AdaptivePolicy redistributes on the Stop-At-Rise condition and, at each
+// firing, rebuilds into whichever layout strategy scores the lowest
+// estimated max per-rank cost on the live per-cell cost ledger.
+func AdaptivePolicy() PolicyFactory { return policy.NewAdaptive() }
+
+// AdaptivePolicyEvery is AdaptivePolicy on a fixed every-k cadence.
+func AdaptivePolicyEvery(k int) PolicyFactory { return policy.NewAdaptiveEvery(k) }
+
+// Strategy names a particle layout: how the globally sorted sequence is
+// split (equal-count or cost-weighted) and how particles move (Lagrangian
+// redistribution or Eulerian migration). The zero value is the classic
+// equal-count Lagrangian layout — the byte-identical default.
+type Strategy = policy.Strategy
+
+// The named layout strategies.
+var (
+	StrategyEqualCount   = policy.EqualCount
+	StrategyCostWeighted = policy.CostWeighted
+	StrategyEulerian     = policy.Eulerian
+)
+
+// ParseStrategy resolves a strategy name ("equal-count", "cost-weighted",
+// "eulerian"); the empty name is equal-count.
+func ParseStrategy(name string) (Strategy, error) { return policy.ParseStrategy(name) }
+
+// WithStrategy pins the layout strategy a policy's firings decide, for
+// policies that support one (Periodic, Dynamic); Static passes through.
+func WithStrategy(f PolicyFactory, s Strategy) PolicyFactory { return policy.WithStrategy(f, s) }
 
 // CM5Machine returns CM-5-like cost-model constants (the paper's testbed).
 func CM5Machine() MachineParams { return machine.CM5() }

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Full CI gate: vet, build, plain tests, race-enabled tests, the chaos soak
 # (seeded fault plans through the Reliable stack, 2-D and 3-D), the
-# per-phase traffic regression gate, the 2-D and 3-D golden pins, the
+# layout-strategy comparison (2-D and 3-D), the per-phase traffic
+# regression gate, the 2-D and 3-D golden pins, the
 # multi-process TCP smoke (loopback golden + kill -9 crash detection), an
 # examples smoke run, and a short benchmark smoke run that exercises the
 # radix sort and allocation assertions.
@@ -39,6 +40,13 @@ go test -count=1 -run 'TestGolden' ./internal/pic/
 echo "== 3-D smoke =="
 go run ./cmd/picsim -dim 3 -mesh 16x16x16 -n 4096 -p 8 -iters 10 -dist irregular -policy dynamic >/dev/null
 
+echo "== strategy comparison (2-D and 3-D: weighted split balances, adaptive selects it) =="
+go test -count=1 -run 'TestStrategy' ./internal/pic/
+go run ./cmd/picsim -mesh 128x64 -n 4096 -p 8 -iters 15 -dist spike -seed 11 \
+    -policy periodic:5 -strategy cost-weighted >/dev/null
+go run ./cmd/picsim -dim 3 -mesh 16x16x16 -n 4096 -p 8 -iters 15 -dist spike -seed 11 \
+    -policy adaptive:5 >/dev/null
+
 echo "== net smoke (multi-process TCP golden + crash detection) =="
 sh scripts/netsmoke.sh
 
@@ -53,6 +61,7 @@ go run ./examples/quickstart >/dev/null
 go run ./examples/quickstart3d >/dev/null
 go run ./examples/netquickstart >/dev/null
 go run ./examples/indexing >/dev/null
+go run ./examples/skewedload >/dev/null
 
 echo "== bench smoke =="
 go test -run NONE -bench 'BenchmarkLocalSort|BenchmarkSimulationIteration3D' -benchtime 100x -benchmem .
