@@ -20,6 +20,17 @@
 //	picsim -net 127.0.0.1:0 -mesh 32x16 -n 2048 -p 4 -iters 10 \
 //	       -dist irregular -seed 7 -policy static
 //
+// Adding -checkpoint-dir makes every rank write a CRC-guarded shard of its
+// state on a fixed iteration cadence, and -recover turns the launcher
+// elastic: a rank killed mid-run (kill -9 included) is respawned, rejoins
+// through the rendezvous, and the whole world rolls back in lockstep to
+// the latest complete checkpoint epoch and continues — with the same final
+// Fingerprint an undisturbed run prints:
+//
+//	picsim -net 127.0.0.1:0 -mesh 32x16 -n 2048 -p 4 -iters 20 \
+//	       -dist irregular -seed 7 -policy static \
+//	       -checkpoint-dir /tmp/ckpt -checkpoint-every 5 -recover
+//
 // A single rank joins an existing coordinator with -rank (normally only the
 // launcher does this, but it is how a world spreads across hosts), and
 // -coordinate runs just the rendezvous service for such a hand-assembled
@@ -65,6 +76,10 @@ func main() {
 	rank := flag.Int("rank", -1, "with -net: join the coordinator as this rank instead of launching the world")
 	wallclock := flag.Bool("wallclock", false, "with -net: charge real elapsed time instead of the simulated cost model")
 	coordinate := flag.Bool("coordinate", false, "with -net: run only the rendezvous coordinator (for ranks started by hand, e.g. on other hosts)")
+	ckptDir := flag.String("checkpoint-dir", "", "write CRC-guarded checkpoint epochs under this directory (default $PICPAR_CKPT_DIR; empty disables)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "iterations between checkpoints when checkpointing is on (default 10)")
+	ckptKeep := flag.Int("checkpoint-keep", 0, "complete checkpoint epochs to retain (default 2)")
+	recoverFlag := flag.Bool("recover", false, "with -net: elastic recovery — respawn dead ranks and roll the world back to the latest complete checkpoint epoch")
 	flag.Parse()
 
 	if *meshFlag == "" {
@@ -103,6 +118,11 @@ func main() {
 		Diagnostics:  *diag,
 		Verify:       *verify,
 		Workers:      *procs,
+
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		CheckpointKeep:  *ckptKeep,
+		Recover:         *recoverFlag,
 	}
 	if *dim == 3 {
 		cfg.Grid3 = picpar.NewGrid3(ext[0], ext[1], ext[2])
@@ -140,7 +160,7 @@ func main() {
 		}
 	case *netAddr != "":
 		// Launcher mode: coordinator plus one re-executed process per rank.
-		if err := launchWorld(*netAddr, *p); err != nil {
+		if err := launchWorld(*netAddr, *p, *recoverFlag); err != nil {
 			fatal(err)
 		}
 		return
@@ -178,6 +198,10 @@ func main() {
 	fmt.Printf("  peak scatter traffic: %10d B, %d messages\n", res.MaxScatterBytes(), res.MaxScatterMsgs())
 	// Full-precision pin for scripts (the golden gate greps this line).
 	fmt.Printf("  TotalTime %.7f\n", res.TotalTime)
+	// Physics fingerprint: order-sensitive FNV-64a over every rank's final
+	// particle columns and field arrays. The recovery gate compares this
+	// between a kill-and-recover run and an undisturbed one.
+	fmt.Printf("  Fingerprint %016x\n", res.Fingerprint)
 
 	if *phases {
 		fmt.Printf("\nper-phase breakdown (max over ranks):\n%s", res.Stats.Format())
@@ -202,43 +226,72 @@ func main() {
 // launchWorld is picsim's coordinator mode: it starts the rendezvous
 // service on addr, re-executes this binary once per rank with the same
 // simulation flags plus -net/-rank, prints each child's pid to stderr (so
-// harnesses can kill a specific rank), and supervises the world. A dead
-// rank surfaces as a nonzero exit with its peers' DeliveryError
-// diagnostics on stderr within the backend's failure-detection window —
-// never as a hang.
-func launchWorld(addr string, p int) error {
+// harnesses can kill a specific rank), and supervises the world. Without
+// elastic recovery a dead rank surfaces as a nonzero exit with its peers'
+// DeliveryError diagnostics on stderr within the backend's
+// failure-detection window — never as a hang. With elastic recovery the
+// coordinator keeps serving re-assembly rounds, a dead rank is respawned
+// with its same identity, and the run continues from the latest complete
+// checkpoint epoch.
+func launchWorld(addr string, p int, elastic bool) error {
 	co, err := picpar.StartCoordinator(addr, p)
 	if err != nil {
 		return err
 	}
 	defer co.Close()
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- co.Serve() }()
+	if elastic {
+		go func() { serveErr <- co.ServeElastic() }()
+	} else {
+		go func() { serveErr <- co.Serve() }()
+	}
 
 	self, err := os.Executable()
 	if err != nil {
 		return fmt.Errorf("picsim: cannot re-execute self: %v", err)
 	}
 	base := childArgs()
-	procs := make([]*picpar.RankProc, p)
-	for k := 0; k < p; k++ {
+	spawn := func(rank int) (*picpar.RankProc, error) {
 		args := append(append([]string{}, base...),
-			"-net", co.Addr(), "-rank", strconv.Itoa(k), "-p", strconv.Itoa(p))
+			"-net", co.Addr(), "-rank", strconv.Itoa(rank), "-p", strconv.Itoa(p))
 		cmd := exec.Command(self, args...)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "picsim: rank %d pid %d\n", rank, cmd.Process.Pid)
+		return &picpar.RankProc{Rank: rank, Cmd: cmd}, nil
+	}
+	procs := make([]*picpar.RankProc, p)
+	for k := 0; k < p; k++ {
+		proc, err := spawn(k)
+		if err != nil {
 			for _, q := range procs[:k] {
 				_ = q.Cmd.Process.Kill()
 				_ = q.Cmd.Wait()
 			}
 			return fmt.Errorf("picsim: start rank %d: %v", k, err)
 		}
-		fmt.Fprintf(os.Stderr, "picsim: rank %d pid %d\n", k, cmd.Process.Pid)
-		procs[k] = &picpar.RankProc{Rank: k, Cmd: cmd}
+		procs[k] = proc
 	}
-	if err := picpar.SuperviseRanks(procs, 15*time.Second); err != nil {
+	var respawn picpar.RespawnFunc
+	maxRespawns := 0
+	if elastic {
+		maxRespawns = 2 * p
+		respawn = func(rank int) (*picpar.RankProc, error) {
+			fmt.Fprintf(os.Stderr, "picsim: rank %d died, respawning\n", rank)
+			return spawn(rank)
+		}
+	}
+	if err := picpar.SuperviseRanksElastic(procs, 15*time.Second, respawn, maxRespawns); err != nil {
 		return err
+	}
+	if elastic {
+		// ServeElastic only returns once the listener closes; shut it down
+		// now that every rank exited cleanly, then surface any serve error.
+		co.Close()
+		return <-serveErr
 	}
 	select {
 	case err := <-serveErr:

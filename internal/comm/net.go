@@ -97,6 +97,15 @@ type NetConfig struct {
 	WriteTimeout time.Duration
 	// DrainTimeout bounds the clean-teardown drain (default 5s).
 	DrainTimeout time.Duration
+
+	// RejoinAttempts is how many times NetRankElastic re-enters the
+	// rendezvous after the world dies under it (default 8), with the same
+	// capped-backoff + jitter policy as the peer dial: exponential from
+	// RejoinBackoff (default 250ms) capped at RejoinMaxBackoff (default
+	// 4s), ±20% jitter. Plain NetRank ignores these.
+	RejoinAttempts   int
+	RejoinBackoff    time.Duration
+	RejoinMaxBackoff time.Duration
 }
 
 // withNetDefaults fills zero fields with the documented defaults.
@@ -130,6 +139,15 @@ func (c NetConfig) withNetDefaults() NetConfig {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
+	}
+	if c.RejoinAttempts <= 0 {
+		c.RejoinAttempts = 8
+	}
+	if c.RejoinBackoff <= 0 {
+		c.RejoinBackoff = 250 * time.Millisecond
+	}
+	if c.RejoinMaxBackoff <= 0 {
+		c.RejoinMaxBackoff = 4 * time.Second
 	}
 	return c
 }
@@ -212,6 +230,84 @@ func LaunchLoopback(tmpl NetConfig, p int, wrap func(Transport) Transport, fn fu
 		}(i)
 	}
 	wg.Wait()
+	if e := <-serveErr; e != nil {
+		for i := range errs {
+			if errs[i] == nil {
+				errs[i] = fmt.Errorf("comm: rendezvous: %w", e)
+			}
+		}
+	}
+	return ws, errs
+}
+
+// NetRankElastic is NetRank with elastic recovery: when the world dies
+// under fn — the run panics with a *DeliveryError because a peer vanished —
+// the rank parks instead of failing, then rejoins through the rendezvous
+// with the same rank identity and runs fn again from the top. fn must
+// therefore be a restartable program (the pic layer restores its state from
+// the latest complete checkpoint epoch on re-entry). The park-and-rejoin is
+// the recovery barrier: every surviving rank observes the same failure
+// cascade, abandons the dead world, and re-assembles at the coordinator,
+// which must be running a multi-round ServeElastic loop.
+//
+// Rejoin attempts use the peer-dial retry policy (capped exponential
+// backoff + jitter, cfg.Rejoin*) so recovery survives a slow-restarting
+// coordinator or replacement rank. Non-delivery failures (protocol misuse,
+// rank panics of fn's own) and an exhausted rejoin budget propagate as the
+// usual *RankPanic.
+func NetRankElastic(cfg NetConfig, wrap func(Transport) Transport, fn func(Transport)) (machine.Stats, error) {
+	cfg = cfg.withNetDefaults()
+	backoff := cfg.RejoinBackoff
+	for attempt := 0; ; attempt++ {
+		st, err := NetRank(cfg, wrap, fn)
+		if err == nil {
+			return st, nil
+		}
+		var rp *RankPanic
+		if !errors.As(err, &rp) || AsDeliveryError(rp.Value) == nil {
+			return st, err // not a dead-world failure: do not mask it
+		}
+		if attempt+1 >= cfg.RejoinAttempts {
+			return st, err
+		}
+		time.Sleep(jitter(backoff))
+		if backoff *= 2; backoff > cfg.RejoinMaxBackoff {
+			backoff = cfg.RejoinMaxBackoff
+		}
+	}
+}
+
+// LaunchLoopbackElastic is LaunchLoopback with elastic recovery: the
+// coordinator serves assembly rounds until every rank is done, and each
+// rank runs under NetRankElastic, so a rank whose world collapses mid-run
+// (e.g. a fault decorator panicking a *DeliveryError) rejoins and retries
+// instead of failing the launch. Used by the recovery chaos tests.
+func LaunchLoopbackElastic(tmpl NetConfig, p int, wrap func(Transport) Transport, fn func(Transport)) (machine.WorldStats, []error) {
+	ws := machine.WorldStats{Ranks: make([]machine.Stats, p)}
+	errs := make([]error, p)
+	co, err := StartCoordinator("127.0.0.1:0", p, tmpl.withNetDefaults().RendezvousTimeout)
+	if err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return ws, errs
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- co.ServeElastic() }()
+
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			cfg := tmpl
+			cfg.Coordinator = co.Addr()
+			cfg.Rank, cfg.Size = rank, p
+			ws.Ranks[rank], errs[rank] = NetRankElastic(cfg, wrap, fn)
+		}(i)
+	}
+	wg.Wait()
+	co.Close()
 	if e := <-serveErr; e != nil {
 		for i := range errs {
 			if errs[i] == nil {

@@ -52,52 +52,101 @@ func (e *LaunchError) Error() string {
 // finish. All ranks exiting cleanly returns nil. On the first abnormal
 // exit the supervisor waits up to grace for the remaining ranks to fail on
 // their own (printing their DeliveryError diagnostics), then kills any
-// stragglers, and returns a *LaunchError naming every failed rank.
+// stragglers, and returns a *LaunchError naming every failed rank — the
+// Start-failure path included: siblings killed because a later rank never
+// started are drained and recorded too, so multi-rank death is always
+// fully attributed.
 func SuperviseRanks(procs []*RankProc, grace time.Duration) error {
+	return SuperviseRanksElastic(procs, grace, nil, 0)
+}
+
+// RespawnFunc builds a replacement process for a dead rank during an
+// elastic run. It must return a RankProc for the same rank identity whose
+// Cmd is ready to Start (or already started, e.g. to log the new pid).
+type RespawnFunc func(rank int) (*RankProc, error)
+
+// SuperviseRanksElastic is SuperviseRanks with elastic recovery: when a
+// rank exits abnormally while respawn budget remains, the supervisor
+// relaunches that rank via respawn instead of failing the run — the
+// surviving rank processes meanwhile park at the rendezvous (NetRankElastic)
+// and the world re-assembles, rolled back to the latest complete
+// checkpoint epoch. maxRespawns bounds the total relaunches across the
+// whole run; a nil respawn (or an exhausted budget) reverts to the
+// grace-then-kill aggregation of SuperviseRanks.
+func SuperviseRanksElastic(procs []*RankProc, grace time.Duration, respawn RespawnFunc, maxRespawns int) error {
 	if grace <= 0 {
 		grace = 10 * time.Second
 	}
-	running := make(map[int]*RankProc, len(procs))
-	for _, p := range procs {
-		if p.Cmd.Process != nil {
-			// Already started by the caller (e.g. to print the pid).
-			running[p.Rank] = p
-			continue
-		}
-		if err := p.Cmd.Start(); err != nil {
-			for r := range running {
-				_ = running[r].Cmd.Process.Kill()
-				_ = running[r].Cmd.Wait()
-			}
-			return &LaunchError{Failures: []RankFailure{{Rank: p.Rank, Err: fmt.Errorf("start: %w", err)}}}
-		}
-		running[p.Rank] = p
-	}
-
 	type exit struct {
 		rank int
 		err  error
 	}
-	exits := make(chan exit, len(procs))
+	exits := make(chan exit, len(procs)+maxRespawns)
+	reap := func(p *RankProc) { exits <- exit{p.Rank, p.Cmd.Wait()} }
+
+	running := make(map[int]*RankProc, len(procs))
+	var failures []RankFailure
 	for _, p := range procs {
-		go func(p *RankProc) { exits <- exit{p.Rank, p.Cmd.Wait()} }(p)
+		if p.Cmd.Process == nil {
+			if err := p.Cmd.Start(); err != nil {
+				// Kill and drain the already-started siblings, recording
+				// every exit status so the LaunchError attributes them all.
+				// No reaper goroutines exist yet (they start below, after
+				// every rank is up), so Wait here is the only Wait.
+				failures = append(failures, RankFailure{Rank: p.Rank, Err: fmt.Errorf("start: %w", err)})
+				for r, q := range running {
+					_ = q.Cmd.Process.Kill()
+					werr := q.Cmd.Wait()
+					failures = append(failures, RankFailure{Rank: r, Err: werr, Killed: true})
+				}
+				sort.Slice(failures, func(i, j int) bool { return failures[i].Rank < failures[j].Rank })
+				return &LaunchError{Failures: failures}
+			}
+		}
+		running[p.Rank] = p
+	}
+	live := len(running)
+	for _, p := range running {
+		go reap(p)
 	}
 
-	var failures []RankFailure
 	killed := make(map[int]bool)
+	respawned := 0
+	failing := false
+	cleanExits := 0
 	var graceC <-chan time.Time
-	for done := 0; done < len(procs); {
+	for live > 0 {
 		select {
 		case e := <-exits:
-			done++
+			live--
 			delete(running, e.rank)
-			if e.err != nil {
-				failures = append(failures, RankFailure{Rank: e.rank, Err: e.err, Killed: killed[e.rank]})
-				if graceC == nil {
-					t := time.NewTimer(grace)
-					defer t.Stop()
-					graceC = t.C
+			if e.err == nil {
+				cleanExits++
+				continue
+			}
+			// Respawn only while the whole world is still in flight: once a
+			// rank has exited cleanly the run is ending, and a replacement
+			// could never re-assemble with the departed rank.
+			if respawn != nil && respawned < maxRespawns && !failing && cleanExits == 0 && !killed[e.rank] {
+				np, rerr := respawn(e.rank)
+				if rerr == nil && np.Cmd.Process == nil {
+					rerr = np.Cmd.Start()
 				}
+				if rerr == nil {
+					respawned++
+					running[e.rank] = np
+					live++
+					go reap(np)
+					continue
+				}
+				e.err = fmt.Errorf("%v (respawn failed: %v)", e.err, rerr)
+			}
+			failing = true
+			failures = append(failures, RankFailure{Rank: e.rank, Err: e.err, Killed: killed[e.rank]})
+			if graceC == nil {
+				t := time.NewTimer(grace)
+				defer t.Stop()
+				graceC = t.C
 			}
 		case <-graceC:
 			graceC = nil

@@ -1,0 +1,155 @@
+package comm
+
+import (
+	"errors"
+	"os/exec"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// elasticTestTemplate is netTestTemplate with the rejoin backoff tightened
+// for fast recovery-path tests.
+func elasticTestTemplate() NetConfig {
+	tmpl := netTestTemplate()
+	tmpl.RejoinBackoff = 10 * time.Millisecond
+	tmpl.RejoinMaxBackoff = 100 * time.Millisecond
+	return tmpl
+}
+
+// TestSuperviseRanksStartFailureAggregates: when a later rank fails to
+// start, the already-running siblings are killed, drained, and every one
+// of them appears in the LaunchError — multi-rank death is fully
+// attributed even on the launch path.
+func TestSuperviseRanksStartFailureAggregates(t *testing.T) {
+	procs := []*RankProc{
+		{Rank: 0, Cmd: exec.Command("sleep", "30")},
+		{Rank: 1, Cmd: exec.Command("sleep", "30")},
+		{Rank: 2, Cmd: exec.Command("/nonexistent/picpar-no-such-binary")},
+	}
+	err := SuperviseRanks(procs, time.Second)
+	var le *LaunchError
+	if !errors.As(err, &le) {
+		t.Fatalf("error is %T (%v), want *LaunchError", err, err)
+	}
+	if len(le.Failures) != 3 {
+		t.Fatalf("%d failures recorded, want 3 (start failure + 2 killed siblings): %v", len(le.Failures), le)
+	}
+	for i, f := range le.Failures {
+		if f.Rank != i {
+			t.Errorf("failure %d names rank %d — not sorted by rank", i, f.Rank)
+		}
+		wantKilled := i != 2
+		if f.Killed != wantKilled {
+			t.Errorf("rank %d: Killed=%v, want %v", f.Rank, f.Killed, wantKilled)
+		}
+		if f.Err == nil {
+			t.Errorf("rank %d: failure with nil error", f.Rank)
+		}
+	}
+}
+
+// TestSuperviseRanksElasticRespawns: an abnormal exit while the world is
+// in flight is respawned (not failed), and the run ends cleanly once every
+// process — replacement included — exits 0.
+func TestSuperviseRanksElasticRespawns(t *testing.T) {
+	var respawns atomic.Int64
+	procs := []*RankProc{
+		{Rank: 0, Cmd: exec.Command("sleep", "0.5")},
+		{Rank: 1, Cmd: exec.Command("sh", "-c", "exit 3")},
+	}
+	respawn := func(rank int) (*RankProc, error) {
+		respawns.Add(1)
+		return &RankProc{Rank: rank, Cmd: exec.Command("true")}, nil
+	}
+	if err := SuperviseRanksElastic(procs, time.Second, respawn, 4); err != nil {
+		t.Fatalf("elastic supervision failed: %v", err)
+	}
+	if got := respawns.Load(); got != 1 {
+		t.Errorf("%d respawns, want 1", got)
+	}
+}
+
+// TestSuperviseRanksElasticBudgetExhausted: with no respawn budget the
+// elastic supervisor degrades to the grace-then-kill aggregation.
+func TestSuperviseRanksElasticBudgetExhausted(t *testing.T) {
+	procs := []*RankProc{
+		{Rank: 0, Cmd: exec.Command("sleep", "30")},
+		{Rank: 1, Cmd: exec.Command("sh", "-c", "exit 3")},
+	}
+	respawn := func(rank int) (*RankProc, error) {
+		return &RankProc{Rank: rank, Cmd: exec.Command("true")}, nil
+	}
+	err := SuperviseRanksElastic(procs, 200*time.Millisecond, respawn, 0)
+	var le *LaunchError
+	if !errors.As(err, &le) {
+		t.Fatalf("error is %T (%v), want *LaunchError", err, err)
+	}
+	var sawDead, sawKilled bool
+	for _, f := range le.Failures {
+		switch {
+		case f.Rank == 1 && !f.Killed:
+			sawDead = true
+		case f.Rank == 0 && f.Killed:
+			sawKilled = true
+		}
+	}
+	if !sawDead || !sawKilled {
+		t.Errorf("failures %v: want rank 1 dead and rank 0 killed by supervisor", le.Failures)
+	}
+}
+
+// TestNetRankElasticRejoins: a rank whose world dies under it (a peer
+// panicked a *DeliveryError and tore down abruptly) parks, re-registers
+// through the elastic rendezvous and completes on the rebuilt world — and
+// the failure cascades, so its peer rejoins too.
+func TestNetRankElasticRejoins(t *testing.T) {
+	var attempts atomic.Int64
+	var fired atomic.Bool
+	fn := func(tr Transport) {
+		attempts.Add(1)
+		if tr.Rank() == 1 && fired.CompareAndSwap(false, true) {
+			panic(&DeliveryError{Rank: 1, Peer: 0, Tag: TagUser, Reason: "chaos: injected rank death"})
+		}
+		peer := 1 - tr.Rank()
+		tr.Send(peer, TagUser, float64(tr.Rank()), 8)
+		body, _ := tr.Recv(peer, TagUser)
+		if got := body.(float64); got != float64(peer) {
+			panic("exchange corrupted")
+		}
+	}
+	_, errs := LaunchLoopbackElastic(elasticTestTemplate(), 2, nil, fn)
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d failed: %v", rank, err)
+		}
+	}
+	if !fired.Load() {
+		t.Fatal("injection never fired")
+	}
+	if got := attempts.Load(); got != 4 {
+		t.Errorf("%d rank attempts, want 4 (both ranks run twice)", got)
+	}
+}
+
+// TestNetRankElasticDoesNotMaskRealFailures: a rank panic that is not a
+// delivery failure must propagate immediately, not burn rejoin attempts.
+func TestNetRankElasticDoesNotMaskRealFailures(t *testing.T) {
+	var attempts atomic.Int64
+	fn := func(tr Transport) {
+		attempts.Add(1)
+		if tr.Rank() == 1 {
+			panic("a real bug")
+		}
+		tr.Recv(1, TagUser) // fails when rank 1 tears down → rank 0 rejoins
+	}
+	// Rank 0 will rejoin and wait for a world that can never re-assemble
+	// (rank 1 is gone for good); a short rendezvous window bounds the test.
+	tmpl := elasticTestTemplate()
+	tmpl.RendezvousTimeout = time.Second
+	_, errs := LaunchLoopbackElastic(tmpl, 2, nil, fn)
+	var rp *RankPanic
+	if !errors.As(errs[1], &rp) || rp.Value != "a real bug" {
+		t.Fatalf("rank 1 error %v, want its own RankPanic", errs[1])
+	}
+}

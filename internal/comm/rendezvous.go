@@ -15,6 +15,7 @@ package comm
 import (
 	crand "crypto/rand"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -75,7 +76,58 @@ func (co *Coordinator) Close() {
 // assembly. If the world is incomplete when the timeout passes, Serve
 // returns an error naming the missing ranks.
 func (co *Coordinator) Serve() error {
-	deadline := time.Now().Add(co.timeout)
+	assembled, err := co.serveRound(false)
+	if assembled {
+		// Stragglers dialing after assembly (duplicate identities that lost
+		// the race, restarted ranks, crossed jobs) get an explicit rejection
+		// instead of waiting out their timeout against a silent socket.
+		go co.rejectStragglers()
+	}
+	return err
+}
+
+// ServeElastic assembles worlds repeatedly until the listener is closed:
+// the elastic-recovery mode. After the first world launches, the
+// coordinator stays parked; when ranks return to the rendezvous (their
+// world died and every survivor plus the relaunched replacement
+// re-registers), a new assembly round runs with a fresh world id, so
+// stale connections from the dead world can never splice into the new
+// one. Each round's timeout starts at its first registration — between
+// rounds the coordinator waits indefinitely. Returns nil when Close stops
+// the listener; an incomplete round (a rank never came back) returns the
+// error naming the missing ranks.
+func (co *Coordinator) ServeElastic() error {
+	for round := 0; ; round++ {
+		if round > 0 {
+			var idb [8]byte
+			if _, err := crand.Read(idb[:]); err != nil {
+				return fmt.Errorf("comm: coordinator world id: %w", err)
+			}
+			co.worldID = binary.LittleEndian.Uint64(idb[:])
+		}
+		assembled, err := co.serveRound(round > 0)
+		if !assembled {
+			if errors.Is(err, net.ErrClosed) {
+				return nil // Close() ended the service
+			}
+			return err
+		}
+		// A failed welcome write leaves that rank out of the new world; its
+		// absence surfaces as a delivery failure and drives the next round.
+	}
+}
+
+// serveRound runs one assembly: accept registrations until every rank has
+// reported, then broadcast the membership table. With waitFirst the accept
+// deadline is armed only once the round's first registration arrives, so a
+// parked coordinator waits indefinitely for the next recovery. Returns
+// whether the world assembled (the welcome may still have failed for some
+// rank, reported in err).
+func (co *Coordinator) serveRound(waitFirst bool) (bool, error) {
+	var deadline time.Time
+	if !waitFirst {
+		deadline = time.Now().Add(co.timeout)
+	}
 	addrs := make([]string, co.size)
 	conns := make([]net.Conn, co.size)
 	defer func() {
@@ -88,12 +140,15 @@ func (co *Coordinator) Serve() error {
 	registered := 0
 	for registered < co.size {
 		if tl, ok := co.ln.(*net.TCPListener); ok {
-			_ = tl.SetDeadline(deadline)
+			_ = tl.SetDeadline(deadline) // zero deadline blocks indefinitely
 		}
 		c, err := co.ln.Accept()
 		if err != nil {
-			return fmt.Errorf("comm: rendezvous incomplete: %w (missing ranks: %s)",
+			return false, fmt.Errorf("comm: rendezvous incomplete: %w (missing ranks: %s)",
 				err, missingRanks(conns))
+		}
+		if deadline.IsZero() {
+			deadline = time.Now().Add(co.timeout)
 		}
 		rank, addr, err := co.register(c, conns)
 		if err != nil {
@@ -112,11 +167,7 @@ func (co *Coordinator) Serve() error {
 			firstErr = fmt.Errorf("comm: rendezvous welcome to rank %d: %w", rank, err)
 		}
 	}
-	// Stragglers dialing after assembly (duplicate identities that lost the
-	// race, restarted ranks, crossed jobs) get an explicit rejection instead
-	// of waiting out their timeout against a silent socket.
-	go co.rejectStragglers()
-	return firstErr
+	return true, firstErr
 }
 
 // rejectStragglers answers every post-assembly registration with a reject

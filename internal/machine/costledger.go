@@ -1,5 +1,7 @@
 package machine
 
+import "fmt"
+
 // CostLedger attributes measured per-iteration particle-phase cost to the
 // cells the particles occupied, maintaining an exponentially-decayed
 // estimate of each cell's cost and population. It is the data source for
@@ -107,4 +109,24 @@ func (l *CostLedger) Commit(cost float64) {
 func (l *CostLedger) Export(dst []float64) []float64 {
 	dst = append(dst, l.cost...)
 	return append(dst, l.count...)
+}
+
+// Import restores the decayed estimates from a previous Export (2·Cells
+// values: costs then counts) and discards any uncommitted per-iteration
+// observations — the checkpoint-restore inverse of Export.
+func (l *CostLedger) Import(src []float64) error {
+	if len(src) != 2*len(l.cost) {
+		return fmt.Errorf("machine: ledger import of %d values into %d cells (want %d)",
+			len(src), len(l.cost), 2*len(l.cost))
+	}
+	copy(l.cost, src[:len(l.cost)])
+	copy(l.count, src[len(l.cost):])
+	for _, c := range l.touched {
+		l.counts[c] = 0
+		l.units[c] = 0
+	}
+	l.touched = l.touched[:0]
+	l.seen = 0
+	l.seenUnits = 0
+	return nil
 }

@@ -1,0 +1,338 @@
+// Checkpoint/restart integration: building a rank's restart shard from the
+// live rankState, restoring the state from a shard, agreeing on the epoch
+// to roll back to, and fingerprinting the final physics state.
+//
+// Checkpoint writes are pure real-world I/O: no communication, no
+// simulated-clock charges — a run with checkpointing enabled is
+// byte-identical (TotalTime, records, fingerprint) to one without. The
+// recovery path does communicate (one epoch-agreement Expose), but a
+// recover-run that finds no usable epoch wipes those charges and proceeds
+// byte-identically to a fresh run.
+
+package pic
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"picpar/internal/ckpt"
+	"picpar/internal/comm"
+	"picpar/internal/machine"
+	"picpar/internal/policy"
+)
+
+// maybeCheckpoint writes this rank's shard when iter completes an epoch
+// boundary ((iter+1) divisible by the cadence). Failures degrade to a
+// warning: a sick disk must not kill a healthy simulation, it only ages
+// the epoch recovery would restart from. Rank 0 prunes old epochs after a
+// successful write.
+func (st *rankState) maybeCheckpoint(iter int, res *Result) {
+	cfg := st.cfg
+	if cfg.CheckpointDir == "" || cfg.CheckpointEvery <= 0 || (iter+1)%cfg.CheckpointEvery != 0 {
+		return
+	}
+	epoch := iter + 1
+	sh := st.buildShard(epoch, res)
+	if err := ckpt.WriteShard(cfg.CheckpointDir, sh); err != nil {
+		fmt.Fprintf(os.Stderr, "picpar: rank %d checkpoint epoch %d: %v\n", st.r.Rank(), epoch, err)
+		return
+	}
+	if st.r.Rank() == 0 {
+		if err := ckpt.Prune(cfg.CheckpointDir, st.r.Size(), cfg.CheckpointKeep); err != nil {
+			fmt.Fprintf(os.Stderr, "picpar: checkpoint prune: %v\n", err)
+		}
+	}
+}
+
+// maybeCrash is the chaos hook the kill-and-recover CI gate drives:
+// PICPAR_CRASH="rank:iter:marker" makes that rank SIGKILL itself at the
+// top of that iteration — a real, unhandled kill -9 from the inside. The
+// marker file is an O_EXCL single-shot latch, so the respawned replacement
+// (which inherits the same environment) sails past the crash site on
+// replay. Malformed specs and marker I/O errors are ignored: the hook must
+// never be able to break a production run.
+func (st *rankState) maybeCrash(iter int) {
+	spec := os.Getenv("PICPAR_CRASH")
+	if spec == "" {
+		return
+	}
+	var rank, it int
+	var marker string
+	if n, err := fmt.Sscanf(spec, "%d:%d:%s", &rank, &it, &marker); n != 3 || err != nil {
+		return
+	}
+	if st.r.Rank() != rank || iter != it {
+		return
+	}
+	f, err := os.OpenFile(marker, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return // latch already tripped (or unwritable): run on
+	}
+	f.Close()
+	p, _ := os.FindProcess(os.Getpid())
+	_ = p.Kill()
+	select {} // SIGKILL is asynchronous; never proceed past the crash site
+}
+
+// buildShard assembles this rank's restart image at an epoch boundary.
+func (st *rankState) buildShard(epoch int, res *Result) *ckpt.Shard {
+	r := st.r
+	cfg := st.cfg
+	sh := &ckpt.Shard{
+		Epoch:        epoch,
+		Rank:         r.Rank(),
+		Size:         r.Size(),
+		Dims:         cfg.Dims,
+		NumParticles: cfg.NumParticles,
+		Seed:         cfg.Seed,
+		Iterations:   cfg.Iterations,
+		PolicyName:   st.pol.Name(),
+		ClockNow:     r.Clock().Now(),
+		RunStart:     st.runStart,
+		InitTime:     st.initTime,
+		Stats:        r.Stats().Snapshot(),
+		Particles:    st.store,
+		UpperKey:     0,
+	}
+	if cfg.Dims == 3 {
+		sh.GridNx, sh.GridNy, sh.GridNz = cfg.Grid3.Nx, cfg.Grid3.Ny, cfg.Grid3.Nz
+	} else {
+		sh.GridNx, sh.GridNy = cfg.Grid.Nx, cfg.Grid.Ny
+	}
+	fa := st.farr
+	src := [ckpt.NumFieldArrays][]float64{fa.Ex, fa.Ey, fa.Ez, fa.Bx, fa.By, fa.Bz, fa.Jx, fa.Jy, fa.Jz, fa.Rho}
+	for i := range src {
+		sh.Fields[i] = src[i]
+	}
+	bounds := st.inc.ExportBounds(nil)
+	sh.Bounds, sh.UpperKey = bounds[:len(bounds)-1], bounds[len(bounds)-1]
+	if sc, ok := st.pol.(policy.StateCodec); ok {
+		sh.PolicyState = sc.AppendState(nil)
+	}
+	ledger := st.led.Export(nil)
+	cells := st.led.Cells()
+	sh.LedgerCost, sh.LedgerCount = ledger[:cells], ledger[cells:]
+	if r.Rank() == 0 {
+		sh.Records = make([]ckpt.Record, epoch)
+		for i := 0; i < epoch; i++ {
+			sh.Records[i] = recordToCkpt(&res.Records[i])
+		}
+	}
+	return sh
+}
+
+// agreeCheckpoint scans the checkpoint directory for the latest locally
+// complete epoch, agrees the minimum over ranks (every rank must be able
+// to restore the same epoch), and loads this rank's shard. When no epoch
+// is agreed it wipes the agreement's simulated charges — so the ensuing
+// fresh start is byte-identical to a non-recovering run — and returns nil.
+func (st *rankState) agreeCheckpoint() *ckpt.Shard {
+	r := st.r
+	dir := st.cfg.CheckpointDir
+	local := ckpt.LatestComplete(dir, r.Size())
+	agreed := int(-comm.ExposeMaxFloat64(r, -float64(local)))
+	if agreed < 0 {
+		*r.Stats() = machine.Stats{}
+		r.Clock().Reset()
+		return nil
+	}
+	sh, err := ckpt.ReadShard(ckpt.ShardPath(dir, agreed, r.Rank()))
+	if err != nil {
+		panic(fmt.Sprintf("pic: rank %d restore epoch %d: %v", r.Rank(), agreed, err))
+	}
+	st.checkShardSignature(sh, agreed)
+	return sh
+}
+
+// checkShardSignature refuses a shard written by a differently configured
+// run — restoring it would not replay the original physics.
+func (st *rankState) checkShardSignature(sh *ckpt.Shard, epoch int) {
+	r := st.r
+	cfg := st.cfg
+	fail := func(format string, args ...any) {
+		panic(fmt.Sprintf("pic: rank %d refusing checkpoint epoch %d: %s",
+			r.Rank(), epoch, fmt.Sprintf(format, args...)))
+	}
+	if sh.Epoch != epoch {
+		fail("shard is epoch %d", sh.Epoch)
+	}
+	if sh.Rank != r.Rank() || sh.Size != r.Size() {
+		fail("identity mismatch: shard rank %d of %d, world rank %d of %d",
+			sh.Rank, sh.Size, r.Rank(), r.Size())
+	}
+	if sh.Dims != cfg.Dims {
+		fail("dimensionality %d (run has %d)", sh.Dims, cfg.Dims)
+	}
+	nx, ny, nz := cfg.Grid.Nx, cfg.Grid.Ny, 0
+	if cfg.Dims == 3 {
+		nx, ny, nz = cfg.Grid3.Nx, cfg.Grid3.Ny, cfg.Grid3.Nz
+	}
+	if sh.GridNx != nx || sh.GridNy != ny || sh.GridNz != nz {
+		fail("grid %dx%dx%d (run has %dx%dx%d)", sh.GridNx, sh.GridNy, sh.GridNz, nx, ny, nz)
+	}
+	if sh.NumParticles != cfg.NumParticles || sh.Seed != cfg.Seed {
+		fail("population n=%d seed=%d (run has n=%d seed=%d)",
+			sh.NumParticles, sh.Seed, cfg.NumParticles, cfg.Seed)
+	}
+	if sh.Iterations != cfg.Iterations {
+		fail("run length %d (run has %d)", sh.Iterations, cfg.Iterations)
+	}
+	if sh.PolicyName != st.pol.Name() {
+		fail("policy %q (run has %q)", sh.PolicyName, st.pol.Name())
+	}
+	if sh.Epoch > cfg.Iterations {
+		fail("epoch beyond the run's %d iterations", cfg.Iterations)
+	}
+	if sh.Rank == 0 && len(sh.Records) != sh.Epoch {
+		fail("%d records for %d completed iterations", len(sh.Records), sh.Epoch)
+	}
+	if sh.Particles.Dims() != cfg.Dims {
+		fail("%d-D particles (run has %d-D)", sh.Particles.Dims(), cfg.Dims)
+	}
+}
+
+// restoreShard reinstates a shard into the rank's live state: particles,
+// fields, partition bounds, policy state, ledger estimates, the stats
+// ledger, the simulated clock, and (on rank 0) the completed iteration
+// records and cursors. After it returns, the rank is exactly where it was
+// when the shard was written.
+func (st *rankState) restoreShard(sh *ckpt.Shard, res *Result) {
+	r := st.r
+	st.store = sh.Particles
+	fa := st.farr
+	dst := [ckpt.NumFieldArrays][]float64{fa.Ex, fa.Ey, fa.Ez, fa.Bx, fa.By, fa.Bz, fa.Jx, fa.Jy, fa.Jz, fa.Rho}
+	for i := range dst {
+		if len(dst[i]) != len(sh.Fields[i]) {
+			panic(fmt.Sprintf("pic: rank %d restore epoch %d: field array %d has %d values, geometry wants %d",
+				r.Rank(), sh.Epoch, i, len(sh.Fields[i]), len(dst[i])))
+		}
+		copy(dst[i], sh.Fields[i])
+	}
+	bounds := append(sh.Bounds, sh.UpperKey)
+	if err := st.inc.ImportBounds(bounds); err != nil {
+		panic(fmt.Sprintf("pic: rank %d restore epoch %d: %v", r.Rank(), sh.Epoch, err))
+	}
+	if sc, ok := st.pol.(policy.StateCodec); ok {
+		if err := sc.RestoreState(sh.PolicyState); err != nil {
+			panic(fmt.Sprintf("pic: rank %d restore epoch %d: %v", r.Rank(), sh.Epoch, err))
+		}
+	} else if len(sh.PolicyState) != 0 {
+		panic(fmt.Sprintf("pic: rank %d restore epoch %d: %d policy-state values for a policy without checkpoint support",
+			r.Rank(), sh.Epoch, len(sh.PolicyState)))
+	}
+	ledger := append(sh.LedgerCost, sh.LedgerCount...)
+	if err := st.led.Import(ledger); err != nil {
+		panic(fmt.Sprintf("pic: rank %d restore epoch %d: %v", r.Rank(), sh.Epoch, err))
+	}
+	*r.Stats() = sh.Stats
+	r.Clock().Reset()
+	r.Clock().AdvanceTo(sh.ClockNow)
+	st.runStart = sh.RunStart
+	st.initTime = sh.InitTime
+	if r.Rank() == 0 {
+		res.InitTime = sh.InitTime
+		for i := range sh.Records {
+			res.Records[i] = recordFromCkpt(&sh.Records[i])
+		}
+	}
+}
+
+func recordToCkpt(rec *IterationRecord) ckpt.Record {
+	return ckpt.Record{
+		Iter:             rec.Iter,
+		Time:             rec.Time,
+		Compute:          rec.Compute,
+		ScatterBytesSent: rec.ScatterBytesSent,
+		ScatterBytesRecv: rec.ScatterBytesRecv,
+		ScatterMsgsSent:  rec.ScatterMsgsSent,
+		ScatterMsgsRecv:  rec.ScatterMsgsRecv,
+		Redistributed:    rec.Redistributed,
+		RedistTime:       rec.RedistTime,
+		RedistFailed:     rec.RedistFailed,
+		RedistStrategy:   rec.RedistStrategy,
+		BusyImbalance:    rec.BusyImbalance,
+		FieldEnergy:      rec.FieldEnergy,
+		KineticEnergy:    rec.KineticEnergy,
+	}
+}
+
+func recordFromCkpt(rec *ckpt.Record) IterationRecord {
+	return IterationRecord{
+		Iter:             rec.Iter,
+		Time:             rec.Time,
+		Compute:          rec.Compute,
+		ScatterBytesSent: rec.ScatterBytesSent,
+		ScatterBytesRecv: rec.ScatterBytesRecv,
+		ScatterMsgsSent:  rec.ScatterMsgsSent,
+		ScatterMsgsRecv:  rec.ScatterMsgsRecv,
+		Redistributed:    rec.Redistributed,
+		RedistTime:       rec.RedistTime,
+		RedistFailed:     rec.RedistFailed,
+		RedistStrategy:   rec.RedistStrategy,
+		BusyImbalance:    rec.BusyImbalance,
+		FieldEnergy:      rec.FieldEnergy,
+		KineticEnergy:    rec.KineticEnergy,
+	}
+}
+
+// FNV-64a constants for the physics fingerprint.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvFloat64s(h uint64, vals []float64) uint64 {
+	for _, v := range vals {
+		u := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			h = (h ^ (u >> s & 0xff)) * fnvPrime64
+		}
+	}
+	return h
+}
+
+func fnvUint64(h, u uint64) uint64 {
+	for s := 0; s < 64; s += 8 {
+		h = (h ^ (u >> s & 0xff)) * fnvPrime64
+	}
+	return h
+}
+
+// fingerprint hashes this rank's final physics state: every particle
+// column in canonical order, then every field array.
+func (st *rankState) fingerprint() uint64 {
+	h := uint64(fnvOffset64)
+	s := st.store
+	h = fnvFloat64s(h, s.X)
+	h = fnvFloat64s(h, s.Y)
+	if s.Z != nil {
+		h = fnvFloat64s(h, s.Z)
+	}
+	h = fnvFloat64s(h, s.Px)
+	h = fnvFloat64s(h, s.Py)
+	h = fnvFloat64s(h, s.Pz)
+	h = fnvFloat64s(h, s.ID)
+	h = fnvFloat64s(h, s.Key)
+	fa := st.farr
+	for _, arr := range [ckpt.NumFieldArrays][]float64{fa.Ex, fa.Ey, fa.Ez, fa.Bx, fa.By, fa.Bz, fa.Jx, fa.Jy, fa.Jz, fa.Rho} {
+		h = fnvFloat64s(h, arr)
+	}
+	return h
+}
+
+// worldFingerprint folds every rank's local fingerprint in rank order.
+// Runs after the TotalTime measurement, so its barrier charges cannot
+// perturb any golden figure.
+func (st *rankState) worldFingerprint() uint64 {
+	vals := st.r.Expose(st.fingerprint())
+	h := uint64(fnvOffset64)
+	for i, v := range vals {
+		u, ok := v.(uint64)
+		if !ok {
+			panic(fmt.Sprintf("pic: rank %d published %T instead of its fingerprint", i, v))
+		}
+		h = fnvUint64(h, u)
+	}
+	return h
+}

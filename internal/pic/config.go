@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"picpar/internal/ckpt"
 	"picpar/internal/comm"
 	"picpar/internal/commopt"
 	"picpar/internal/machine"
@@ -108,6 +109,26 @@ type Config struct {
 	// (comm.World.SetWatchdog) so a stuck protocol fails with a diagnostic
 	// instead of hanging.
 	Watchdog time.Duration
+
+	// CheckpointDir, when non-empty, enables checkpointing: every
+	// CheckpointEvery completed iterations each rank atomically writes its
+	// restart shard (internal/ckpt) into the directory's epoch layout.
+	// Checkpoint I/O is real-world only — it adds zero simulated-clock
+	// charges and no communication, so all goldens hold with it enabled.
+	// Defaults to $PICPAR_CKPT_DIR (empty = checkpointing off).
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint cadence in iterations; default 10
+	// when CheckpointDir is set.
+	CheckpointEvery int
+	// CheckpointKeep bounds retention: the newest complete epochs kept
+	// after each checkpoint (older ones are pruned by rank 0); default 2.
+	CheckpointKeep int
+	// Recover makes the run restore from the latest complete checkpoint
+	// epoch in CheckpointDir (agreed across ranks) before iterating, and —
+	// under the TCP backend — rejoin elastically when the world dies
+	// (comm.NetRankElastic). With no usable epoch the run starts from
+	// scratch, byte-identically to a non-recovering run.
+	Recover bool
 }
 
 // withDefaults fills zero fields.
@@ -153,6 +174,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers == 0 {
 		c.Workers = par.EnvProcs(1)
+	}
+	if c.CheckpointDir == "" {
+		c.CheckpointDir = ckpt.EnvDir("")
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 10
+	}
+	if c.CheckpointKeep == 0 {
+		c.CheckpointKeep = 2
 	}
 	return c
 }
@@ -201,6 +231,15 @@ func (c Config) validate() error {
 	}
 	if _, err := commopt.NewTable(c.Table, 1, 1); err != nil {
 		return err
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("pic: negative checkpoint cadence %d", c.CheckpointEvery)
+	}
+	if c.CheckpointKeep < 0 {
+		return fmt.Errorf("pic: negative checkpoint retention %d", c.CheckpointKeep)
+	}
+	if c.Recover && c.CheckpointDir == "" {
+		return fmt.Errorf("pic: Recover needs a CheckpointDir (or $PICPAR_CKPT_DIR)")
 	}
 	return nil
 }
@@ -276,8 +315,14 @@ type Result struct {
 	// strategy name — under the Adaptive policy it shows which layouts the
 	// live Table-1 scoring actually picked.
 	RedistByStrategy map[string]int
-	Records          []IterationRecord
-	Stats            machine.WorldStats
+	// Fingerprint is the order-sensitive FNV-64a hash of the world's final
+	// physics state (every rank's particle columns and field arrays, folded
+	// in rank order). Two runs of the same configuration — including one
+	// recovered from a checkpoint mid-way — must produce identical
+	// fingerprints; the recovery gates compare exactly this.
+	Fingerprint uint64
+	Records     []IterationRecord
+	Stats       machine.WorldStats
 }
 
 // MaxScatterBytes returns the peak per-iteration scatter traffic (sent), a

@@ -36,12 +36,23 @@ func RunNet(ncfg comm.NetConfig, cfg Config) (*Result, error) {
 		ncfg.Watchdog = cfg.Watchdog
 	}
 	var res *Result
-	_, err := comm.NetRank(ncfg, cfg.Transport, func(t comm.Transport) {
+	rank := func(t comm.Transport) {
 		r, rerr := RunRank(t, cfg)
 		if rerr != nil {
 			panic(rerr)
 		}
 		res = r
-	})
+	}
+	// With Recover on, the rank is elastic: when the world dies under it
+	// (a peer was killed), it parks, rejoins through the rendezvous and
+	// reruns the simulation — which restores the agreed checkpoint epoch
+	// and continues. RunRank is re-entered from the top, so each attempt
+	// starts from a clean state.
+	var err error
+	if cfg.Recover {
+		_, err = comm.NetRankElastic(ncfg, cfg.Transport, rank)
+	} else {
+		_, err = comm.NetRank(ncfg, cfg.Transport, rank)
+	}
 	return res, err
 }

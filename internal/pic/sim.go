@@ -201,6 +201,10 @@ type rankState struct {
 	// rec points at the record of the iteration in flight, so triggered
 	// phases can mark it (Redistributed, RedistTime).
 	rec *IterationRecord
+	// runStart and initTime are the measurement cursors checkpoint shards
+	// carry so a restored run resumes the same TotalTime accounting.
+	runStart float64
+	initTime float64
 
 	// Ghost bookkeeping, rebuilt (in place, allocation-free once warm)
 	// every iteration. fp is the footprint scratch the per-particle loops
@@ -285,26 +289,43 @@ func runRank(r comm.Transport, cfg Config, ge geom.Geometry, res *Result) {
 	}
 	st.table = tab
 
-	// ---- Initial distribution (the paper's distribution algorithm) ----
-	r.SetPhase(machine.PhaseRedistribute)
-	st.initialDistribution()
-	if cfg.Eulerian {
-		// Direct Eulerian: override the aligned layout by migrating every
-		// particle to its cell's owner.
-		st.migrate()
+	// ---- Recovery: roll back to the agreed checkpoint epoch ----
+	startIter := 0
+	restored := false
+	if cfg.Recover && cfg.CheckpointDir != "" {
+		if sh := st.agreeCheckpoint(); sh != nil {
+			st.restoreShard(sh, res)
+			startIter = sh.Epoch
+			restored = true
+		}
+		// No usable epoch: agreeCheckpoint wiped its charges, so the fresh
+		// start below is byte-identical to a non-recovering run.
 	}
-	comm.Barrier(r)
-	initTime := comm.ExposeMaxFloat64(r, r.Clock().Now())
-	st.pol.NotifyRedistribution(-1, initTime)
-	if r.Rank() == 0 {
-		res.InitTime = initTime
+
+	if !restored {
+		// ---- Initial distribution (the paper's distribution algorithm) ----
+		r.SetPhase(machine.PhaseRedistribute)
+		st.initialDistribution()
+		if cfg.Eulerian {
+			// Direct Eulerian: override the aligned layout by migrating every
+			// particle to its cell's owner.
+			st.migrate()
+		}
+		comm.Barrier(r)
+		initTime := comm.ExposeMaxFloat64(r, r.Clock().Now())
+		st.pol.NotifyRedistribution(-1, initTime)
+		st.initTime = initTime
+		if r.Rank() == 0 {
+			res.InitTime = initTime
+		}
+		st.runStart = r.Clock().Now()
 	}
-	runStart := r.Clock().Now()
 
 	st.composePipeline()
 
 	// ---- Time-step loop ----
-	for iter := 0; iter < cfg.Iterations; iter++ {
+	for iter := startIter; iter < cfg.Iterations; iter++ {
+		st.maybeCrash(iter)
 		iterStart := r.Clock().Now()
 		snap := r.Stats().Snapshot()
 
@@ -378,14 +399,17 @@ func runRank(r comm.Transport, cfg Config, ge geom.Geometry, res *Result) {
 		if r.Rank() == 0 {
 			res.Records[iter] = rec
 		}
+		st.maybeCheckpoint(iter, res)
 	}
 
 	comm.Barrier(r)
-	total := comm.ExposeMaxFloat64(r, r.Clock().Now()-runStart)
+	total := comm.ExposeMaxFloat64(r, r.Clock().Now()-st.runStart)
 	finalCount := int(comm.ExposeSumFloat64(r, float64(st.store.Len())) + 0.5)
+	fp := st.worldFingerprint()
 	if r.Rank() == 0 {
 		res.TotalTime = total
 		res.FinalParticleCount = finalCount
+		res.Fingerprint = fp
 	}
 }
 

@@ -1,6 +1,7 @@
 package psort
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -110,6 +111,26 @@ func (inc *Incremental) SnapshotBounds() Bounds {
 func (inc *Incremental) RestoreBounds(b Bounds) {
 	copy(inc.localBound, b.localBound)
 	inc.upper = b.upper
+}
+
+// ExportBounds appends the remembered bucket boundaries followed by the
+// upper key (L+1 values) to dst and returns it — the checkpoint form of
+// the incremental-sort state.
+func (inc *Incremental) ExportBounds(dst []float64) []float64 {
+	dst = append(dst, inc.localBound...)
+	return append(dst, inc.upper)
+}
+
+// ImportBounds reinstates boundaries previously captured by ExportBounds,
+// replacing the current bucket state wholesale.
+func (inc *Incremental) ImportBounds(vals []float64) error {
+	if len(vals) != inc.L+1 {
+		return fmt.Errorf("psort: bounds import of %d values into %d buckets (want %d)",
+			len(vals), inc.L, inc.L+1)
+	}
+	copy(inc.localBound, vals[:inc.L])
+	inc.upper = vals[inc.L]
+	return nil
 }
 
 // Stats reports what the classification pass observed, for ablation and

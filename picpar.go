@@ -221,8 +221,15 @@ type Coordinator = comm.Coordinator
 // RankProc is one spawned rank process under launcher supervision.
 type RankProc = comm.RankProc
 
+// RankFailure records how one supervised rank process exited.
+type RankFailure = comm.RankFailure
+
 // LaunchError aggregates the abnormal rank exits of one supervised launch.
 type LaunchError = comm.LaunchError
+
+// RespawnFunc builds a replacement process for a dead rank during an
+// elastic run (see SuperviseRanksElastic).
+type RespawnFunc = comm.RespawnFunc
 
 // StartCoordinator binds the rendezvous listener for a world of p ranks
 // with the default assembly timeout; call Serve to assemble the world.
@@ -238,6 +245,15 @@ func SuperviseRanks(procs []*RankProc, grace time.Duration) error {
 	return comm.SuperviseRanks(procs, grace)
 }
 
+// SuperviseRanksElastic is SuperviseRanks with elastic recovery: a rank
+// that exits abnormally while respawn budget remains is relaunched via
+// respawn instead of failing the run, and the surviving rank processes
+// (running under NetRankElastic) re-assemble through the rendezvous rolled
+// back to the latest complete checkpoint epoch.
+func SuperviseRanksElastic(procs []*RankProc, grace time.Duration, respawn RespawnFunc, maxRespawns int) error {
+	return comm.SuperviseRanksElastic(procs, grace, respawn, maxRespawns)
+}
+
 // RunNet runs this process's rank of the configured simulation over the
 // TCP backend (see NetConfig). Rank 0 returns the Result; other ranks
 // return (nil, nil) on success.
@@ -247,6 +263,14 @@ func RunNet(ncfg NetConfig, cfg Config) (*Result, error) { return pic.RunNet(ncf
 // crash-safe teardown; see comm.NetRank.
 func NetRank(ncfg NetConfig, wrap func(Transport) Transport, fn func(Transport)) (machine.Stats, error) {
 	return comm.NetRank(ncfg, wrap, fn)
+}
+
+// NetRankElastic is NetRank with rejoin-on-world-death: when the world
+// dies under this rank (a peer was killed), it parks with capped backoff
+// and re-registers through the rendezvous under the same rank identity
+// until the world re-assembles or the rejoin budget is exhausted.
+func NetRankElastic(ncfg NetConfig, wrap func(Transport) Transport, fn func(Transport)) (machine.Stats, error) {
+	return comm.NetRankElastic(ncfg, wrap, fn)
 }
 
 // MachineStats is one rank's per-phase time and traffic ledger.

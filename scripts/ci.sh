@@ -3,7 +3,8 @@
 # (seeded fault plans through the Reliable stack, 2-D and 3-D), the
 # layout-strategy comparison (2-D and 3-D), the per-phase traffic
 # regression gate, the 2-D and 3-D golden pins, the
-# multi-process TCP smoke (loopback golden + kill -9 crash detection), an
+# multi-process TCP smoke (loopback golden + kill -9 crash detection +
+# kill-and-recover byte-identity), an
 # examples smoke run, and a short benchmark smoke run that exercises the
 # radix sort and allocation assertions.
 set -eu
@@ -47,7 +48,7 @@ go run ./cmd/picsim -mesh 128x64 -n 4096 -p 8 -iters 15 -dist spike -seed 11 \
 go run ./cmd/picsim -dim 3 -mesh 16x16x16 -n 4096 -p 8 -iters 15 -dist spike -seed 11 \
     -policy adaptive:5 >/dev/null
 
-echo "== net smoke (multi-process TCP golden + crash detection) =="
+echo "== net smoke (multi-process TCP golden + crash detection + kill-and-recover) =="
 sh scripts/netsmoke.sh
 
 echo "== net smoke, 2 workers per rank (golden must not move) =="

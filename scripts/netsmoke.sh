@@ -7,6 +7,10 @@
 #  2. Crash gate — kill -9 one rank mid-run; the coordinator process must
 #     exit nonzero with a typed delivery diagnostic within a bounded
 #     window, never hang.
+#  3. Recover gate — the same kill -9 under -recover with checkpointing:
+#     the dead rank is respawned, the world rolls back to the latest
+#     complete checkpoint epoch, and the run completes with the golden
+#     TotalTime and a Fingerprint byte-identical to an undisturbed run.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -76,5 +80,58 @@ grep -q 'signal: killed' "$LOG" || {
 	exit 1
 }
 echo "killed rank diagnosed in ${ELAPSED}s with a typed DeliveryError"
+
+echo "== net recover: kill -9 one rank under -recover, expect byte-identical finish =="
+WORK="$(dirname "$BIN")"
+# Reference: the golden configuration, undisturbed, with checkpointing and
+# elastic recovery armed. Checkpoint writes are charge-free, so the golden
+# TotalTime must not move.
+REF="$("$BIN" -net 127.0.0.1:0 -verify \
+	-mesh 32x16 -n 2048 -p 4 -iters 10 -dist irregular -seed 7 -policy static \
+	-checkpoint-dir "$WORK/ck-ref" -checkpoint-every 3 -recover 2>"$WORK/ref.err")"
+echo "$REF" | grep -q 'TotalTime 1\.1831223' || {
+	echo "FAIL: golden moved with checkpointing+recover armed; output was:" >&2
+	echo "$REF" >&2
+	exit 1
+}
+REF_FP="$(echo "$REF" | sed -n 's/^  Fingerprint \(.*\)$/\1/p')"
+[ -n "$REF_FP" ] || { echo "FAIL: no Fingerprint line in reference output" >&2; exit 1; }
+
+# Chaos run: PICPAR_CRASH makes rank 2 SIGKILL itself at iteration 7 (a
+# real kill -9 from the inside, deterministic on any machine; the marker
+# file keeps the respawned replacement from re-crashing). The launcher must
+# respawn it, roll the world back to epoch 6, and finish byte-identically.
+RLOG="$WORK/recover.log"
+STATUS=0
+PICPAR_CRASH="2:7:$WORK/crash.marker" "$BIN" -net 127.0.0.1:0 -verify \
+	-mesh 32x16 -n 2048 -p 4 -iters 10 -dist irregular -seed 7 -policy static \
+	-checkpoint-dir "$WORK/ck-chaos" -checkpoint-every 3 -recover \
+	>"$RLOG" 2>&1 || STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+	echo "FAIL: recovering launcher exited $STATUS; output was:" >&2
+	cat "$RLOG" >&2
+	exit 1
+fi
+[ -f "$WORK/crash.marker" ] || {
+	echo "FAIL: crash hook never fired — the recovery path went unexercised" >&2
+	exit 1
+}
+grep -q 'rank 2 died, respawning' "$RLOG" || {
+	echo "FAIL: no respawn in launcher output:" >&2
+	cat "$RLOG" >&2
+	exit 1
+}
+grep -q 'TotalTime 1\.1831223' "$RLOG" || {
+	echo "FAIL: recovered run's golden TotalTime mismatch; output was:" >&2
+	cat "$RLOG" >&2
+	exit 1
+}
+CHAOS_FP="$(sed -n 's/^  Fingerprint \(.*\)$/\1/p' "$RLOG")"
+if [ "$CHAOS_FP" != "$REF_FP" ]; then
+	echo "FAIL: recovered fingerprint $CHAOS_FP != undisturbed $REF_FP" >&2
+	cat "$RLOG" >&2
+	exit 1
+fi
+echo "rank 2 killed and recovered: fingerprint $CHAOS_FP matches undisturbed run"
 
 echo "NET SMOKE OK"
