@@ -24,6 +24,11 @@
 // message/byte totals written to <bench-dir>/TRAFFIC_<date>.json, and any
 // increase over the previous snapshot exits non-zero — the simulated
 // transport is deterministic, so the comparison tolerates zero inflation.
+// The gate also measures the per-topology socket matrix over real loopback
+// TCP assemblies (full-mesh, neighbor-sparse, systolic-ring, ring at P=8
+// and P=16) and fails unless a sparse topology opens strictly fewer
+// sockets than the full mesh — the O(P²) → O(P·k) assembly claim. With
+// -require-baseline (the CI form) a missing baseline is itself an error.
 package main
 
 import (
@@ -55,6 +60,7 @@ func main() {
 		"go test -bench regexp for the hot-path benchmarks")
 	benchTime := flag.String("benchtime", "1s", "go test -benchtime value (e.g. 1s, 100x)")
 	benchTol := flag.Float64("bench-tol", 0.3, "relative ns/op slowdown tolerated before flagging a regression")
+	requireBaseline := flag.Bool("require-baseline", false, "with -traffic: fail if no previous TRAFFIC_*.json baseline exists (CI form)")
 	flag.Parse()
 
 	if *bench {
@@ -65,7 +71,7 @@ func main() {
 		return
 	}
 	if *traffic {
-		if err := runTraffic(*benchDir); err != nil {
+		if err := runTraffic(*benchDir, *requireBaseline); err != nil {
 			fmt.Fprintf(os.Stderr, "picbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -20,6 +20,14 @@
 //	picsim -net 127.0.0.1:0 -mesh 32x16 -n 2048 -p 4 -iters 10 \
 //	       -dist irregular -seed 7 -policy static
 //
+// -topology selects the communication topology. Sparse topologies assemble
+// only the stencil + skeleton sockets (O(P·k) instead of O(P²)) and route
+// redistribution traffic over topology-native protocols; the physics and
+// the simulated times are byte-identical to the full mesh:
+//
+//	picsim -net 127.0.0.1:0 -topology neighbor-sparse -mesh 32x16 -n 2048 \
+//	       -p 4 -iters 10 -dist irregular -seed 7 -policy static
+//
 // Adding -checkpoint-dir makes every rank write a CRC-guarded shard of its
 // state on a fixed iteration cadence, and -recover turns the launcher
 // elastic: a rank killed mid-run (kill -9 included) is respawned, rejoins
@@ -64,6 +72,7 @@ func main() {
 	policyFlag := flag.String("policy", "dynamic", "redistribution policy: static|dynamic|periodic:<k>|adaptive|adaptive:<k>")
 	strategyFlag := flag.String("strategy", "", "layout strategy the policy's firings rebuild into: equal-count|cost-weighted|eulerian (default equal-count; ignored by -policy adaptive, which chooses per firing)")
 	table := flag.String("table", "direct", "duplicate-removal table: direct|hash")
+	topology := flag.String("topology", "", "communication topology: full-mesh (default)|neighbor-sparse|systolic-ring|hierarchical[:hosts] (hierarchical is in-process only)")
 	seed := flag.Int64("seed", 1, "random seed")
 	thermal := flag.Float64("thermal", 0.3, "thermal momentum spread (p/mc)")
 	modern := flag.Bool("modern", false, "use modern-cluster cost model instead of CM-5")
@@ -114,6 +123,7 @@ func main() {
 		Indexing:     *indexing,
 		Policy:       pol,
 		Table:        *table,
+		Topology:     *topology,
 		Thermal:      *thermal,
 		Diagnostics:  *diag,
 		Verify:       *verify,
@@ -131,6 +141,10 @@ func main() {
 	}
 	if *modern {
 		cfg.Machine = picpar.ModernMachine()
+	}
+
+	if *netAddr != "" && strings.HasPrefix(*topology, "hierarchical") {
+		fatal(fmt.Errorf("picsim: -topology hierarchical runs on the in-process backend; drop -net or pick a flat topology"))
 	}
 
 	var res *picpar.Result
@@ -160,7 +174,10 @@ func main() {
 		}
 	case *netAddr != "":
 		// Launcher mode: coordinator plus one re-executed process per rank.
-		if err := launchWorld(*netAddr, *p, *recoverFlag); err != nil {
+		// The -topology flag rides along to every rank child via childArgs;
+		// the supervisor knows the world description so refused dials in a
+		// sparse world are attributed to its configuration.
+		if err := launchWorld(*netAddr, *p, *recoverFlag, *topology); err != nil {
 			fatal(err)
 		}
 		return
@@ -233,7 +250,7 @@ func main() {
 // coordinator keeps serving re-assembly rounds, a dead rank is respawned
 // with its same identity, and the run continues from the latest complete
 // checkpoint epoch.
-func launchWorld(addr string, p int, elastic bool) error {
+func launchWorld(addr string, p int, elastic bool, topology string) error {
 	co, err := picpar.StartCoordinator(addr, p)
 	if err != nil {
 		return err
@@ -284,7 +301,11 @@ func launchWorld(addr string, p int, elastic bool) error {
 			return spawn(rank)
 		}
 	}
-	if err := picpar.SuperviseRanksElastic(procs, 15*time.Second, respawn, maxRespawns); err != nil {
+	worldDesc := fmt.Sprintf("topology %s, P=%d", topology, p)
+	if topology == "" {
+		worldDesc = fmt.Sprintf("topology full-mesh, P=%d", p)
+	}
+	if err := picpar.SuperviseRanksElastic(procs, 15*time.Second, respawn, maxRespawns, worldDesc); err != nil {
 		return err
 	}
 	if elastic {

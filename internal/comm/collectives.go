@@ -44,12 +44,7 @@ func Bcast(t Transport, root int, body any, nbytes int) any {
 		return body
 	}
 	vr := (t.Rank() - root + p) % p // virtual rank with root at 0
-	hb := 0                         // highest set bit of vr (0 for the root)
-	for b := 1; b <= vr; b <<= 1 {
-		if vr&b != 0 {
-			hb = b
-		}
-	}
+	hb := highestSetBit(vr)         // 0 for the root
 	var val any
 	if vr == 0 {
 		val = body
@@ -65,14 +60,6 @@ func Bcast(t Transport, root int, body any, nbytes int) any {
 		}
 	}
 	return val
-}
-
-func nextPow2(n int) int {
-	k := 1
-	for k < n {
-		k <<= 1
-	}
-	return k
 }
 
 // ReduceFloat64 reduces one float64 per rank to root with op (must be

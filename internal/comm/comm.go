@@ -49,6 +49,8 @@ const (
 	tagAlltoMany
 	tagScan
 	tagExpose
+	tagSystolic
+	tagNeighborCounts
 )
 
 // TagUser is the first tag value free for application use.
@@ -134,6 +136,14 @@ type World struct {
 	// never to retry it (a retried send-to-closed-world would mask a
 	// teardown bug).
 	closed atomic.Bool
+
+	// topo, when non-nil and not a full mesh, restricts which rank pairs may
+	// exchange messages: a Send or Recv on an unlinked pair panics with a
+	// *TransportError wrapping a *TopologyError. The goroutine backend has no
+	// sockets to save, so enforcement here exists to make the channel world a
+	// faithful rehearsal of a sparse TCP world — a protocol that crosses the
+	// topology fails identically on both backends.
+	topo *Topology
 }
 
 // DefaultMailboxDepth is the per-channel buffering. Deep enough that
@@ -162,6 +172,16 @@ func NewWorld(p int, params machine.Params) *World {
 // rank trips its own watchdog, so Run's WaitGroup always drains and the
 // first panic is re-raised on the caller. Call before Run; d <= 0 disables.
 func (w *World) SetWatchdog(d time.Duration) { w.watchdog = d }
+
+// SetTopology restricts the world to tp's link set (see Topology). Call
+// before Run; nil (the default) leaves the historical any-to-any behaviour.
+// The descriptor's size must match the world's.
+func (w *World) SetTopology(tp *Topology) {
+	if tp != nil && tp.Size() != w.P {
+		panic(fmt.Sprintf("comm: topology %s is for p=%d, world has P=%d", tp.Name(), tp.Size(), w.P))
+	}
+	w.topo = tp
+}
 
 // Close marks the world shut down. Any later Send or Recv on one of its
 // ranks panics with a *TransportError wrapping ErrClosedWorld — a typed,
@@ -337,6 +357,9 @@ func (r *rank) Send(dst int, tag Tag, body any, nbytes int) {
 		r.deliverLocal(message{tag: tag, bytes: nbytes, sentAt: r.clock.Now(), body: body})
 		return
 	}
+	if tp := r.world.topo; tp != nil && !tp.Connected(r.id, dst) {
+		panic(&TransportError{Op: "send", Rank: r.id, Peer: dst, Tag: tag, Err: tp.errOutOf(r.id, dst)})
+	}
 	cost := r.world.Params.MsgCost(nbytes)
 	r.clock.Advance(cost)
 	r.stats.RecordSend(nbytes, cost)
@@ -384,6 +407,9 @@ func (r *rank) Recv(src int, tag Tag) (any, int) {
 	if src < 0 || src >= r.p {
 		panic(&TransportError{Op: "recv", Rank: r.id, Peer: src, Tag: tag,
 			Err: fmt.Errorf("invalid rank %d (P=%d)", src, r.p)})
+	}
+	if tp := r.world.topo; tp != nil && src != r.id && !tp.Connected(r.id, src) {
+		panic(&TransportError{Op: "recv", Rank: r.id, Peer: src, Tag: tag, Err: tp.errOutOf(r.id, src)})
 	}
 	if r.pending == nil {
 		r.pending = make([][]message, r.p)

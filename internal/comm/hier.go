@@ -1,0 +1,582 @@
+// The hierarchical Transport backend: the hybrid host×core decomposition.
+// A world of P ranks is split over H hosts, m = P/H ranks per host; ranks
+// sharing a host exchange messages over in-process channels (exactly the
+// goroutine World's substrate) while cross-host messages travel through ONE
+// TCP gateway connection pair per host pair — O(H²) sockets for the whole
+// world instead of O(P²), behind the same Transport interface and with the
+// same modelled charges, so engine code and the goldens cannot tell the
+// difference.
+//
+// Mechanics: a cross-host Send charges τ + n·μ on the sender's clock as
+// usual, then hands the frame (frameRelay: world source, world destination,
+// tag, modelled size, post-send clock, body) to the host's gateway — a
+// netTransport whose relay hook routes inbound relay frames into
+// per-(local destination, world source) channels. The receiver's consume
+// charges exactly like every other backend (advance to the sender's clock,
+// then τ + n·μ), so simulated time is identical to a flat world; the
+// gateway forwarding itself is raw socket traffic, never charged.
+//
+// Expose composes the same way: the two charged barriers run over the world
+// links (relaying where needed), and the uncharged publication exchange
+// goes host-leader-to-host-leader — each host's local 0 ships its whole
+// host's publications to every other gateway as origin-attributed
+// frameOOBFrom frames.
+//
+// Failure: any gateway link dying (peer host crashed) or any local rank
+// panicking closes the host's dead channel; every blocked operation on
+// that host then fails with a *DeliveryError, mirroring the flat backends'
+// fail-fast story.
+
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"picpar/internal/machine"
+)
+
+// hostGate is a reusable in-process barrier over the m local ranks of one
+// host, abortable through the host's dead channel so a crashed sibling (or
+// a dead gateway link) can never strand a rank inside it.
+type hostGate struct {
+	n       int
+	mu      sync.Mutex
+	count   int
+	release chan struct{}
+}
+
+func newHostGate(n int) *hostGate {
+	return &hostGate{n: n, release: make(chan struct{})}
+}
+
+// wait blocks until all n participants arrive, or dead closes.
+func (g *hostGate) wait(dead <-chan struct{}) bool {
+	g.mu.Lock()
+	rel := g.release
+	g.count++
+	if g.count == g.n {
+		g.count = 0
+		g.release = make(chan struct{})
+		close(rel)
+	}
+	g.mu.Unlock()
+	select {
+	case <-rel:
+		return true
+	case <-dead:
+		return false
+	}
+}
+
+// hierHost is the shared state of one host: the intra-host mailboxes, the
+// inbound cross-host channels the gateway's relay fills, and the gateway
+// endpoint itself.
+type hierHost struct {
+	idx  int // host index in [0, hosts)
+	base int // first world rank of this host
+	m    int // locals per host
+	p    int // world size
+
+	// boxes[dstLocal*m+srcLocal] carries intra-host messages, exactly like
+	// World.boxes.
+	boxes []chan message
+	// remote[dstLocal*p+worldSrc] carries cross-host messages routed in by
+	// the gateway's relay hook.
+	remote []chan message
+	// scratch is the host's world-size Expose table; locals publish into
+	// their own slot, the leader fills the remote slots.
+	scratch []any
+	// oobIn receives other hosts' publications (leader consumes).
+	oobIn chan oobMsg
+
+	gw *netTransport // nil when the world has one host
+
+	// dead closes on the first host-level failure; reason records why.
+	dead     chan struct{}
+	deadOnce sync.Once
+	reason   atomic.Pointer[string]
+	// done marks intentional teardown, so gateway goodbyes during shutdown
+	// are not misread as peer-host crashes.
+	done atomic.Bool
+
+	gate *hostGate
+}
+
+// fail records the first host-level failure and releases everyone blocked.
+func (h *hierHost) fail(reason string) {
+	h.deadOnce.Do(func() {
+		h.reason.Store(&reason)
+		close(h.dead)
+	})
+}
+
+func (h *hierHost) failure() string {
+	if r := h.reason.Load(); r != nil {
+		return *r
+	}
+	return "host failed"
+}
+
+// relay routes one gateway frame into the host. It runs on the gateway's
+// per-peer reader goroutines; the dead-select mirrors netTransport's
+// closing-select so a stalled local can never wedge the gateway reader
+// forever.
+func (h *hierHost) relay(f *netFrame) {
+	switch f.kind {
+	case frameRelay:
+		dl := f.peer - h.base
+		if dl < 0 || dl >= h.m || f.rank < 0 || f.rank >= h.p {
+			h.fail(fmt.Sprintf("protocol violation: relay frame %d -> %d outside host %d (ranks %d..%d)",
+				f.rank, f.peer, h.idx, h.base, h.base+h.m-1))
+			return
+		}
+		select {
+		case h.remote[dl*h.p+f.rank] <- message{tag: f.tag, bytes: f.nbytes, sentAt: f.sentAt, body: f.body}:
+		case <-h.dead:
+		}
+	case frameOOBFrom:
+		if f.rank < 0 || f.rank >= h.p {
+			h.fail(fmt.Sprintf("protocol violation: expose publication from invalid world rank %d", f.rank))
+			return
+		}
+		select {
+		case h.oobIn <- oobMsg{from: f.rank, val: f.body}:
+		case <-h.dead:
+		}
+	}
+}
+
+// hierTransport is one world rank's endpoint of the hierarchical backend.
+// Owned by one goroutine, like every Transport.
+type hierTransport struct {
+	host     *hierHost
+	rank     int // world rank
+	local    int // rank - host.base
+	p        int
+	params   machine.Params
+	watchdog time.Duration
+
+	clock   machine.Clock
+	stats   machine.Stats
+	pending [][]message // indexed by world source rank
+}
+
+// Rank implements Transport.
+func (n *hierTransport) Rank() int { return n.rank }
+
+// Size implements Transport.
+func (n *hierTransport) Size() int { return n.p }
+
+// Clock implements Transport.
+func (n *hierTransport) Clock() machine.Clock { return n.clock }
+
+// Stats implements Transport.
+func (n *hierTransport) Stats() *machine.Stats { return &n.stats }
+
+// Params implements Transport.
+func (n *hierTransport) Params() machine.Params { return n.params }
+
+// Compute implements Transport.
+func (n *hierTransport) Compute(c int) {
+	if c <= 0 {
+		return
+	}
+	cost := n.params.ComputeCost(c)
+	n.clock.Advance(cost)
+	n.stats.RecordCompute(cost)
+}
+
+// ComputeTime implements Transport.
+func (n *hierTransport) ComputeTime(t float64) {
+	if t <= 0 {
+		return
+	}
+	n.clock.Advance(t)
+	n.stats.RecordCompute(t)
+}
+
+// SetPhase implements Transport.
+func (n *hierTransport) SetPhase(p machine.Phase) { n.stats.SetPhase(p) }
+
+// hostOf maps a world rank to its host index.
+func (n *hierTransport) hostOf(r int) int { return r / n.host.m }
+
+// Send implements Transport: channel post intra-host, gateway relay
+// cross-host, identical modelled charge either way.
+func (n *hierTransport) Send(dst int, tag Tag, body any, nbytes int) {
+	if dst < 0 || dst >= n.p {
+		panic(&TransportError{Op: "send", Rank: n.rank, Peer: dst, Tag: tag,
+			Err: fmt.Errorf("invalid rank %d (P=%d)", dst, n.p)})
+	}
+	if dst == n.rank {
+		// Self-sends bypass the network: no τ/μ charge, matching the model.
+		n.deliverLocal(message{tag: tag, bytes: nbytes, sentAt: n.clock.Now(), body: body})
+		return
+	}
+	cost := n.params.MsgCost(nbytes)
+	n.clock.Advance(cost)
+	n.stats.RecordSend(nbytes, cost)
+	m := message{tag: tag, bytes: nbytes, sentAt: n.clock.Now(), body: body}
+	if n.hostOf(dst) == n.host.idx {
+		n.postLocal(dst, tag, m)
+		return
+	}
+	f := netFrame{kind: frameRelay, rank: n.rank, peer: dst, tag: tag,
+		nbytes: nbytes, sentAt: m.sentAt, body: body}
+	if err := n.host.gw.writePeer(n.hostOf(dst), &f); err != nil {
+		panic(&DeliveryError{
+			Rank: n.rank, Peer: dst, Tag: tag, Phase: n.stats.CurrentPhase(),
+			Reason: "gateway send failed: " + err.Error(),
+		})
+	}
+}
+
+// postLocal enqueues m for a same-host rank, aborting on host death and
+// tripping the watchdog on a persistently full mailbox.
+func (n *hierTransport) postLocal(dst int, tag Tag, m message) {
+	box := n.host.boxes[(dst-n.host.base)*n.host.m+n.local]
+	fail := func() {
+		panic(&DeliveryError{
+			Rank: n.rank, Peer: dst, Tag: tag, Phase: n.stats.CurrentPhase(),
+			Reason: n.host.failure(),
+		})
+	}
+	if n.watchdog <= 0 {
+		select {
+		case box <- m:
+		case <-n.host.dead:
+			fail()
+		}
+		return
+	}
+	select {
+	case box <- m:
+		return
+	default:
+	}
+	timer := time.NewTimer(n.watchdog)
+	defer timer.Stop()
+	select {
+	case box <- m:
+	case <-n.host.dead:
+		fail()
+	case <-timer.C:
+		panic(fmt.Sprintf("comm: deadlock watchdog fired after %v: rank %d blocked sending tag %d to rank %d (hier backend, mailbox full at depth %d)",
+			n.watchdog, n.rank, tag, dst, cap(box)))
+	}
+}
+
+func (n *hierTransport) deliverLocal(m message) {
+	if n.pending == nil {
+		n.pending = make([][]message, n.p)
+	}
+	n.pending[n.rank] = append(n.pending[n.rank], m)
+}
+
+// Recv implements Transport.
+func (n *hierTransport) Recv(src int, tag Tag) (any, int) {
+	if src < 0 || src >= n.p {
+		panic(&TransportError{Op: "recv", Rank: n.rank, Peer: src, Tag: tag,
+			Err: fmt.Errorf("invalid rank %d (P=%d)", src, n.p)})
+	}
+	if n.pending == nil {
+		n.pending = make([][]message, n.p)
+	}
+	q := n.pending[src]
+	for i := range q {
+		if q[i].tag == tag {
+			m := q[i]
+			n.pending[src] = append(q[:i], q[i+1:]...)
+			return n.consume(src, m)
+		}
+	}
+	if src == n.rank {
+		panic(fmt.Sprintf("comm: rank %d self-recv tag %d with no matching self-send", n.rank, tag))
+	}
+	var box chan message
+	if n.hostOf(src) == n.host.idx {
+		box = n.host.boxes[n.local*n.host.m+(src-n.host.base)]
+	} else {
+		box = n.host.remote[n.local*n.p+src]
+	}
+	for {
+		m := n.pull(box, src, tag)
+		if m.tag == tag {
+			return n.consume(src, m)
+		}
+		n.pending[src] = append(n.pending[src], m)
+	}
+}
+
+// pull takes the next message off box, converting host death into a
+// *DeliveryError and a watchdog overrun into a diagnostic panic. A message
+// already buffered is always preferred over a concurrent death signal.
+func (n *hierTransport) pull(box chan message, src int, tag Tag) message {
+	select {
+	case m := <-box:
+		return m
+	default:
+	}
+	fail := func() {
+		panic(&DeliveryError{
+			Rank: n.rank, Peer: src, Tag: tag, Phase: n.stats.CurrentPhase(),
+			Reason: n.host.failure(),
+		})
+	}
+	if n.watchdog <= 0 {
+		select {
+		case m := <-box:
+			return m
+		case <-n.host.dead:
+			// Drain anything that raced in ahead of the failure.
+			select {
+			case m := <-box:
+				return m
+			default:
+			}
+			fail()
+		}
+	}
+	timer := time.NewTimer(n.watchdog)
+	defer timer.Stop()
+	select {
+	case m := <-box:
+		return m
+	case <-n.host.dead:
+		select {
+		case m := <-box:
+			return m
+		default:
+		}
+		fail()
+	case <-timer.C:
+		panic(fmt.Sprintf("comm: deadlock watchdog fired after %v: rank %d blocked receiving tag %d from rank %d (hier backend)",
+			n.watchdog, n.rank, tag, src))
+	}
+	panic("unreachable")
+}
+
+// consume charges the receive exactly like every other backend.
+func (n *hierTransport) consume(src int, m message) (any, int) {
+	if src == n.rank {
+		return m.body, m.bytes // local delivery is free
+	}
+	cost := n.params.MsgCost(m.bytes)
+	n.clock.AdvanceTo(m.sentAt)
+	n.clock.Advance(cost)
+	n.stats.RecordRecv(m.bytes, cost)
+	return m.body, m.bytes
+}
+
+// Expose implements Transport: the two charged barriers run over the world
+// links as usual; between them the publications move intra-host through the
+// shared scratch table and cross-host leader-to-leader as uncharged
+// frameOOBFrom traffic.
+func (n *hierTransport) Expose(v any) []any {
+	barrier(n, tagExpose) // all ranks inside Expose; previous round fully read
+	host := n.host
+	host.scratch[n.rank] = v
+	exposeFail := func(peer int, reason string) {
+		panic(&DeliveryError{
+			Rank: n.rank, Peer: peer, Tag: tagExpose, Phase: n.stats.CurrentPhase(),
+			Reason: reason,
+		})
+	}
+	if !host.gate.wait(host.dead) { // all locals published
+		exposeFail(n.rank, host.failure())
+	}
+	if n.local == 0 && host.gw != nil {
+		// Leader: ship this host's publications to every other gateway and
+		// collect every other host's in return.
+		for _, pr := range host.gw.peers {
+			if pr == nil {
+				continue
+			}
+			for l := 0; l < host.m; l++ {
+				f := netFrame{kind: frameOOBFrom, rank: host.base + l, body: host.scratch[host.base+l]}
+				if err := host.gw.writePeer(pr.id, &f); err != nil {
+					host.fail("expose publication failed: " + err.Error())
+					exposeFail(pr.id, host.failure())
+				}
+			}
+		}
+		want := n.p - host.m
+		for i := 0; i < want; i++ {
+			select {
+			case m := <-host.oobIn:
+				host.scratch[m.from] = m.val
+			case <-host.dead:
+				exposeFail(n.rank, host.failure())
+			}
+		}
+	}
+	if !host.gate.wait(host.dead) { // leader done filling the table
+		exposeFail(n.rank, host.failure())
+	}
+	out := append([]any(nil), host.scratch...)
+	barrier(n, tagExpose) // all reads complete before anyone publishes again
+	return out
+}
+
+// LaunchHierarchical runs fn as an SPMD program of p world ranks packed
+// onto hosts in-process hosts: ranks [h·m, (h+1)·m) share host h's channel
+// substrate, and each host owns one TCP gateway endpoint in an H-rank
+// loopback world carrying all cross-host traffic. p must be divisible by
+// hosts; hosts == 1 needs no sockets at all. wrap and watchdog have
+// World.RunWrapped / SetWatchdog semantics; a rank panic is re-raised as a
+// *RankPanic after every rank finishes, exactly like World.Run. The
+// returned error covers world assembly only (coordinator or gateway mesh
+// failures).
+func LaunchHierarchical(p, hosts int, params machine.Params, watchdog time.Duration,
+	wrap func(Transport) Transport, fn func(Transport)) (machine.WorldStats, error) {
+	ws := machine.WorldStats{Ranks: make([]machine.Stats, p)}
+	if p <= 0 || hosts <= 0 || p%hosts != 0 {
+		return ws, fmt.Errorf("comm: hierarchical world of %d ranks on %d hosts (p must divide evenly)", p, hosts)
+	}
+	m := p / hosts
+
+	var co *Coordinator
+	serveErr := make(chan error, 1)
+	if hosts > 1 {
+		var err error
+		co, err = StartCoordinator("127.0.0.1:0", hosts, 0)
+		if err != nil {
+			return ws, fmt.Errorf("comm: hierarchical coordinator: %w", err)
+		}
+		defer co.Close()
+		go func() { serveErr <- co.Serve() }()
+	} else {
+		serveErr <- nil
+	}
+
+	transports := make([]*hierTransport, p)
+	hostErrs := make([]error, hosts)
+	panics := make(chan any, p)
+	var wg sync.WaitGroup
+	for h := 0; h < hosts; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			host := &hierHost{
+				idx:     h,
+				base:    h * m,
+				m:       m,
+				p:       p,
+				boxes:   make([]chan message, m*m),
+				remote:  make([]chan message, m*p),
+				scratch: make([]any, p),
+				oobIn:   make(chan oobMsg, p),
+				dead:    make(chan struct{}),
+				gate:    newHostGate(m),
+			}
+			for i := range host.boxes {
+				host.boxes[i] = make(chan message, DefaultMailboxDepth)
+			}
+			for i := range host.remote {
+				host.remote[i] = make(chan message, DefaultMailboxDepth)
+			}
+			if hosts > 1 {
+				gwCfg := NetConfig{
+					Coordinator: co.Addr(),
+					Rank:        h,
+					Size:        hosts,
+					Params:      params,
+				}.withNetDefaults()
+				gw, err := dialWorldRelay(gwCfg, host.relay)
+				if err != nil {
+					hostErrs[h] = fmt.Errorf("comm: host %d gateway: %w", h, err)
+					host.fail(hostErrs[h].Error())
+					return
+				}
+				host.gw = gw
+				// Watch every gateway link: an unclean exit of a peer's
+				// reader means that host crashed — fail ours so its locals
+				// stop waiting on traffic that will never come. A clean
+				// goodbye (that host finished) is not a failure: no SPMD
+				// protocol awaits traffic a finished peer never sent.
+				for _, pr := range gw.peers {
+					if pr == nil {
+						continue
+					}
+					go func(pr *netPeer) {
+						<-pr.readerDone
+						if pr.clean.Load() || host.done.Load() {
+							return
+						}
+						host.fail(fmt.Sprintf("gateway link to host %d: %s", pr.id, pr.failure()))
+					}(pr)
+				}
+			}
+
+			var crashed atomic.Bool
+			var lwg sync.WaitGroup
+			for l := 0; l < m; l++ {
+				lwg.Add(1)
+				go func(l int) {
+					defer lwg.Done()
+					r := &hierTransport{
+						host:     host,
+						rank:     host.base + l,
+						local:    l,
+						p:        p,
+						params:   params,
+						watchdog: watchdog,
+						clock:    machine.NewSimClock(),
+					}
+					transports[r.rank] = r
+					defer func() {
+						if e := recover(); e != nil {
+							crashed.Store(true)
+							host.fail(fmt.Sprintf("world rank %d panicked: %v", r.rank, e))
+							panics <- &RankPanic{Rank: r.rank, Value: e}
+						}
+					}()
+					t := Transport(r)
+					if wrap != nil {
+						t = wrap(t)
+					}
+					defer func() {
+						defer func() { _ = recover() }() // a failed flush must not mask fn's panic
+						flushChain(t)
+					}()
+					fn(t)
+				}(l)
+			}
+			lwg.Wait()
+			if host.gw != nil {
+				host.done.Store(true)
+				host.gw.shutdown(!crashed.Load())
+			}
+		}(h)
+	}
+	wg.Wait()
+	if co != nil {
+		co.Close()
+	}
+	var err error
+	for _, e := range hostErrs {
+		if e != nil {
+			err = e
+			break
+		}
+	}
+	if err == nil {
+		if e := <-serveErr; e != nil {
+			err = fmt.Errorf("comm: hierarchical rendezvous: %w", e)
+		}
+	}
+	select {
+	case e := <-panics:
+		panic(e)
+	default:
+	}
+	for i, r := range transports {
+		if r != nil {
+			ws.Ranks[i] = r.stats
+		}
+	}
+	return ws, err
+}

@@ -75,6 +75,13 @@ type NetConfig struct {
 	// traffic from the awaited peer before the rank panics with a
 	// diagnostic (the net analogue of World.SetWatchdog).
 	Watchdog time.Duration
+	// Topology, when non-nil, restricts the world to the descriptor's link
+	// set: the mesh assembly dials only topology peers (O(P·k) sockets
+	// instead of the O(P²) full mesh) and a Send/Recv on an unlinked pair is
+	// a typed *TransportError wrapping *TopologyError. Every rank of a world
+	// must present the same descriptor — the rendezvous pins its digest and
+	// rejects mismatches. nil keeps the historical full mesh.
+	Topology *Topology
 
 	// DialTimeout bounds one dial attempt (default 2s); DialAttempts is the
 	// retry budget (default 8) with exponential backoff from DialBackoff
@@ -165,6 +172,10 @@ func NetRank(cfg NetConfig, wrap func(Transport) Transport, fn func(Transport)) 
 	}
 	if cfg.Coordinator == "" {
 		return st, errors.New("comm: NetRank needs a coordinator address")
+	}
+	if cfg.Topology != nil && cfg.Topology.Size() != cfg.Size {
+		return st, fmt.Errorf("comm: NetRank topology %s is for p=%d, world has P=%d",
+			cfg.Topology.Name(), cfg.Topology.Size(), cfg.Size)
 	}
 	n, err := dialWorld(cfg)
 	if err != nil {
@@ -318,6 +329,14 @@ func LaunchLoopbackElastic(tmpl NetConfig, p int, wrap func(Transport) Transport
 	return ws, errs
 }
 
+// oobMsg is one Expose publication in flight, attributed to its origin rank
+// so sparse worlds can circulate publications over the ring (the origin is
+// then not the connection's peer).
+type oobMsg struct {
+	from int
+	val  any
+}
+
 // netPeer is one live connection to a remote rank.
 type netPeer struct {
 	id   int
@@ -325,7 +344,7 @@ type netPeer struct {
 	wmu  sync.Mutex // serialises frame writes (rank goroutine + heartbeats)
 
 	inbox chan message // data frames, closed by the reader on exit
-	oob   chan any     // Expose publications, closed with inbox
+	oob   chan oobMsg  // Expose publications, closed with inbox
 
 	// dead holds the first failure reason observed on this connection; nil
 	// while the peer is healthy. clean marks a goodbye-announced departure.
@@ -359,8 +378,15 @@ type netTransport struct {
 	clock machine.Clock
 	stats machine.Stats
 
-	peers   []*netPeer // indexed by rank; peers[rank] is nil
+	peers   []*netPeer // indexed by rank; own slot and non-topology ranks are nil
 	pending [][]message
+
+	// relay, when non-nil, receives every frameRelay and frameOOBFrom frame
+	// read off this endpoint's connections instead of the default routing —
+	// the hook through which a hierarchical gateway (hier.go) forwards
+	// cross-host traffic to its in-process ranks. Set before the readers
+	// start (dialWorldRelay), never after.
+	relay func(*netFrame)
 
 	closed  atomic.Bool
 	closing chan struct{} // closed at shutdown; unblocks reader channel pushes
@@ -423,6 +449,10 @@ func (n *netTransport) Send(dst int, tag Tag, body any, nbytes int) {
 		n.deliverLocal(message{tag: tag, bytes: nbytes, sentAt: n.clock.Now(), body: body})
 		return
 	}
+	if tp := n.cfg.Topology; tp != nil && !tp.Connected(n.rank, dst) {
+		// No socket exists to this rank: the mesh was assembled sparse.
+		panic(&TransportError{Op: "send", Rank: n.rank, Peer: dst, Tag: tag, Err: tp.errOutOf(n.rank, dst)})
+	}
 	cost := n.cfg.Params.MsgCost(nbytes)
 	n.clock.Advance(cost)
 	n.stats.RecordSend(nbytes, cost)
@@ -445,6 +475,9 @@ func (n *netTransport) Send(dst int, tag Tag, body any, nbytes int) {
 // write failure.
 func (n *netTransport) writePeer(dst int, f *netFrame) error {
 	p := n.peers[dst]
+	if p == nil {
+		return fmt.Errorf("no connection to rank %d", dst)
+	}
 	if r := p.dead.Load(); r != nil {
 		return errors.New(*r)
 	}
@@ -489,6 +522,9 @@ func (n *netTransport) Recv(src int, tag Tag) (any, int) {
 	}
 	if src == n.rank {
 		panic(fmt.Sprintf("comm: rank %d self-recv tag %d with no matching self-send", n.rank, tag))
+	}
+	if tp := n.cfg.Topology; tp != nil && !tp.Connected(n.rank, src) {
+		panic(&TransportError{Op: "recv", Rank: n.rank, Peer: src, Tag: tag, Err: tp.errOutOf(n.rank, src)})
 	}
 	p := n.peers[src]
 	for {
@@ -555,37 +591,89 @@ func (n *netTransport) consume(src int, m message) (any, int) {
 // Expose implements Transport: barrier, uncharged out-of-band exchange of
 // the published values over dedicated oob frames, barrier — the same two
 // charged barriers as the goroutine backend, so modelled time is identical.
+//
+// On a full mesh every rank writes its publication directly to every peer.
+// A sparse world has no socket to non-adjacent ranks, so publications are
+// circulated around the ±1 ring (always linked — the collective skeleton):
+// each rank injects its own value, then forwards what arrives from its
+// predecessor for p−1 rounds. The circulation is raw socket traffic, not
+// modelled Sends, so Expose stays uncharged beyond its two barriers on
+// every topology. A dead non-adjacent rank surfaces as a cascade: its
+// neighbors' Expose fails, they crash, and the EOF propagates around the
+// ring within the heartbeat bound.
 func (n *netTransport) Expose(v any) []any {
 	barrier(n, tagExpose) // all ranks inside Expose; previous round fully read
 	out := make([]any, n.size)
 	out[n.rank] = v
-	f := netFrame{kind: frameOOB, body: v}
-	for _, p := range n.peers {
-		if p == nil {
-			continue
+	if tp := n.cfg.Topology; tp != nil && !tp.IsFullMesh() {
+		n.exposeRing(v, out)
+	} else {
+		f := netFrame{kind: frameOOB, body: v}
+		for _, p := range n.peers {
+			if p == nil {
+				continue
+			}
+			if err := n.writePeer(p.id, &f); err != nil {
+				panic(&DeliveryError{
+					Rank: n.rank, Peer: p.id, Tag: tagExpose, Phase: n.stats.CurrentPhase(),
+					Reason: "expose publication failed: " + err.Error(),
+				})
+			}
 		}
-		if err := n.writePeer(p.id, &f); err != nil {
-			panic(&DeliveryError{
-				Rank: n.rank, Peer: p.id, Tag: tagExpose, Phase: n.stats.CurrentPhase(),
-				Reason: "expose publication failed: " + err.Error(),
-			})
+		for _, p := range n.peers {
+			if p == nil {
+				continue
+			}
+			m, ok := <-p.oob
+			if !ok {
+				panic(&DeliveryError{
+					Rank: n.rank, Peer: p.id, Tag: tagExpose, Phase: n.stats.CurrentPhase(),
+					Reason: p.failure(),
+				})
+			}
+			out[p.id] = m.val
 		}
-	}
-	for _, p := range n.peers {
-		if p == nil {
-			continue
-		}
-		val, ok := <-p.oob
-		if !ok {
-			panic(&DeliveryError{
-				Rank: n.rank, Peer: p.id, Tag: tagExpose, Phase: n.stats.CurrentPhase(),
-				Reason: p.failure(),
-			})
-		}
-		out[p.id] = val
 	}
 	barrier(n, tagExpose) // all reads complete before anyone publishes again
 	return out
+}
+
+// exposeRing circulates origin-attributed publications over the ±1 ring
+// links: inject own value, then p−1 rounds of receive-from-prev (recording)
+// and forward-to-next (except in the last round, when the arriving value's
+// final stop is this rank).
+func (n *netTransport) exposeRing(v any, out []any) {
+	next := (n.rank + 1) % n.size
+	prev := (n.rank - 1 + n.size) % n.size
+	fail := func(peer int, reason string) {
+		panic(&DeliveryError{
+			Rank: n.rank, Peer: peer, Tag: tagExpose, Phase: n.stats.CurrentPhase(),
+			Reason: reason,
+		})
+	}
+	f := netFrame{kind: frameOOBFrom, rank: n.rank, body: v}
+	if err := n.writePeer(next, &f); err != nil {
+		fail(next, "expose publication failed: "+err.Error())
+	}
+	pp := n.peers[prev]
+	seen := make([]bool, n.size)
+	for i := 0; i < n.size-1; i++ {
+		m, ok := <-pp.oob
+		if !ok {
+			fail(prev, pp.failure())
+		}
+		if m.from < 0 || m.from >= n.size || m.from == n.rank || seen[m.from] {
+			fail(prev, fmt.Sprintf("protocol violation: duplicate or invalid expose origin %d", m.from))
+		}
+		seen[m.from] = true
+		out[m.from] = m.val
+		if i < n.size-2 {
+			ff := netFrame{kind: frameOOBFrom, rank: m.from, body: m.val}
+			if err := n.writePeer(next, &ff); err != nil {
+				fail(next, "expose forward failed: "+err.Error())
+			}
+		}
+	}
 }
 
 // readLoop demultiplexes one peer connection until goodbye, EOF, error or
@@ -616,10 +704,28 @@ func (n *netTransport) readLoop(p *netPeer) {
 			}
 		case frameOOB:
 			select {
-			case p.oob <- f.body:
+			case p.oob <- oobMsg{from: p.id, val: f.body}:
 			case <-n.closing:
 				return
 			}
+		case frameOOBFrom:
+			if n.relay != nil {
+				// Hierarchical gateway: hand the attributed publication to
+				// the in-process layer (hier.go) for distribution.
+				n.relay(f)
+				continue
+			}
+			select {
+			case p.oob <- oobMsg{from: f.rank, val: f.body}:
+			case <-n.closing:
+				return
+			}
+		case frameRelay:
+			if n.relay == nil {
+				p.fail("protocol violation: relay frame on a non-gateway endpoint")
+				return
+			}
+			n.relay(f)
 		default:
 			p.fail(fmt.Sprintf("protocol violation: unexpected frame kind 0x%02x", f.kind))
 			return
@@ -717,7 +823,12 @@ func (n *netTransport) shutdown(clean bool) {
 
 // dialWorld performs rendezvous and mesh establishment and returns a live
 // endpoint with its reader and heartbeat goroutines running.
-func dialWorld(cfg NetConfig) (*netTransport, error) {
+func dialWorld(cfg NetConfig) (*netTransport, error) { return dialWorldRelay(cfg, nil) }
+
+// dialWorldRelay is dialWorld with the gateway relay hook installed before
+// any reader goroutine starts, so a forwarded frame can never race the
+// hook's installation.
+func dialWorldRelay(cfg NetConfig, relay func(*netFrame)) (*netTransport, error) {
 	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("mesh listen on %q: %w", cfg.ListenAddr, err)
@@ -747,6 +858,7 @@ func dialWorld(cfg NetConfig) (*netTransport, error) {
 		size:    cfg.Size,
 		clock:   clock,
 		peers:   make([]*netPeer, cfg.Size),
+		relay:   relay,
 		closing: make(chan struct{}),
 		stopHB:  make(chan struct{}),
 		hbDone:  make(chan struct{}),
@@ -756,10 +868,13 @@ func dialWorld(cfg NetConfig) (*netTransport, error) {
 			continue
 		}
 		p := &netPeer{
-			id:         id,
-			conn:       c,
+			id:   id,
+			conn: c,
+			// The oob buffer holds a full ring circulation (size
+			// publications) so sparse-world forwarding never backpressures
+			// the reader against the rank goroutine.
 			inbox:      make(chan message, DefaultMailboxDepth),
-			oob:        make(chan any, 2),
+			oob:        make(chan oobMsg, cfg.Size),
 			readerDone: make(chan struct{}),
 		}
 		n.peers[id] = p
@@ -767,6 +882,36 @@ func dialWorld(cfg NetConfig) (*netTransport, error) {
 	}
 	go n.heartbeatLoop()
 	return n, nil
+}
+
+// PeerCount returns the number of live TCP connections this endpoint holds —
+// the measured (not asserted) socket count the traffic gate records per
+// topology.
+func (n *netTransport) PeerCount() int {
+	c := 0
+	for _, p := range n.peers {
+		if p != nil {
+			c++
+		}
+	}
+	return c
+}
+
+// SocketCount walks t's decorator chain looking for a connection-holding
+// backend and returns its live connection count. ok is false on backends
+// with no real sockets (the goroutine World).
+func SocketCount(t Transport) (count int, ok bool) {
+	for t != nil {
+		if pc, isPC := t.(interface{ PeerCount() int }); isPC {
+			return pc.PeerCount(), true
+		}
+		w, isW := t.(Wrapper)
+		if !isW {
+			return 0, false
+		}
+		t = w.Unwrap()
+	}
+	return 0, false
 }
 
 // rendezvous registers this rank with the coordinator and returns the world
@@ -778,7 +923,8 @@ func rendezvous(cfg NetConfig, listenAddr string) (uint64, []string, error) {
 	}
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(cfg.RendezvousTimeout))
-	hello := netFrame{kind: frameHello, rank: cfg.Rank, size: cfg.Size, addr: listenAddr}
+	hello := netFrame{kind: frameHello, rank: cfg.Rank, size: cfg.Size, addr: listenAddr,
+		topo: topologyDigest(cfg.Topology)}
 	var mu sync.Mutex
 	if err := writeFrame(conn, &mu, cfg.RendezvousTimeout, &hello); err != nil {
 		return 0, nil, fmt.Errorf("rendezvous hello: %w", err)
@@ -799,12 +945,29 @@ func rendezvous(cfg NetConfig, listenAddr string) (uint64, []string, error) {
 	return 0, nil, fmt.Errorf("rendezvous reply kind 0x%02x", f.kind)
 }
 
-// buildMesh establishes the pairwise connections: dial every lower rank,
-// accept from every higher rank, each verified by the peer handshake.
-// Returns per-rank connections (own slot nil).
+// buildMesh establishes the pairwise connections: dial every lower-ranked
+// topology peer, accept from every higher-ranked one, each verified by the
+// peer handshake. On a full mesh (nil topology) that is every other rank —
+// O(P²) sockets world-wide; a sparse topology assembles only its link set,
+// O(P·k). Returns per-rank connections (own slot and non-peers nil).
 func buildMesh(cfg NetConfig, ln net.Listener, worldID uint64, addrs []string) ([]net.Conn, error) {
 	conns := make([]net.Conn, cfg.Size)
-	expect := cfg.Size - 1 - cfg.Rank // inbound connections from higher ranks
+	expect := 0 // inbound connections from higher-ranked peers
+	var dials []int
+	if tp := cfg.Topology; tp != nil {
+		for _, q := range tp.Peers(cfg.Rank) {
+			if q < cfg.Rank {
+				dials = append(dials, q)
+			} else {
+				expect++
+			}
+		}
+	} else {
+		for i := 0; i < cfg.Rank; i++ {
+			dials = append(dials, i)
+		}
+		expect = cfg.Size - 1 - cfg.Rank
+	}
 
 	type accepted struct {
 		rank int
@@ -836,9 +999,15 @@ func buildMesh(cfg NetConfig, ln net.Listener, worldID uint64, addrs []string) (
 		}()
 	}
 
-	for i := 0; i < cfg.Rank; i++ {
+	for _, i := range dials {
 		c, err := dialPeer(cfg, worldID, i, addrs[i])
 		if err != nil {
+			if tp := cfg.Topology; tp != nil {
+				// Name the topology and this rank's full peer set, so a
+				// misconfigured sparse world diagnoses itself at the launcher.
+				err = fmt.Errorf("%w (topology %s, peers of rank %d: %v)",
+					err, tp.Name(), cfg.Rank, tp.Peers(cfg.Rank))
+			}
 			return conns, err
 		}
 		conns[i] = c
@@ -912,6 +1081,9 @@ func acceptPeer(cfg NetConfig, c net.Conn, worldID uint64, conns []net.Conn) (in
 	}
 	if f.rank <= cfg.Rank || f.rank >= cfg.Size {
 		return reject(fmt.Sprintf("unexpected dialing rank %d (accepting ranks %d..%d)", f.rank, cfg.Rank+1, cfg.Size-1))
+	}
+	if tp := cfg.Topology; tp != nil && !tp.Connected(cfg.Rank, f.rank) {
+		return reject(tp.errOutOf(f.rank, cfg.Rank).Error())
 	}
 	if conns[f.rank] != nil {
 		return reject(fmt.Sprintf("rank %d is already connected (duplicate identity)", f.rank))

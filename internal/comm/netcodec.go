@@ -38,7 +38,7 @@ import (
 // frame or body layout; peers with mismatched versions refuse to pair
 // during the handshake and a mismatched frame fails decode with a typed
 // error.
-const NetCodecVersion = 1
+const NetCodecVersion = 2
 
 // Frame kinds. Control frames (hello, welcome, reject, heartbeat, goodbye)
 // carry the connection lifecycle; data and oob frames carry application
@@ -53,6 +53,8 @@ const (
 	frameReject    = 0x07 // handshake refusal with reason
 	framePeerHello = 0x08 // mesh connection handshake: world id, from, to
 	framePeerOK    = 0x09 // mesh handshake accept
+	frameRelay     = 0x0a // hierarchical gateway forwarding: world src/dst + data payload
+	frameOOBFrom   = 0x0b // origin-attributed Expose publication (sparse/hier worlds)
 )
 
 // Body kind tags.
@@ -107,12 +109,13 @@ type netFrame struct {
 
 	// frameHello / frameWelcome / framePeerHello / frameReject
 	worldID uint64
-	rank    int    // hello: sender's rank; peer hello: dialing rank
-	peer    int    // peer hello: the rank being dialed
+	rank    int    // hello: sender's rank; peer hello: dialing rank; relay/oobFrom: world source rank
+	peer    int    // peer hello: the rank being dialed; relay: world destination rank
 	size    int    // hello: sender's idea of the world size
 	addr    string // hello: the sender's mesh listen address
 	addrs   []string
 	reason  string // reject: why
+	topo    uint64 // hello: topology digest (0 = full mesh / none)
 }
 
 // appendFrame encodes f onto buf (which should come from wire.GetBytes) and
@@ -128,11 +131,22 @@ func appendFrame(buf []byte, f *netFrame) ([]byte, error) {
 		buf = appendU64(buf, uint64(int64(f.nbytes)))
 		buf = appendU64(buf, math.Float64bits(f.sentAt))
 		return appendBody(buf, f.body, 0)
+	case frameRelay:
+		buf = appendU64(buf, uint64(int64(f.rank)))
+		buf = appendU64(buf, uint64(int64(f.peer)))
+		buf = appendU64(buf, uint64(int64(f.tag)))
+		buf = appendU64(buf, uint64(int64(f.nbytes)))
+		buf = appendU64(buf, math.Float64bits(f.sentAt))
+		return appendBody(buf, f.body, 0)
+	case frameOOBFrom:
+		buf = appendU64(buf, uint64(int64(f.rank)))
+		return appendBody(buf, f.body, 0)
 	case frameHello:
 		buf = appendU64(buf, f.worldID)
 		buf = appendU64(buf, uint64(int64(f.rank)))
 		buf = appendU64(buf, uint64(int64(f.size)))
-		return appendString(buf, f.addr), nil
+		buf = appendString(buf, f.addr)
+		return appendU64(buf, f.topo), nil
 	case frameWelcome:
 		buf = appendU64(buf, f.worldID)
 		buf = appendU64(buf, uint64(len(f.addrs)))
@@ -186,6 +200,39 @@ func decodeFrame(b []byte) (*netFrame, error) {
 		if f.body, rest, err = decodeBody(rest, 0); err != nil {
 			return nil, err
 		}
+	case frameRelay:
+		var tag, nbytes, bits uint64
+		if f.rank, rest, err = takeInt(rest, "relay src"); err != nil {
+			return nil, err
+		}
+		if f.peer, rest, err = takeInt(rest, "relay dst"); err != nil {
+			return nil, err
+		}
+		if tag, rest, err = takeU64(rest, "tag"); err != nil {
+			return nil, err
+		}
+		if nbytes, rest, err = takeU64(rest, "nbytes"); err != nil {
+			return nil, err
+		}
+		if bits, rest, err = takeU64(rest, "sentAt"); err != nil {
+			return nil, err
+		}
+		f.tag = Tag(int64(tag))
+		f.nbytes = int(int64(nbytes))
+		if f.nbytes < 0 {
+			return nil, decErr("negative modelled size %d", f.nbytes)
+		}
+		f.sentAt = math.Float64frombits(bits)
+		if f.body, rest, err = decodeBody(rest, 0); err != nil {
+			return nil, err
+		}
+	case frameOOBFrom:
+		if f.rank, rest, err = takeInt(rest, "oob origin"); err != nil {
+			return nil, err
+		}
+		if f.body, rest, err = decodeBody(rest, 0); err != nil {
+			return nil, err
+		}
 	case frameHello:
 		if f.worldID, rest, err = takeU64(rest, "world id"); err != nil {
 			return nil, err
@@ -197,6 +244,9 @@ func decodeFrame(b []byte) (*netFrame, error) {
 			return nil, err
 		}
 		if f.addr, rest, err = takeString(rest, "listen addr"); err != nil {
+			return nil, err
+		}
+		if f.topo, rest, err = takeU64(rest, "topology digest"); err != nil {
 			return nil, err
 		}
 	case frameWelcome:

@@ -33,9 +33,15 @@ type RankFailure struct {
 // LaunchError aggregates every abnormal rank exit from one supervised run.
 type LaunchError struct {
 	Failures []RankFailure
+	// World describes the world being launched (e.g. "topology
+	// neighbor-sparse, P=4"), so a refused dial in a sparse world is
+	// attributed to its configuration at the launcher, not just to a rank.
+	// Empty for launches that did not describe themselves.
+	World string
 }
 
-// Error implements error, naming every failed rank.
+// Error implements error, naming every failed rank (and the world
+// configuration, when the launcher described one).
 func (e *LaunchError) Error() string {
 	parts := make([]string, 0, len(e.Failures))
 	for _, f := range e.Failures {
@@ -45,7 +51,11 @@ func (e *LaunchError) Error() string {
 		}
 		parts = append(parts, fmt.Sprintf("rank %d: %v", f.Rank, f.Err))
 	}
-	return "comm: launch failed: " + strings.Join(parts, "; ")
+	head := "comm: launch failed: "
+	if e.World != "" {
+		head = fmt.Sprintf("comm: launch failed (%s): ", e.World)
+	}
+	return head + strings.Join(parts, "; ")
 }
 
 // SuperviseRanks starts every rank process and waits for the world to
@@ -56,8 +66,8 @@ func (e *LaunchError) Error() string {
 // Start-failure path included: siblings killed because a later rank never
 // started are drained and recorded too, so multi-rank death is always
 // fully attributed.
-func SuperviseRanks(procs []*RankProc, grace time.Duration) error {
-	return SuperviseRanksElastic(procs, grace, nil, 0)
+func SuperviseRanks(procs []*RankProc, grace time.Duration, world ...string) error {
+	return SuperviseRanksElastic(procs, grace, nil, 0, world...)
 }
 
 // RespawnFunc builds a replacement process for a dead rank during an
@@ -73,7 +83,11 @@ type RespawnFunc func(rank int) (*RankProc, error)
 // checkpoint epoch. maxRespawns bounds the total relaunches across the
 // whole run; a nil respawn (or an exhausted budget) reverts to the
 // grace-then-kill aggregation of SuperviseRanks.
-func SuperviseRanksElastic(procs []*RankProc, grace time.Duration, respawn RespawnFunc, maxRespawns int) error {
+// An optional trailing world description (e.g. "topology neighbor-sparse,
+// P=4") is carried on any resulting *LaunchError so refused dials in sparse
+// worlds are attributed to the world's configuration.
+func SuperviseRanksElastic(procs []*RankProc, grace time.Duration, respawn RespawnFunc, maxRespawns int, world ...string) error {
+	worldDesc := strings.Join(world, ", ")
 	if grace <= 0 {
 		grace = 10 * time.Second
 	}
@@ -100,7 +114,7 @@ func SuperviseRanksElastic(procs []*RankProc, grace time.Duration, respawn Respa
 					failures = append(failures, RankFailure{Rank: r, Err: werr, Killed: true})
 				}
 				sort.Slice(failures, func(i, j int) bool { return failures[i].Rank < failures[j].Rank })
-				return &LaunchError{Failures: failures}
+				return &LaunchError{Failures: failures, World: worldDesc}
 			}
 		}
 		running[p.Rank] = p
@@ -160,5 +174,5 @@ func SuperviseRanksElastic(procs []*RankProc, grace time.Duration, respawn Respa
 		return nil
 	}
 	sort.Slice(failures, func(i, j int) bool { return failures[i].Rank < failures[j].Rank })
-	return &LaunchError{Failures: failures}
+	return &LaunchError{Failures: failures, World: worldDesc}
 }

@@ -31,6 +31,14 @@ type Coordinator struct {
 	timeout time.Duration
 	worldID uint64
 
+	// topo pins the topology digest of the current assembly round: the first
+	// registration sets it, later ones must agree. A world half-assembled
+	// under neighbor-sparse and half under full-mesh would deadlock against
+	// sockets that will never be dialed; mismatches are rejected here with
+	// both digests named instead.
+	topo       uint64
+	topoPinned bool
+
 	closeOnce sync.Once
 }
 
@@ -128,6 +136,7 @@ func (co *Coordinator) serveRound(waitFirst bool) (bool, error) {
 	if !waitFirst {
 		deadline = time.Now().Add(co.timeout)
 	}
+	co.topoPinned = false
 	addrs := make([]string, co.size)
 	conns := make([]net.Conn, co.size)
 	defer func() {
@@ -224,6 +233,12 @@ func (co *Coordinator) register(c net.Conn, conns []net.Conn) (int, string, erro
 	}
 	if f.addr == "" {
 		return reject(fmt.Sprintf("rank %d registered with no mesh address", f.rank))
+	}
+	if !co.topoPinned {
+		co.topo, co.topoPinned = f.topo, true
+	} else if f.topo != co.topo {
+		return reject(fmt.Sprintf("topology mismatch: rank %d assembled with topology digest %016x, world pinned to %016x",
+			f.rank, f.topo, co.topo))
 	}
 	return f.rank, f.addr, nil
 }

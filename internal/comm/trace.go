@@ -28,10 +28,13 @@ func (c *TraceCounts) add(o TraceCounts) {
 }
 
 // RankTrace is the traffic observed through one rank's traced transport,
-// broken down by accounting phase and by message tag.
+// broken down by accounting phase, by message tag, and by peer rank (the
+// link accounting the topology work reads: which rank pairs actually
+// exchanged traffic).
 type RankTrace struct {
 	Phases [machine.NumPhases]TraceCounts
 	Tags   map[Tag]TraceCounts
+	Peers  map[int]TraceCounts
 }
 
 // Total sums the per-phase buckets.
@@ -71,13 +74,43 @@ func (tr *Tracer) Rank(id int) RankTrace {
 	defer tr.mu.Unlock()
 	rt := tr.ranks[id]
 	if rt == nil {
-		return RankTrace{Tags: map[Tag]TraceCounts{}}
+		return RankTrace{Tags: map[Tag]TraceCounts{}, Peers: map[int]TraceCounts{}}
 	}
-	out := RankTrace{Phases: rt.Phases, Tags: make(map[Tag]TraceCounts, len(rt.Tags))}
+	out := RankTrace{
+		Phases: rt.Phases,
+		Tags:   make(map[Tag]TraceCounts, len(rt.Tags)),
+		Peers:  make(map[int]TraceCounts, len(rt.Peers)),
+	}
 	for tag, c := range rt.Tags {
 		out.Tags[tag] = c
 	}
+	for peer, c := range rt.Peers {
+		out.Peers[peer] = c
+	}
 	return out
+}
+
+// LinksUsed counts the undirected rank pairs that exchanged at least one
+// traced message — the measured link set, to compare against a Topology's
+// NumLinks.
+func (tr *Tracer) LinksUsed() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	type link struct{ a, b int }
+	links := make(map[link]bool)
+	for id, rt := range tr.ranks {
+		for peer, c := range rt.Peers {
+			if c.MsgsSent == 0 && c.MsgsRecv == 0 {
+				continue
+			}
+			a, b := id, peer
+			if a > b {
+				a, b = b, a
+			}
+			links[link{a, b}] = true
+		}
+	}
+	return len(links)
 }
 
 // Total aggregates all ranks' traffic.
@@ -115,13 +148,13 @@ func (tr *Tracer) Reset() {
 func (tr *Tracer) bucket(id int) *RankTrace {
 	rt := tr.ranks[id]
 	if rt == nil {
-		rt = &RankTrace{Tags: make(map[Tag]TraceCounts)}
+		rt = &RankTrace{Tags: make(map[Tag]TraceCounts), Peers: make(map[int]TraceCounts)}
 		tr.ranks[id] = rt
 	}
 	return rt
 }
 
-func (tr *Tracer) recordSend(id int, phase machine.Phase, tag Tag, nbytes int) {
+func (tr *Tracer) recordSend(id, peer int, phase machine.Phase, tag Tag, nbytes int) {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	rt := tr.bucket(id)
@@ -131,9 +164,13 @@ func (tr *Tracer) recordSend(id int, phase machine.Phase, tag Tag, nbytes int) {
 	c.MsgsSent++
 	c.BytesSent += int64(nbytes)
 	rt.Tags[tag] = c
+	pc := rt.Peers[peer]
+	pc.MsgsSent++
+	pc.BytesSent += int64(nbytes)
+	rt.Peers[peer] = pc
 }
 
-func (tr *Tracer) recordRecv(id int, phase machine.Phase, tag Tag, nbytes int) {
+func (tr *Tracer) recordRecv(id, peer int, phase machine.Phase, tag Tag, nbytes int) {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	rt := tr.bucket(id)
@@ -143,6 +180,10 @@ func (tr *Tracer) recordRecv(id int, phase machine.Phase, tag Tag, nbytes int) {
 	c.MsgsRecv++
 	c.BytesRecv += int64(nbytes)
 	rt.Tags[tag] = c
+	pc := rt.Peers[peer]
+	pc.MsgsRecv++
+	pc.BytesRecv += int64(nbytes)
+	rt.Peers[peer] = pc
 }
 
 // tracedTransport interposes on Send/Recv and delegates everything else to
@@ -158,7 +199,7 @@ func (t *tracedTransport) Unwrap() Transport { return t.Transport }
 
 func (t *tracedTransport) Send(dst int, tag Tag, body any, nbytes int) {
 	if dst != t.Rank() {
-		t.tracer.recordSend(t.Rank(), t.Stats().CurrentPhase(), tag, nbytes)
+		t.tracer.recordSend(t.Rank(), dst, t.Stats().CurrentPhase(), tag, nbytes)
 	}
 	t.Transport.Send(dst, tag, body, nbytes)
 }
@@ -166,7 +207,7 @@ func (t *tracedTransport) Send(dst int, tag Tag, body any, nbytes int) {
 func (t *tracedTransport) Recv(src int, tag Tag) (any, int) {
 	body, nbytes := t.Transport.Recv(src, tag)
 	if src != t.Rank() {
-		t.tracer.recordRecv(t.Rank(), t.Stats().CurrentPhase(), tag, nbytes)
+		t.tracer.recordRecv(t.Rank(), src, t.Stats().CurrentPhase(), tag, nbytes)
 	}
 	return body, nbytes
 }

@@ -1,0 +1,30 @@
+// Shared power-of-two/tree helpers of the collective schedules. Every
+// binomial-tree collective (Bcast, ReduceFloat64, AllreduceSumFloat64s)
+// derives its mask sequence from the same two functions, so the link set a
+// collective may touch — rank pairs at distance ±2^k mod p, the "collective
+// skeleton" every Topology guarantees (topology.go) — is defined in exactly
+// one place.
+
+package comm
+
+// nextPow2 returns the smallest power of two ≥ n (and 1 for n ≤ 1). The
+// binomial-tree collectives iterate masks 1, 2, … below this bound.
+func nextPow2(n int) int {
+	k := 1
+	for k < n {
+		k <<= 1
+	}
+	return k
+}
+
+// highestSetBit returns the largest power of two ≤ v, and 0 for v ≤ 0 — the
+// position of a virtual rank in its binomial tree (0 marks the root).
+func highestSetBit(v int) int {
+	hb := 0
+	for b := 1; b <= v; b <<= 1 {
+		if v&b != 0 {
+			hb = b
+		}
+	}
+	return hb
+}

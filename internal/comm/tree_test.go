@@ -1,0 +1,85 @@
+package comm
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// The properties that define nextPow2 — any value satisfying all three is
+// THE answer, so the collectives' mask sequences are pinned by these tests:
+//
+//	result ≥ n, result is a power of two, result/2 < n (minimality).
+func TestNextPow2Properties(t *testing.T) {
+	check := func(n int) {
+		k := nextPow2(n)
+		if k < 1 || bits.OnesCount(uint(k)) != 1 {
+			t.Fatalf("nextPow2(%d) = %d: not a positive power of two", n, k)
+		}
+		if k < n {
+			t.Fatalf("nextPow2(%d) = %d < n", n, k)
+		}
+		if n > 1 && k/2 >= n {
+			t.Fatalf("nextPow2(%d) = %d is not minimal (%d also ≥ n)", n, k, k/2)
+		}
+	}
+	for n := -3; n <= 300; n++ {
+		check(n)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		check(rng.Intn(1 << 30))
+	}
+	// Exact powers of two are their own answer.
+	for b := 0; b < 30; b++ {
+		if got := nextPow2(1 << b); got != 1<<b {
+			t.Fatalf("nextPow2(2^%d) = %d, want %d", b, got, 1<<b)
+		}
+	}
+}
+
+// highestSetBit's defining properties: the result is 0 for v ≤ 0, and
+// otherwise a power of two with result ≤ v < 2·result (maximality).
+func TestHighestSetBitProperties(t *testing.T) {
+	check := func(v int) {
+		hb := highestSetBit(v)
+		if v <= 0 {
+			if hb != 0 {
+				t.Fatalf("highestSetBit(%d) = %d, want 0", v, hb)
+			}
+			return
+		}
+		if hb < 1 || bits.OnesCount(uint(hb)) != 1 {
+			t.Fatalf("highestSetBit(%d) = %d: not a power of two", v, hb)
+		}
+		if hb > v || 2*hb <= v {
+			t.Fatalf("highestSetBit(%d) = %d: not the largest power of two ≤ v", v, hb)
+		}
+		if want := 1 << (bits.Len(uint(v)) - 1); hb != want {
+			t.Fatalf("highestSetBit(%d) = %d, bits.Len says %d", v, hb, want)
+		}
+	}
+	for v := -3; v <= 300; v++ {
+		check(v)
+	}
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 1000; i++ {
+		check(rng.Intn(1 << 30))
+	}
+}
+
+// The two helpers agree on their shared domain: for a power of two both are
+// the identity, and in general nextPow2(v) is highestSetBit(v) doubled
+// unless v already is a power of two.
+func TestTreeHelpersAgree(t *testing.T) {
+	for v := 1; v <= 4096; v++ {
+		hb := highestSetBit(v)
+		np := nextPow2(v)
+		if v == hb && np != v {
+			t.Fatalf("v=%d is a power of two but nextPow2 = %d", v, np)
+		}
+		if v != hb && np != 2*hb {
+			t.Fatalf("v=%d: nextPow2 = %d, want 2·highestSetBit = %d", v, np, 2*hb)
+		}
+	}
+}

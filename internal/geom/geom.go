@@ -130,3 +130,17 @@ type Geometry interface {
 	// sequential sweeps.
 	NewFields(r int, pool *par.Pool) Fields
 }
+
+// NeighborRanks lists the ranks adjacent to rank r (self excluded, sorted
+// ascending) under ge's periodic processor grid — the peer set of the
+// neighbor-sparse communication topology, exposed so the comm layer can
+// assemble only the sockets the halo/CIC stencil can ever use.
+func NeighborRanks(ge Geometry, r int) []int {
+	var peers []int
+	for q := 0; q < ge.Ranks(); q++ {
+		if q != r && ge.AdjacentRanks(r, q) {
+			peers = append(peers, q)
+		}
+	}
+	return peers
+}

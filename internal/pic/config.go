@@ -57,6 +57,14 @@ type Config struct {
 	// Table selects the duplicate-removal structure (commopt.TableDirect
 	// or TableHash); default direct.
 	Table string
+	// Topology selects the communication topology (see topology.go): ""
+	// or "full-mesh" (the classic any-to-any world), "neighbor-sparse"
+	// (links only between spatially adjacent ranks plus the collective
+	// skeleton), "systolic-ring" (ring links; exchanges pulse around the
+	// ring in P−1 deterministic steps), or "hierarchical[:H]" (ranks
+	// grouped onto H hosts, one gateway per host; goroutine backend only).
+	// Physics is identical under every topology.
+	Topology string
 	// Buckets is the incremental-sort bucket count per rank; 0 = default.
 	Buckets int
 	// Workers is the number of shared-memory workers each rank spreads its
@@ -230,6 +238,9 @@ func (c Config) validate() error {
 		return fmt.Errorf("pic: dt %g outside the stable range (0, 0.7]", c.Dt)
 	}
 	if _, err := commopt.NewTable(c.Table, 1, 1); err != nil {
+		return err
+	}
+	if _, _, err := parseTopology(c.Topology, c.P); err != nil {
 		return err
 	}
 	if c.CheckpointEvery < 0 {

@@ -6,6 +6,8 @@
 package pic
 
 import (
+	"fmt"
+
 	"picpar/internal/comm"
 	"picpar/internal/machine"
 )
@@ -28,6 +30,25 @@ func RunNet(ncfg comm.NetConfig, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	// Topology: hierarchical replaces the transport itself and only exists
+	// in-process (pic.Run); the flat topologies become the descriptor the
+	// TCP backend assembles its socket mesh from — sparse topologies dial
+	// O(P·k) sockets instead of O(P²), and the rendezvous pins the
+	// descriptor digest so mismatched ranks are rejected at assembly.
+	kind, _, perr := parseTopology(cfg.Topology, cfg.P)
+	if perr != nil {
+		return nil, perr
+	}
+	if kind == TopologyHierarchical {
+		return nil, fmt.Errorf("pic: the %s topology runs on the in-process hierarchical backend (pic.Run); the TCP backend takes flat topologies only", TopologyHierarchical)
+	}
+	if ncfg.Topology == nil && kind != TopologyFullMesh {
+		tp, terr := TopologyFor(cfg)
+		if terr != nil {
+			return nil, terr
+		}
+		ncfg.Topology = tp
 	}
 	if ncfg.Params == (machine.Params{}) {
 		ncfg.Params = cfg.Machine

@@ -22,6 +22,16 @@ func runNetBase(t *testing.T, cfg Config, wrap func(comm.Transport) comm.Transpo
 		params = machine.CM5() // mirror config.withDefaults
 	}
 	tmpl := commtest.NetTemplate(params)
+	if cfg.Topology != "" {
+		// Assemble the socket mesh of the configured topology, so the TCP
+		// backend's sparse dialing and digest pinning are on the wire the
+		// golden crosses.
+		tp, err := TopologyFor(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tmpl.Topology = tp
+	}
 	_, errs := comm.LaunchLoopback(tmpl, cfg.P, wrap, func(tr comm.Transport) {
 		r, err := RunRank(tr, cfg)
 		if err != nil {
@@ -60,6 +70,54 @@ func TestNetGoldenByteIdentical(t *testing.T) {
 	}
 	if res.ComputeSum <= 0 || res.Efficiency <= 0 {
 		t.Errorf("world aggregates missing: sum=%g eff=%g", res.ComputeSum, res.Efficiency)
+	}
+}
+
+// TestNetGoldenAcrossTopologies: the sparse topologies reproduce the 2-D
+// golden over real TCP sockets — the sparse assembly (O(P·k) dials, digest
+// pinning at the rendezvous) and the topology-selected exchange protocols
+// change neither the simulated clock nor one byte of physics. The
+// fingerprint is compared against the goroutine backend's full-mesh run,
+// closing the backend × topology matrix.
+func TestNetGoldenAcrossTopologies(t *testing.T) {
+	ref, err := Run(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const recorded = 1.1831223
+	for _, topo := range []string{TopologyFullMesh, TopologyNeighborSparse, TopologySystolicRing} {
+		cfg := base()
+		cfg.Topology = topo
+		res := runNetBase(t, cfg, nil)
+		if diff := res.TotalTime - recorded; diff > 1e-7 || diff < -1e-7 {
+			t.Errorf("topology %q over TCP: total %.7f, recorded %.7f", topo, res.TotalTime, recorded)
+		}
+		if res.Fingerprint != ref.Fingerprint {
+			t.Errorf("topology %q over TCP: fingerprint %016x, goroutine full mesh %016x",
+				topo, res.Fingerprint, ref.Fingerprint)
+		}
+	}
+}
+
+// TestNetChaosSparseTopology: the chaos stack (Tracer∘Reliable∘Faulty)
+// composes unchanged over a sparse TCP assembly — drops, duplicates and
+// reorderings on stencil links are recovered below the protocol layer.
+func TestNetChaosSparseTopology(t *testing.T) {
+	plan := comm.FaultPlan{Seed: 0xBEEF02, DropProb: 0.1, MaxDropAttempts: 2,
+		DupProb: 0.1, ReorderProb: 0.1}
+	faulty := comm.NewFaulty(plan)
+	rel := comm.NewReliable(comm.ReliableConfig{})
+	tracer := comm.NewTracer()
+	cfg := base()
+	cfg.Topology = TopologyNeighborSparse
+	res := runNetBase(t, cfg, func(tr comm.Transport) comm.Transport {
+		return tracer.Wrap(rel.Wrap(faulty.Wrap(tr)))
+	})
+	if c := faulty.Counts(); c.Drops+c.Dups+c.Reorders == 0 {
+		t.Fatal("fault plan injected nothing — the soak exercised no recovery")
+	}
+	if res.FinalParticleCount != 2048 {
+		t.Errorf("final particles %d under chaos over sparse TCP, want 2048", res.FinalParticleCount)
 	}
 }
 

@@ -286,8 +286,13 @@ func (st *rankState) migrate() {
 			r.Compute(len(sendIdx[d]) * 7)
 		}
 	}
-	recvCounts := comm.ExchangeCounts(r, counts)
-	recv := comm.AllToMany(r, send, recvCounts, comm.Float64Bytes)
+	var recv [][]float64
+	if ex := st.dataEx; ex != nil {
+		recv = ex.Exchange(r, send, ex.Counts(r, counts))
+	} else {
+		recvCounts := comm.ExchangeCounts(r, counts)
+		recv = comm.AllToMany(r, send, recvCounts, comm.Float64Bytes)
+	}
 	for src := 0; src < r.Size(); src++ {
 		if src != r.Rank() && len(recv[src]) > 0 {
 			if err := kept.AppendWire(recv[src]); err != nil {
@@ -383,11 +388,28 @@ func (st *rankState) scatterPhase() {
 		counts[dst] = len(buf)
 	}
 
-	// The traffic table is protocol setup, not ghost data.
+	// The traffic table is protocol setup, not ghost data. Under a sparse
+	// topology the same allgather additionally yields the global far-traffic
+	// verdict: ghost contributions are stencil-local while the particle
+	// partition stays aligned with the mesh blocks, but a cost-weighted
+	// repartition can hand a rank particles whose cells any rank owns, and
+	// those payloads must ride the systolic relay instead of a refused
+	// direct send.
 	r.SetPhase(machine.PhaseCommSetup)
-	recvCounts := comm.ExchangeCounts(r, counts)
+	var recvCounts []int
+	st.scatterFar = false
+	if tp := st.topo; tp != nil {
+		recvCounts, st.scatterFar = comm.ExchangeCountsSparse(r, tp, counts)
+	} else {
+		recvCounts = comm.ExchangeCounts(r, counts)
+	}
 	r.SetPhase(machine.PhaseScatter)
-	recv := comm.AllToManyFloat64s(r, send, recvCounts)
+	var recv [][]float64
+	if tp := st.topo; tp != nil {
+		recv = comm.AllToManySparseFloat64s(r, tp, send, recvCounts, st.scatterFar)
+	} else {
+		recv = comm.AllToManyFloat64s(r, send, recvCounts)
+	}
 
 	// Accumulate received contributions; remember who asked for what so
 	// the gather phase can reply in kind.
@@ -430,7 +452,18 @@ func (st *rankState) gatherAndPushPhase() {
 	fa := st.farr
 	s := st.store
 
-	// Reply to every rank that deposited here.
+	// Reply to every rank that deposited here. Replies retrace the scatter's
+	// routes: direct sends to linked ranks, and — on iterations whose
+	// scatter saw far traffic — one systolic relay pass for the rest. The
+	// scatterFar verdict is global, so every rank agrees on whether the
+	// relay collective runs.
+	far := st.topo != nil && st.scatterFar
+	var farSend [][]float64
+	var farCounts []int
+	if far {
+		farSend = make([][]float64, r.Size())
+		farCounts = make([]int, r.Size())
+	}
 	for src := 0; src < r.Size(); src++ {
 		gids := st.recvGids[src]
 		if len(gids) == 0 {
@@ -442,7 +475,22 @@ func (st *rankState) gatherAndPushPhase() {
 			buf = append(buf, fa.Ex[c], fa.Ey[c], fa.Ez[c], fa.Bx[c], fa.By[c], fa.Bz[c])
 		}
 		r.Compute(len(gids) * 2)
+		if far && !st.topo.Connected(r.Rank(), src) {
+			farSend[src] = buf
+			continue
+		}
 		comm.SendFloat64s(r, src, tagGatherReply, buf)
+	}
+	var farRecv [][]float64
+	if far {
+		// Every reply size is known locally: the owner returns exactly one
+		// field sample per ghost point this rank deposited there.
+		for k, dst := range st.registry.Dest {
+			if !st.topo.Connected(r.Rank(), dst) {
+				farCounts[dst] = len(st.registry.Gids[k]) * gatherWireFloats
+			}
+		}
+		farRecv = comm.AllToManySystolicFloat64s(r, farSend, farCounts)
 	}
 
 	// Collect replies for our own ghost points.
@@ -451,7 +499,12 @@ func (st *rankState) gatherAndPushPhase() {
 	}
 	st.ghostEB = st.ghostEB[:gatherWireFloats*st.table.Len()]
 	for k, dst := range st.registry.Dest {
-		buf := comm.RecvFloat64s(r, dst, tagGatherReply)
+		var buf []float64
+		if far && !st.topo.Connected(r.Rank(), dst) {
+			buf = farRecv[dst]
+		} else {
+			buf = comm.RecvFloat64s(r, dst, tagGatherReply)
+		}
 		for idx, slot := range st.registry.Slots[k] {
 			copy(st.ghostEB[gatherWireFloats*slot:], buf[gatherWireFloats*idx:gatherWireFloats*idx+gatherWireFloats])
 		}

@@ -52,8 +52,32 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	pl, err := buildTopoPlan(cfg, ge)
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Result{Config: cfg, Records: make([]IterationRecord, cfg.Iterations)}
+	if pl.kind == TopologyHierarchical {
+		// The hierarchical transport replaces the goroutine world: ranks on
+		// the same host exchange over in-process channels, hosts over one
+		// TCP gateway each. Charges are identical, so all goldens hold.
+		ws, herr := comm.LaunchHierarchical(cfg.P, pl.hosts, cfg.Machine, cfg.Watchdog, cfg.Transport, func(r comm.Transport) {
+			runRank(r, cfg, ge, res)
+		})
+		if herr != nil {
+			return nil, herr
+		}
+		res.finalize(cfg.P, ws)
+		return res, nil
+	}
 	w := comm.NewWorld(cfg.P, cfg.Machine)
+	if pl.topo != nil {
+		// Enforce the sparse link set in-process: any send outside it
+		// panics with a typed error instead of silently widening the
+		// stencil.
+		w.SetTopology(pl.topo)
+	}
 	if cfg.Watchdog > 0 {
 		w.SetWatchdog(cfg.Watchdog)
 	}
@@ -182,6 +206,19 @@ type rankState struct {
 	farr   *geom.Arrays
 	inc    *psort.Incremental
 	pol    policy.Policy
+	// bootEx and dataEx are the topology-selected exchange protocols for
+	// the initial distribution and the steady-state redistribution
+	// respectively (nil: the classic pairwise exchange). See topology.go.
+	bootEx comm.Exchanger
+	dataEx comm.Exchanger
+	// topo is the enforced link set under the sparse topologies (nil:
+	// any-to-any). scatter/gather consult it to route the rare
+	// out-of-stencil ghost traffic — which exists whenever a cost-weighted
+	// repartition decouples the particle and mesh alignments — over the
+	// systolic relay; scatterFar carries the per-iteration verdict from the
+	// scatter counts table to the gather replies.
+	topo       *comm.Topology
+	scatterFar bool
 	// led accumulates measured per-cell phase costs between redistributions
 	// (strategy.go); decision is the policy's latest verdict, stashed by
 	// policyTrigger so phRedistribute knows which layout to rebuild into.
@@ -265,6 +302,13 @@ func runRank(r comm.Transport, cfg Config, ge geom.Geometry, res *Result) {
 		workers: pool.Workers(),
 	}
 	st.inc.SetPool(pool)
+	pl, perr := buildTopoPlan(cfg, ge)
+	if perr != nil {
+		panic(perr) // validate() accepted the spec; disagreement is a bug
+	}
+	st.bootEx, st.dataEx = pl.bootEx, pl.dataEx
+	st.topo = pl.topo
+	st.inc.SetExchanger(st.dataEx)
 	st.farr = st.fields.Arrays()
 	st.led = machine.NewCostLedger(ge.NumCells(), machine.DefaultLedgerDecay)
 	if u, ok := st.pol.(policy.CostWeightUser); ok {
@@ -308,8 +352,14 @@ func runRank(r comm.Transport, cfg Config, ge geom.Geometry, res *Result) {
 		st.initialDistribution()
 		if cfg.Eulerian {
 			// Direct Eulerian: override the aligned layout by migrating every
-			// particle to its cell's owner.
+			// particle to its cell's owner. This first migration is
+			// any-to-any (the key-sorted layout can sit far from the cell
+			// owners), so it rides the boot protocol; steady-state
+			// migrations move one cell at most and stay on dataEx.
+			dataEx := st.dataEx
+			st.dataEx = st.bootEx
 			st.migrate()
+			st.dataEx = dataEx
 		}
 		comm.Barrier(r)
 		initTime := comm.ExposeMaxFloat64(r, r.Clock().Now())
@@ -437,33 +487,84 @@ func (st *rankState) initialDistribution() {
 				panic(fmt.Sprintf("pic: generate: %v", err))
 			}
 		}
-		wf := global.WireFloats()
-		for dst := r.Size() - 1; dst >= 0; dst-- {
-			lo, hi := mesh.BlockRange(global.Len(), r.Size(), dst)
+		st.dealChunks(global)
+	} else {
+		st.recvChunk()
+	}
+	st.assignKeys()
+	st.store = psort.SampleSortParX(r, st.store, st.pool, st.bootEx)
+	st.inc.Prime(st.store)
+}
+
+// dealChunks ships contiguous chunks of the rank-0 global population to
+// every rank. The classic path is one point-to-point message per
+// destination; under a sparse topology that scatter cannot use direct
+// links, so the chunks ride the systolic ring instead (skeleton links
+// only, same payloads).
+func (st *rankState) dealChunks(global *particle.Store) {
+	r := st.r
+	p := r.Size()
+	wf := global.WireFloats()
+	if st.bootEx == nil {
+		for dst := p - 1; dst >= 0; dst-- {
+			lo, hi := mesh.BlockRange(global.Len(), p, dst)
 			if dst == 0 {
-				local := global.NewLike(hi - lo)
-				for i := lo; i < hi; i++ {
-					local.AppendFrom(global, i)
-				}
-				st.store = local
+				st.keepChunk(global, lo, hi)
 				continue
 			}
 			chunk := global.MarshalRange(wire.Get((hi-lo)*wf), lo, hi)
 			comm.SendFloat64s(r, dst, tagInitChunk, chunk)
 		}
-	} else {
-		chunk := comm.RecvFloat64s(r, 0, tagInitChunk)
-		wf := particle.WireFloats
-		if st.ge.Dims() == 3 {
-			wf++
-		}
-		st.store = st.ge.NewStore(len(chunk)/wf, cfg.MacroCharge, 1)
-		if err := st.store.AppendWire(chunk); err != nil {
-			panic(err)
-		}
-		wire.Put(chunk)
+		return
 	}
-	st.assignKeys()
-	st.store = psort.SampleSortPar(r, st.store, st.pool)
-	st.inc.Prime(st.store)
+	send := make([][]float64, p)
+	for dst := p - 1; dst >= 0; dst-- {
+		lo, hi := mesh.BlockRange(global.Len(), p, dst)
+		if dst == 0 {
+			st.keepChunk(global, lo, hi)
+			continue
+		}
+		send[dst] = global.MarshalRange(wire.Get((hi-lo)*wf), lo, hi)
+	}
+	// Rank 0 receives nothing: its own chunk stayed local.
+	comm.AllToManySystolicFloat64s(r, send, make([]int, p))
+}
+
+// keepChunk copies the [lo, hi) range of the global population into this
+// rank's own store.
+func (st *rankState) keepChunk(global *particle.Store, lo, hi int) {
+	local := global.NewLike(hi - lo)
+	for i := lo; i < hi; i++ {
+		local.AppendFrom(global, i)
+	}
+	st.store = local
+}
+
+// recvChunk receives this rank's chunk of the initial population from rank
+// 0 — point to point classically, off the systolic ring under a sparse
+// topology. The expected chunk size is derived locally from the global
+// particle count, so no counts exchange is needed.
+func (st *rankState) recvChunk() {
+	r := st.r
+	cfg := st.cfg
+	wf := particle.WireFloats
+	if st.ge.Dims() == 3 {
+		wf++
+	}
+	var chunk []float64
+	if st.bootEx == nil {
+		chunk = comm.RecvFloat64s(r, 0, tagInitChunk)
+	} else {
+		p := r.Size()
+		recvCounts := make([]int, p)
+		lo, hi := mesh.BlockRange(cfg.NumParticles, p, r.Rank())
+		recvCounts[0] = (hi - lo) * wf
+		recv := comm.AllToManySystolicFloat64s(r, make([][]float64, p), recvCounts)
+		chunk = recv[0]
+	}
+	st.store = st.ge.NewStore(len(chunk)/wf, cfg.MacroCharge, 1)
+	if err := st.store.AppendWire(chunk); err != nil {
+		panic(err)
+	}
+	wire.Put(chunk)
 }

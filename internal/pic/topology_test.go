@@ -1,0 +1,299 @@
+package pic
+
+import (
+	"errors"
+	"testing"
+
+	"picpar/internal/comm"
+	"picpar/internal/policy"
+)
+
+// allTopologies are the Config.Topology values the golden matrix covers on
+// the goroutine backend (hierarchical included — it has no flat TCP form).
+var allTopologies = []string{
+	"", TopologyFullMesh, TopologyNeighborSparse, TopologySystolicRing,
+	TopologyHierarchical, TopologyHierarchical + ":2",
+}
+
+// TestGoldenAcrossTopologies2D pins that the communication topology is
+// invisible to the physics and the simulated clock: every topology
+// reproduces the recorded 2-D golden TotalTime and the byte-exact final
+// state fingerprint of the default full-mesh run.
+func TestGoldenAcrossTopologies2D(t *testing.T) {
+	const recorded = 1.1831223
+	var wantFP uint64
+	for _, topo := range allTopologies {
+		cfg := base()
+		cfg.Topology = topo
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("topology %q: %v", topo, err)
+		}
+		if diff := res.TotalTime - recorded; diff > 1e-7 || diff < -1e-7 {
+			t.Errorf("topology %q: TotalTime %.12g, recorded %.12g", topo, res.TotalTime, recorded)
+		}
+		if topo == "" {
+			wantFP = res.Fingerprint
+			continue
+		}
+		if res.Fingerprint != wantFP {
+			t.Errorf("topology %q: fingerprint %016x, full mesh %016x", topo, res.Fingerprint, wantFP)
+		}
+	}
+}
+
+// TestGoldenAcrossTopologies3D is the 3-D golden matrix (P=8, where the
+// neighbor-sparse and ring descriptors are genuinely sparser than the
+// mesh's skeleton at P=4 would be).
+func TestGoldenAcrossTopologies3D(t *testing.T) {
+	const recorded = 1.5221545
+	var wantFP uint64
+	for _, topo := range allTopologies {
+		cfg := base3()
+		cfg.Topology = topo
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("topology %q: %v", topo, err)
+		}
+		if diff := res.TotalTime - recorded; diff > 1e-7 || diff < -1e-7 {
+			t.Errorf("topology %q: TotalTime %.12g, recorded %.12g", topo, res.TotalTime, recorded)
+		}
+		if topo == "" {
+			wantFP = res.Fingerprint
+			continue
+		}
+		if res.Fingerprint != wantFP {
+			t.Errorf("topology %q: fingerprint %016x, full mesh %016x", topo, res.Fingerprint, wantFP)
+		}
+	}
+}
+
+// TestRedistributionAcrossTopologies exercises the steady-state dataEx
+// protocols (neighbor-only, systolic) in the timed loop: a periodic policy
+// redistributes every 3 iterations, and the final physics fingerprint must
+// match the full-mesh run under every topology. Simulated times may differ
+// here — the protocols have different message schedules — but the particle
+// population may not.
+func TestRedistributionAcrossTopologies(t *testing.T) {
+	run := func(topo string) *Result {
+		cfg := base()
+		cfg.Topology = topo
+		cfg.Policy = policy.NewPeriodic(3)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("topology %q: %v", topo, err)
+		}
+		if res.NumRedistributions == 0 {
+			t.Fatalf("topology %q: periodic policy never redistributed", topo)
+		}
+		return res
+	}
+	want := run("")
+	for _, topo := range allTopologies[1:] {
+		res := run(topo)
+		if res.Fingerprint != want.Fingerprint {
+			t.Errorf("topology %q: fingerprint %016x, full mesh %016x", topo, res.Fingerprint, want.Fingerprint)
+		}
+		if res.FinalParticleCount != want.FinalParticleCount {
+			t.Errorf("topology %q: %d particles, want %d", topo, res.FinalParticleCount, want.FinalParticleCount)
+		}
+	}
+}
+
+// TestRedistributionSparseStencilP8 is the regression test for the far-
+// traffic relay: at P=8 on the 2-D grid the 2×4 processor arrangement is
+// genuinely sparse (ranks two rows apart own no link), and the periodic
+// cost-weighted repartition decouples the particle partition from the mesh
+// blocks, so scatter/gather and redistribution all carry payloads between
+// unlinked ranks. Those payloads must ride the systolic relay — and the
+// physics must still match the full mesh bit for bit.
+func TestRedistributionSparseStencilP8(t *testing.T) {
+	run := func(topo string) *Result {
+		cfg := base()
+		cfg.P = 8
+		cfg.Topology = topo
+		cfg.Policy = policy.NewPeriodic(3)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("topology %q: %v", topo, err)
+		}
+		if res.NumRedistributions == 0 {
+			t.Fatalf("topology %q: periodic policy never redistributed", topo)
+		}
+		return res
+	}
+	// The premise: the sparse descriptor must not degenerate to a mesh here,
+	// or the relay path is untested.
+	cfg := base()
+	cfg.P = 8
+	cfg.Topology = TopologyNeighborSparse
+	tp, err := TopologyFor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.IsFullMesh() {
+		t.Fatal("P=8 2-D neighbor-sparse descriptor is a full mesh; the far-traffic path is not exercised")
+	}
+	want := run("")
+	for _, topo := range []string{TopologyNeighborSparse, TopologySystolicRing, TopologyHierarchical} {
+		res := run(topo)
+		if res.Fingerprint != want.Fingerprint {
+			t.Errorf("topology %q: fingerprint %016x, full mesh %016x", topo, res.Fingerprint, want.Fingerprint)
+		}
+		if res.FinalParticleCount != want.FinalParticleCount {
+			t.Errorf("topology %q: %d particles, want %d", topo, res.FinalParticleCount, want.FinalParticleCount)
+		}
+	}
+}
+
+// TestEulerianAcrossTopologies runs the per-iteration migration mode under
+// each flat topology: migrations move particles one cell at most, so the
+// neighbor-only protocol must carry them and the physics must agree.
+func TestEulerianAcrossTopologies(t *testing.T) {
+	run := func(topo string) *Result {
+		cfg := base()
+		cfg.Eulerian = true
+		cfg.Topology = topo
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("topology %q: %v", topo, err)
+		}
+		return res
+	}
+	want := run("")
+	for _, topo := range allTopologies[1:] {
+		res := run(topo)
+		if res.Fingerprint != want.Fingerprint {
+			t.Errorf("topology %q: fingerprint %016x, full mesh %016x", topo, res.Fingerprint, want.Fingerprint)
+		}
+	}
+}
+
+// TestChaosAcrossTopologies is the chaos soak over every topology: the
+// Tracer∘Reliable∘Faulty stack wraps each rank's transport unchanged —
+// hierarchical gateways included — and the physics fingerprint must match
+// the unperturbed run of the same topology, since every injected fault is
+// recovered below the protocol layer.
+func TestChaosAcrossTopologies(t *testing.T) {
+	plan := comm.FaultPlan{Seed: 0xD15EA5E, DropProb: 0.05, MaxDropAttempts: 3,
+		DupProb: 0.05, ReorderProb: 0.05}
+	for _, topo := range allTopologies {
+		cfg := base()
+		cfg.Topology = topo
+		cfg.Policy = policy.NewPeriodic(3)
+		clean, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("topology %q clean: %v", topo, err)
+		}
+		faulty := comm.NewFaulty(plan)
+		rel := comm.NewReliable(comm.ReliableConfig{})
+		tracer := comm.NewTracer()
+		cfg.Transport = func(tr comm.Transport) comm.Transport {
+			return tracer.Wrap(rel.Wrap(faulty.Wrap(tr)))
+		}
+		perturbed, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("topology %q chaos: %v", topo, err)
+		}
+		if c := faulty.Counts(); c.Drops+c.Dups+c.Reorders == 0 {
+			t.Errorf("topology %q: fault plan injected nothing", topo)
+		}
+		if tracer.Total().MsgsSent == 0 {
+			t.Errorf("topology %q: tracer observed no traffic", topo)
+		}
+		if perturbed.Fingerprint != clean.Fingerprint {
+			t.Errorf("topology %q: chaos fingerprint %016x, clean %016x",
+				topo, perturbed.Fingerprint, clean.Fingerprint)
+		}
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	cases := []struct {
+		spec  string
+		kind  string
+		hosts int
+		ok    bool
+	}{
+		{"", TopologyFullMesh, 0, true},
+		{"full-mesh", TopologyFullMesh, 0, true},
+		{"neighbor-sparse", TopologyNeighborSparse, 0, true},
+		{"systolic-ring", TopologySystolicRing, 0, true},
+		{"hierarchical", TopologyHierarchical, 2, true}, // auto: largest divisor of 8 ≤ √8
+		{"hierarchical:4", TopologyHierarchical, 4, true},
+		{"hierarchical:3", "", 0, false}, // 3 does not divide 8
+		{"hierarchical:0", "", 0, false},
+		{"hierarchical:x", "", 0, false},
+		{"torus", "", 0, false},
+	}
+	for _, c := range cases {
+		kind, hosts, err := parseTopology(c.spec, 8)
+		if c.ok != (err == nil) {
+			t.Errorf("parseTopology(%q): err %v, want ok=%v", c.spec, err, c.ok)
+			continue
+		}
+		if c.ok && (kind != c.kind || hosts != c.hosts) {
+			t.Errorf("parseTopology(%q) = (%s, %d), want (%s, %d)", c.spec, kind, hosts, c.kind, c.hosts)
+		}
+	}
+}
+
+func TestAutoHosts(t *testing.T) {
+	for _, c := range []struct{ p, want int }{
+		{1, 1}, {2, 1}, {4, 2}, {6, 2}, {8, 2}, {9, 3}, {12, 3}, {16, 4}, {7, 1},
+	} {
+		if got := autoHosts(c.p); got != c.want {
+			t.Errorf("autoHosts(%d) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+// TestTopologyFor checks the exported descriptor builder: flat topologies
+// yield descriptors of the right size and sparsity, hierarchical is
+// rejected.
+func TestTopologyFor(t *testing.T) {
+	cfg := base()
+	cfg.Topology = TopologyNeighborSparse
+	tp, err := TopologyFor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Size() != cfg.P || tp.Name() != comm.TopologyNeighborSparse {
+		t.Fatalf("descriptor (%s, %d), want (%s, %d)", tp.Name(), tp.Size(), comm.TopologyNeighborSparse, cfg.P)
+	}
+	cfg.Topology = TopologyHierarchical
+	if _, err := TopologyFor(cfg); err == nil {
+		t.Fatal("TopologyFor accepted the hierarchical topology")
+	}
+	cfg.Topology = "nonsense"
+	if _, err := TopologyFor(cfg); err == nil {
+		t.Fatal("TopologyFor accepted an unknown topology")
+	}
+}
+
+// TestRunNetRejectsHierarchical pins the typed rejection without standing
+// up a TCP world.
+func TestRunNetRejectsHierarchical(t *testing.T) {
+	cfg := base()
+	cfg.Topology = TopologyHierarchical
+	_, err := RunNet(comm.NetConfig{Size: 4, Rank: 0}, cfg)
+	if err == nil {
+		t.Fatal("RunNet accepted the hierarchical topology")
+	}
+}
+
+// TestValidateRejectsBadTopology makes sure a bad spec is caught at
+// configuration time, not mid-assembly.
+func TestValidateRejectsBadTopology(t *testing.T) {
+	cfg := base()
+	cfg.Topology = "torus"
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("Run accepted an unknown topology")
+	}
+	var target *comm.TopologyError
+	_ = target // the config error is not a TopologyError; just pin non-nil
+	if errors.Is(err, comm.ErrOutOfTopology) {
+		t.Fatal("config rejection should not be an out-of-topology send error")
+	}
+}

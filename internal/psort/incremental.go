@@ -47,6 +47,11 @@ type Incremental struct {
 	// pool, when non-nil, parallelises the received-run radix sort over the
 	// rank's shared-memory workers. Results are bit-identical either way.
 	pool *par.Pool
+	// ex, when non-nil, routes the all-to-many exchanges through a
+	// topology-native protocol (systolic ring, neighbor-only) instead of
+	// the classic pairwise schedule. The redistributed population is
+	// identical either way.
+	ex comm.Exchanger
 }
 
 // DefaultBuckets is a reasonable bucket count per rank: fine enough that a
@@ -67,6 +72,12 @@ func NewIncremental(l int) *Incremental {
 // local radix sorts inside Redistribute (nil detaches it). Safe to call any
 // time between redistributions; the sorted output is identical either way.
 func (inc *Incremental) SetPool(p *par.Pool) { inc.pool = p }
+
+// SetExchanger attaches an all-to-many exchange protocol used by
+// Redistribute (nil detaches it, reverting to the classic pairwise
+// exchange). Safe to call any time between redistributions; the
+// redistributed population is identical for every protocol.
+func (inc *Incremental) SetExchanger(ex comm.Exchanger) { inc.ex = ex }
 
 // Prime records bucket boundaries from a locally sorted store, preparing
 // for the next Redistribute call (Figure 12, lines 4–6 of
@@ -175,8 +186,7 @@ func (inc *Incremental) redistribute(r comm.Transport, s *particle.Store, wf fun
 	send, counts := inc.pack(r, s)
 
 	// Lines 15–20: exchange the traffic table, then all-to-many.
-	recvCounts := comm.ExchangeCounts(r, counts)
-	recv := comm.AllToMany(r, send, recvCounts, comm.Float64Bytes)
+	recv := exchange(r, inc.ex, send, counts)
 
 	// Line 21: collect and sort the received particles.
 	wfl := s.WireFloats()
@@ -212,7 +222,7 @@ func (inc *Incremental) redistribute(r comm.Transport, s *particle.Store, wf fun
 	// Order-maintaining (possibly weighted) balance into the output slot
 	// that does not alias the caller's store, then remember the new
 	// boundaries.
-	out := weightedBalanceInto(r, merged, inc.outSlot(s), wf)
+	out := weightedBalanceInto(r, merged, inc.outSlot(s), wf, inc.ex)
 	inc.Prime(out)
 	return out, st
 }

@@ -90,6 +90,18 @@ func IsLocallySorted(s *particle.Store) bool {
 	return true
 }
 
+// exchange runs the two halves of an all-to-many redistribution through the
+// selected protocol: nil ex is the classic pairwise exchange, anything else
+// is a topology-native comm.Exchanger (systolic ring pulse, neighbor-only).
+func exchange(r comm.Transport, ex comm.Exchanger, send [][]float64, counts []int) [][]float64 {
+	if ex == nil {
+		recvCounts := comm.ExchangeCounts(r, counts)
+		return comm.AllToMany(r, send, recvCounts, comm.Float64Bytes)
+	}
+	recvCounts := ex.Counts(r, counts)
+	return ex.Exchange(r, send, recvCounts)
+}
+
 // SampleSort performs a full regular-sampling sample sort of the global
 // particle population and returns this rank's sorted, balanced share. This
 // is the paper's initial "distribution algorithm"; the incremental sort is
@@ -102,6 +114,15 @@ func SampleSort(r comm.Transport, s *particle.Store) *particle.Store {
 // shared-memory workers (nil: sequential). The returned distribution and
 // every simulated charge are identical for every pool size.
 func SampleSortPar(r comm.Transport, s *particle.Store, pool *par.Pool) *particle.Store {
+	return SampleSortParX(r, s, pool, nil)
+}
+
+// SampleSortParX is SampleSortPar with the all-to-many halves routed
+// through ex (nil: the classic pairwise protocol). The returned
+// distribution is identical for every exchanger — only the message
+// schedule (and on non-classic protocols the modelled network charges)
+// differs.
+func SampleSortParX(r comm.Transport, s *particle.Store, pool *par.Pool, ex comm.Exchanger) *particle.Store {
 	p := r.Size()
 	LocalSortPar(r, s, pool)
 	if p == 1 {
@@ -146,8 +167,7 @@ func SampleSortPar(r comm.Transport, s *particle.Store, pool *par.Pool) *particl
 			r.Compute((hi - lo) * packWorkPerParticle)
 		}
 	}
-	recvCounts := comm.ExchangeCounts(r, counts)
-	recv := comm.AllToMany(r, send, recvCounts, comm.Float64Bytes)
+	recv := exchange(r, ex, send, counts)
 
 	out := s.NewLike(n)
 	for src := 0; src < p; src++ {
@@ -160,7 +180,7 @@ func SampleSortPar(r comm.Transport, s *particle.Store, pool *par.Pool) *particl
 		}
 	}
 	LocalSortPar(r, out, pool)
-	return LoadBalance(r, out)
+	return loadBalanceInto(r, out, nil, ex)
 }
 
 // LoadBalance equalises particle counts across ranks while preserving the
@@ -169,7 +189,7 @@ func SampleSortPar(r comm.Transport, s *particle.Store, pool *par.Pool) *particl
 // per-rank stores concatenate to a globally key-sorted sequence, and
 // preserves that property.
 func LoadBalance(r comm.Transport, s *particle.Store) *particle.Store {
-	return loadBalanceInto(r, s, nil)
+	return loadBalanceInto(r, s, nil, nil)
 }
 
 // lbScratch recycles the per-call bookkeeping slices of loadBalanceInto.
@@ -193,11 +213,12 @@ func (sc *lbScratch) grow(p int) {
 	}
 }
 
-// loadBalanceInto is LoadBalance with an optional destination store: when
-// reuse is non-nil its arrays are recycled for the output (it must not
-// alias s). When reuse is nil the behaviour is the original LoadBalance,
-// including returning s itself on the p = 1 / empty fast path.
-func loadBalanceInto(r comm.Transport, s, reuse *particle.Store) *particle.Store {
+// loadBalanceInto is LoadBalance with an optional destination store (when
+// reuse is non-nil its arrays are recycled for the output; it must not
+// alias s) and an optional exchange protocol (nil ex: classic pairwise).
+// When reuse is nil the behaviour is the original LoadBalance, including
+// returning s itself on the p = 1 / empty fast path.
+func loadBalanceInto(r comm.Transport, s, reuse *particle.Store, ex comm.Exchanger) *particle.Store {
 	p := r.Size()
 	n := s.Len()
 	total := comm.AllreduceSumInt(r, n)
@@ -236,8 +257,7 @@ func loadBalanceInto(r comm.Transport, s, reuse *particle.Store) *particle.Store
 		}
 		i = runEnd
 	}
-	recvCounts := comm.ExchangeCounts(r, counts)
-	recv := comm.AllToMany(r, send, recvCounts, comm.Float64Bytes)
+	recv := exchange(r, ex, send, counts)
 	lbPool.Put(sc)
 
 	// Reassemble in source-rank order, splicing the retained local run in

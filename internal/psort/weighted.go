@@ -59,16 +59,16 @@ func (sc *wbScratch) grow(p, n int) {
 // preserves the global concatenated key order while equalising cumulative
 // weight instead of count. A nil wf is exactly LoadBalance.
 func WeightedBalance(r comm.Transport, s *particle.Store, wf func(key float64) float64) *particle.Store {
-	return weightedBalanceInto(r, s, nil, wf)
+	return weightedBalanceInto(r, s, nil, wf, nil)
 }
 
-// weightedBalanceInto is WeightedBalance with loadBalanceInto's reuse
-// contract. Degenerate weight states (nil wf, all weights zero or
-// unusable) fall back to the equal-count split — every rank sees the same
-// allgathered totals, so the fallback is collectively consistent.
-func weightedBalanceInto(r comm.Transport, s, reuse *particle.Store, wf func(key float64) float64) *particle.Store {
+// weightedBalanceInto is WeightedBalance with loadBalanceInto's reuse and
+// exchanger contracts. Degenerate weight states (nil wf, all weights zero
+// or unusable) fall back to the equal-count split — every rank sees the
+// same allgathered totals, so the fallback is collectively consistent.
+func weightedBalanceInto(r comm.Transport, s, reuse *particle.Store, wf func(key float64) float64, ex comm.Exchanger) *particle.Store {
 	if wf == nil {
-		return loadBalanceInto(r, s, reuse)
+		return loadBalanceInto(r, s, reuse, ex)
 	}
 	p := r.Size()
 	n := s.Len()
@@ -119,7 +119,7 @@ func weightedBalanceInto(r comm.Transport, s, reuse *particle.Store, wf func(key
 
 	if p == 1 || total == 0 || totW <= 0 {
 		wbPool.Put(sc)
-		return loadBalanceInto(r, s, reuse)
+		return loadBalanceInto(r, s, reuse, ex)
 	}
 
 	// Walk the local particles in order, advancing through the weighted
@@ -148,8 +148,7 @@ func weightedBalanceInto(r comm.Transport, s, reuse *particle.Store, wf func(key
 		}
 		i = runEnd
 	}
-	recvCounts := comm.ExchangeCounts(r, counts)
-	recv := comm.AllToMany(r, send, recvCounts, comm.Float64Bytes)
+	recv := exchange(r, ex, send, counts)
 	wbPool.Put(sc)
 
 	out := reuse

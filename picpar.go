@@ -241,8 +241,11 @@ func StartCoordinator(addr string, p int) (*Coordinator, error) {
 // on the first abnormal exit it grants the grace period for peers to print
 // their own diagnostics, kills stragglers, and returns a *LaunchError
 // naming every failed rank.
-func SuperviseRanks(procs []*RankProc, grace time.Duration) error {
-	return comm.SuperviseRanks(procs, grace)
+// An optional trailing world description (e.g. "topology neighbor-sparse,
+// P=4") is carried on the LaunchError, attributing refused dials in sparse
+// worlds to the world's configuration.
+func SuperviseRanks(procs []*RankProc, grace time.Duration, world ...string) error {
+	return comm.SuperviseRanks(procs, grace, world...)
 }
 
 // SuperviseRanksElastic is SuperviseRanks with elastic recovery: a rank
@@ -250,8 +253,8 @@ func SuperviseRanks(procs []*RankProc, grace time.Duration) error {
 // respawn instead of failing the run, and the surviving rank processes
 // (running under NetRankElastic) re-assemble through the rendezvous rolled
 // back to the latest complete checkpoint epoch.
-func SuperviseRanksElastic(procs []*RankProc, grace time.Duration, respawn RespawnFunc, maxRespawns int) error {
-	return comm.SuperviseRanksElastic(procs, grace, respawn, maxRespawns)
+func SuperviseRanksElastic(procs []*RankProc, grace time.Duration, respawn RespawnFunc, maxRespawns int, world ...string) error {
+	return comm.SuperviseRanksElastic(procs, grace, respawn, maxRespawns, world...)
 }
 
 // RunNet runs this process's rank of the configured simulation over the
@@ -275,3 +278,59 @@ func NetRankElastic(ncfg NetConfig, wrap func(Transport) Transport, fn func(Tran
 
 // MachineStats is one rank's per-phase time and traffic ledger.
 type MachineStats = machine.Stats
+
+// Topology names accepted by Config.Topology: the classic any-to-any
+// full mesh, the two sparse link sets (neighbor-sparse direct exchange,
+// systolic-ring pulsed exchange), and the hierarchical host/gateway
+// transport ("hierarchical" or "hierarchical:H"). Physics is identical
+// under every topology.
+const (
+	TopologyFullMesh       = pic.TopologyFullMesh
+	TopologyNeighborSparse = pic.TopologyNeighborSparse
+	TopologySystolicRing   = pic.TopologySystolicRing
+	TopologyHierarchical   = pic.TopologyHierarchical
+)
+
+// Topology is the comm layer's link-set descriptor: which rank pairs may
+// exchange point-to-point messages. The TCP backend assembles exactly its
+// links (O(P·k) sockets for sparse descriptors); the goroutine backend
+// enforces it with typed errors on out-of-topology sends.
+type Topology = comm.Topology
+
+// TopologyError reports a send or receive outside the world's topology; it
+// unwraps to ErrOutOfTopology and names the rank, peer and peer set.
+type TopologyError = comm.TopologyError
+
+// ErrOutOfTopology is the sentinel every TopologyError wraps.
+var ErrOutOfTopology = comm.ErrOutOfTopology
+
+// TopologyFor builds the comm.Topology descriptor cfg's Topology field
+// names (sized for cfg.P) — what NetConfig.Topology expects when
+// assembling a sparse TCP world by hand. Hierarchical is rejected: it
+// replaces the transport rather than the link set (use Run).
+func TopologyFor(cfg Config) (*Topology, error) { return pic.TopologyFor(cfg) }
+
+// NewFullMesh, NewRing and NewNeighborSparse build topology descriptors
+// directly at the comm layer. Every descriptor includes the collective
+// skeleton (±2^k ring offsets), so collectives run unchanged on all of
+// them.
+func NewFullMesh(p int) *Topology { return comm.NewFullMesh(p) }
+
+// NewRing builds the pure ring descriptor (the collective skeleton alone).
+func NewRing(p int) *Topology { return comm.NewRing(p) }
+
+// NewNeighborSparse builds the descriptor whose links are the pairs the
+// adjacent predicate admits, plus the collective skeleton.
+func NewNeighborSparse(p int, adjacent func(a, b int) bool) *Topology {
+	return comm.NewNeighborSparse(p, adjacent)
+}
+
+// Exchanger is an all-to-many exchange protocol over a Transport: the
+// classic pairwise schedule, the P−1-pulse systolic ring, or the
+// neighbor-only stencil exchange.
+type Exchanger = comm.Exchanger
+
+// SocketCount reports the number of live TCP peer connections beneath a
+// (possibly decorated) transport, and whether the transport is TCP-backed
+// at all — the measured quantity behind the O(P²) → O(P·k) traffic gate.
+func SocketCount(t Transport) (int, bool) { return comm.SocketCount(t) }

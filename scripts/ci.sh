@@ -55,7 +55,9 @@ echo "== net smoke, 2 workers per rank (golden must not move) =="
 PICPAR_PROCS=2 sh scripts/netsmoke.sh
 
 echo "== traffic gate =="
-go run ./cmd/picbench -traffic
+# -require-baseline: a deleted or missing TRAFFIC_*.json baseline fails CI
+# loudly instead of silently re-seeding the comparison.
+go run ./cmd/picbench -traffic -require-baseline
 
 echo "== examples smoke =="
 go run ./examples/quickstart >/dev/null

@@ -3,7 +3,9 @@
 #
 #  1. Golden gate — 4 OS processes over loopback TCP must reproduce the
 #     2-D golden TotalTime 1.1831223 byte-identically to the in-process
-#     goroutine backend.
+#     goroutine backend; a second run assembles the neighbor-sparse
+#     topology (sparse socket mesh, digest-pinned rendezvous) and must
+#     reproduce the same golden.
 #  2. Crash gate — kill -9 one rank mid-run; the coordinator process must
 #     exit nonzero with a typed delivery diagnostic within a bounded
 #     window, never hang.
@@ -27,6 +29,16 @@ echo "$OUT" | grep -q 'TotalTime 1\.1831223' || {
 	exit 1
 }
 echo "golden TotalTime 1.1831223 reproduced over TCP"
+
+echo "== net golden: 4 processes, neighbor-sparse topology =="
+OUT="$("$BIN" -net 127.0.0.1:0 -verify -topology neighbor-sparse \
+	-mesh 32x16 -n 2048 -p 4 -iters 10 -dist irregular -seed 7 -policy static)"
+echo "$OUT" | grep -q 'TotalTime 1\.1831223' || {
+	echo "FAIL: neighbor-sparse net golden mismatch; output was:" >&2
+	echo "$OUT" >&2
+	exit 1
+}
+echo "golden TotalTime 1.1831223 reproduced over sparse TCP assembly"
 
 echo "== net crash: kill -9 one rank, expect typed failure =="
 LOG="$(dirname "$BIN")/crash.log"
