@@ -18,26 +18,33 @@ import (
 	"time"
 
 	"picpar"
+	"picpar/internal/jobspec"
 )
+
+// sweepParticles is the sweep's population size.
+func sweepParticles(full bool) int {
+	if full {
+		return 262144
+	}
+	return 32768
+}
 
 // sweepConfig returns the sweep workload: one rank (so no transport noise),
 // a dense uniform population, enough iterations that the physics kernels
-// dominate the wall clock.
-func sweepConfig(workers, iters int, full bool) picpar.Config {
-	n := 32768
-	if full {
-		n = 262144
-	}
-	return picpar.Config{
-		Grid:         picpar.NewGrid(128, 64),
-		P:            1,
-		NumParticles: n,
-		Distribution: picpar.DistUniform,
+// dominate the wall clock. Built through the shared jobspec path, like
+// every other entrypoint.
+func sweepConfig(workers, iters int, full bool) (picpar.Config, error) {
+	spec := jobspec.Spec{
+		Mesh:         "128x64",
+		Ranks:        1,
+		Particles:    sweepParticles(full),
+		Distribution: "uniform",
 		Seed:         11,
 		Iterations:   iters,
-		Policy:       picpar.PeriodicPolicy(10),
+		Policy:       "periodic:10",
 		Workers:      workers,
 	}
+	return spec.Config()
 }
 
 // measureSweep times the physics loop at one worker count: wall time of a
@@ -48,14 +55,20 @@ func measureSweep(workers, iters int, full bool) (elapsed float64, simTotal floa
 	const reps = 3
 	best := 0.0
 	for rep := 0; rep < reps; rep++ {
-		cfg := sweepConfig(workers, 0, full)
+		cfg, err := sweepConfig(workers, 0, full)
+		if err != nil {
+			return 0, 0, err
+		}
 		t0 := time.Now()
 		if _, err := picpar.Run(cfg); err != nil {
 			return 0, 0, err
 		}
 		setup := time.Since(t0).Seconds()
 
-		cfg = sweepConfig(workers, iters, full)
+		cfg, err = sweepConfig(workers, iters, full)
+		if err != nil {
+			return 0, 0, err
+		}
 		t0 = time.Now()
 		res, runErr := picpar.Run(cfg)
 		if runErr != nil {
@@ -92,7 +105,7 @@ func runCPUSweep(dir, list string, full bool) error {
 	}
 
 	fmt.Printf("picbench: cpu sweep (host %d cores, GOMAXPROCS %d, %d particles, %d iters)\n",
-		runtime.NumCPU(), runtime.GOMAXPROCS(0), sweepConfig(1, 0, full).NumParticles, iters)
+		runtime.NumCPU(), runtime.GOMAXPROCS(0), sweepParticles(full), iters)
 	fmt.Printf("  %8s %12s %16s %18s %9s\n", "workers", "wall (s)", "particles/sec", "per-core", "speedup")
 
 	var entries []benchmarkEntry
@@ -110,7 +123,7 @@ func runCPUSweep(dir, list string, full bool) error {
 			return fmt.Errorf("workers=%d changed the simulated total: %.17g vs %.17g — determinism broken",
 				w, simTotal, simRef)
 		}
-		work := float64(sweepConfig(w, 0, full).NumParticles) * float64(iters)
+		work := float64(sweepParticles(full)) * float64(iters)
 		pps := work / elapsed
 		speedup := base / elapsed
 		fmt.Printf("  %8d %12.4f %16.0f %18.0f %8.2fx\n", w, elapsed, pps, pps/float64(w), speedup)

@@ -1,0 +1,423 @@
+// Command picserve is the fault-tolerant simulation-job daemon: a
+// long-running HTTP service that accepts PIC simulation jobs, schedules
+// them onto a bounded pool of supervised worker process groups, checkpoints
+// them on the usual cadence, and survives worker death, disk sickness and
+// its own restart — a daemon killed with -9 mid-job finishes the job after
+// restart with the same Fingerprint an undisturbed run prints.
+//
+// Daemon:
+//
+//	picserve -addr 127.0.0.1:7070 -dir ./picserve-data
+//
+// The listen address falls back to $PICSERVE_ADDR, the data directory to
+// $PICPAR_CKPT_DIR. SIGTERM or SIGINT drains gracefully: admission closes
+// (503), running jobs checkpoint at their next iteration boundary and park
+// as resumable, then the daemon exits; the next daemon life re-adopts them.
+//
+// Client:
+//
+//	picserve -server http://127.0.0.1:7070 -submit job.json   # prints the job id
+//	picserve -server ... -wait j-1a2b3c4d                     # blocks; prints TotalTime/Fingerprint
+//	picserve -server ... -status [j-1a2b3c4d]
+//	picserve -server ... -cancel j-1a2b3c4d
+//	picserve -server ... -events j-1a2b3c4d                   # tail the SSE diagnostics
+//
+// job.json is a jobspec.Spec document, e.g.:
+//
+//	{"mesh": "32x16", "particles": 2048, "ranks": 4, "iterations": 10,
+//	 "distribution": "irregular", "seed": 7, "policy": "static"}
+//
+// Each job runs as one coordinator plus one OS process per rank (this
+// binary re-executed in a hidden worker mode), all in their own process
+// group. A rank killed mid-run is respawned with capped-exponential
+// backoff until the attempt's respawn budget runs dry; spent budgets
+// escalate to job-level retries and finally to a typed job failure — a
+// sick job never wedges the pool.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"picpar"
+	"picpar/internal/ckpt"
+	"picpar/internal/jobspec"
+	"picpar/internal/serve"
+)
+
+func main() {
+	// Daemon flags.
+	addr := flag.String("addr", "", "listen address (default $PICSERVE_ADDR or 127.0.0.1:7070)")
+	dir := flag.String("dir", "", "data directory for job state and checkpoints (default $PICPAR_CKPT_DIR or ./picserve-data)")
+	addrFile := flag.String("addr-file", "", "write the bound listen address to this file (for scripts using port 0)")
+	local := flag.Bool("local", false, "run jobs in-process instead of as worker process worlds")
+	maxQueue := flag.Int("max-queue", 0, "queued-job cap (429 beyond it; default 16)")
+	maxActive := flag.Int("max-active", 0, "concurrently running jobs (default 2)")
+	maxRanks := flag.Int("max-ranks", 0, "per-job rank cap (default 16)")
+	maxIters := flag.Int("max-iters", 0, "per-job iteration cap (default 100000)")
+	maxWall := flag.Duration("max-wall", 0, "per-job wall-clock deadline (default 15m)")
+	maxAttempts := flag.Int("max-attempts", 0, "run attempts per job before a typed failure (default 3)")
+	respawnBackoff := flag.Duration("respawn-backoff", 0, "wait before the first rank respawn, doubling per respawn (default 250ms)")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "how long a SIGTERM drain may take before the daemon gives up waiting")
+
+	// Client flags.
+	server := flag.String("server", "", "daemon base URL; presence selects client mode")
+	submit := flag.String("submit", "", "submit the jobspec JSON document at this path (\"-\" for stdin); prints the job id")
+	wait := flag.String("wait", "", "block until this job settles; prints TotalTime and Fingerprint like picsim")
+	status := flag.String("status", "", "print this job's manifest (empty with -server alone lists all jobs)")
+	cancel := flag.String("cancel", "", "cancel this job")
+	events := flag.String("events", "", "stream this job's SSE diagnostics to stdout")
+
+	// Hidden worker mode: one rank of one job's worker world.
+	worker := flag.Bool("worker", false, "")
+	coord := flag.String("coord", "", "")
+	rank := flag.Int("rank", -1, "")
+	ranks := flag.Int("p", 0, "")
+	jobDir := flag.String("job", "", "")
+	flag.Parse()
+
+	switch {
+	case *worker:
+		if err := runWorker(*coord, *rank, *ranks, *jobDir); err != nil {
+			fatal(err)
+		}
+	case *server != "":
+		if err := runClient(*server, *submit, *wait, *status, *cancel, *events); err != nil {
+			fatal(err)
+		}
+	default:
+		lim := serve.Limits{
+			MaxQueue:      *maxQueue,
+			MaxActive:     *maxActive,
+			MaxRanks:      *maxRanks,
+			MaxIterations: *maxIters,
+			MaxWall:       *maxWall,
+			MaxAttempts:   *maxAttempts,
+		}
+		if err := runDaemon(*addr, *dir, *addrFile, lim, *local, *respawnBackoff, *drainTimeout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "picserve:", err)
+	os.Exit(1)
+}
+
+// ── daemon ──────────────────────────────────────────────────────────────
+
+func runDaemon(addr, dir, addrFile string, lim serve.Limits, local bool, respawnBackoff, drainTimeout time.Duration) error {
+	if addr == "" {
+		addr = serve.EnvAddr("127.0.0.1:7070")
+	}
+	if dir == "" {
+		dir = ckpt.EnvDir("./picserve-data")
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "picserve: "+format+"\n", args...)
+	}
+
+	var runner serve.Runner = serve.LocalRunner{}
+	if !local {
+		self, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("cannot re-execute self for workers: %v", err)
+		}
+		runner = serve.ProcessRunner{
+			Command: func(rc serve.RunContext, coord string, rank int) *exec.Cmd {
+				cmd := exec.Command(self, "-worker",
+					"-coord", coord,
+					"-rank", strconv.Itoa(rank),
+					"-p", strconv.Itoa(workerRanks(rc)),
+					"-job", rc.Dir)
+				cmd.Stderr = os.Stderr
+				return cmd
+			},
+			Backoff: respawnBackoff,
+		}
+	}
+
+	s, err := serve.New(dir, runner, lim, logf)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	logf("listening on %s, data in %s", ln.Addr(), dir)
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+
+	hs := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case got := <-sig:
+		logf("%v: draining (running jobs checkpoint and park; queued jobs stay queued)", got)
+		dctx, dcancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer dcancel()
+		if err := s.Drain(dctx); err != nil {
+			logf("drain: %v", err)
+		}
+		_ = hs.Close()
+		<-serveErr
+		logf("drained, exiting")
+		return nil
+	case err := <-serveErr:
+		return err
+	}
+}
+
+// workerRanks resolves the world size of one job's worker world from its
+// spec (pic's own default applies when the spec leaves it open).
+func workerRanks(rc serve.RunContext) int {
+	cfg, err := rc.Manifest.Spec.Config()
+	if err != nil || cfg.P == 0 {
+		return 4
+	}
+	return cfg.P
+}
+
+// ── worker mode ─────────────────────────────────────────────────────────
+
+// runWorker is one rank of one job's process world. It reads the job's
+// manifest, joins the coordinator, runs its rank with recovery on, and —
+// on rank 0 — emits per-iteration IterEvent JSONL on stdout and writes
+// result.json before exiting. SIGTERM (the daemon's drain) requests a stop
+// at the next iteration boundary with a final checkpoint epoch.
+func runWorker(coord string, rank, ranks int, jobDir string) error {
+	if coord == "" || rank < 0 || ranks <= 0 || jobDir == "" {
+		return fmt.Errorf("worker mode needs -coord, -rank, -p and -job")
+	}
+	m, err := serve.ReadManifest(jobDir)
+	if err != nil {
+		return err
+	}
+	cfg, err := m.Spec.Config()
+	if err != nil {
+		return err
+	}
+	cfg.CheckpointDir = serve.CheckpointDir(jobDir)
+	cfg.Recover = true
+
+	var stop atomic.Bool
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM)
+	go func() {
+		<-sig
+		stop.Store(true)
+	}()
+	cfg.StopRequested = stop.Load
+
+	out := bufio.NewWriter(os.Stdout)
+	if rank == 0 {
+		enc := json.NewEncoder(out)
+		cfg.OnIteration = func(rec picpar.IterationRecord) {
+			_ = enc.Encode(serve.IterEventOf(rec))
+			_ = out.Flush()
+		}
+	}
+
+	ncfg := picpar.NetConfig{Coordinator: coord, Rank: rank, Size: ranks}
+	res, err := picpar.RunNet(ncfg, cfg)
+	if err != nil {
+		return fmt.Errorf("job %s rank %d: %w", m.ID, rank, err)
+	}
+	if res == nil {
+		return nil // ranks >0 carry no result
+	}
+	return serve.WriteResult(jobDir, serve.ResultOf(res))
+}
+
+// ── client mode ─────────────────────────────────────────────────────────
+
+func runClient(base, submit, wait, status, cancel, events string) error {
+	base = strings.TrimRight(base, "/")
+	switch {
+	case submit != "":
+		return clientSubmit(base, submit)
+	case wait != "":
+		return clientWait(base, wait)
+	case cancel != "":
+		return clientCancel(base, cancel)
+	case events != "":
+		return clientEvents(base, events)
+	default:
+		return clientStatus(base, status)
+	}
+}
+
+// clientError turns a non-2xx daemon response into its typed reject.
+func clientError(resp *http.Response) error {
+	var re serve.RejectError
+	body, _ := readAll(resp)
+	if json.Unmarshal(body, &re) == nil && re.Reason != "" {
+		return fmt.Errorf("%s (%s)", re.Msg, re.Reason)
+	}
+	return fmt.Errorf("daemon answered %s: %s", resp.Status, bytes.TrimSpace(body))
+}
+
+func readAll(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}
+
+func clientSubmit(base, path string) error {
+	var spec []byte
+	var err error
+	if path == "-" {
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(os.Stdin); err != nil {
+			return err
+		}
+		spec = buf.Bytes()
+	} else if spec, err = os.ReadFile(path); err != nil {
+		return err
+	}
+	// Validate locally first for a better error than a bare 400.
+	var s jobspec.Spec
+	if err := json.Unmarshal(spec, &s); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return clientError(resp)
+	}
+	body, err := readAll(resp)
+	if err != nil {
+		return err
+	}
+	var m serve.Manifest
+	if err := json.Unmarshal(body, &m); err != nil {
+		return err
+	}
+	fmt.Println(m.ID)
+	return nil
+}
+
+func getManifest(base, id string) (*serve.Manifest, error) {
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, clientError(resp)
+	}
+	body, err := readAll(resp)
+	if err != nil {
+		return nil, err
+	}
+	var m serve.Manifest
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// clientWait polls until the job settles. It rides out daemon restarts:
+// connection errors are retried, because a daemon killed mid-job is
+// expected to come back and finish it.
+func clientWait(base, id string) error {
+	lastState := serve.State("")
+	for {
+		m, err := getManifest(base, id)
+		if err != nil {
+			if strings.Contains(err.Error(), "connection refused") {
+				time.Sleep(500 * time.Millisecond)
+				continue
+			}
+			return err
+		}
+		if m.State != lastState {
+			fmt.Fprintf(os.Stderr, "picserve: job %s %s\n", id, m.State)
+			lastState = m.State
+		}
+		if m.State.Terminal() {
+			if m.State != serve.StateDone {
+				return fmt.Errorf("job %s %s (%s): %s", id, m.State, m.Reason, m.Detail)
+			}
+			// Full-precision pins, format-compatible with picsim's output so
+			// the same golden greps work against either.
+			fmt.Printf("  TotalTime %.7f\n", m.Result.TotalTime)
+			fmt.Printf("  Fingerprint %s\n", m.Result.Fingerprint)
+			return nil
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func clientStatus(base, id string) error {
+	url := base + "/jobz"
+	if id != "" {
+		url = base + "/jobs/" + id
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return clientError(resp)
+	}
+	body, err := readAll(resp)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(append(bytes.TrimSpace(body), '\n'))
+	return nil
+}
+
+func clientCancel(base, id string) error {
+	resp, err := http.Post(base+"/jobs/"+id+"/cancel", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return clientError(resp)
+	}
+	fmt.Printf("cancelled %s\n", id)
+	return nil
+}
+
+func clientEvents(base, id string) error {
+	resp, err := http.Get(base + "/jobs/" + id + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return clientError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fmt.Println(sc.Text())
+	}
+	return sc.Err()
+}

@@ -59,6 +59,7 @@ import (
 	"time"
 
 	"picpar"
+	"picpar/internal/jobspec"
 )
 
 func main() {
@@ -98,49 +99,35 @@ func main() {
 			*meshFlag = "128x64"
 		}
 	}
-	ext, err := parseMesh(*meshFlag, *dim)
-	if err != nil {
-		fatal(err)
-	}
-	pol, err := parsePolicy(*policyFlag)
-	if err != nil {
-		fatal(err)
-	}
-	if *strategyFlag != "" {
-		strat, err := picpar.ParseStrategy(*strategyFlag)
-		if err != nil {
-			fatal(err)
-		}
-		pol = picpar.WithStrategy(pol, strat)
-	}
-	cfg := picpar.Config{
+	// Flags become a jobspec.Spec — the same description a picserve job
+	// submission carries — so every entrypoint shares one flag→Config path.
+	spec := jobspec.Spec{
 		Dims:         *dim,
-		P:            *p,
-		NumParticles: *n,
-		Distribution: *dist,
-		Seed:         *seed,
+		Mesh:         *meshFlag,
+		Particles:    *n,
+		Ranks:        *p,
 		Iterations:   *iters,
+		Distribution: *dist,
 		Indexing:     *indexing,
-		Policy:       pol,
 		Table:        *table,
 		Topology:     *topology,
+		Policy:       *policyFlag,
+		Strategy:     *strategyFlag,
+		Seed:         *seed,
 		Thermal:      *thermal,
+		Modern:       *modern,
+		Workers:      *procs,
 		Diagnostics:  *diag,
 		Verify:       *verify,
-		Workers:      *procs,
 
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
 		CheckpointKeep:  *ckptKeep,
 		Recover:         *recoverFlag,
 	}
-	if *dim == 3 {
-		cfg.Grid3 = picpar.NewGrid3(ext[0], ext[1], ext[2])
-	} else {
-		cfg.Grid = picpar.NewGrid(ext[0], ext[1])
-	}
-	if *modern {
-		cfg.Machine = picpar.ModernMachine()
+	cfg, err := spec.Config()
+	if err != nil {
+		fatal(err)
 	}
 
 	if *netAddr != "" && strings.HasPrefix(*topology, "hierarchical") {
@@ -335,47 +322,6 @@ func childArgs() []string {
 		args = append(args, "-"+f.Name+"="+f.Value.String())
 	})
 	return args
-}
-
-func parseMesh(s string, dim int) ([]int, error) {
-	parts := strings.Split(strings.ToLower(s), "x")
-	if len(parts) != dim {
-		return nil, fmt.Errorf("picsim: mesh %q has %d extents, want %d for -dim %d",
-			s, len(parts), dim, dim)
-	}
-	ext := make([]int, dim)
-	for i, part := range parts {
-		v, err := strconv.Atoi(part)
-		if err != nil {
-			return nil, fmt.Errorf("picsim: mesh extent %q: %v", part, err)
-		}
-		ext[i] = v
-	}
-	return ext, nil
-}
-
-func parsePolicy(s string) (picpar.PolicyFactory, error) {
-	switch {
-	case s == "static":
-		return picpar.StaticPolicy(), nil
-	case s == "dynamic":
-		return picpar.DynamicPolicy(), nil
-	case s == "adaptive":
-		return picpar.AdaptivePolicy(), nil
-	case strings.HasPrefix(s, "periodic:"):
-		k, err := strconv.Atoi(strings.TrimPrefix(s, "periodic:"))
-		if err != nil || k <= 0 {
-			return nil, fmt.Errorf("picsim: bad period in %q", s)
-		}
-		return picpar.PeriodicPolicy(k), nil
-	case strings.HasPrefix(s, "adaptive:"):
-		k, err := strconv.Atoi(strings.TrimPrefix(s, "adaptive:"))
-		if err != nil || k <= 0 {
-			return nil, fmt.Errorf("picsim: bad period in %q", s)
-		}
-		return picpar.AdaptivePolicyEvery(k), nil
-	}
-	return nil, fmt.Errorf("picsim: unknown policy %q", s)
 }
 
 func fatal(err error) {

@@ -1,44 +1,80 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"picpar/internal/jobspec"
+)
+
+// picsim's mesh and policy spellings are the shared jobspec ones; these
+// tests pin the semantics the CLI depends on.
 
 func TestParseMesh(t *testing.T) {
-	ext, err := parseMesh("128x64", 2)
+	ext, err := jobspec.ParseMesh("128x64", 2)
 	if err != nil || ext[0] != 128 || ext[1] != 64 {
-		t.Errorf("parseMesh: %v %v", ext, err)
+		t.Errorf("ParseMesh: %v %v", ext, err)
 	}
-	if _, err := parseMesh("128X64", 2); err != nil {
+	if _, err := jobspec.ParseMesh("128X64", 2); err != nil {
 		t.Errorf("uppercase X should parse: %v", err)
 	}
-	ext, err = parseMesh("32x16x8", 3)
+	ext, err = jobspec.ParseMesh("32x16x8", 3)
 	if err != nil || ext[0] != 32 || ext[1] != 16 || ext[2] != 8 {
-		t.Errorf("parseMesh 3-D: %v %v", ext, err)
+		t.Errorf("ParseMesh 3-D: %v %v", ext, err)
 	}
 	for _, bad := range []string{"128", "ax64", "128xb", "1x2x3", ""} {
-		if _, err := parseMesh(bad, 2); err == nil {
-			t.Errorf("parseMesh(%q, 2) accepted", bad)
+		if _, err := jobspec.ParseMesh(bad, 2); err == nil {
+			t.Errorf("ParseMesh(%q, 2) accepted", bad)
 		}
 	}
 	for _, bad := range []string{"128x64", "1x2x3x4", "1x2xq", ""} {
-		if _, err := parseMesh(bad, 3); err == nil {
-			t.Errorf("parseMesh(%q, 3) accepted", bad)
+		if _, err := jobspec.ParseMesh(bad, 3); err == nil {
+			t.Errorf("ParseMesh(%q, 3) accepted", bad)
 		}
 	}
 }
 
 func TestParsePolicy(t *testing.T) {
 	for _, good := range []string{"static", "dynamic", "periodic:10"} {
-		f, err := parsePolicy(good)
+		f, err := jobspec.ParsePolicy(good)
 		if err != nil || f == nil {
-			t.Errorf("parsePolicy(%q): %v", good, err)
+			t.Errorf("ParsePolicy(%q): %v", good, err)
 		}
 		if f().Name() == "" {
 			t.Errorf("policy %q has empty name", good)
 		}
 	}
 	for _, bad := range []string{"periodic:", "periodic:0", "periodic:-3", "periodic:x", "sar", ""} {
-		if _, err := parsePolicy(bad); err == nil {
-			t.Errorf("parsePolicy(%q) accepted", bad)
+		if _, err := jobspec.ParsePolicy(bad); err == nil {
+			t.Errorf("ParsePolicy(%q) accepted", bad)
 		}
+	}
+}
+
+// TestSpecBuildsTheCLIWorkload pins that the flag-shaped spec the CLI
+// assembles produces the config picsim historically built by hand.
+func TestSpecBuildsTheCLIWorkload(t *testing.T) {
+	spec := jobspec.Spec{
+		Mesh: "128x64", Particles: 32768, Ranks: 32, Iterations: 200,
+		Distribution: "irregular", Indexing: "hilbert", Table: "direct",
+		Policy: "dynamic", Seed: 1, Thermal: 0.3,
+	}
+	cfg, err := spec.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Grid.Nx != 128 || cfg.Grid.Ny != 64 {
+		t.Errorf("grid %dx%d", cfg.Grid.Nx, cfg.Grid.Ny)
+	}
+	if cfg.P != 32 || cfg.NumParticles != 32768 || cfg.Iterations != 200 {
+		t.Errorf("P=%d n=%d iters=%d", cfg.P, cfg.NumParticles, cfg.Iterations)
+	}
+	if cfg.Policy == nil || cfg.Policy().Name() != "dynamic" {
+		t.Errorf("policy not wired")
+	}
+	if _, err := (jobspec.Spec{Mesh: "banana"}).Config(); err == nil {
+		t.Error("bad mesh accepted")
+	}
+	if _, err := (jobspec.Spec{Policy: "sar"}).Config(); err == nil {
+		t.Error("bad policy accepted")
 	}
 }

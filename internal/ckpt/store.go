@@ -93,6 +93,37 @@ func ValidateShard(path string) error {
 	return err
 }
 
+// ShardIdentity reads just the identity prefix of a shard file — the
+// epoch, rank and world size it was written as — after validating the
+// header and CRC. It never decodes the bulk payload, so the completeness
+// scan stays cheap while still refusing shards that merely *look* intact.
+func ShardIdentity(path string) (epoch, rank, size int, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("ckpt: %w", err)
+	}
+	payload, err := checkImage(b)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if epoch, payload, err = takeInt(payload, "epoch"); err != nil {
+		return 0, 0, 0, err
+	}
+	if rank, payload, err = takeInt(payload, "rank"); err != nil {
+		return 0, 0, 0, err
+	}
+	if size, _, err = takeInt(payload, "size"); err != nil {
+		return 0, 0, 0, err
+	}
+	return epoch, rank, size, nil
+}
+
+// warnf emits degradation warnings; a package variable so tests can
+// capture them (the par.EnvProcs / comm.EnvWatchdog pattern).
+var warnf = func(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
 // Epochs lists the epoch numbers present under dir (complete or not), in
 // ascending order. A missing directory is an empty list.
 func Epochs(dir string) []int {
@@ -115,11 +146,25 @@ func Epochs(dir string) []int {
 	return epochs
 }
 
-// EpochComplete reports whether all size shards of an epoch exist and pass
-// the CRC check.
+// EpochComplete reports whether all size shards of an epoch exist, pass
+// the CRC check, and declare the identity the scan expects (this epoch,
+// this rank, this world size). A missing or corrupt shard is the normal
+// crash artifact and fails silently; a shard whose *declared* identity
+// disagrees — an epoch written by a different world size, or a file
+// shuffled between directories — is anomalous and warns loudly before the
+// epoch is treated as incomplete. Without the identity probe, an epoch
+// left by an 8-rank run would scan "complete" for a 4-rank world (ranks
+// 0..3 exist and are CRC-valid) and then blow up at restore time.
 func EpochComplete(dir string, epoch, size int) bool {
 	for r := 0; r < size; r++ {
-		if ValidateShard(ShardPath(dir, epoch, r)) != nil {
+		path := ShardPath(dir, epoch, r)
+		se, sr, ss, err := ShardIdentity(path)
+		if err != nil {
+			return false
+		}
+		if se != epoch || sr != r || ss != size {
+			warnf("ckpt: %s declares epoch %d rank %d of %d, scan wants epoch %d rank %d of %d; skipping epoch",
+				path, se, sr, ss, epoch, r, size)
 			return false
 		}
 	}
@@ -174,8 +219,7 @@ func EnvDir(def string) string {
 		return def
 	}
 	if info, err := os.Stat(v); err == nil && !info.IsDir() {
-		fmt.Fprintf(os.Stderr,
-			"picpar: malformed PICPAR_CKPT_DIR=%q (exists but is not a directory); using default %q\n",
+		warnf("picpar: malformed PICPAR_CKPT_DIR=%q (exists but is not a directory); using default %q",
 			v, def)
 		return def
 	}

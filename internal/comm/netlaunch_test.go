@@ -3,6 +3,8 @@ package comm
 import (
 	"errors"
 	"os/exec"
+	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -96,6 +98,67 @@ func TestSuperviseRanksElasticBudgetExhausted(t *testing.T) {
 	}
 	if !sawDead || !sawKilled {
 		t.Errorf("failures %v: want rank 1 dead and rank 0 killed by supervisor", le.Failures)
+	}
+}
+
+// TestSuperviseRanksElasticBudgetConsumedThenFails: a rank that keeps
+// dying consumes the whole respawn budget (every respawn really runs),
+// and the exit after the last budgeted respawn escalates to a typed
+// *LaunchError that names the failing rank, the surviving killed sibling,
+// and the world description the caller attached — and the supervisor
+// leaves no goroutines behind.
+func TestSuperviseRanksElasticBudgetConsumedThenFails(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	const budget = 2
+	var respawns atomic.Int64
+	procs := []*RankProc{
+		{Rank: 0, Cmd: exec.Command("sleep", "30")},
+		{Rank: 1, Cmd: exec.Command("sh", "-c", "exit 3")},
+	}
+	respawn := func(rank int) (*RankProc, error) {
+		respawns.Add(1)
+		return &RankProc{Rank: rank, Cmd: exec.Command("sh", "-c", "exit 3")}, nil
+	}
+	err := SuperviseRanksElastic(procs, 200*time.Millisecond, respawn, budget,
+		"job j-test, P=2")
+	var le *LaunchError
+	if !errors.As(err, &le) {
+		t.Fatalf("error is %T (%v), want *LaunchError", err, err)
+	}
+	if got := respawns.Load(); got != budget {
+		t.Errorf("%d respawns, want the full budget of %d", got, budget)
+	}
+	if le.World != "job j-test, P=2" {
+		t.Errorf("LaunchError.World = %q, want the job description", le.World)
+	}
+	if !strings.Contains(le.Error(), "job j-test") || !strings.Contains(le.Error(), "rank 1") {
+		t.Errorf("error does not name the job and rank: %v", le)
+	}
+	var sawDead, sawKilled bool
+	for _, f := range le.Failures {
+		switch {
+		case f.Rank == 1 && !f.Killed && f.Err != nil:
+			sawDead = true
+		case f.Rank == 0 && f.Killed:
+			sawKilled = true
+		}
+	}
+	if !sawDead || !sawKilled {
+		t.Errorf("failures %v: want rank 1 dead after exhausted budget and rank 0 killed", le.Failures)
+	}
+
+	// Reaper goroutines must all have drained; allow the runtime a moment
+	// to retire them before declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if after := runtime.NumGoroutine(); after <= before {
+			break
+		} else if time.Now().After(deadline) {
+			t.Errorf("goroutine leak: %d before supervision, %d after", before, after)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

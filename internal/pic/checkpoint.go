@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 
 	"picpar/internal/ckpt"
 	"picpar/internal/comm"
@@ -23,48 +25,112 @@ import (
 )
 
 // maybeCheckpoint writes this rank's shard when iter completes an epoch
-// boundary ((iter+1) divisible by the cadence). Failures degrade to a
-// warning: a sick disk must not kill a healthy simulation, it only ages
-// the epoch recovery would restart from. Rank 0 prunes old epochs after a
-// successful write.
+// boundary ((iter+1) divisible by the cadence).
 func (st *rankState) maybeCheckpoint(iter int, res *Result) {
 	cfg := st.cfg
 	if cfg.CheckpointDir == "" || cfg.CheckpointEvery <= 0 || (iter+1)%cfg.CheckpointEvery != 0 {
 		return
 	}
-	epoch := iter + 1
+	st.writeEpoch(iter+1, res)
+}
+
+// checkpointNow writes a drain checkpoint at the current iteration
+// boundary regardless of the cadence — the graceful-stop path — unless the
+// cadence just wrote this very epoch (or checkpointing is off).
+func (st *rankState) checkpointNow(iter int, res *Result) {
+	cfg := st.cfg
+	if cfg.CheckpointDir == "" {
+		return
+	}
+	if cfg.CheckpointEvery > 0 && (iter+1)%cfg.CheckpointEvery == 0 {
+		return // maybeCheckpoint already pinned this epoch
+	}
+	st.writeEpoch(iter+1, res)
+}
+
+// writeEpoch writes this rank's shard for one epoch. Failures degrade to a
+// warning: a sick disk must not kill a healthy simulation, it only ages
+// the epoch recovery would restart from. Rank 0 prunes old epochs after a
+// successful write.
+func (st *rankState) writeEpoch(epoch int, res *Result) {
+	cfg := st.cfg
 	sh := st.buildShard(epoch, res)
 	if err := ckpt.WriteShard(cfg.CheckpointDir, sh); err != nil {
-		fmt.Fprintf(os.Stderr, "picpar: rank %d checkpoint epoch %d: %v\n", st.r.Rank(), epoch, err)
+		warnf("picpar: rank %d checkpoint epoch %d: %v", st.r.Rank(), epoch, err)
 		return
 	}
 	if st.r.Rank() == 0 {
 		if err := ckpt.Prune(cfg.CheckpointDir, st.r.Size(), cfg.CheckpointKeep); err != nil {
-			fmt.Fprintf(os.Stderr, "picpar: checkpoint prune: %v\n", err)
+			warnf("picpar: checkpoint prune: %v", err)
 		}
 	}
 }
 
-// maybeCrash is the chaos hook the kill-and-recover CI gate drives:
+// warnf emits configuration/degradation warnings; a package variable so
+// tests can capture them (the par.EnvProcs / comm.EnvWatchdog pattern).
+var warnf = func(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
+// parseCrashSpec parses the PICPAR_CRASH chaos spec "rank:iter:marker".
+// The empty spec means "hook disarmed" (silently). Anything else must
+// parse completely — non-numeric rank or iteration, negative values, a
+// missing or empty marker path — or the spec is rejected loudly: a warning
+// naming the bad value, then a disarmed hook, mirroring EnvWatchdog /
+// EnvProcs / EnvDir. A typo'd chaos spec must never silently turn into
+// "no chaos" without telling the operator.
+func parseCrashSpec(spec string) (rank, iter int, marker string, armed bool) {
+	if spec == "" {
+		return 0, 0, "", false
+	}
+	reject := func(why string) (int, int, string, bool) {
+		warnf("picpar: malformed PICPAR_CRASH=%q (%s); crash hook disarmed (want \"rank:iter:marker\")", spec, why)
+		return 0, 0, "", false
+	}
+	parts := strings.SplitN(spec, ":", 3)
+	if len(parts) != 3 {
+		return reject("want 3 colon-separated fields")
+	}
+	r, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return reject("rank is not an integer")
+	}
+	if r < 0 {
+		return reject("rank is negative")
+	}
+	it, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return reject("iteration is not an integer")
+	}
+	if it < 0 {
+		return reject("iteration is negative")
+	}
+	if parts[2] == "" {
+		return reject("marker path is empty")
+	}
+	return r, it, parts[2], true
+}
+
+// armCrashHook parses PICPAR_CRASH once per rank run, so a malformed spec
+// warns once instead of once per iteration.
+func (st *rankState) armCrashHook() {
+	st.crashRank, st.crashIter, st.crashMarker, st.crashArmed =
+		parseCrashSpec(os.Getenv("PICPAR_CRASH"))
+}
+
+// maybeCrash is the chaos hook the kill-and-recover CI gates drive:
 // PICPAR_CRASH="rank:iter:marker" makes that rank SIGKILL itself at the
 // top of that iteration — a real, unhandled kill -9 from the inside. The
 // marker file is an O_EXCL single-shot latch, so the respawned replacement
 // (which inherits the same environment) sails past the crash site on
-// replay. Malformed specs and marker I/O errors are ignored: the hook must
-// never be able to break a production run.
+// replay. Marker I/O errors are ignored (the latch already tripped, or the
+// path is unwritable — the hook must never break a production run);
+// malformed specs are rejected loudly by parseCrashSpec at arming time.
 func (st *rankState) maybeCrash(iter int) {
-	spec := os.Getenv("PICPAR_CRASH")
-	if spec == "" {
+	if !st.crashArmed || st.r.Rank() != st.crashRank || iter != st.crashIter {
 		return
 	}
-	var rank, it int
-	var marker string
-	if n, err := fmt.Sscanf(spec, "%d:%d:%s", &rank, &it, &marker); n != 3 || err != nil {
-		return
-	}
-	if st.r.Rank() != rank || iter != it {
-		return
-	}
+	marker := st.crashMarker
 	f, err := os.OpenFile(marker, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return // latch already tripped (or unwritable): run on

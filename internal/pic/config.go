@@ -137,6 +137,25 @@ type Config struct {
 	// (comm.NetRankElastic). With no usable epoch the run starts from
 	// scratch, byte-identically to a non-recovering run.
 	Recover bool
+
+	// OnIteration, when non-nil, is invoked on rank 0 after each
+	// iteration's record is final (post-iteration redistribution included).
+	// It is a real-world diagnostics hook — the picserve daemon streams
+	// these records to HTTP subscribers — and adds zero simulated charges
+	// and no communication, so goldens hold with it installed. The callback
+	// runs on the simulation's critical path: implementations must not
+	// block (drop, don't stall).
+	OnIteration func(IterationRecord)
+	// StopRequested, when non-nil, is polled once per iteration; when any
+	// rank's poll returns true the whole world agrees (the flag rides the
+	// existing out-of-band measurement exchange, so the agreement is free
+	// and deterministic), writes a final checkpoint epoch at the current
+	// iteration boundary (when checkpointing is configured) and returns
+	// early with Result.Stopped set. A stopped run is resumable: rerunning
+	// the same Config with Recover restores that epoch and finishes
+	// byte-identically to an undisturbed run. This is the graceful-drain
+	// hook of the picserve daemon (SIGTERM: checkpoint, then exit).
+	StopRequested func() bool
 }
 
 // withDefaults fills zero fields.
@@ -332,8 +351,14 @@ type Result struct {
 	// recovered from a checkpoint mid-way — must produce identical
 	// fingerprints; the recovery gates compare exactly this.
 	Fingerprint uint64
-	Records     []IterationRecord
-	Stats       machine.WorldStats
+	// Stopped reports that the run ended early because StopRequested fired
+	// (graceful drain); CompletedIterations is how many iterations actually
+	// finished — Iterations for a run that went to the end. A stopped run's
+	// Records are truncated to the completed prefix.
+	Stopped             bool
+	CompletedIterations int
+	Records             []IterationRecord
+	Stats               machine.WorldStats
 }
 
 // MaxScatterBytes returns the peak per-iteration scatter traffic (sent), a

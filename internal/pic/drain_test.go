@@ -1,0 +1,314 @@
+package pic
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"picpar/internal/ckpt"
+)
+
+// warnLog collects captured warnings; every rank goroutine arms its own
+// crash hook, so the capture must be safe under concurrent appends.
+type warnLog struct {
+	mu   sync.Mutex
+	msgs []string
+}
+
+func (w *warnLog) add(format string, args ...any) {
+	w.mu.Lock()
+	w.msgs = append(w.msgs, fmt.Sprintf(format, args...))
+	w.mu.Unlock()
+}
+
+func (w *warnLog) all() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]string(nil), w.msgs...)
+}
+
+func (w *warnLog) reset() {
+	w.mu.Lock()
+	w.msgs = nil
+	w.mu.Unlock()
+}
+
+// captureWarnings redirects the package warning hook into a log for the
+// duration of the test.
+func captureWarnings(t *testing.T) *warnLog {
+	t.Helper()
+	var log warnLog
+	old := warnf
+	warnf = log.add
+	t.Cleanup(func() { warnf = old })
+	return &log
+}
+
+// runSelfTest re-executes the test binary running only the named test with
+// extra environment, returning its combined output.
+func runSelfTest(t *testing.T, name string, env ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "^"+name+"$", "-test.v")
+	cmd.Env = append(os.Environ(), env...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// TestParseCrashSpec: the PICPAR_CRASH chaos spec follows the same loud
+// reject-malformed contract as every other knob — a typo warns and disarms,
+// it never half-parses.
+func TestParseCrashSpec(t *testing.T) {
+	warnings := captureWarnings(t)
+
+	rank, iter, marker, armed := parseCrashSpec("2:7:/tmp/marker")
+	if !armed || rank != 2 || iter != 7 || marker != "/tmp/marker" {
+		t.Errorf("valid spec parsed as rank=%d iter=%d marker=%q armed=%v",
+			rank, iter, marker, armed)
+	}
+	// Marker paths may themselves contain colons — only the first two split.
+	_, _, marker, armed = parseCrashSpec("0:0:/tmp/a:b")
+	if !armed || marker != "/tmp/a:b" {
+		t.Errorf("colon-bearing marker parsed as %q armed=%v", marker, armed)
+	}
+	if msgs := warnings.all(); len(msgs) != 0 {
+		t.Errorf("valid specs warned: %v", msgs)
+	}
+
+	// The empty spec is the normal production state: disarmed, silent.
+	if _, _, _, armed := parseCrashSpec(""); armed {
+		t.Error("empty spec armed the hook")
+	}
+	if msgs := warnings.all(); len(msgs) != 0 {
+		t.Errorf("empty spec warned: %v", msgs)
+	}
+
+	for _, bad := range []string{
+		"2",           // missing fields
+		"2:7",         // missing marker
+		"2:7:",        // empty marker
+		"x:7:/tmp/m",  // non-integer rank
+		"2:y:/tmp/m",  // non-integer iteration
+		"-1:7:/tmp/m", // negative rank
+		"2:-3:/tmp/m", // negative iteration
+		"banana",      // not a spec at all
+	} {
+		warnings.reset()
+		if _, _, _, armed := parseCrashSpec(bad); armed {
+			t.Errorf("malformed spec %q armed the hook", bad)
+		}
+		if msgs := warnings.all(); len(msgs) != 1 {
+			t.Errorf("spec %q produced %d warnings, want exactly 1: %v",
+				bad, len(msgs), msgs)
+		} else if w := msgs[0]; !contains(w, "PICPAR_CRASH") || !contains(w, bad) {
+			t.Errorf("warning for %q does not name the knob and value: %q", bad, w)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMalformedCrashSpecRunIsUndisturbed: a run under a garbage
+// PICPAR_CRASH warns (once per rank, at arming) and then behaves exactly
+// like an unconfigured run — same TotalTime, same fingerprint.
+func TestMalformedCrashSpecRunIsUndisturbed(t *testing.T) {
+	plain, err := Run(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warnings := captureWarnings(t)
+	t.Setenv("PICPAR_CRASH", "rank-two:7")
+	got, err := Run(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalTime != plain.TotalTime || got.Fingerprint != plain.Fingerprint {
+		t.Errorf("malformed chaos spec perturbed the run: total %.7f/%016x, want %.7f/%016x",
+			got.TotalTime, got.Fingerprint, plain.TotalTime, plain.Fingerprint)
+	}
+	msgs := warnings.all()
+	if len(msgs) == 0 {
+		t.Error("malformed PICPAR_CRASH was swallowed silently")
+	}
+	for _, w := range msgs {
+		if !contains(w, "rank-two:7") {
+			t.Errorf("warning does not quote the bad value: %q", w)
+		}
+	}
+}
+
+// TestValidCrashSpecStillKills: hardening the parser must not soften the
+// hook — a well-formed spec still kills the process at the crash site, so
+// this runs in a subprocess.
+func TestValidCrashSpecStillKills(t *testing.T) {
+	if os.Getenv("PIC_CRASH_CHILD") == "1" {
+		_, _ = Run(base())
+		os.Exit(0) // unreachable if the hook fired
+	}
+	marker := t.TempDir() + "/marker"
+	out, err := runSelfTest(t, "TestValidCrashSpecStillKills",
+		"PIC_CRASH_CHILD=1", "PICPAR_CRASH=2:3:"+marker)
+	if err == nil {
+		t.Fatalf("child survived an armed crash hook; output:\n%s", out)
+	}
+	if _, serr := os.Stat(marker); serr != nil {
+		t.Errorf("crash marker was not latched: %v", serr)
+	}
+}
+
+// TestStopDrainAndResumeByteIdentical is the graceful-drain contract the
+// service layer is built on: StopRequested stops the whole world at an
+// iteration boundary with a final checkpoint epoch, the partial result says
+// so honestly, and a recover-run over the same directory finishes the job
+// byte-identically to a run that was never stopped.
+func TestStopDrainAndResumeByteIdentical(t *testing.T) {
+	ref, err := Run(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	var stop atomic.Bool
+	var streamed []IterationRecord
+	cfg := base()
+	cfg.CheckpointDir = dir
+	cfg.CheckpointEvery = 4
+	cfg.CheckpointKeep = 100
+	cfg.StopRequested = stop.Load
+	cfg.OnIteration = func(rec IterationRecord) {
+		streamed = append(streamed, rec)
+		if rec.Iter == 4 {
+			stop.Store(true)
+		}
+	}
+	part, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stop latched after iteration 4's record; the world agrees during
+	// iteration 5 and drains at its boundary.
+	if !part.Stopped {
+		t.Fatal("Result.Stopped not set on a drained run")
+	}
+	if part.CompletedIterations != 6 {
+		t.Errorf("drained after %d iterations, want 6", part.CompletedIterations)
+	}
+	if len(part.Records) != 6 {
+		t.Errorf("%d records on a 6-iteration drain, want 6", len(part.Records))
+	}
+	if len(streamed) != 6 {
+		t.Errorf("OnIteration saw %d records, want 6", len(streamed))
+	}
+	if !reflect.DeepEqual(streamed, part.Records) {
+		t.Error("streamed records differ from the result's records")
+	}
+	// Cadence-4 wrote epoch 4; the drain pinned epoch 6 off-cadence.
+	if got := ckpt.LatestComplete(dir, 4); got != 6 {
+		t.Errorf("latest complete epoch after drain %d, want 6", got)
+	}
+
+	// Resume: same physics config, no stop hook, recover over the drain
+	// epoch — the finished run matches the undisturbed reference exactly.
+	cfg2 := base()
+	cfg2.CheckpointDir = dir
+	cfg2.CheckpointEvery = 4
+	cfg2.CheckpointKeep = 100
+	cfg2.Recover = true
+	full, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stopped {
+		t.Error("resumed run still marked Stopped")
+	}
+	if full.CompletedIterations != 10 {
+		t.Errorf("resumed run completed %d iterations, want 10", full.CompletedIterations)
+	}
+	if full.TotalTime != ref.TotalTime || full.Fingerprint != ref.Fingerprint {
+		t.Errorf("drain+resume differs from undisturbed run: total %.7f/%016x, want %.7f/%016x",
+			full.TotalTime, full.Fingerprint, ref.TotalTime, ref.Fingerprint)
+	}
+	if !reflect.DeepEqual(full.Records, ref.Records) {
+		t.Error("drain+resume records differ from the undisturbed run")
+	}
+}
+
+// TestStopAtCadenceBoundaryWritesOneEpoch: a drain landing exactly on a
+// cadence epoch must not write the epoch twice (the second write would
+// re-prune and waste I/O, and a double write that interleaved would be a
+// bug magnet). One epoch set proves single-write.
+func TestStopAtCadenceBoundaryWritesOneEpoch(t *testing.T) {
+	dir := t.TempDir()
+	var stop atomic.Bool
+	cfg := base()
+	cfg.CheckpointDir = dir
+	cfg.CheckpointEvery = 3
+	cfg.CheckpointKeep = 100
+	cfg.StopRequested = stop.Load
+	cfg.OnIteration = func(rec IterationRecord) {
+		if rec.Iter == 1 {
+			stop.Store(true)
+		}
+	}
+	part, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop latched after iteration 1, agreed during iteration 2 — whose
+	// boundary (epoch 3) is exactly the cadence-3 epoch.
+	if part.CompletedIterations != 3 {
+		t.Fatalf("drained after %d iterations, want 3", part.CompletedIterations)
+	}
+	if epochs := ckpt.Epochs(dir); !reflect.DeepEqual(epochs, []int{3}) {
+		t.Errorf("epochs after cadence-aligned drain: %v, want [3]", epochs)
+	}
+}
+
+// TestStopWithoutCheckpointDirStillStops: draining a job that never asked
+// for checkpointing must not crash or hang — it just stops (unresumable,
+// which is the caller's choice).
+func TestStopWithoutCheckpointDirStillStops(t *testing.T) {
+	var stop atomic.Bool
+	cfg := base()
+	cfg.StopRequested = stop.Load
+	cfg.OnIteration = func(rec IterationRecord) {
+		if rec.Iter == 2 {
+			stop.Store(true)
+		}
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped || res.CompletedIterations != 4 {
+		t.Errorf("stopped=%v after %d iterations, want stopped after 4",
+			res.Stopped, res.CompletedIterations)
+	}
+}
+
+// TestOnIterationStreamsEveryRecord: the per-iteration hook sees every
+// record of an undisturbed run, in order, identical to the result set —
+// the SSE feed upstairs is a faithful live view, not an approximation.
+func TestOnIterationStreamsEveryRecord(t *testing.T) {
+	var streamed []IterationRecord
+	cfg := base()
+	cfg.OnIteration = func(rec IterationRecord) { streamed = append(streamed, rec) }
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(streamed, res.Records) {
+		t.Errorf("streamed %d records that differ from the result's %d",
+			len(streamed), len(res.Records))
+	}
+}

@@ -242,6 +242,11 @@ type rankState struct {
 	// carry so a restored run resumes the same TotalTime accounting.
 	runStart float64
 	initTime float64
+	// Parsed PICPAR_CRASH chaos hook (checkpoint.go), armed once per run so
+	// a malformed spec warns once, not once per iteration.
+	crashRank, crashIter int
+	crashMarker          string
+	crashArmed           bool
 
 	// Ghost bookkeeping, rebuilt (in place, allocation-free once warm)
 	// every iteration. fp is the footprint scratch the per-particle loops
@@ -302,6 +307,7 @@ func runRank(r comm.Transport, cfg Config, ge geom.Geometry, res *Result) {
 		workers: pool.Workers(),
 	}
 	st.inc.SetPool(pool)
+	st.armCrashHook()
 	pl, perr := buildTopoPlan(cfg, ge)
 	if perr != nil {
 		panic(perr) // validate() accepted the spec; disagreement is a bug
@@ -374,6 +380,8 @@ func runRank(r comm.Transport, cfg Config, ge geom.Geometry, res *Result) {
 	st.composePipeline()
 
 	// ---- Time-step loop ----
+	completed := startIter
+	stopped := false
 	for iter := startIter; iter < cfg.Iterations; iter++ {
 		st.maybeCrash(iter)
 		iterStart := r.Clock().Now()
@@ -396,19 +404,32 @@ func runRank(r comm.Transport, cfg Config, ge geom.Geometry, res *Result) {
 		}
 		// One out-of-band Expose serves the element-wise max the records
 		// always carried plus the busy-time max and sum behind the
-		// max/mean imbalance (same barriers as ExposeMaxFloat64s).
+		// max/mean imbalance (same barriers as ExposeMaxFloat64s). The
+		// trailing element is the drain flag: any rank whose StopRequested
+		// poll fired makes the whole world agree to stop at this iteration
+		// boundary — same free, deterministic agreement the measurements
+		// ride.
+		stopFlag := 0.0
+		if cfg.StopRequested != nil && cfg.StopRequested() {
+			stopFlag = 1
+		}
 		all := r.Expose([]float64{
 			r.Clock().Now() - iterStart,
 			comp,
 			float64(sc.BytesSent), float64(sc.BytesRecv),
 			float64(sc.MsgsSent), float64(sc.MsgsRecv),
 			busy,
+			stopFlag,
 		})
 		var meas [7]float64
 		busySum := 0.0
+		stopAgreed := false
 		for _, x := range all {
 			vec := x.([]float64)
 			busySum += vec[6]
+			if vec[7] > 0 {
+				stopAgreed = true
+			}
 			for i := range meas {
 				if vec[i] > meas[i] {
 					meas[i] = vec[i]
@@ -448,8 +469,21 @@ func runRank(r comm.Transport, cfg Config, ge geom.Geometry, res *Result) {
 
 		if r.Rank() == 0 {
 			res.Records[iter] = rec
+			if cfg.OnIteration != nil {
+				cfg.OnIteration(rec)
+			}
 		}
 		st.maybeCheckpoint(iter, res)
+		completed = iter + 1
+		if stopAgreed {
+			// Graceful drain: pin a final checkpoint epoch at this boundary
+			// (all ranks agreed, so the epoch completes) and leave the loop
+			// together. The epilogue below still runs — a stopped run
+			// reports its partial measurements honestly.
+			st.checkpointNow(iter, res)
+			stopped = true
+			break
+		}
 	}
 
 	comm.Barrier(r)
@@ -460,6 +494,11 @@ func runRank(r comm.Transport, cfg Config, ge geom.Geometry, res *Result) {
 		res.TotalTime = total
 		res.FinalParticleCount = finalCount
 		res.Fingerprint = fp
+		res.Stopped = stopped
+		res.CompletedIterations = completed
+		if stopped {
+			res.Records = res.Records[:completed]
+		}
 	}
 }
 

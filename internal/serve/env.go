@@ -1,0 +1,31 @@
+// Environment knobs for the daemon, following the repo's loud-reject
+// discipline: a malformed value is warned about and ignored, never
+// silently honoured and never fatal.
+
+package serve
+
+import (
+	"fmt"
+	"net"
+	"os"
+)
+
+// warnf is swappable so tests can capture warnings.
+var warnf = func(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
+// EnvAddr resolves the daemon listen address from PICSERVE_ADDR, falling
+// back to def when unset. A value that is not host:port is malformed and
+// rejected loudly (warn + fallback), matching the PICPAR_CKPT_DIR pattern.
+func EnvAddr(def string) string {
+	v, ok := os.LookupEnv("PICSERVE_ADDR")
+	if !ok || v == "" {
+		return def
+	}
+	if _, _, err := net.SplitHostPort(v); err != nil {
+		warnf("picserve: malformed PICSERVE_ADDR=%q (%v); using default %q", v, err, def)
+		return def
+	}
+	return v
+}

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type warnCapture struct {
+	mu   sync.Mutex
+	msgs []string
+}
+
+func (w *warnCapture) add(format string, args []any) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.msgs = append(w.msgs, fmt.Sprintf(format, args...))
+}
+
+func (w *warnCapture) all() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]string(nil), w.msgs...)
+}
+
+func captureWarnings(t *testing.T) *warnCapture {
+	t.Helper()
+	w := &warnCapture{}
+	old := warnf
+	warnf = func(format string, args ...any) { w.add(format, args) }
+	t.Cleanup(func() { warnf = old })
+	return w
+}
+
+func TestEnvAddr(t *testing.T) {
+	w := captureWarnings(t)
+
+	t.Setenv("PICSERVE_ADDR", "")
+	if got := EnvAddr("127.0.0.1:7070"); got != "127.0.0.1:7070" {
+		t.Errorf("unset: %q", got)
+	}
+	t.Setenv("PICSERVE_ADDR", "0.0.0.0:9090")
+	if got := EnvAddr("127.0.0.1:7070"); got != "0.0.0.0:9090" {
+		t.Errorf("set: %q", got)
+	}
+	if len(w.all()) != 0 {
+		t.Errorf("valid values warned: %v", w.all())
+	}
+
+	t.Setenv("PICSERVE_ADDR", "not an address")
+	if got := EnvAddr("127.0.0.1:7070"); got != "127.0.0.1:7070" {
+		t.Errorf("malformed: %q", got)
+	}
+	msgs := w.all()
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "PICSERVE_ADDR") ||
+		!strings.Contains(msgs[0], "not an address") {
+		t.Errorf("malformed value not loudly rejected: %v", msgs)
+	}
+}

@@ -1,0 +1,61 @@
+// Typed admission and failure reasons. Every rejection the daemon hands a
+// client and every terminal failure it records carries one of these machine
+//
+// readable reason strings, so operators and scripts branch on the reason,
+// never on prose.
+
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Rejection reasons (RejectError.Reason) and terminal failure reasons
+// (Manifest.Reason).
+const (
+	// Admission rejections.
+	ReasonQueueFull   = "queue-full"    // 429: the bounded queue is at capacity
+	ReasonDraining    = "draining"      // 503: the daemon is shutting down
+	ReasonBadSpec     = "bad-spec"      // 400: the spec does not parse or validate
+	ReasonOverRankCap = "over-rank-cap" // 400: job asks for more ranks than the cap
+	ReasonOverIterCap = "over-iteration-cap"
+	ReasonNotFound    = "not-found" // 404
+	ReasonConflict    = "conflict"  // 409: e.g. cancelling a finished job
+
+	// Terminal failure reasons.
+	ReasonWallTime      = "wall-time-exceeded"       // the per-job deadline fired
+	ReasonRespawnBudget = "respawn-budget-exhausted" // ranks kept dying past every budget
+	ReasonRunFailed     = "run-failed"               // the simulation itself errored
+	ReasonCancelled     = "cancelled"                // operator cancellation
+)
+
+// RejectError is a typed admission rejection: an HTTP status, a stable
+// machine-readable reason, and a human diagnostic. The server renders it as
+// a JSON error body; tests and clients branch on Reason.
+type RejectError struct {
+	Status int    `json:"-"`
+	Reason string `json:"reason"`
+	Msg    string `json:"error"`
+}
+
+func (e *RejectError) Error() string {
+	return fmt.Sprintf("serve: %s (%s)", e.Msg, e.Reason)
+}
+
+func reject(status int, reason, format string, args ...any) *RejectError {
+	return &RejectError{Status: status, Reason: reason, Msg: fmt.Sprintf(format, args...)}
+}
+
+// writeError renders err as the JSON error body. Non-Reject errors become
+// opaque 500s.
+func writeError(w http.ResponseWriter, err error) {
+	re, ok := err.(*RejectError)
+	if !ok {
+		re = &RejectError{Status: http.StatusInternalServerError, Reason: "internal", Msg: err.Error()}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(re.Status)
+	_ = json.NewEncoder(w).Encode(re)
+}

@@ -1,0 +1,109 @@
+// The per-job event hub behind the SSE endpoint.
+//
+// Publishing never blocks the simulation: each subscriber owns a bounded
+// frame buffer, and a subscriber that cannot keep up loses frames (counted,
+// and announced to it as a `gap` event once it catches up) rather than
+// stalling the publisher — diagnostics are a best-effort live view, the
+// authoritative record is the job's Result.
+
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// frame is one server-sent event: a named event type and a JSON payload.
+type frame struct {
+	Event string
+	Data  []byte
+}
+
+// subCap is each subscriber's frame buffer; a consumer more than subCap
+// frames behind starts losing frames.
+const subCap = 64
+
+type subscriber struct {
+	ch      chan frame
+	dropped int // frames lost while the buffer was full
+}
+
+// hub fans one job's event stream out to any number of subscribers.
+type hub struct {
+	mu     sync.Mutex
+	subs   map[*subscriber]struct{}
+	closed bool
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[*subscriber]struct{})}
+}
+
+// subscribe registers a new consumer. The returned channel closes when the
+// hub closes (job reached a terminal state). cancel must be called when
+// the consumer goes away.
+func (h *hub) subscribe() (ch <-chan frame, cancel func()) {
+	s := &subscriber{ch: make(chan frame, subCap)}
+	h.mu.Lock()
+	if h.closed {
+		close(s.ch)
+	} else {
+		h.subs[s] = struct{}{}
+	}
+	h.mu.Unlock()
+	return s.ch, func() {
+		h.mu.Lock()
+		if _, ok := h.subs[s]; ok {
+			delete(h.subs, s)
+			close(s.ch)
+		}
+		h.mu.Unlock()
+	}
+}
+
+// publish fans an event to every subscriber, dropping frames for any
+// subscriber whose buffer is full. When a previously slow subscriber has
+// room again, it first receives a gap event naming how many frames it
+// lost, so consumers can tell "quiet stream" from "I fell behind".
+func (h *hub) publish(event string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return // payloads are our own structs; marshal cannot realistically fail
+	}
+	f := frame{Event: event, Data: data}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for s := range h.subs {
+		if s.dropped > 0 {
+			// Two sends must fit for the gap notice plus the frame; if not,
+			// keep counting.
+			if len(s.ch) >= cap(s.ch)-1 {
+				s.dropped++
+				continue
+			}
+			gap, _ := json.Marshal(map[string]int{"dropped": s.dropped})
+			s.ch <- frame{Event: "gap", Data: gap}
+			s.dropped = 0
+		}
+		select {
+		case s.ch <- f:
+		default:
+			s.dropped++
+		}
+	}
+}
+
+// close ends the stream: every subscriber's channel closes after the
+// frames already buffered drain.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for s := range h.subs {
+		close(s.ch)
+	}
+	h.subs = map[*subscriber]struct{}{}
+}

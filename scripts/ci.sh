@@ -4,7 +4,8 @@
 # layout-strategy comparison (2-D and 3-D), the per-phase traffic
 # regression gate, the 2-D and 3-D golden pins, the
 # multi-process TCP smoke (loopback golden + kill -9 crash detection +
-# kill-and-recover byte-identity), an
+# kill-and-recover byte-identity), the picserve daemon smoke (served golden
+# + typed admission rejects + daemon kill -9 recovery + SIGTERM drain), an
 # examples smoke run, and a short benchmark smoke run that exercises the
 # radix sort and allocation assertions.
 set -eu
@@ -53,6 +54,9 @@ sh scripts/netsmoke.sh
 
 echo "== net smoke, 2 workers per rank (golden must not move) =="
 PICPAR_PROCS=2 sh scripts/netsmoke.sh
+
+echo "== serve smoke (daemon golden + typed 429 + daemon kill -9 recovery + SIGTERM drain) =="
+sh scripts/servesmoke.sh
 
 echo "== traffic gate =="
 # -require-baseline: a deleted or missing TRAFFIC_*.json baseline fails CI
